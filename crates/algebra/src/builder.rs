@@ -1,0 +1,243 @@
+//! Convenience builder for hand-constructing simplified algebra queries.
+//!
+//! The ZQL front end produces the same trees via simplification; the
+//! builder exists so benches, tests, and examples can state the paper's
+//! queries directly in their Figure 5 / Figure 8 / Figure 12 form.
+
+use crate::ops::{LogicalOp, SetOpKind};
+use crate::plan::LogicalPlan;
+use crate::pred::{CmpOp, Operand, Pred, PredId, Term};
+use crate::scope::{VarId, VarOrigin};
+use crate::QueryEnv;
+use oodb_object::{Catalog, CollectionId, FieldId, Schema, Value};
+
+/// Builds simplified-algebra queries against a schema + catalog.
+#[derive(Debug)]
+pub struct QueryBuilder {
+    env: QueryEnv,
+}
+
+impl QueryBuilder {
+    /// Starts a query over the given schema and catalog.
+    pub fn new(schema: Schema, catalog: Catalog) -> Self {
+        QueryBuilder {
+            env: QueryEnv::new(schema, catalog),
+        }
+    }
+
+    /// The environment built so far (shared context for optimization and
+    /// rendering).
+    pub fn env(&self) -> &QueryEnv {
+        &self.env
+    }
+
+    /// Consumes the builder, yielding the environment.
+    pub fn into_env(self) -> QueryEnv {
+        self.env
+    }
+
+    /// `Get <collection>: <name>` — scan a collection.
+    pub fn get(&mut self, coll: CollectionId, name: &str) -> (LogicalPlan, VarId) {
+        let ty = self.env.catalog.collection(coll).elem_type;
+        let var = self.env.scopes.add(name, ty, VarOrigin::Get(coll));
+        (LogicalPlan::leaf(LogicalOp::Get { coll, var }), var)
+    }
+
+    /// `Mat <src>.<field>` — bring a referenced component into scope. The
+    /// new variable is labeled `src.field` and named `name`.
+    pub fn mat(
+        &mut self,
+        input: LogicalPlan,
+        src: VarId,
+        field: FieldId,
+        name: &str,
+    ) -> (LogicalPlan, VarId) {
+        let fd = self.env.schema.field(field);
+        let ty = fd
+            .kind
+            .target()
+            .expect("Mat field must be a single-valued reference");
+        let label = format!("{}.{}", self.env.scopes.var(src).name, fd.name);
+        let out = self.env.scopes.add_labeled(
+            name,
+            &label,
+            ty,
+            VarOrigin::Mat {
+                src,
+                field: Some(field),
+            },
+        );
+        (LogicalPlan::unary(LogicalOp::Mat { out }, input), out)
+    }
+
+    /// `Mat <src>: <name>` — dereference a reference-valued variable (the
+    /// form following an `Unnest`, e.g. `Mat m.employee: e`).
+    pub fn mat_deref(
+        &mut self,
+        input: LogicalPlan,
+        src: VarId,
+        name: &str,
+    ) -> (LogicalPlan, VarId) {
+        let sv = self.env.scopes.var(src);
+        let ty = sv.ty;
+        let label = format!("{}.{}", sv.name, self.env.schema.ty(ty).name.to_lowercase());
+        let out = self
+            .env
+            .scopes
+            .add_labeled(name, &label, ty, VarOrigin::Mat { src, field: None });
+        (LogicalPlan::unary(LogicalOp::Mat { out }, input), out)
+    }
+
+    /// `Unnest <src>.<field>: <name>` — reveal set-valued references.
+    pub fn unnest(
+        &mut self,
+        input: LogicalPlan,
+        src: VarId,
+        field: FieldId,
+        name: &str,
+    ) -> (LogicalPlan, VarId) {
+        let fd = self.env.schema.field(field);
+        let ty = fd
+            .kind
+            .target()
+            .expect("Unnest field must be a set-valued reference");
+        let label = format!("{}.{}", self.env.scopes.var(src).name, fd.name);
+        let out = self
+            .env
+            .scopes
+            .add_labeled(name, &label, ty, VarOrigin::Unnest { src, field });
+        (LogicalPlan::unary(LogicalOp::Unnest { out }, input), out)
+    }
+
+    /// `Select <pred>`.
+    pub fn select(&mut self, input: LogicalPlan, pred: PredId) -> LogicalPlan {
+        LogicalPlan::unary(LogicalOp::Select { pred }, input)
+    }
+
+    /// `Join <pred>`.
+    pub fn join(&mut self, left: LogicalPlan, right: LogicalPlan, pred: PredId) -> LogicalPlan {
+        LogicalPlan::binary(LogicalOp::Join { pred }, left, right)
+    }
+
+    /// `Project <items>`.
+    pub fn project(&mut self, input: LogicalPlan, items: Vec<Operand>) -> LogicalPlan {
+        LogicalPlan::unary(LogicalOp::Project { items }, input)
+    }
+
+    /// Set operation.
+    pub fn set_op(
+        &mut self,
+        kind: SetOpKind,
+        left: LogicalPlan,
+        right: LogicalPlan,
+    ) -> LogicalPlan {
+        LogicalPlan::binary(LogicalOp::SetOp { kind }, left, right)
+    }
+
+    // ----- predicate helpers -------------------------------------------------
+
+    /// Operand: embedded attribute `var.field`.
+    pub fn attr(&self, var: VarId, field: FieldId) -> Operand {
+        Operand::Attr { var, field }
+    }
+
+    /// Interns `var.field <op> constant`.
+    pub fn cmp_const(&mut self, var: VarId, field: FieldId, op: CmpOp, v: Value) -> PredId {
+        self.env
+            .preds
+            .cmp(Operand::Attr { var, field }, op, Operand::Const(v))
+    }
+
+    /// Interns `var.field == constant`.
+    pub fn eq_const(&mut self, var: VarId, field: FieldId, v: Value) -> PredId {
+        self.cmp_const(var, field, CmpOp::Eq, v)
+    }
+
+    /// Interns attribute equality `a.fa == b.fb`.
+    pub fn eq_attr(&mut self, a: VarId, fa: FieldId, b: VarId, fb: FieldId) -> PredId {
+        self.env.preds.cmp(
+            Operand::Attr { var: a, field: fa },
+            CmpOp::Eq,
+            Operand::Attr { var: b, field: fb },
+        )
+    }
+
+    /// Interns reference equality `src.field == target.self` (the paper's
+    /// `e.department() == d`).
+    pub fn ref_eq(&mut self, src: VarId, field: FieldId, target: VarId) -> PredId {
+        self.env.preds.cmp(
+            Operand::RefField { var: src, field },
+            CmpOp::Eq,
+            Operand::VarOid(target),
+        )
+    }
+
+    /// Interns reference-value equality `m == target.self` (unnested
+    /// member joined against a scan).
+    pub fn deref_eq(&mut self, src: VarId, target: VarId) -> PredId {
+        self.env
+            .preds
+            .cmp(Operand::VarRef(src), CmpOp::Eq, Operand::VarOid(target))
+    }
+
+    /// Interns a conjunction of already-built terms.
+    pub fn conj(&mut self, terms: Vec<Term>) -> PredId {
+        self.env.preds.intern(Pred { terms })
+    }
+
+    /// A comparison term (not interned) for use with [`QueryBuilder::conj`].
+    pub fn term(&self, left: Operand, op: CmpOp, right: Operand) -> Term {
+        Term { left, op, right }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_object::paper::paper_model;
+
+    #[test]
+    fn build_query2_shape() {
+        // SELECT City c in Cities WHERE c.mayor().name() == "Joe"
+        let m = paper_model();
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (cities, c) = qb.get(m.ids.cities, "c");
+        let (matd, cm) = qb.mat(cities, c, m.ids.city_mayor, "cm");
+        let pred = qb.eq_const(cm, m.ids.person_name, Value::str("Joe"));
+        let q = qb.select(matd, pred);
+
+        assert_eq!(q.size(), 3);
+        assert!(matches!(q.op, LogicalOp::Select { .. }));
+        assert!(matches!(q.children[0].op, LogicalOp::Mat { .. }));
+        assert!(matches!(q.children[0].children[0].op, LogicalOp::Get { .. }));
+        let env = qb.env();
+        assert_eq!(env.scopes.var(cm).label, "c.mayor");
+        assert_eq!(env.preds.mem_vars(pred), vec![cm]);
+    }
+
+    #[test]
+    fn unnest_then_deref_shape() {
+        // Figure 3: Mat m.employee: e over Unnest t.team_members: m over Get Tasks: t
+        let m = paper_model();
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (tasks, t) = qb.get(m.ids.tasks, "t");
+        let (unn, mm) = qb.unnest(tasks, t, m.ids.task_team_members, "m");
+        let (matd, e) = qb.mat_deref(unn, mm, "e");
+        assert_eq!(matd.size(), 3);
+        let env = qb.env();
+        assert!(env.scopes.var(mm).is_ref());
+        assert!(!env.scopes.var(e).is_ref());
+        assert_eq!(env.scopes.var(e).ty, m.ids.employee);
+        assert_eq!(env.scopes.var(mm).ty, m.ids.employee);
+        let _ = t;
+    }
+
+    #[test]
+    #[should_panic(expected = "single-valued reference")]
+    fn mat_on_attr_panics() {
+        let m = paper_model();
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (cities, c) = qb.get(m.ids.cities, "c");
+        let _ = qb.mat(cities, c, m.ids.city_name, "bad");
+    }
+}

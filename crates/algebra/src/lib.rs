@@ -1,0 +1,94 @@
+//! # `oodb-algebra` — logical and physical algebra of the Open OODB optimizer
+//!
+//! The paper's key representational decision is to separate the rich "user"
+//! algebra (complex arguments) from a *simple-argument* optimizable algebra.
+//! This crate is that second algebra:
+//!
+//! * **Scope variables** ([`scope`]): every `Get`, `Mat`, and `Unnest`
+//!   introduces a named variable ("an object component gets into scope
+//!   either by being scanned or by being referenced"); all operator
+//!   arguments refer to variables by [`VarId`].
+//! * **Predicates** ([`pred`]): interned conjunctions of simple comparison
+//!   terms — no nested path expressions survive simplification.
+//! * **Logical operators** ([`ops::LogicalOp`]): `Get`, `Select`,
+//!   `Project`, `Join`, `Unnest`, the novel `Mat` (materialize), and the
+//!   set operators.
+//! * **Physical operators** ([`ops::PhysicalOp`]): file/index scan, filter,
+//!   hybrid hash join, pointer join, assembly (with its window), and
+//!   friends.
+//! * **Properties** ([`props`]): logical properties (scope + cardinality)
+//!   and the physical property *presence in memory* that drives the paper's
+//!   goal-directed search.
+//! * **Plan trees and display** ([`plan`], [`display`]): standalone
+//!   input/output trees rendered in the paper's figure notation.
+
+pub mod builder;
+pub mod display;
+pub mod ops;
+pub mod plan;
+pub mod pred;
+pub mod props;
+pub mod scope;
+
+pub use builder::QueryBuilder;
+pub use ops::{LogicalOp, PhysicalOp, SetOpKind};
+pub use plan::{LogicalPlan, PhysicalPlan, PlanEst};
+pub use pred::{CmpOp, Operand, Pred, PredArena, PredId, Term};
+pub use props::{LogicalProps, PhysProps, SortSpec, VarSet};
+pub use scope::{ScopeArena, ScopeVar, VarId, VarOrigin};
+
+/// Shared query context: schema + catalog + interned scopes and predicates.
+///
+/// Memo expressions store only ids; everything resolves through a
+/// `QueryEnv`. One env per query being optimized.
+#[derive(Clone, Debug)]
+pub struct QueryEnv {
+    /// The database schema.
+    pub schema: oodb_object::Schema,
+    /// The catalog (statistics + indexes) the optimizer sees.
+    pub catalog: oodb_object::Catalog,
+    /// Scope variables of this query.
+    pub scopes: ScopeArena,
+    /// Interned predicates of this query.
+    pub preds: PredArena,
+}
+
+impl QueryEnv {
+    /// Creates an empty environment over a schema and catalog.
+    pub fn new(schema: oodb_object::Schema, catalog: oodb_object::Catalog) -> Self {
+        QueryEnv {
+            schema,
+            catalog,
+            scopes: ScopeArena::default(),
+            preds: PredArena::default(),
+        }
+    }
+
+    /// The collection that bounds the population a variable ranges over:
+    /// its `Get` collection, or — for materialized/unnested components —
+    /// the reference field's declared domain or the target type's extent.
+    /// `None` when the catalog knows nothing (the paper's `Plant`).
+    pub fn var_domain(&self, v: VarId) -> Option<oodb_object::CollectionId> {
+        let sv = self.scopes.var(v);
+        match sv.origin {
+            VarOrigin::Get(coll) => Some(coll),
+            VarOrigin::Mat { src, field } => match field {
+                Some(f) => self
+                    .catalog
+                    .ref_domain(f)
+                    .or_else(|| self.catalog.extent_of(sv.ty)),
+                None => match self.scopes.var(src).origin {
+                    VarOrigin::Unnest { field, .. } => self
+                        .catalog
+                        .ref_domain(field)
+                        .or_else(|| self.catalog.extent_of(sv.ty)),
+                    _ => self.catalog.extent_of(sv.ty),
+                },
+            },
+            VarOrigin::Unnest { field, .. } => self
+                .catalog
+                .ref_domain(field)
+                .or_else(|| self.catalog.extent_of(sv.ty)),
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Standalone plan trees.
+//!
+//! [`LogicalPlan`] is the optimizer's input (produced by query
+//! simplification or the [`crate::QueryBuilder`]); [`PhysicalPlan`] is its
+//! output, annotated per node with estimated cardinality and cost. Inside
+//! the optimizer everything lives in the memo; these trees exist only at
+//! the boundary.
+
+use crate::ops::{LogicalOp, PhysicalOp};
+
+/// A logical algebra expression tree.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LogicalPlan {
+    /// Operator at this node.
+    pub op: LogicalOp,
+    /// Inputs (`op.arity()` of them).
+    pub children: Vec<LogicalPlan>,
+}
+
+impl LogicalPlan {
+    /// A leaf node.
+    pub fn leaf(op: LogicalOp) -> Self {
+        debug_assert_eq!(op.arity(), 0);
+        LogicalPlan {
+            op,
+            children: vec![],
+        }
+    }
+
+    /// A unary node.
+    pub fn unary(op: LogicalOp, child: LogicalPlan) -> Self {
+        debug_assert_eq!(op.arity(), 1);
+        LogicalPlan {
+            op,
+            children: vec![child],
+        }
+    }
+
+    /// A binary node.
+    pub fn binary(op: LogicalOp, left: LogicalPlan, right: LogicalPlan) -> Self {
+        debug_assert_eq!(op.arity(), 2);
+        LogicalPlan {
+            op,
+            children: vec![left, right],
+        }
+    }
+
+    /// Total number of operators in the tree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(LogicalPlan::size).sum::<usize>()
+    }
+
+    /// Pre-order operator iteration.
+    pub fn iter_ops(&self) -> Vec<&LogicalOp> {
+        let mut out = vec![&self.op];
+        for c in &self.children {
+            out.extend(c.iter_ops());
+        }
+        out
+    }
+}
+
+/// Per-node estimates attached to a physical plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PlanEst {
+    /// Estimated output tuples.
+    pub out_card: f64,
+    /// Estimated I/O seconds for *this* operator alone.
+    pub io_s: f64,
+    /// Estimated CPU seconds for *this* operator alone.
+    pub cpu_s: f64,
+}
+
+impl PlanEst {
+    /// Combined operator cost in seconds.
+    pub fn op_total_s(&self) -> f64 {
+        self.io_s + self.cpu_s
+    }
+}
+
+/// A physical (execution) plan tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhysicalPlan {
+    /// Algorithm at this node.
+    pub op: PhysicalOp,
+    /// Inputs.
+    pub children: Vec<PhysicalPlan>,
+    /// Node estimates.
+    pub est: PlanEst,
+}
+
+impl PhysicalPlan {
+    /// Cumulative estimated cost of the whole subtree, in seconds.
+    pub fn total_s(&self) -> f64 {
+        self.est.op_total_s() + self.children.iter().map(PhysicalPlan::total_s).sum::<f64>()
+    }
+
+    /// Cumulative estimated I/O seconds.
+    pub fn total_io_s(&self) -> f64 {
+        self.est.io_s + self.children.iter().map(PhysicalPlan::total_io_s).sum::<f64>()
+    }
+
+    /// Cumulative estimated CPU seconds.
+    pub fn total_cpu_s(&self) -> f64 {
+        self.est.cpu_s
+            + self.children.iter().map(PhysicalPlan::total_cpu_s).sum::<f64>()
+    }
+
+    /// Number of operators.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(PhysicalPlan::size).sum::<usize>()
+    }
+
+    /// Pre-order operator iteration.
+    pub fn iter_ops(&self) -> Vec<&PhysicalOp> {
+        let mut out = vec![&self.op];
+        for c in &self.children {
+            out.extend(c.iter_ops());
+        }
+        out
+    }
+
+    /// True if any operator in the tree satisfies the predicate — handy in
+    /// tests asserting plan shape ("uses an index scan", "contains no
+    /// assembly").
+    pub fn contains_op(&self, f: &dyn Fn(&PhysicalOp) -> bool) -> bool {
+        self.iter_ops().into_iter().any(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::SetOpKind;
+    use crate::pred::PredId;
+    use crate::scope::VarId;
+    use oodb_object::CollectionId;
+
+    fn get(i: usize) -> LogicalPlan {
+        LogicalPlan::leaf(LogicalOp::Get {
+            coll: CollectionId::from_index(i),
+            var: VarId::from_index(i),
+        })
+    }
+
+    #[test]
+    fn tree_construction_and_size() {
+        let t = LogicalPlan::binary(
+            LogicalOp::SetOp {
+                kind: SetOpKind::Union,
+            },
+            get(0),
+            LogicalPlan::unary(
+                LogicalOp::Mat {
+                    out: VarId::from_index(2),
+                },
+                get(1),
+            ),
+        );
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.iter_ops().len(), 4);
+    }
+
+    #[test]
+    fn physical_cost_accumulates() {
+        let leaf = PhysicalPlan {
+            op: PhysicalOp::FileScan {
+                coll: CollectionId::from_index(0),
+                var: VarId::from_index(0),
+            },
+            children: vec![],
+            est: PlanEst {
+                out_card: 100.0,
+                io_s: 1.0,
+                cpu_s: 0.5,
+            },
+        };
+        let root = PhysicalPlan {
+            op: PhysicalOp::Filter {
+                pred: PredId::from_index(0),
+            },
+            children: vec![leaf],
+            est: PlanEst {
+                out_card: 10.0,
+                io_s: 0.0,
+                cpu_s: 0.25,
+            },
+        };
+        assert!((root.total_s() - 1.75).abs() < 1e-12);
+        assert!((root.total_io_s() - 1.0).abs() < 1e-12);
+        assert!((root.total_cpu_s() - 0.75).abs() < 1e-12);
+        assert!(root.contains_op(&|op| matches!(op, PhysicalOp::FileScan { .. })));
+        assert!(!root.contains_op(&|op| matches!(op, PhysicalOp::Assembly { .. })));
+    }
+}

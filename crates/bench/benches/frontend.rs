@@ -1,0 +1,38 @@
+//! Front-end microbenchmarks: ZQL lexing/parsing and the simplification
+//! stage ("this translation is very straightforward" — and cheap).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oodb_object::paper::paper_model;
+use std::hint::black_box;
+
+const Q1: &str = r#"SELECT Newobject(e.name(), e.job().name(), e.dept().name())
+FROM Employee e IN Employees
+WHERE e.dept().plant().location() == "Dallas""#;
+
+const Q4: &str = r#"SELECT t FROM Task t IN Tasks
+WHERE t.time() == 100
+  && EXISTS (SELECT m FROM m IN t.team_members() WHERE m.name() == "Fred")"#;
+
+fn bench_frontend(c: &mut Criterion) {
+    let m = paper_model();
+    let mut group = c.benchmark_group("frontend");
+    group.sample_size(60);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("parse-q1", |b| {
+        b.iter(|| black_box(zql::parser::parse(Q1).unwrap()))
+    });
+    group.bench_function("parse-q4-exists", |b| {
+        b.iter(|| black_box(zql::parser::parse(Q4).unwrap()))
+    });
+    group.bench_function("compile-q1", |b| {
+        b.iter(|| black_box(zql::compile(Q1, &m.schema, &m.catalog).unwrap()))
+    });
+    group.bench_function("compile-q4-exists", |b| {
+        b.iter(|| black_box(zql::compile(Q4, &m.schema, &m.catalog).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend);
+criterion_main!(benches);

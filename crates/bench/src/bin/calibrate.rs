@@ -1,0 +1,89 @@
+//! Calibration harness: prints every paper-reported estimate next to ours
+//! under the current `CostParams`, for tuning the device/CPU constants.
+//! Not one of the paper's tables itself — `table2`/`table3`/`figures` are
+//! the official reproductions; this is the lab notebook behind them.
+
+use oodb_algebra::display::render_physical;
+use oodb_bench::queries;
+use oodb_core::{greedy_plan, OpenOodb, OptimizerConfig};
+use oodb_object::paper::paper_model;
+
+fn main() {
+    let m = paper_model();
+    let verbose = std::env::args().any(|a| a == "-v");
+
+    println!("=== Query 1 (Table 2) ===");
+    for (label, config, paper) in [
+        ("All rules", OptimizerConfig::all_rules(), 161.0),
+        ("W/o Comm.", OptimizerConfig::without_join_commutativity(), 681.0),
+        ("W/o Window", OptimizerConfig::without_window(), 1188.0),
+    ] {
+        let q = queries::query1(&m);
+        let opt = OpenOodb::with_config(&q.env, config);
+        let out = opt.optimize(&q.plan, q.result_vars).expect("plan");
+        println!(
+            "{label:12} est {:8.2}s (paper {paper:7.1})   opt_time {:?} effort {}",
+            out.cost.total(),
+            out.stats.elapsed,
+            out.stats.effort()
+        );
+        if verbose {
+            println!("{}", render_physical(&q.env, &out.plan));
+        }
+    }
+
+    println!("\n=== Query 2 (Figures 8/9) ===");
+    for (label, config, paper) in [
+        ("Collapse", OptimizerConfig::all_rules(), 0.08),
+        (
+            "No collapse",
+            OptimizerConfig::without(&[oodb_core::config::rule_names::COLLAPSE_TO_INDEX_SCAN]),
+            119.6,
+        ),
+    ] {
+        let q = queries::query2(&m);
+        let opt = OpenOodb::with_config(&q.env, config);
+        let out = opt.optimize(&q.plan, q.result_vars).expect("plan");
+        println!("{label:12} est {:8.3}s (paper {paper:7.2})", out.cost.total());
+        if verbose {
+            println!("{}", render_physical(&q.env, &out.plan));
+        }
+    }
+
+    println!("\n=== Query 3 (Figure 10) ===");
+    {
+        let q = queries::query3(&m);
+        let opt = OpenOodb::with_config(&q.env, OptimizerConfig::all_rules());
+        let out = opt.optimize(&q.plan, q.result_vars).expect("plan");
+        println!("Enforcer     est {:8.3}s (paper    0.12)", out.cost.total());
+        if verbose {
+            println!("{}", render_physical(&q.env, &out.plan));
+        }
+    }
+
+    println!("\n=== Query 4 (Table 3) ===");
+    let sweeps: [(&str, Vec<&str>, f64, f64); 4] = [
+        ("None", vec![], 108.0, 108.0),
+        ("Time only", vec!["Tasks_time"], 1.73, 1.73),
+        ("Name only", vec!["Employees_name"], 28.4, 28.4),
+        ("Both", vec!["Tasks_time", "Employees_name"], 1.73, 10.1),
+    ];
+    for (label, keep, paper_opt, paper_greedy) in sweeps {
+        let catalog = m.catalog.with_only_indexes(&keep);
+        let q = queries::query4_with_catalog(&m, catalog);
+        let opt = OpenOodb::with_config(&q.env, OptimizerConfig::all_rules());
+        let out = opt.optimize(&q.plan, q.result_vars).expect("plan");
+        let greedy = greedy_plan(&q.env, oodb_core::CostParams::default(), &q.plan)
+            .expect("greedy plan");
+        let greedy_cost = greedy.total_io_s() + greedy.total_cpu_s();
+        println!(
+            "{label:10} optimal {:8.2} (paper {paper_opt:6.2})   greedy {:8.2} (paper {paper_greedy:6.2})",
+            out.cost.total(),
+            greedy_cost,
+        );
+        if verbose {
+            println!("--- optimal:\n{}", render_physical(&q.env, &out.plan));
+            println!("--- greedy:\n{}", render_physical(&q.env, &greedy));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! **Estimation quality** — beyond the paper: the refinement its future
+//! work asks for ("we will evaluate and refine the 'rougher' modules, in
+//! particular selectivity and cost estimation").
+//!
+//! For a battery of predicates over the generated database, compares
+//!
+//! * the **true** selectivity (counted over the data),
+//! * the **1993 estimate** (index distinct counts, naïve 10% default,
+//!   1/3 for ranges),
+//! * the **histogram estimate** (equi-depth statistics collected by
+//!   `Store::collect_statistics`),
+//!
+//! and reports each estimator's error factor.
+
+use oodb_algebra::{CmpOp, QueryBuilder};
+use oodb_bench::report::render_table;
+use oodb_core::{CostParams, OodbModel, OptimizerConfig};
+use oodb_object::{Value};
+use oodb_storage::{generate_paper_db, GenConfig};
+
+fn err_factor(est: f64, truth: f64) -> f64 {
+    let (a, b) = (est.max(1e-9), truth.max(1e-9));
+    (a / b).max(b / a)
+}
+
+fn main() {
+    let scale = 10;
+    let (store, model) = generate_paper_db(GenConfig {
+        scale_div: scale,
+        ..Default::default()
+    });
+    let ids = &model.ids;
+
+    // Collect statistics for indexed paths plus a few raw attributes.
+    let with_stats = store.collect_statistics(
+        &[
+            (ids.employees, vec![], ids.person_age),
+            (ids.employees, vec![], ids.emp_salary),
+            (ids.cities, vec![], ids.city_population),
+            (ids.tasks, vec![], ids.task_time),
+            (ids.department_extent, vec![ids.dept_plant], ids.plant_location),
+        ],
+        32,
+    );
+    println!(
+        "Collected {} histograms over the 1/{scale}-scale database.\n",
+        with_stats.histogram_count()
+    );
+
+    // Predicate battery: (label, collection, path, key, op, constant).
+    type Case = (
+        &'static str,
+        oodb_object::CollectionId,
+        Vec<oodb_object::FieldId>,
+        oodb_object::FieldId,
+        CmpOp,
+        Value,
+    );
+    let cases: Vec<Case> = vec![
+        ("e.age >= 40", ids.employees, vec![], ids.person_age, CmpOp::Ge, Value::Int(40)),
+        ("e.age >= 65", ids.employees, vec![], ids.person_age, CmpOp::Ge, Value::Int(65)),
+        ("e.salary < 40000", ids.employees, vec![], ids.emp_salary, CmpOp::Lt, Value::Int(40_000)),
+        ("e.name == Fred", ids.employees, vec![], ids.person_name, CmpOp::Eq, Value::str("Fred")),
+        ("t.time == 100", ids.tasks, vec![], ids.task_time, CmpOp::Eq, Value::Int(100)),
+        ("t.time <= 100", ids.tasks, vec![], ids.task_time, CmpOp::Le, Value::Int(100)),
+        (
+            "c.mayor.name == Joe",
+            ids.cities,
+            vec![ids.city_mayor],
+            ids.person_name,
+            CmpOp::Eq,
+            Value::str("Joe"),
+        ),
+        (
+            "d.plant.location == Dallas",
+            ids.department_extent,
+            vec![ids.dept_plant],
+            ids.plant_location,
+            CmpOp::Eq,
+            Value::str("Dallas"),
+        ),
+        (
+            "c.population >= 2500000",
+            ids.cities,
+            vec![],
+            ids.city_population,
+            CmpOp::Ge,
+            Value::Int(2_500_000),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut errs = (0.0f64, 0.0f64);
+    for (label, coll, path, key, op, constant) in cases {
+        // Truth.
+        let total = store.members(coll).len() as f64;
+        let matched = store
+            .members(coll)
+            .iter()
+            .filter(|&&o| {
+                let v = store.eval_path(o, &path, key);
+                v.partial_cmp_val(&constant).is_some_and(|ord| op.test(ord))
+            })
+            .count() as f64;
+        let truth = matched / total;
+
+        // Estimates: build the predicate in a throwaway environment over
+        // each catalog.
+        let estimate = |catalog: &oodb_object::Catalog| -> f64 {
+            let mut qb = QueryBuilder::new(model.schema.clone(), catalog.clone());
+            let (mut _plan, mut var) = qb.get(coll, "x");
+            for &link in &path {
+                let (p2, v2) = qb.mat(_plan, var, link, "m");
+                _plan = p2;
+                var = v2;
+            }
+            let pred = qb.cmp_const(var, key, op, constant.clone());
+            let env = qb.into_env();
+            let m = OodbModel::new(&env, CostParams::default(), OptimizerConfig::all_rules());
+            m.selectivity(pred)
+        };
+        let naive = estimate(&model.catalog);
+        let hist = estimate(&with_stats);
+
+        errs.0 += err_factor(naive, truth);
+        errs.1 += err_factor(hist, truth);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.4}", truth),
+            format!("{:.4} ({:.1}x)", naive, err_factor(naive, truth)),
+            format!("{:.4} ({:.1}x)", hist, err_factor(hist, truth)),
+        ]);
+    }
+    let n = rows.len() as f64;
+    println!(
+        "{}",
+        render_table(
+            &["Predicate", "True sel.", "1993 estimate (err)", "Histogram (err)"],
+            &rows
+        )
+    );
+    println!(
+        "Mean error factor: 1993 heuristics {:.2}x, histograms {:.2}x.",
+        errs.0 / n,
+        errs.1 / n
+    );
+}

@@ -1,0 +1,130 @@
+//! **Table 2** — optimization results for Query 1.
+//!
+//! Paper (DECstation 5000/125):
+//!
+//! ```text
+//!             Optim.    % of Exh.   Est. Exec.   % of Optimal
+//!             Time [s]  Search      Time [s]     Exec. Time
+//! All Rules   0.21      103         161          100
+//! W/o Comm.   0.12       57         681          422
+//! W/o Window  0.11       52        1188          737
+//! ```
+//!
+//! We report the same four columns. Optimization time is the median of
+//! repeated runs on *this* machine (expected to be orders of magnitude
+//! below the 25 MHz original); "% of exhaustive search" uses the
+//! search-effort counters (rule firings + candidates + plans costed), with
+//! the time ratio shown for reference, exactly mirroring the paper's
+//! methodology of dividing by the all-rules run.
+
+use oodb_bench::{queries, report::render_table};
+use oodb_core::{OpenOodb, OptimizerConfig};
+use oodb_object::paper::paper_model;
+use std::time::Instant;
+
+fn median_opt_time(
+    m: &oodb_object::paper::PaperModel,
+    config: &OptimizerConfig,
+    reps: usize,
+) -> (f64, oodb_core::OptimizeOutcome) {
+    let mut times = Vec::with_capacity(reps);
+    let mut outcome = None;
+    for _ in 0..reps {
+        let q = queries::query1(m);
+        let opt = OpenOodb::with_config(&q.env, config.clone());
+        let t0 = Instant::now();
+        let out = opt.optimize(&q.plan, q.result_vars).expect("plan");
+        times.push(t0.elapsed().as_secs_f64());
+        outcome = Some(out);
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], outcome.unwrap())
+}
+
+fn main() {
+    let m = paper_model();
+    let reps = 21;
+    let configs: [(&str, OptimizerConfig, [f64; 4]); 3] = [
+        (
+            "All Rules",
+            OptimizerConfig::all_rules(),
+            [0.21, 103.0, 161.0, 100.0],
+        ),
+        (
+            "W/o Comm.",
+            OptimizerConfig::without_join_commutativity(),
+            [0.12, 57.0, 681.0, 422.0],
+        ),
+        (
+            "W/o Window",
+            OptimizerConfig::without_window(),
+            [0.11, 52.0, 1188.0, 737.0],
+        ),
+    ];
+
+    let mut measured = Vec::new();
+    for (name, config, paper) in &configs {
+        let (t, out) = median_opt_time(&m, config, reps);
+        measured.push((*name, t, out, *paper));
+    }
+    let base_effort = measured[0].2.stats.effort() as f64;
+    let base_time = measured[0].1;
+    let base_exec = measured[0].2.cost.total();
+
+    let rows: Vec<Vec<String>> = measured
+        .iter()
+        .map(|(name, t, out, paper)| {
+            vec![
+                name.to_string(),
+                format!("{:.4} ms (paper {:.2} s)", t * 1e3, paper[0]),
+                format!(
+                    "{:.0}% effort / {:.0}% time (paper {:.0}%)",
+                    out.stats.effort() as f64 / base_effort * 100.0,
+                    t / base_time * 100.0,
+                    paper[1]
+                ),
+                format!("{:.0} s (paper {:.0})", out.cost.total(), paper[2]),
+                format!(
+                    "{:.0}% (paper {:.0}%)",
+                    out.cost.total() / base_exec * 100.0,
+                    paper[3]
+                ),
+            ]
+        })
+        .collect();
+
+    println!("Table 2. Optimization Results for Query 1.\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Config",
+                "Optim. Time",
+                "% of Exh. Search",
+                "Est. Exec. Time",
+                "% of Optimal"
+            ],
+            &rows
+        )
+    );
+    println!("\nWinning plans:");
+    for (name, _, out, _) in &measured {
+        let q = queries::query1(&m); // fresh env purely for rendering names
+        let _ = q;
+        println!("--- {name}:");
+        // Re-run once against a kept env so names resolve for display.
+        let q = queries::query1(&m);
+        let cfg = configs
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, c, _)| c.clone())
+            .unwrap();
+        let opt = OpenOodb::with_config(&q.env, cfg);
+        let shown = opt.optimize(&q.plan, q.result_vars).unwrap();
+        println!(
+            "{}",
+            oodb_algebra::display::render_physical(&q.env, &shown.plan)
+        );
+        let _ = out;
+    }
+}

@@ -1,0 +1,10 @@
+//! # `oodb-bench` — experiment harness for the Open OODB reproduction
+//!
+//! The library half holds the paper's four evaluation queries as reusable
+//! constructors ([`queries`]) and the table-formatting helpers
+//! ([`report`]); the binaries (`table1`, `table2`, `table3`, `figures`,
+//! `exec_validation`) regenerate every table and figure of the paper's §4,
+//! and the Criterion benches measure optimization time itself.
+
+pub mod queries;
+pub mod report;

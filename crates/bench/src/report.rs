@@ -1,0 +1,74 @@
+//! Table formatting helpers shared by the experiment binaries.
+
+/// Formats seconds in the paper's style: sub-second values with two
+/// decimals, larger values with three significant-ish digits.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 10.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.0}")
+    }
+}
+
+/// Renders a simple aligned table: header row + data rows.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Side-by-side paper-vs-measured comparison cell.
+pub fn vs(paper: f64, ours: f64) -> String {
+    format!("{} (paper {})", fmt_secs(ours), fmt_secs(paper))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["a", "long-header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4444".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[2].ends_with("2"));
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(fmt_secs(0.08), "0.08");
+        assert_eq!(fmt_secs(119.6), "120");
+        assert_eq!(fmt_secs(1.73), "1.73");
+    }
+}

@@ -1,0 +1,315 @@
+//! `oodb` — an interactive ZQL shell over the generated Table 1 database.
+//!
+//! ```text
+//! $ cargo run -p oodb-cli
+//! oodb> SELECT c FROM City c IN Cities WHERE c.mayor().name() == "Joe";
+//! oodb> EXPLAIN SELECT t FROM Task t IN Tasks WHERE t.time() == 100;
+//! oodb> \catalog          -- collections and statistics
+//! oodb> \indexes          -- index descriptors
+//! oodb> \rules off join-commutativity
+//! oodb> \stats            -- collect histograms (refined selectivity)
+//! oodb> \help
+//! ```
+
+use oodb_core::{greedy_plan, CostParams, OpenOodb, OptimizerConfig};
+use oodb_exec::{execute, ExecResult};
+use oodb_object::paper::PaperModel;
+use oodb_object::{Catalog, Value};
+use oodb_storage::{generate_paper_db, GenConfig, Store};
+use std::io::{BufRead, Write};
+
+struct Shell {
+    store: Store,
+    model: PaperModel,
+    catalog: Catalog,
+    config: OptimizerConfig,
+}
+
+fn main() {
+    let scale: u64 = std::env::args()
+        .skip_while(|a| a != "--scale")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    eprintln!("Generating the Table 1 database at scale 1/{scale}...");
+    let (store, model) = generate_paper_db(GenConfig {
+        scale_div: scale,
+        ..Default::default()
+    });
+    let catalog = model.catalog.clone();
+    let mut shell = Shell {
+        store,
+        model,
+        catalog,
+        config: OptimizerConfig::all_rules(),
+    };
+    eprintln!("Open OODB reproduction shell. \\help for commands, \\q to quit.");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("oodb> ");
+        } else {
+            print!("  ..> ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim_end();
+        if buffer.is_empty() && line.starts_with('\\') {
+            if !shell.command(line) {
+                break;
+            }
+            continue;
+        }
+        buffer.push_str(line);
+        buffer.push(' ');
+        // Statements end with ';' (or a blank line flushes).
+        if line.trim_end().ends_with(';') || line.trim().is_empty() {
+            let stmt = std::mem::take(&mut buffer);
+            let stmt = stmt.trim();
+            if !stmt.is_empty() && stmt != ";" {
+                shell.statement(stmt);
+            }
+        }
+    }
+}
+
+impl Shell {
+    /// Handles a backslash command; returns false to quit.
+    fn command(&mut self, line: &str) -> bool {
+        let mut parts = line.split_whitespace();
+        match parts.next().unwrap_or("") {
+            "\\q" | "\\quit" => return false,
+            "\\help" => {
+                println!(
+                    "Statements: any ZQL query ending in ';' — executed and printed.\n\
+                     Prefix with EXPLAIN to see the optimal (and greedy) plan instead.\n\
+                     Commands:\n\
+                     \\schema              types and fields\n\
+                     \\catalog             collections and cardinalities\n\
+                     \\indexes             index descriptors\n\
+                     \\rules [off NAME | on NAME | reset]   rule configuration\n\
+                     \\window N            assembly window (1 = no elevator)\n\
+                     \\stats               collect histograms for refined selectivity\n\
+                     \\trace QUERY;        show the goal-directed search trace\n\
+                     \\q                   quit"
+                );
+            }
+            "\\schema" => {
+                for (ty, def) in self.model.schema.types() {
+                    let fields: Vec<String> = self
+                        .model
+                        .schema
+                        .fields_of(ty)
+                        .into_iter()
+                        .map(|f| {
+                            let fd = self.model.schema.field(f);
+                            match fd.kind {
+                                oodb_object::FieldKind::Attr(a) => {
+                                    format!("{}: {a:?}", fd.name)
+                                }
+                                oodb_object::FieldKind::Ref(t) => format!(
+                                    "{} -> {}",
+                                    fd.name,
+                                    self.model.schema.ty(t).name
+                                ),
+                                oodb_object::FieldKind::RefSet(t) => format!(
+                                    "{} -> {{{}}}",
+                                    fd.name,
+                                    self.model.schema.ty(t).name
+                                ),
+                            }
+                        })
+                        .collect();
+                    let sup = def
+                        .supertype
+                        .map(|s| format!(" : {}", self.model.schema.ty(s).name))
+                        .unwrap_or_default();
+                    println!("{}{} {{ {} }}", def.name, sup, fields.join(", "));
+                }
+            }
+            "\\catalog" => {
+                for (_, def) in self.catalog.collections() {
+                    println!(
+                        "{:<22} {:>9} x {:>5} bytes  ({:?})",
+                        def.name, def.cardinality, def.obj_bytes, def.kind
+                    );
+                }
+                println!("histograms collected: {}", self.catalog.histogram_count());
+            }
+            "\\indexes" => {
+                for (_, d) in self.catalog.indexes() {
+                    let path: Vec<String> = d
+                        .path
+                        .iter()
+                        .chain(std::iter::once(&d.key))
+                        .map(|&f| self.model.schema.field(f).name.clone())
+                        .collect();
+                    println!(
+                        "{:<22} on {} ({}) distinct {}",
+                        d.name,
+                        self.catalog.collection(d.collection).name,
+                        path.join("."),
+                        d.distinct_keys
+                    );
+                }
+            }
+            "\\rules" => match (parts.next(), parts.next()) {
+                (Some("off"), Some(name)) => {
+                    match oodb_core::config::rule_name_by_str(name) {
+                        Some(stable) => {
+                            self.config.disabled_rules.insert(stable);
+                            println!("disabled {stable}");
+                        }
+                        None => println!("unknown rule {name:?} — see \\rules"),
+                    }
+                }
+                (Some("on"), Some(name)) => match oodb_core::config::rule_name_by_str(name) {
+                    Some(stable) => {
+                        self.config.disabled_rules.remove(stable);
+                        println!("enabled {stable}");
+                    }
+                    None => println!("unknown rule {name:?}"),
+                },
+                (Some("reset"), _) => {
+                    self.config = OptimizerConfig::all_rules();
+                    println!("all rules enabled");
+                }
+                _ => {
+                    for name in oodb_core::config::ALL_RULE_NAMES {
+                        let state = if self.config.enabled(name) { "on " } else { "OFF" };
+                        println!("{state} {name}");
+                    }
+                }
+            },
+            "\\window" => {
+                if let Some(n) = parts.next().and_then(|s| s.parse().ok()) {
+                    self.config.assembly_window = n;
+                    println!("assembly window = {n}");
+                } else {
+                    println!("assembly window = {}", self.config.assembly_window);
+                }
+            }
+            "\\trace" => {
+                let rest: Vec<&str> = line.splitn(2, ' ').collect();
+                match rest.get(1) {
+                    Some(src) => self.trace(src.trim_end_matches(';')),
+                    None => println!("usage: \\trace SELECT ... ;"),
+                }
+            }
+            "\\stats" => {
+                self.catalog = self.store.collect_statistics(&[], 32);
+                println!(
+                    "collected {} histograms; selectivity estimation refined",
+                    self.catalog.histogram_count()
+                );
+            }
+            other => println!("unknown command {other:?}; \\help"),
+        }
+        true
+    }
+
+    /// Shows the goal-level search trace for a query (the paper's
+    /// Figure 11 view, live).
+    fn trace(&mut self, src: &str) {
+        let q = match zql::compile(src, &self.model.schema, &self.catalog) {
+            Ok(q) => q,
+            Err(e) => {
+                println!("{e}");
+                return;
+            }
+        };
+        let optimizer = OpenOodb::with_config(&q.env, self.config.clone());
+        match optimizer.optimize_traced(&q.plan, q.result_vars) {
+            Some((out, lines)) => {
+                for l in &lines {
+                    println!("  {l}");
+                }
+                println!("winner estimated at {:.3} s", out.cost.total());
+            }
+            None => println!("no feasible plan under the current rule configuration"),
+        }
+    }
+
+    fn statement(&mut self, stmt: &str) {
+        let (explain, src) = match stmt.strip_prefix("EXPLAIN").or_else(|| stmt.strip_prefix("explain")) {
+            Some(rest) => (true, rest.trim()),
+            None => (false, stmt),
+        };
+        let q = match zql::compile(src, &self.model.schema, &self.catalog) {
+            Ok(q) => q,
+            Err(e) => {
+                println!("{e}");
+                return;
+            }
+        };
+        let optimizer = OpenOodb::with_config(&q.env, self.config.clone());
+        let Some(out) = optimizer.optimize_ordered(&q.plan, q.result_vars, q.order) else {
+            println!("no feasible plan under the current rule configuration");
+            return;
+        };
+        if explain {
+            println!("Logical algebra:");
+            println!("{}", oodb_algebra::display::render_logical(&q.env, &q.plan));
+            println!(
+                "Optimal plan (estimated {:.3} s, {} groups, {} exprs, {:?}):",
+                out.cost.total(),
+                out.stats.groups,
+                out.stats.exprs,
+                out.stats.elapsed
+            );
+            println!("{}", oodb_algebra::display::render_physical(&q.env, &out.plan));
+            if let Some(g) = greedy_plan(&q.env, CostParams::default(), &q.plan) {
+                println!(
+                    "Greedy (ObjectStore-style) plan ({:.3} s):",
+                    g.total_io_s() + g.total_cpu_s()
+                );
+                println!("{}", oodb_algebra::display::render_physical(&q.env, &g));
+            }
+            return;
+        }
+        let (result, stats) = execute(&self.store, &q.env, &out.plan);
+        match &result {
+            ExecResult::Rows(rows) => {
+                for row in rows.iter().take(20) {
+                    let cells: Vec<String> = row.iter().map(Value::to_string).collect();
+                    println!("  {}", cells.join(" | "));
+                }
+                if rows.len() > 20 {
+                    println!("  ... ({} rows total)", rows.len());
+                }
+            }
+            ExecResult::Tuples(tuples) => {
+                for t in tuples.iter().take(20) {
+                    let cells: Vec<String> = q
+                        .env
+                        .scopes
+                        .iter()
+                        .filter_map(|(id, v)| t.try_get(id).map(|o| format!("{}={o}", v.name)))
+                        .collect();
+                    println!("  {}", cells.join("  "));
+                }
+                if tuples.len() > 20 {
+                    println!("  ... ({} rows total)", tuples.len());
+                }
+            }
+        }
+        println!(
+            "{} rows; estimated {:.3} s, simulated I/O {:.3} s ({} pages, {} buffer hits)",
+            result.len(),
+            out.cost.total(),
+            stats.disk.total_s,
+            stats.disk.pages(),
+            stats.buffer_hits
+        );
+    }
+}

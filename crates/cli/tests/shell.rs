@@ -1,0 +1,78 @@
+//! End-user test: drive the `oodb` shell binary through a pipe, the way a
+//! person would, and check the full stack answers.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_shell(input: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_oodb"))
+        .args(["--scale", "100"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("shell starts");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(input.as_bytes())
+        .expect("write");
+    let out = child.wait_with_output().expect("shell exits");
+    assert!(out.status.success(), "shell exited with {:?}", out.status);
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn queries_execute_and_explain() {
+    let out = run_shell(
+        r#"SELECT c FROM City c IN Cities WHERE c.mayor().name() == "Joe";
+EXPLAIN SELECT t FROM Task t IN Tasks WHERE t.time() == 100;
+\q
+"#,
+    );
+    assert!(out.contains("rows;"), "execution summary expected:\n{out}");
+    assert!(
+        out.contains("Optimal plan"),
+        "EXPLAIN output expected:\n{out}"
+    );
+    assert!(out.contains("Logical algebra:"), "{out}");
+}
+
+#[test]
+fn rule_toggles_change_plans() {
+    let out = run_shell(
+        r#"\rules off collapse-to-index-scan
+\rules off mat-to-join
+EXPLAIN SELECT c FROM City c IN Cities WHERE c.mayor().name() == "Joe";
+\rules reset
+EXPLAIN SELECT c FROM City c IN Cities WHERE c.mayor().name() == "Joe";
+\q
+"#,
+    );
+    assert!(out.contains("disabled collapse-to-index-scan"), "{out}");
+    // First EXPLAIN (rules off) must assemble; second must use the index.
+    let first = out.find("Assembly").expect("naive plan assembles");
+    let second = out.rfind("Index Scan").expect("reset plan uses index");
+    assert!(first < second, "order of plans:\n{out}");
+}
+
+#[test]
+fn catalog_and_error_reporting() {
+    let out = run_shell(
+        r#"\catalog
+SELECT x FROM x IN Nowhere;
+SELECT c FROM c IN Cities WHERE c.name() == 3;
+\q
+"#,
+    );
+    assert!(out.contains("Employees"), "{out}");
+    assert!(out.contains("unknown collection"), "{out}");
+    assert!(out.contains("incomparable") || out.contains("cannot compare"), "{out}");
+}
+
+#[test]
+fn stats_collection_reports() {
+    let out = run_shell("\\stats\n\\q\n");
+    assert!(out.contains("histograms; selectivity estimation refined"), "{out}");
+}

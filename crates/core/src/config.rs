@@ -1,0 +1,213 @@
+//! Optimizer configuration: rule enablement and knobs.
+//!
+//! The paper evaluates competing optimizers by "disabling various rules in
+//! our optimizer"; this module makes those experiments first-class. Rule
+//! names are the stable strings returned by each rule's `name()`.
+
+use std::collections::HashSet;
+
+/// Stable rule names (see `rules::transform` / `rules::implement`).
+pub mod rule_names {
+    /// Split a conjunctive selection.
+    pub const SELECT_SPLIT: &str = "select-split";
+    /// Commute Select with Mat (both directions).
+    pub const SELECT_MAT_SWAP: &str = "select-mat-swap";
+    /// Commute Select with Unnest (both directions).
+    pub const SELECT_UNNEST_SWAP: &str = "select-unnest-swap";
+    /// Push Select into join inputs.
+    pub const SELECT_JOIN_PUSH: &str = "select-join-push";
+    /// Merge a selection spanning both join inputs into the join
+    /// predicate (and split it back out).
+    pub const SELECT_INTO_JOIN: &str = "select-into-join";
+    /// Materialize → Join.
+    pub const MAT_TO_JOIN: &str = "mat-to-join";
+    /// Join commutativity.
+    pub const JOIN_COMMUTE: &str = "join-commutativity";
+    /// Join associativity.
+    pub const JOIN_ASSOC: &str = "join-associativity";
+    /// Commute adjacent Mat operators.
+    pub const MAT_MAT_SWAP: &str = "mat-mat-swap";
+    /// Push Mat into the join side holding its source.
+    pub const MAT_JOIN_PUSH: &str = "mat-join-push";
+    /// Move Select through set operators.
+    pub const SELECT_SETOP_PUSH: &str = "select-setop-push";
+    /// Move Mat through set operators.
+    pub const MAT_SETOP_PUSH: &str = "mat-setop-push";
+    /// Collapse select–materialize–get into an index scan.
+    pub const COLLAPSE_TO_INDEX_SCAN: &str = "collapse-to-index-scan";
+    /// File scan implementation of Get.
+    pub const FILE_SCAN: &str = "file-scan";
+    /// Filter implementation of Select.
+    pub const FILTER: &str = "filter";
+    /// Hybrid hash join implementation of Join.
+    pub const HYBRID_HASH_JOIN: &str = "hybrid-hash-join";
+    /// Pointer join implementation of Join.
+    pub const POINTER_JOIN: &str = "pointer-join";
+    /// Assembly implementation of Mat.
+    pub const ASSEMBLY_MAT: &str = "assembly-mat";
+    /// Alg-Unnest implementation of Unnest.
+    pub const ALG_UNNEST: &str = "alg-unnest";
+    /// Alg-Project implementation of Project.
+    pub const ALG_PROJECT: &str = "alg-project";
+    /// Hash set-operation implementations.
+    pub const HASH_SET_OP: &str = "hash-set-op";
+    /// Assembly as the present-in-memory enforcer.
+    pub const ASSEMBLY_ENFORCER: &str = "assembly-enforcer";
+    /// Warm-start assembly implementation of Mat (Lesson 7 extension).
+    pub const WARM_ASSEMBLY: &str = "warm-assembly";
+    /// Sort as the order enforcer (sort-order extension).
+    pub const SORT_ENFORCER: &str = "sort-enforcer";
+    /// Ordered full-index scan implementation of Get (sort-order
+    /// extension).
+    pub const ORDERED_INDEX_SCAN: &str = "ordered-index-scan";
+    /// Merge-join implementation of value equi-joins (sort-order
+    /// extension).
+    pub const MERGE_JOIN: &str = "merge-join";
+}
+
+/// Every stable rule name, for tooling (shells, sweeps).
+pub const ALL_RULE_NAMES: &[&str] = &[
+    rule_names::SELECT_SPLIT,
+    rule_names::SELECT_MAT_SWAP,
+    rule_names::SELECT_UNNEST_SWAP,
+    rule_names::SELECT_JOIN_PUSH,
+    rule_names::SELECT_INTO_JOIN,
+    rule_names::SELECT_SETOP_PUSH,
+    rule_names::MAT_TO_JOIN,
+    rule_names::JOIN_COMMUTE,
+    rule_names::JOIN_ASSOC,
+    rule_names::MAT_MAT_SWAP,
+    rule_names::MAT_JOIN_PUSH,
+    rule_names::MAT_SETOP_PUSH,
+    rule_names::COLLAPSE_TO_INDEX_SCAN,
+    rule_names::FILE_SCAN,
+    rule_names::FILTER,
+    rule_names::HYBRID_HASH_JOIN,
+    rule_names::POINTER_JOIN,
+    rule_names::ASSEMBLY_MAT,
+    rule_names::ALG_UNNEST,
+    rule_names::ALG_PROJECT,
+    rule_names::HASH_SET_OP,
+    rule_names::ASSEMBLY_ENFORCER,
+    rule_names::WARM_ASSEMBLY,
+    rule_names::SORT_ENFORCER,
+    rule_names::ORDERED_INDEX_SCAN,
+    rule_names::MERGE_JOIN,
+];
+
+/// Resolves a user-typed rule name to its stable `&'static str` (needed
+/// because [`OptimizerConfig::disabled_rules`] stores static strings).
+pub fn rule_name_by_str(name: &str) -> Option<&'static str> {
+    ALL_RULE_NAMES.iter().copied().find(|&n| n == name)
+}
+
+/// Optimizer configuration.
+#[derive(Clone, Debug)]
+pub struct OptimizerConfig {
+    /// Rules excluded from the generated optimizer.
+    pub disabled_rules: HashSet<&'static str>,
+    /// Assembly's window of open references (1 disables the elevator
+    /// advantage — the paper's "W/o Window" row).
+    pub assembly_window: u32,
+    /// Enable the "warm-start assembly" algorithm (the paper's Lesson 7
+    /// future-work suggestion). Off by default so the reproduction matches
+    /// the 1993 rule set; the extensibility example and ablation bench
+    /// switch it on.
+    pub enable_warm_assembly: bool,
+    /// Branch-and-bound pruning (off for paper-faithful exhaustive
+    /// search).
+    pub prune: bool,
+    /// Index names the optimizer must pretend do not exist — the
+    /// compile-time half of ObjectStore-style dynamic plan selection
+    /// (see [`crate::dynamic`]).
+    pub ignored_indexes: Vec<String>,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            disabled_rules: HashSet::new(),
+            assembly_window: 8192,
+            enable_warm_assembly: false,
+            prune: false,
+            ignored_indexes: Vec::new(),
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// All rules enabled — the paper's "All Rules" configuration.
+    pub fn all_rules() -> Self {
+        Self::default()
+    }
+
+    /// Disables the named rules.
+    pub fn without(rules: &[&'static str]) -> Self {
+        OptimizerConfig {
+            disabled_rules: rules.iter().copied().collect(),
+            ..Default::default()
+        }
+    }
+
+    /// The paper's "W/o Comm." configuration: join commutativity disabled,
+    /// forcing naive pointer chasing (hybrid hash join is directional, so
+    /// without commutativity the Mat→Join orientation has no efficient
+    /// implementation).
+    pub fn without_join_commutativity() -> Self {
+        Self::without(&[rule_names::JOIN_COMMUTE])
+    }
+
+    /// The paper's "W/o Window" configuration: commutativity still
+    /// disabled *and* the assembly window restricted to one, making
+    /// assembly "similar to the lookup component of an unclustered index
+    /// scan".
+    pub fn without_window() -> Self {
+        OptimizerConfig {
+            assembly_window: 1,
+            ..Self::without_join_commutativity()
+        }
+    }
+
+    /// Whether a rule is enabled.
+    pub fn enabled(&self, name: &str) -> bool {
+        !self.disabled_rules.contains(name)
+    }
+
+    /// Returns the configuration with an extra rule disabled.
+    pub fn and_without(mut self, rule: &'static str) -> Self {
+        self.disabled_rules.insert(rule);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_everything() {
+        let c = OptimizerConfig::default();
+        assert!(c.enabled(rule_names::JOIN_COMMUTE));
+        assert_eq!(c.assembly_window, 8192);
+    }
+
+    #[test]
+    fn paper_configs() {
+        let wo_comm = OptimizerConfig::without_join_commutativity();
+        assert!(!wo_comm.enabled(rule_names::JOIN_COMMUTE));
+        assert!(wo_comm.enabled(rule_names::MAT_TO_JOIN));
+        let wo_window = OptimizerConfig::without_window();
+        assert!(!wo_window.enabled(rule_names::JOIN_COMMUTE));
+        assert_eq!(wo_window.assembly_window, 1);
+    }
+
+    #[test]
+    fn chained_disable() {
+        let c = OptimizerConfig::all_rules()
+            .and_without(rule_names::COLLAPSE_TO_INDEX_SCAN)
+            .and_without(rule_names::POINTER_JOIN);
+        assert!(!c.enabled(rule_names::COLLAPSE_TO_INDEX_SCAN));
+        assert!(!c.enabled(rule_names::POINTER_JOIN));
+        assert!(c.enabled(rule_names::FILTER));
+    }
+}

@@ -1,0 +1,256 @@
+//! The cost model: CPU + I/O seconds on a 1993 workstation.
+//!
+//! "Currently, our cost model is very traditional. We consider both CPU
+//! and I/O costs, and 'charge' less for sequential than for random I/O.
+//! Assembly's I/O cost captures the fact that seek distances are minimized
+//! by charging less than for a random I/O operation."
+//!
+//! Cost is "encapsulated in an abstract data type" — here a two-component
+//! struct ([`Cost`]) — "and tuning an algorithm's cost formula is a very
+//! localized change": all device and CPU constants live in [`CostParams`].
+//! The defaults are calibrated against the paper's DECstation 5000/125
+//! numbers (see EXPERIMENTS.md for the calibration record).
+
+use volcano::CostValue;
+
+/// A cost: I/O seconds + CPU seconds. Plans compare by the sum.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Cost {
+    /// Seconds spent on disk I/O.
+    pub io_s: f64,
+    /// Seconds spent on CPU work.
+    pub cpu_s: f64,
+}
+
+impl Cost {
+    /// Zero cost.
+    pub const ZERO: Cost = Cost { io_s: 0.0, cpu_s: 0.0 };
+
+    /// Pure-I/O cost.
+    pub fn io(s: f64) -> Cost {
+        Cost { io_s: s, cpu_s: 0.0 }
+    }
+
+    /// Pure-CPU cost.
+    pub fn cpu(s: f64) -> Cost {
+        Cost { io_s: 0.0, cpu_s: s }
+    }
+
+    /// Both components.
+    pub fn new(io_s: f64, cpu_s: f64) -> Cost {
+        Cost { io_s, cpu_s }
+    }
+
+    /// Total seconds (inherent mirror of [`CostValue::total`] so callers
+    /// don't need the trait in scope).
+    pub fn total(self) -> f64 {
+        self.io_s + self.cpu_s
+    }
+}
+
+impl CostValue for Cost {
+    fn zero() -> Self {
+        Cost::ZERO
+    }
+    fn add(self, other: Self) -> Self {
+        Cost {
+            io_s: self.io_s + other.io_s,
+            cpu_s: self.cpu_s + other.cpu_s,
+        }
+    }
+    fn total(self) -> f64 {
+        self.io_s + self.cpu_s
+    }
+}
+
+impl std::ops::Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        CostValue::add(self, rhs)
+    }
+}
+
+/// Device and CPU constants (DECstation 5000/125-era defaults: 25 MHz
+/// R3000, 32 MB memory, 4 KB pages, ~20 ms random disk access).
+#[derive(Clone, Copy, Debug)]
+pub struct CostParams {
+    /// Page size in bytes.
+    pub page_bytes: u32,
+    /// Sequential page transfer, seconds.
+    pub seq_s: f64,
+    /// Random page access, seconds.
+    pub rand_s: f64,
+    /// Fraction of `rand_s` paid per fault by a large assembly window
+    /// (the elevator discount).
+    pub elevator_factor: f64,
+    /// Main memory available to hash tables, bytes.
+    pub mem_bytes: u64,
+    /// CPU per tuple produced/scanned/projected, seconds.
+    pub cpu_tuple_s: f64,
+    /// CPU per predicate evaluation, seconds.
+    pub cpu_pred_s: f64,
+    /// CPU per hash-table operation (build insert or probe), seconds.
+    pub cpu_hash_s: f64,
+    /// CPU per reference dereference (assembly/pointer chasing), seconds.
+    pub cpu_deref_s: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            page_bytes: 4096,
+            seq_s: 0.002,
+            rand_s: 0.020,
+            elevator_factor: 0.55,
+            mem_bytes: 32 * 1024 * 1024,
+            cpu_tuple_s: 0.000_05,
+            cpu_pred_s: 0.000_1,
+            cpu_hash_s: 0.002,
+            cpu_deref_s: 0.000_4,
+        }
+    }
+}
+
+impl CostParams {
+    /// Pages occupied by `card` tuples of `bytes` bytes each, densely
+    /// packed.
+    pub fn pages(&self, card: f64, bytes: f64) -> f64 {
+        let per_page = (self.page_bytes as f64 / bytes.max(1.0)).floor().max(1.0);
+        (card / per_page).ceil().max(0.0)
+    }
+
+    /// Sequential scan of `pages` pages (first access pays a seek).
+    pub fn seq_scan(&self, pages: f64) -> f64 {
+        if pages <= 0.0 {
+            0.0
+        } else {
+            self.rand_s + (pages - 1.0).max(0.0) * self.seq_s
+        }
+    }
+
+    /// Per-fault multiplier for an assembly window of `w` open references:
+    /// `w == 1` degenerates to full random cost ("the lookup component of
+    /// an unclustered index scan"); large windows approach the elevator
+    /// discount.
+    pub fn window_factor(&self, w: u32) -> f64 {
+        self.elevator_factor + (1.0 - self.elevator_factor) / w.max(1) as f64
+    }
+
+    /// I/O for assembling `faults` objects with window `w`.
+    pub fn assembly_io(&self, faults: f64, w: u32) -> f64 {
+        faults * self.rand_s * self.window_factor(w)
+    }
+
+    /// I/O for fetching `matches` objects found by an unclustered index:
+    /// one random access per match (the paper's window-1 assembly is
+    /// "similar to the lookup component of an unclustered index scan"),
+    /// never worse than scanning the whole collection region.
+    pub fn index_fetch_io(&self, matches: f64, coll_pages: f64) -> f64 {
+        (matches * self.rand_s).min(self.seq_scan(coll_pages))
+    }
+
+    /// B-tree lookup I/O: internal height + leaf pages for `matches`
+    /// entries at ~256 entries per page.
+    pub fn index_lookup_io(&self, entries: f64, matches: f64) -> f64 {
+        let mut height = 1.0;
+        let mut span = 256.0;
+        while span < entries.max(1.0) {
+            span *= 256.0;
+            height += 1.0;
+        }
+        let leaves = (matches / 256.0).ceil().max(1.0);
+        (height + leaves) * self.rand_s
+    }
+
+    /// Hybrid-hash-join cost: hash table on the *build* side; spills to
+    /// partition files when the table exceeds memory ("very efficient
+    /// executions of hybrid hash join using only in-memory hash tables and
+    /// no overflow files" — when the build side is small).
+    pub fn hash_join(
+        &self,
+        build_card: f64,
+        build_bytes: f64,
+        probe_card: f64,
+        probe_bytes: f64,
+    ) -> Cost {
+        let cpu = (build_card + probe_card) * self.cpu_hash_s;
+        let table_bytes = build_card * build_bytes;
+        let io = if table_bytes <= self.mem_bytes as f64 {
+            0.0
+        } else {
+            // Write + re-read both sides' overflow partitions.
+            let frac = 1.0 - self.mem_bytes as f64 / table_bytes;
+            2.0 * frac
+                * (self.pages(build_card, build_bytes) + self.pages(probe_card, probe_bytes))
+                * self.seq_s
+        };
+        Cost::new(io, cpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_accumulates_componentwise() {
+        let c = Cost::io(1.0) + Cost::cpu(0.5) + Cost::new(0.25, 0.25);
+        assert_eq!(c, Cost::new(1.25, 0.75));
+        assert_eq!(c.total(), 2.0);
+    }
+
+    #[test]
+    fn sequential_cheaper_than_random() {
+        let p = CostParams::default();
+        let seq = p.seq_scan(1000.0);
+        let rand = 1000.0 * p.rand_s;
+        assert!(seq < rand / 5.0);
+    }
+
+    #[test]
+    fn window_factor_interpolates() {
+        let p = CostParams::default();
+        assert!((p.window_factor(1) - 1.0).abs() < 1e-12);
+        assert!(p.window_factor(2) < 1.0);
+        assert!((p.window_factor(1 << 20) - p.elevator_factor).abs() < 1e-3);
+        // Monotone in w.
+        assert!(p.window_factor(4) > p.window_factor(16));
+    }
+
+    #[test]
+    fn assembly_window_reproduces_table2_ratio() {
+        // Table 2: w/o window ≈ 1.7× the w/o-commutativity plan, driven by
+        // assembly faults at full vs elevator rate.
+        let p = CostParams::default();
+        let with_window = p.assembly_io(56_000.0, 8192);
+        let without = p.assembly_io(56_000.0, 1);
+        assert!((without / with_window - 1.0 / p.window_factor(8192)).abs() < 1e-9);
+        assert!(without / with_window > 1.5);
+    }
+
+    #[test]
+    fn index_fetch_capped_by_collection_size() {
+        let p = CostParams::default();
+        // 10_000 matches in a 500-page collection cannot fault more than
+        // 500 times.
+        assert!(p.index_fetch_io(10_000.0, 500.0) <= 500.0 * p.rand_s);
+    }
+
+    #[test]
+    fn hash_join_spills_beyond_memory() {
+        let p = CostParams::default();
+        let fits = p.hash_join(1_000.0, 250.0, 50_000.0, 250.0);
+        assert_eq!(fits.io_s, 0.0, "1000×250B fits in 32MB");
+        let spills = p.hash_join(1_000_000.0, 250.0, 50_000.0, 250.0);
+        assert!(spills.io_s > 0.0, "250MB build must spill");
+    }
+
+    #[test]
+    fn pages_math() {
+        let p = CostParams::default();
+        // 4096/200 = 20 per page → 10_000 objects = 500 pages.
+        assert_eq!(p.pages(10_000.0, 200.0), 500.0);
+        // Objects larger than a page: one page each.
+        assert_eq!(p.pages(10.0, 8000.0), 10.0);
+    }
+}

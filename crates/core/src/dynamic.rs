@@ -1,0 +1,224 @@
+//! Dynamic plan selection — the ObjectStore capability the paper compares
+//! against (§2): "the optimizer generates multiple execution strategies at
+//! compile time and makes a final plan selection at run-time based on the
+//! availability of indices. This dynamic capability permits users to
+//! modify some of the physical characteristics of the objects being
+//! queried (e.g., adding and deleting indices) without having to recompile
+//! their applications."
+//!
+//! Unlike ObjectStore's greedy compile, each alternative here is produced
+//! by the *cost-based* optimizer under a different assumed index
+//! availability, so run-time selection inherits cost-based quality.
+
+use crate::config::OptimizerConfig;
+use crate::cost::{Cost, CostParams};
+use crate::optimizer::OpenOodb;
+use oodb_algebra::{LogicalPlan, PhysicalOp, PhysicalPlan, QueryEnv, VarSet};
+use std::collections::HashSet;
+
+/// One precompiled alternative.
+#[derive(Clone, Debug)]
+pub struct DynamicAlternative {
+    /// Index names the plan depends on (must all exist at run time).
+    pub requires: Vec<String>,
+    /// The plan.
+    pub plan: PhysicalPlan,
+    /// Its estimated cost under the compile-time catalog.
+    pub cost: Cost,
+}
+
+/// A compiled query with one plan per useful index configuration.
+#[derive(Clone, Debug)]
+pub struct DynamicPlan {
+    /// Alternatives, deduplicated by required-index set, cheapest kept.
+    pub alternatives: Vec<DynamicAlternative>,
+}
+
+/// Upper bound on catalog indexes considered (2^n subsets are compiled).
+pub const MAX_DYNAMIC_INDEXES: usize = 10;
+
+/// Index names an already-built plan actually uses.
+pub fn indexes_used(env: &QueryEnv, plan: &PhysicalPlan) -> Vec<String> {
+    let mut names: Vec<String> = plan
+        .iter_ops()
+        .into_iter()
+        .filter_map(|op| match op {
+            PhysicalOp::IndexScan { index, .. } => {
+                Some(env.catalog.index(*index).name.clone())
+            }
+            _ => None,
+        })
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Compiles a query once per subset of the catalog's indexes, keeping the
+/// cheapest plan per distinct *used*-index set.
+pub fn compile_dynamic(
+    env: &QueryEnv,
+    params: CostParams,
+    config: &OptimizerConfig,
+    plan: &LogicalPlan,
+    result_vars: VarSet,
+) -> DynamicPlan {
+    let all_names: Vec<String> = env
+        .catalog
+        .indexes()
+        .map(|(_, d)| d.name.clone())
+        .collect();
+    assert!(
+        all_names.len() <= MAX_DYNAMIC_INDEXES,
+        "dynamic compilation enumerates 2^n index subsets; {} indexes exceed \
+         the {MAX_DYNAMIC_INDEXES}-index bound",
+        all_names.len()
+    );
+
+    let mut best: Vec<DynamicAlternative> = Vec::new();
+    for mask in 0..(1u32 << all_names.len()) {
+        let ignored: Vec<String> = all_names
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| mask & (1 << i) == 0)
+            .map(|(_, n)| n.clone())
+            .collect();
+        let cfg = OptimizerConfig {
+            ignored_indexes: ignored,
+            ..config.clone()
+        };
+        let Some(out) = OpenOodb::new(env, params, cfg).optimize(plan, result_vars) else {
+            continue;
+        };
+        let requires = indexes_used(env, &out.plan);
+        match best.iter_mut().find(|a| a.requires == requires) {
+            Some(existing) => {
+                if out.cost.total() < existing.cost.total() {
+                    existing.plan = out.plan;
+                    existing.cost = out.cost;
+                }
+            }
+            None => best.push(DynamicAlternative {
+                requires,
+                plan: out.plan,
+                cost: out.cost,
+            }),
+        }
+    }
+    // Cheapest-first makes selection a linear scan for the first feasible.
+    best.sort_by(|a, b| a.cost.total().total_cmp(&b.cost.total()));
+    DynamicPlan { alternatives: best }
+}
+
+impl DynamicPlan {
+    /// Run-time selection: the cheapest alternative whose required indexes
+    /// all exist. The index-free alternative guarantees a match.
+    pub fn select(&self, available: &HashSet<String>) -> &DynamicAlternative {
+        self.alternatives
+            .iter()
+            .find(|a| a.requires.iter().all(|n| available.contains(n)))
+            .expect("an index-free alternative always exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_object::paper::paper_model;
+    use oodb_object::Value;
+
+    /// The paper's Query 4 compiled dynamically: selection adapts to
+    /// whatever indexes exist at "run time", without recompilation.
+    #[test]
+    fn query4_selects_by_availability() {
+        let m = paper_model();
+        let mut qb = oodb_algebra::QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (tasks, t) = qb.get(m.ids.tasks, "t");
+        let (p, mm) = qb.unnest(tasks, t, m.ids.task_team_members, "m");
+        let (p, e) = qb.mat_deref(p, mm, "e");
+        let pred = qb.conj(vec![
+            qb.term(
+                oodb_algebra::Operand::Attr {
+                    var: e,
+                    field: m.ids.person_name,
+                },
+                oodb_algebra::CmpOp::Eq,
+                oodb_algebra::Operand::Const(Value::str("Fred")),
+            ),
+            qb.term(
+                oodb_algebra::Operand::Attr {
+                    var: t,
+                    field: m.ids.task_time,
+                },
+                oodb_algebra::CmpOp::Eq,
+                oodb_algebra::Operand::Const(Value::Int(100)),
+            ),
+        ]);
+        let plan = qb.select(p, pred);
+        let env = qb.into_env();
+
+        let dynamic = compile_dynamic(
+            &env,
+            CostParams::default(),
+            &OptimizerConfig::all_rules(),
+            &plan,
+            oodb_algebra::VarSet::single(t),
+        );
+        assert!(
+            dynamic.alternatives.len() >= 2,
+            "at least the index-free and time-index plans: {:?}",
+            dynamic
+                .alternatives
+                .iter()
+                .map(|a| &a.requires)
+                .collect::<Vec<_>>()
+        );
+        // There must be an alternative requiring nothing.
+        assert!(dynamic.alternatives.iter().any(|a| a.requires.is_empty()));
+
+        let avail = |names: &[&str]| -> HashSet<String> {
+            names.iter().map(|s| s.to_string()).collect()
+        };
+
+        // All indexes present: the winner uses the time index.
+        let best = dynamic.select(&avail(&["Tasks_time", "Employees_name", "Cities_mayor_name"]));
+        assert_eq!(best.requires, vec!["Tasks_time".to_string()]);
+
+        // Time index dropped at run time: a different plan applies without
+        // recompiling.
+        let fallback = dynamic.select(&avail(&["Employees_name"]));
+        assert!(!fallback.requires.contains(&"Tasks_time".to_string()));
+        assert!(fallback.cost.total() >= best.cost.total());
+
+        // Nothing available: the naive plan still runs.
+        let naive = dynamic.select(&avail(&[]));
+        assert!(naive.requires.is_empty());
+        assert!(naive.cost.total() >= fallback.cost.total());
+    }
+
+    /// Hiding an index must route the optimizer around it even though the
+    /// catalog still contains the entry.
+    #[test]
+    fn ignored_indexes_hide_statistics_and_plans() {
+        let m = paper_model();
+        let mut qb = oodb_algebra::QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (cities, c) = qb.get(m.ids.cities, "c");
+        let (p, cm) = qb.mat(cities, c, m.ids.city_mayor, "cm");
+        let pred = qb.eq_const(cm, m.ids.person_name, Value::str("Joe"));
+        let plan = qb.select(p, pred);
+        let env = qb.into_env();
+
+        let cfg = OptimizerConfig {
+            ignored_indexes: vec!["Cities_mayor_name".to_string()],
+            ..OptimizerConfig::all_rules()
+        };
+        let out = OpenOodb::new(&env, CostParams::default(), cfg)
+            .optimize(&plan, oodb_algebra::VarSet::single(c))
+            .unwrap();
+        assert!(
+            !out.plan
+                .contains_op(&|op| matches!(op, PhysicalOp::IndexScan { .. })),
+            "hidden index must not appear in the plan"
+        );
+    }
+}

@@ -1,0 +1,661 @@
+//! Implementation rules: logical operators → execution algorithms.
+//!
+//! "The optimizer chooses algorithms based on implementation rules, an
+//! algorithm's ability to deliver a logical expression with the desired
+//! physical properties, and cost estimations." Every rule here checks
+//! required properties and returns nothing when it cannot deliver them —
+//! the index-scan rule's inability to deliver materialized components in
+//! memory is what routes Query 3 through the assembly enforcer.
+
+use crate::model::OodbModel;
+use oodb_algebra::{CmpOp, LogicalOp, Operand, PhysProps, PhysicalOp, VarOrigin, VarSet};
+use volcano::{Candidate, Expr, ImplRule, Memo};
+
+type M<'e> = OodbModel<'e>;
+
+/// `Get` → sequential file scan of the dense collection pages.
+pub struct FileScanImpl;
+
+impl<'e> ImplRule<M<'e>> for FileScanImpl {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::FILE_SCAN
+    }
+    fn implementations(
+        &self,
+        model: &M<'e>,
+        _memo: &Memo<M<'e>>,
+        expr: &Expr<M<'e>>,
+        _required: &PhysProps,
+    ) -> Vec<Candidate<M<'e>>> {
+        let LogicalOp::Get { coll, var } = expr.op else {
+            return vec![];
+        };
+        let op = PhysicalOp::FileScan { coll, var };
+        let (_, cost) = model.phys_estimate(&op, &[]);
+        vec![Candidate {
+            op,
+            children: vec![],
+            input_props: vec![],
+            cost,
+            delivers: PhysProps::in_memory(VarSet::single(var)),
+        }]
+    }
+}
+
+/// The **collapse-to-index-scan** rule: a `Select` whose single equality
+/// conjunct is covered by an (attribute or path) index collapses the whole
+/// select–materialize–get chain into one index scan. "In this case, the
+/// mayor component objects are never read into memory" — the scan delivers
+/// only the base variable, which is precisely why it cannot serve Query 3
+/// directly.
+pub struct CollapseToIndexScanImpl;
+
+impl<'e> ImplRule<M<'e>> for CollapseToIndexScanImpl {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::COLLAPSE_TO_INDEX_SCAN
+    }
+    fn implementations(
+        &self,
+        model: &M<'e>,
+        memo: &Memo<M<'e>>,
+        expr: &Expr<M<'e>>,
+        _required: &PhysProps,
+    ) -> Vec<Candidate<M<'e>>> {
+        let LogicalOp::Select { pred } = expr.op else {
+            return vec![];
+        };
+        let p = model.env.preds.pred(pred);
+        let [term] = p.terms.as_slice() else {
+            return vec![];
+        };
+        // Equality uses a point lookup; ordered comparisons use a B-tree
+        // range scan (an extension beyond the paper's equality-only rule).
+        let _ = CmpOp::Eq; // (all operators accepted)
+        let (var, field) = match (&term.left, &term.right) {
+            (Operand::Attr { var, field }, Operand::Const(_))
+            | (Operand::Const(_), Operand::Attr { var, field }) => (*var, *field),
+            _ => return vec![],
+        };
+        let Some((coll, base, links)) = model.index_path_of(var) else {
+            return vec![];
+        };
+        let Some((index_id, idx)) = model.usable_index(coll, &links, field) else {
+            return vec![];
+        };
+        // The collapsed scan reproduces the *entire* group only if the
+        // group's scope is exactly the materialization chain — a join
+        // partner's bindings cannot come out of an index.
+        let group_vars = memo.props(expr.group).vars;
+        if !group_vars.is_subset(model.chain_vars(var)) {
+            return vec![];
+        }
+        // And the input must BE the unfiltered chain: the child group must
+        // hold a pure `Mat*(Get)` witness. Without this check, a
+        // conjunct-split sibling selection sitting between the Select and
+        // the Get would be silently discarded.
+        if !pure_mat_chain(memo, expr.children[0], base) {
+            return vec![];
+        }
+        let _ = idx;
+        let op = PhysicalOp::IndexScan {
+            index: index_id,
+            var: base,
+            pred,
+        };
+        let (_, cost) = model.phys_estimate(&op, &[]);
+        vec![Candidate {
+            op,
+            children: vec![],
+            input_props: vec![],
+            cost,
+            delivers: PhysProps::in_memory(VarSet::single(base)),
+        }]
+    }
+}
+
+/// True when `group` provably denotes the *unfiltered* materialization
+/// chain rooted at a `Get` of `base`: some member expression is literally
+/// `Mat*(Get{base})`. Because a memo group is an equivalence class, one
+/// such witness certifies the whole group's semantics.
+fn pure_mat_chain(
+    memo: &Memo<OodbModel<'_>>,
+    group: volcano::GroupId,
+    base: oodb_algebra::VarId,
+) -> bool {
+    fn walk(
+        memo: &Memo<OodbModel<'_>>,
+        group: volcano::GroupId,
+        base: oodb_algebra::VarId,
+        visited: &mut Vec<volcano::GroupId>,
+    ) -> bool {
+        let g = memo.find(group);
+        if visited.contains(&g) {
+            return false;
+        }
+        visited.push(g);
+        memo.group_exprs(g).into_iter().any(|e| {
+            let expr = memo.expr(e);
+            match expr.op {
+                LogicalOp::Get { var, .. } => var == base,
+                LogicalOp::Mat { .. } => walk(memo, expr.children[0], base, visited),
+                _ => false,
+            }
+        })
+    }
+    walk(memo, group, base, &mut Vec::new())
+}
+
+/// Threads a required sort order down to an input that can preserve it
+/// (the order's variable must be in the input's scope).
+fn pass_order(
+    required: &PhysProps,
+    child_vars: oodb_algebra::VarSet,
+) -> Option<oodb_algebra::SortSpec> {
+    required.order.filter(|o| child_vars.contains(o.var))
+}
+
+/// `Select` → `Filter` over in-memory objects.
+pub struct FilterImpl;
+
+impl<'e> ImplRule<M<'e>> for FilterImpl {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::FILTER
+    }
+    fn implementations(
+        &self,
+        model: &M<'e>,
+        memo: &Memo<M<'e>>,
+        expr: &Expr<M<'e>>,
+        required: &PhysProps,
+    ) -> Vec<Candidate<M<'e>>> {
+        let LogicalOp::Select { pred } = expr.op else {
+            return vec![];
+        };
+        let input = required.in_memory.union(model.pred_mem_vars(pred));
+        let child = *memo.props(expr.children[0]);
+        let order = pass_order(required, child.vars);
+        let op = PhysicalOp::Filter { pred };
+        let (_, cost) = model.phys_estimate(&op, &[child]);
+        let props = PhysProps { in_memory: input, order };
+        vec![Candidate {
+            op,
+            children: vec![expr.children[0]],
+            input_props: vec![props],
+            cost,
+            delivers: props,
+        }]
+    }
+}
+
+/// `Join` → hybrid hash join. **Directional**: the hash table is built on
+/// the *left* input; for reference equi-joins the left input must be the
+/// referenced (OID) side — "this algorithm also supports equality of a
+/// reference attribute on one side and object identifiers on the other
+/// side". Join commutativity is what brings the referenced side to the
+/// left; disable it and this rule goes silent on Mat→Join output, forcing
+/// naive pointer chasing (Table 2, "W/o Comm.").
+pub struct HybridHashJoinImpl;
+
+impl<'e> ImplRule<M<'e>> for HybridHashJoinImpl {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::HYBRID_HASH_JOIN
+    }
+    fn implementations(
+        &self,
+        model: &M<'e>,
+        memo: &Memo<M<'e>>,
+        expr: &Expr<M<'e>>,
+        required: &PhysProps,
+    ) -> Vec<Candidate<M<'e>>> {
+        let LogicalOp::Join { pred } = expr.op else {
+            return vec![];
+        };
+        let (lg, rg) = (expr.children[0], expr.children[1]);
+        let (lp, rp) = (*memo.props(lg), *memo.props(rg));
+        let p = model.env.preds.pred(pred);
+        // Hashing needs at least one equality term.
+        let Some(eq) = p.terms.iter().find(|t| t.op == CmpOp::Eq) else {
+            return vec![];
+        };
+        // Reference equi-join: the build (left) side must hold the
+        // referenced objects.
+        if let Some((_, target)) = eq.as_ref_eq() {
+            if !lp.vars.contains(target) {
+                return vec![];
+            }
+        }
+        let mem = model.pred_mem_vars(pred);
+        let l_req = required.in_memory.intersect(lp.vars).union(mem.intersect(lp.vars));
+        let r_req = required.in_memory.intersect(rp.vars).union(mem.intersect(rp.vars));
+        let op = PhysicalOp::HybridHashJoin { pred };
+        let (_, cost) = model.phys_estimate(&op, &[lp, rp]);
+        vec![Candidate {
+            op,
+            children: vec![lg, rg],
+            input_props: vec![PhysProps::in_memory(l_req), PhysProps::in_memory(r_req)],
+            cost,
+            delivers: PhysProps::in_memory(l_req.union(r_req)),
+        }]
+    }
+}
+
+/// `Join` → pointer join (Shekita–Carey): when the right input is a bare
+/// scan of the reference's full domain, skip the scan entirely and resolve
+/// references by partitioned page fetches — "naive traversal of such
+/// references ('goto's on disk')" done as well as it can be done.
+pub struct PointerJoinImpl;
+
+impl<'e> ImplRule<M<'e>> for PointerJoinImpl {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::POINTER_JOIN
+    }
+    fn implementations(
+        &self,
+        model: &M<'e>,
+        memo: &Memo<M<'e>>,
+        expr: &Expr<M<'e>>,
+        required: &PhysProps,
+    ) -> Vec<Candidate<M<'e>>> {
+        let LogicalOp::Join { pred } = expr.op else {
+            return vec![];
+        };
+        let p = model.env.preds.pred(pred);
+        let [term] = p.terms.as_slice() else {
+            return vec![];
+        };
+        let Some((_, target)) = term.as_ref_eq() else {
+            return vec![];
+        };
+        let (lg, rg) = (expr.children[0], expr.children[1]);
+        let (lp, rp) = (*memo.props(lg), *memo.props(rg));
+        // Right side must be exactly the unfiltered domain scan of the
+        // target variable (the shape Mat→Join produces).
+        if !rp.vars.contains(target) || lp.vars.contains(target) {
+            return vec![];
+        }
+        let Some(domain) = model.var_domain(target) else {
+            return vec![];
+        };
+        let is_pure_get = memo.group_exprs(rg).iter().any(|&e| {
+            matches!(
+                memo.expr(e).op,
+                LogicalOp::Get { coll, var } if coll == domain && var == target
+            )
+        });
+        let dc = model.env.catalog.collection(domain);
+        if !is_pure_get || (rp.card - dc.cardinality as f64).abs() > 0.5 {
+            return vec![];
+        }
+        let mem = model.pred_mem_vars(pred);
+        let l_req = required
+            .in_memory
+            .remove(target)
+            .intersect(lp.vars)
+            .union(mem.intersect(lp.vars));
+        let order = pass_order(required, lp.vars);
+        let op = PhysicalOp::PointerJoin { pred };
+        let (_, cost) = model.phys_estimate(&op, &[lp]);
+        vec![Candidate {
+            op,
+            children: vec![lg],
+            input_props: vec![PhysProps {
+                in_memory: l_req,
+                order,
+            }],
+            cost,
+            delivers: PhysProps {
+                in_memory: l_req.insert(target),
+                order,
+            },
+        }]
+    }
+}
+
+/// `Mat` → assembly: the assembly operator in its *implementation* role.
+pub struct AssemblyMatImpl;
+
+impl<'e> ImplRule<M<'e>> for AssemblyMatImpl {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::ASSEMBLY_MAT
+    }
+    fn implementations(
+        &self,
+        model: &M<'e>,
+        memo: &Memo<M<'e>>,
+        expr: &Expr<M<'e>>,
+        required: &PhysProps,
+    ) -> Vec<Candidate<M<'e>>> {
+        let LogicalOp::Mat { out } = expr.op else {
+            return vec![];
+        };
+        let VarOrigin::Mat { src, field } = model.env.scopes.var(out).origin else {
+            return vec![];
+        };
+        let mut input = required.in_memory.remove(out);
+        // Reading src's reference field needs src in memory; a dereference
+        // of an unnested reference value does not.
+        if field.is_some() {
+            input = input.insert(src);
+        }
+        let window = model.config.assembly_window;
+        let child = *memo.props(expr.children[0]);
+        let order = pass_order(required, child.vars);
+        let op = PhysicalOp::Assembly {
+            targets: vec![out],
+            window,
+        };
+        let (_, cost) = model.phys_estimate(&op, &[child]);
+        vec![Candidate {
+            op,
+            children: vec![expr.children[0]],
+            input_props: vec![PhysProps {
+                in_memory: input,
+                order,
+            }],
+            cost,
+            delivers: PhysProps {
+                in_memory: input.insert(out),
+                order,
+            },
+        }]
+    }
+}
+
+/// `Join` → merge join (sort-order extension): for a value equality
+/// between attributes, require each input sorted on its attribute and
+/// merge in one pass. Whether the sorts (or ordered index sweeps) beneath
+/// are worth it against a hash join is the cost model's call.
+pub struct MergeJoinImpl;
+
+impl<'e> ImplRule<M<'e>> for MergeJoinImpl {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::MERGE_JOIN
+    }
+    fn implementations(
+        &self,
+        model: &M<'e>,
+        memo: &Memo<M<'e>>,
+        expr: &Expr<M<'e>>,
+        required: &PhysProps,
+    ) -> Vec<Candidate<M<'e>>> {
+        let LogicalOp::Join { pred } = expr.op else {
+            return vec![];
+        };
+        let p = model.env.preds.pred(pred);
+        // First equality term must compare two attributes.
+        let Some(eq) = p.terms.iter().find(|t| t.op == CmpOp::Eq) else {
+            return vec![];
+        };
+        let (Operand::Attr { var: lv, field: lf }, Operand::Attr { var: rv, field: rf }) =
+            (&eq.left, &eq.right)
+        else {
+            return vec![];
+        };
+        let (lg, rg) = (expr.children[0], expr.children[1]);
+        let (lp, rp) = (*memo.props(lg), *memo.props(rg));
+        // Assign each attribute to the side holding its variable.
+        let ((lkey_var, lkey_field), (rkey_var, rkey_field)) =
+            if lp.vars.contains(*lv) && rp.vars.contains(*rv) {
+                ((*lv, *lf), (*rv, *rf))
+            } else if lp.vars.contains(*rv) && rp.vars.contains(*lv) {
+                ((*rv, *rf), (*lv, *lf))
+            } else {
+                return vec![];
+            };
+        let mem = model.pred_mem_vars(pred);
+        let l_req = required
+            .in_memory
+            .intersect(lp.vars)
+            .union(mem.intersect(lp.vars));
+        let r_req = required
+            .in_memory
+            .intersect(rp.vars)
+            .union(mem.intersect(rp.vars));
+        let op = PhysicalOp::MergeJoin { pred };
+        let (_, cost) = model.phys_estimate(&op, &[lp, rp]);
+        let l_order = oodb_algebra::SortSpec {
+            var: lkey_var,
+            field: lkey_field,
+        };
+        vec![Candidate {
+            op,
+            children: vec![lg, rg],
+            input_props: vec![
+                PhysProps {
+                    in_memory: l_req,
+                    order: Some(l_order),
+                },
+                PhysProps {
+                    in_memory: r_req,
+                    order: Some(oodb_algebra::SortSpec {
+                        var: rkey_var,
+                        field: rkey_field,
+                    }),
+                },
+            ],
+            cost,
+            // Output inherits the left (outer) order on the join key.
+            delivers: PhysProps {
+                in_memory: l_req.union(r_req),
+                order: Some(l_order),
+            },
+        }]
+    }
+}
+
+/// `Mat` → warm-start assembly (the paper's Lesson 7 suggestion, gated by
+/// [`crate::OptimizerConfig::enable_warm_assembly`]): "the ability to scan
+/// a scannable object into main memory before the normal complex object
+/// assembly operation commences." One sequential sweep of the component's
+/// collection replaces per-reference faults — a win when references far
+/// outnumber the collection's pages.
+pub struct WarmAssemblyImpl;
+
+impl<'e> ImplRule<M<'e>> for WarmAssemblyImpl {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::WARM_ASSEMBLY
+    }
+    fn implementations(
+        &self,
+        model: &M<'e>,
+        memo: &Memo<M<'e>>,
+        expr: &Expr<M<'e>>,
+        required: &PhysProps,
+    ) -> Vec<Candidate<M<'e>>> {
+        let LogicalOp::Mat { out } = expr.op else {
+            return vec![];
+        };
+        if model.var_domain(out).is_none() {
+            return vec![]; // nothing scannable (the paper's Plant)
+        }
+        let VarOrigin::Mat { src, field } = model.env.scopes.var(out).origin else {
+            return vec![];
+        };
+        let mut input = required.in_memory.remove(out);
+        if field.is_some() {
+            input = input.insert(src);
+        }
+        let child = *memo.props(expr.children[0]);
+        let order = pass_order(required, child.vars);
+        let op = PhysicalOp::WarmAssembly { target: out };
+        let (_, cost) = model.phys_estimate(&op, &[child]);
+        vec![Candidate {
+            op,
+            children: vec![expr.children[0]],
+            input_props: vec![PhysProps {
+                in_memory: input,
+                order,
+            }],
+            cost,
+            delivers: PhysProps {
+                in_memory: input.insert(out),
+                order,
+            },
+        }]
+    }
+}
+
+/// `Unnest` → Alg-Unnest.
+pub struct AlgUnnestImpl;
+
+impl<'e> ImplRule<M<'e>> for AlgUnnestImpl {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::ALG_UNNEST
+    }
+    fn implementations(
+        &self,
+        model: &M<'e>,
+        memo: &Memo<M<'e>>,
+        expr: &Expr<M<'e>>,
+        required: &PhysProps,
+    ) -> Vec<Candidate<M<'e>>> {
+        let LogicalOp::Unnest { out } = expr.op else {
+            return vec![];
+        };
+        let VarOrigin::Unnest { src, .. } = model.env.scopes.var(out).origin else {
+            return vec![];
+        };
+        let input = required.in_memory.remove(out).insert(src);
+        let child = *memo.props(expr.children[0]);
+        let order = pass_order(required, child.vars);
+        let op = PhysicalOp::AlgUnnest { out };
+        let (_, cost) = model.phys_estimate(&op, &[child]);
+        let props = PhysProps {
+            in_memory: input,
+            order,
+        };
+        vec![Candidate {
+            op,
+            children: vec![expr.children[0]],
+            input_props: vec![props],
+            cost,
+            delivers: props,
+        }]
+    }
+}
+
+/// `Project` → Alg-Project: "requires that its inputs deliver assembled
+/// ... objects present in memory" — the requirement that drives Query 3's
+/// goal-directed search.
+pub struct AlgProjectImpl;
+
+impl<'e> ImplRule<M<'e>> for AlgProjectImpl {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::ALG_PROJECT
+    }
+    fn implementations(
+        &self,
+        model: &M<'e>,
+        memo: &Memo<M<'e>>,
+        expr: &Expr<M<'e>>,
+        required: &PhysProps,
+    ) -> Vec<Candidate<M<'e>>> {
+        let LogicalOp::Project { items } = &expr.op else {
+            return vec![];
+        };
+        let input = required.in_memory.union(model.items_mem_vars(items));
+        let child = *memo.props(expr.children[0]);
+        let order = pass_order(required, child.vars);
+        let op = PhysicalOp::AlgProject {
+            items: items.clone(),
+        };
+        let (_, cost) = model.phys_estimate(&op, &[child]);
+        let props = PhysProps {
+            in_memory: input,
+            order,
+        };
+        vec![Candidate {
+            op,
+            children: vec![expr.children[0]],
+            input_props: vec![props],
+            cost,
+            delivers: props,
+        }]
+    }
+}
+
+/// `Get` → full *ordered* index scan (sort-order extension): when the
+/// goal requires tuples ordered by an indexed attribute (directly or
+/// through a path covered by a path index), sweeping the whole index in
+/// key order delivers the order without a sort — the classic "interesting
+/// order" alternative. The predicate is the empty (true) conjunction,
+/// marking a full scan.
+pub struct OrderedIndexScanImpl;
+
+impl<'e> ImplRule<M<'e>> for OrderedIndexScanImpl {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::ORDERED_INDEX_SCAN
+    }
+    fn implementations(
+        &self,
+        model: &M<'e>,
+        _memo: &Memo<M<'e>>,
+        expr: &Expr<M<'e>>,
+        required: &PhysProps,
+    ) -> Vec<Candidate<M<'e>>> {
+        let LogicalOp::Get { coll, var } = expr.op else {
+            return vec![];
+        };
+        let Some(key) = required.order else {
+            return vec![];
+        };
+        // The ordering attribute must be reachable from this scan's
+        // variable through an index on this collection.
+        let Some((icoll, base, links)) = model.index_path_of(key.var) else {
+            return vec![];
+        };
+        if icoll != coll || base != var {
+            return vec![];
+        }
+        let Some((index_id, _)) = model.usable_index(coll, &links, key.field) else {
+            return vec![];
+        };
+        let pred = model.env.preds.intern(oodb_algebra::Pred::default());
+        let op = PhysicalOp::IndexScan {
+            index: index_id,
+            var,
+            pred,
+        };
+        let (_, cost) = model.phys_estimate(&op, &[]);
+        vec![Candidate {
+            op,
+            children: vec![],
+            input_props: vec![],
+            cost,
+            delivers: PhysProps {
+                in_memory: VarSet::single(var),
+                order: Some(key),
+            },
+        }]
+    }
+}
+
+/// Set operations → hash-based matching on object identity.
+pub struct HashSetOpImpl;
+
+impl<'e> ImplRule<M<'e>> for HashSetOpImpl {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::HASH_SET_OP
+    }
+    fn implementations(
+        &self,
+        model: &M<'e>,
+        memo: &Memo<M<'e>>,
+        expr: &Expr<M<'e>>,
+        required: &PhysProps,
+    ) -> Vec<Candidate<M<'e>>> {
+        let LogicalOp::SetOp { kind } = expr.op else {
+            return vec![];
+        };
+        let (lg, rg) = (expr.children[0], expr.children[1]);
+        let op = PhysicalOp::HashSetOp { kind };
+        let (_, cost) = model.phys_estimate(&op, &[*memo.props(lg), *memo.props(rg)]);
+        vec![Candidate {
+            op,
+            children: vec![lg, rg],
+            input_props: vec![*required, *required],
+            cost,
+            delivers: *required,
+        }]
+    }
+}

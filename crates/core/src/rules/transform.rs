@@ -1,0 +1,540 @@
+//! Logical transformation rules.
+//!
+//! "Since our logical algebra is based on the relational algebra, our
+//! transformation rules include known relational transformations plus some
+//! new ones pertaining to the materialize operator. These transformations
+//! move materialize operators above and beneath ('through') selection,
+//! join, and set operators, provided none of the other operators depends on
+//! a scope defined by materialize."
+//!
+//! Multi-level patterns (anything that needs to see below the immediate
+//! operator) match by enumerating the child group's expressions in the
+//! memo; the engine re-fires rules when child groups grow, so exploration
+//! is exhaustive.
+
+use crate::model::OodbModel;
+use oodb_algebra::{LogicalOp, Operand, Pred, VarOrigin};
+use volcano::{Expr, Memo, Rewrite, TransformRule};
+
+type M<'e> = OodbModel<'e>;
+type Rw = Rewrite<LogicalOp>;
+
+fn op(o: LogicalOp, children: Vec<Rw>) -> Rw {
+    Rewrite::Op(o, children)
+}
+fn grp(g: volcano::GroupId) -> Rw {
+    Rewrite::Group(g)
+}
+
+/// `Select[t1 ∧ … ∧ tn](X)` → `Select[ti](Select[rest](X))` for each `i`.
+/// Exposes individual conjuncts to pushdown and index collapsing (needed
+/// for Query 4, where `t.time == 100` must reach the Tasks index while
+/// `e.name == "Fred"` stays above the materialize).
+pub struct SelectSplit;
+
+impl<'e> TransformRule<M<'e>> for SelectSplit {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::SELECT_SPLIT
+    }
+    fn apply(&self, model: &M<'e>, _memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
+        let LogicalOp::Select { pred } = &expr.op else {
+            return vec![];
+        };
+        let p = model.env.preds.pred(*pred);
+        if p.terms.len() < 2 {
+            return vec![];
+        }
+        let mut out = Vec::new();
+        for i in 0..p.terms.len() {
+            let rest: Vec<_> = p
+                .terms
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, t)| t.clone())
+                .collect();
+            let one = model.env.preds.intern(Pred::term(p.terms[i].clone()));
+            let rest = model.env.preds.intern(Pred { terms: rest });
+            out.push(op(
+                LogicalOp::Select { pred: one },
+                vec![op(
+                    LogicalOp::Select { pred: rest },
+                    vec![grp(expr.children[0])],
+                )],
+            ));
+        }
+        out
+    }
+}
+
+/// Commutes `Select` with `Mat` in both directions: push down when the
+/// predicate does not use the materialized component; pull up always.
+pub struct SelectMatSwap;
+
+impl<'e> TransformRule<M<'e>> for SelectMatSwap {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::SELECT_MAT_SWAP
+    }
+    fn apply(&self, model: &M<'e>, memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
+        let mut out = Vec::new();
+        match &expr.op {
+            LogicalOp::Select { pred } => {
+                let used = model.pred_vars(*pred);
+                for ce in memo.group_exprs(expr.children[0]) {
+                    let child = memo.expr(ce);
+                    if let LogicalOp::Mat { out: mat_out } = child.op {
+                        if !used.contains(mat_out) {
+                            out.push(op(
+                                LogicalOp::Mat { out: mat_out },
+                                vec![op(
+                                    LogicalOp::Select { pred: *pred },
+                                    vec![grp(child.children[0])],
+                                )],
+                            ));
+                        }
+                    }
+                }
+            }
+            LogicalOp::Mat { out: mat_out } => {
+                for ce in memo.group_exprs(expr.children[0]) {
+                    let child = memo.expr(ce);
+                    if let LogicalOp::Select { pred } = child.op {
+                        out.push(op(
+                            LogicalOp::Select { pred },
+                            vec![op(
+                                LogicalOp::Mat { out: *mat_out },
+                                vec![grp(child.children[0])],
+                            )],
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+}
+
+/// Commutes `Select` with `Unnest` in both directions (push only when the
+/// predicate ignores the unnested references).
+pub struct SelectUnnestSwap;
+
+impl<'e> TransformRule<M<'e>> for SelectUnnestSwap {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::SELECT_UNNEST_SWAP
+    }
+    fn apply(&self, model: &M<'e>, memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
+        let mut out = Vec::new();
+        match &expr.op {
+            LogicalOp::Select { pred } => {
+                let used = model.pred_vars(*pred);
+                for ce in memo.group_exprs(expr.children[0]) {
+                    let child = memo.expr(ce);
+                    if let LogicalOp::Unnest { out: u } = child.op {
+                        if !used.contains(u) {
+                            out.push(op(
+                                LogicalOp::Unnest { out: u },
+                                vec![op(
+                                    LogicalOp::Select { pred: *pred },
+                                    vec![grp(child.children[0])],
+                                )],
+                            ));
+                        }
+                    }
+                }
+            }
+            LogicalOp::Unnest { out: u } => {
+                for ce in memo.group_exprs(expr.children[0]) {
+                    let child = memo.expr(ce);
+                    if let LogicalOp::Select { pred } = child.op {
+                        out.push(op(
+                            LogicalOp::Select { pred },
+                            vec![op(LogicalOp::Unnest { out: *u }, vec![grp(child.children[0])])],
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+}
+
+/// Pushes `Select` into the join input that covers its variables, and
+/// pulls selections back above joins (exhaustive pairing).
+pub struct SelectJoinPush;
+
+impl<'e> TransformRule<M<'e>> for SelectJoinPush {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::SELECT_JOIN_PUSH
+    }
+    fn apply(&self, model: &M<'e>, memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
+        let mut out = Vec::new();
+        match &expr.op {
+            LogicalOp::Select { pred } => {
+                let used = model.pred_vars(*pred);
+                for ce in memo.group_exprs(expr.children[0]) {
+                    let child = memo.expr(ce);
+                    if let LogicalOp::Join { pred: jp } = child.op {
+                        let (l, r) = (child.children[0], child.children[1]);
+                        if used.is_subset(memo.props(l).vars) {
+                            out.push(op(
+                                LogicalOp::Join { pred: jp },
+                                vec![
+                                    op(LogicalOp::Select { pred: *pred }, vec![grp(l)]),
+                                    grp(r),
+                                ],
+                            ));
+                        }
+                        if used.is_subset(memo.props(r).vars) {
+                            out.push(op(
+                                LogicalOp::Join { pred: jp },
+                                vec![
+                                    grp(l),
+                                    op(LogicalOp::Select { pred: *pred }, vec![grp(r)]),
+                                ],
+                            ));
+                        }
+                    }
+                }
+            }
+            LogicalOp::Join { pred: jp } => {
+                // Pull a selection out of either input.
+                for side in 0..2 {
+                    for ce in memo.group_exprs(expr.children[side]) {
+                        let child = memo.expr(ce);
+                        if let LogicalOp::Select { pred } = child.op {
+                            let mut inputs = vec![grp(expr.children[0]), grp(expr.children[1])];
+                            inputs[side] = grp(child.children[0]);
+                            out.push(op(
+                                LogicalOp::Select { pred },
+                                vec![op(LogicalOp::Join { pred: *jp }, inputs)],
+                            ));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+}
+
+/// Merges a selection that spans both join inputs into the join predicate
+/// — `Select[p](Join[jp](L, R)) → Join[jp ∧ p](L, R)` — so conditions the
+/// simplifier left above a join (e.g. the OID equality of a two-collection
+/// `FROM` clause) become hash-join keys.
+pub struct SelectIntoJoin;
+
+impl<'e> TransformRule<M<'e>> for SelectIntoJoin {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::SELECT_INTO_JOIN
+    }
+    fn apply(&self, model: &M<'e>, memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
+        let LogicalOp::Select { pred } = expr.op else {
+            return vec![];
+        };
+        let used = model.pred_vars(pred);
+        let mut out = Vec::new();
+        for ce in memo.group_exprs(expr.children[0]) {
+            let child = memo.expr(ce);
+            let LogicalOp::Join { pred: jp } = child.op else {
+                continue;
+            };
+            let (l, r) = (child.children[0], child.children[1]);
+            let (lv, rv) = (memo.props(l).vars, memo.props(r).vars);
+            // Only when the selection genuinely spans both sides (one-sided
+            // selections are SelectJoinPush's business). Equality terms
+            // lead so the merged predicate stays hash-joinable.
+            if used.is_subset(lv) || used.is_subset(rv) {
+                continue;
+            }
+            let mut terms = model.env.preds.pred(jp).terms;
+            terms.extend(model.env.preds.pred(pred).terms);
+            terms.sort_by_key(|t| t.op != oodb_algebra::CmpOp::Eq);
+            let merged = model.env.preds.intern(oodb_algebra::Pred { terms });
+            out.push(op(
+                LogicalOp::Join { pred: merged },
+                vec![grp(l), grp(r)],
+            ));
+        }
+        out
+    }
+}
+
+/// **Mat→Join** — the paper's pivotal rule: "if the scope introduced by a
+/// materialize operator is actually a scannable object (a set object,
+/// file, etc.), the materialize operator can be transformed into a join."
+/// The scanned collection is the reference field's declared domain, or the
+/// target type's extent. Components without either (the paper's `Plant`)
+/// cannot be joined and must be assembled.
+pub struct MatToJoin;
+
+impl<'e> TransformRule<M<'e>> for MatToJoin {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::MAT_TO_JOIN
+    }
+    fn apply(&self, model: &M<'e>, _memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
+        let LogicalOp::Mat { out: mat_out } = expr.op else {
+            return vec![];
+        };
+        let Some(coll) = model.var_domain(mat_out) else {
+            return vec![];
+        };
+        let VarOrigin::Mat { src, field } = model.env.scopes.var(mat_out).origin else {
+            return vec![];
+        };
+        let ref_operand = match field {
+            Some(f) => Operand::RefField { var: src, field: f },
+            None => Operand::VarRef(src),
+        };
+        let pred = model.env.preds.cmp(
+            ref_operand,
+            oodb_algebra::CmpOp::Eq,
+            Operand::VarOid(mat_out),
+        );
+        vec![op(
+            LogicalOp::Join { pred },
+            vec![
+                grp(expr.children[0]),
+                op(
+                    LogicalOp::Get {
+                        coll,
+                        var: mat_out,
+                    },
+                    vec![],
+                ),
+            ],
+        )]
+    }
+}
+
+/// Join commutativity. "Join commutativity permits exploring query plan
+/// alternatives that are usually ignored in object query optimization,
+/// e.g., traversing single-directional inter-object links (pointers) in
+/// their opposite (not pre-computed) direction" — because hybrid hash join
+/// is directional (hash table on the left/referenced side), this rule is
+/// what makes the joined form of a Mat efficiently implementable at all.
+pub struct JoinCommute;
+
+impl<'e> TransformRule<M<'e>> for JoinCommute {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::JOIN_COMMUTE
+    }
+    fn apply(&self, _model: &M<'e>, _memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
+        let LogicalOp::Join { pred } = expr.op else {
+            return vec![];
+        };
+        vec![op(
+            LogicalOp::Join { pred },
+            vec![grp(expr.children[1]), grp(expr.children[0])],
+        )]
+    }
+}
+
+/// Join associativity: `(A ⋈ B) ⋈ C → A ⋈ (B ⋈ C)` when the outer
+/// predicate only references B and C. With commutativity this reaches all
+/// join orders. "Join associativity is closely related to the
+/// commutativity of multiple materialize operators."
+pub struct JoinAssoc;
+
+impl<'e> TransformRule<M<'e>> for JoinAssoc {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::JOIN_ASSOC
+    }
+    fn apply(&self, model: &M<'e>, memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
+        let LogicalOp::Join { pred: p2 } = expr.op else {
+            return vec![];
+        };
+        let mut out = Vec::new();
+        let c = expr.children[1];
+        for le in memo.group_exprs(expr.children[0]) {
+            let lexpr = memo.expr(le);
+            if let LogicalOp::Join { pred: p1 } = lexpr.op {
+                let (a, b) = (lexpr.children[0], lexpr.children[1]);
+                let p2_vars = model.pred_vars(p2);
+                if p2_vars.is_subset(memo.props(b).vars.union(memo.props(c).vars)) {
+                    out.push(op(
+                        LogicalOp::Join { pred: p1 },
+                        vec![
+                            grp(a),
+                            op(LogicalOp::Join { pred: p2 }, vec![grp(b), grp(c)]),
+                        ],
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Commutes adjacent `Mat` operators: "the materialize operators can trade
+/// their positions in the query expression, with the condition that
+/// 'country' must be materialized before 'president'" — i.e. they commute
+/// unless one's source is the other's output.
+pub struct MatMatSwap;
+
+impl<'e> TransformRule<M<'e>> for MatMatSwap {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::MAT_MAT_SWAP
+    }
+    fn apply(&self, model: &M<'e>, memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
+        let LogicalOp::Mat { out: o1 } = expr.op else {
+            return vec![];
+        };
+        let VarOrigin::Mat { src: s1, .. } = model.env.scopes.var(o1).origin else {
+            return vec![];
+        };
+        let mut out = Vec::new();
+        for ce in memo.group_exprs(expr.children[0]) {
+            let child = memo.expr(ce);
+            if let LogicalOp::Mat { out: o2 } = child.op {
+                // o1 must not depend on o2, and o1's source must already be
+                // in scope beneath o2.
+                if s1 != o2 && memo.props(child.children[0]).vars.contains(s1) {
+                    out.push(op(
+                        LogicalOp::Mat { out: o2 },
+                        vec![op(LogicalOp::Mat { out: o1 }, vec![grp(child.children[0])])],
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Moves selections through set operators: a predicate distributes over
+/// union and can be applied to the left input of intersection/difference
+/// (and to the right of intersection). Part of the paper's "transformations
+/// \[that\] move materialize operators above and beneath ('through')
+/// selection, join, and set operators" family.
+pub struct SelectSetOpPush;
+
+impl<'e> TransformRule<M<'e>> for SelectSetOpPush {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::SELECT_SETOP_PUSH
+    }
+    fn apply(&self, _model: &M<'e>, memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
+        let LogicalOp::Select { pred } = expr.op else {
+            return vec![];
+        };
+        let mut out = Vec::new();
+        for ce in memo.group_exprs(expr.children[0]) {
+            let child = memo.expr(ce);
+            let LogicalOp::SetOp { kind } = child.op else {
+                continue;
+            };
+            let (l, r) = (child.children[0], child.children[1]);
+            let sel = |g| op(LogicalOp::Select { pred }, vec![grp(g)]);
+            match kind {
+                oodb_algebra::SetOpKind::Union => {
+                    // σ(A ∪ B) = σA ∪ σB
+                    out.push(op(LogicalOp::SetOp { kind }, vec![sel(l), sel(r)]));
+                }
+                oodb_algebra::SetOpKind::Intersect => {
+                    // σ(A ∩ B) = σA ∩ B = A ∩ σB — push to the (likely
+                    // smaller after filtering) left; exploration plus
+                    // commutativity-by-hand covers the right.
+                    out.push(op(LogicalOp::SetOp { kind }, vec![sel(l), grp(r)]));
+                    out.push(op(LogicalOp::SetOp { kind }, vec![grp(l), sel(r)]));
+                }
+                oodb_algebra::SetOpKind::Difference => {
+                    // σ(A \ B) = σA \ B  (NOT distributable into B).
+                    out.push(op(LogicalOp::SetOp { kind }, vec![sel(l), grp(r)]));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Moves a `Mat` through a set operator: materializing a component
+/// commutes with identity-based union/intersection/difference because the
+/// Mat neither filters nor changes identity.
+pub struct MatSetOpPush;
+
+impl<'e> TransformRule<M<'e>> for MatSetOpPush {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::MAT_SETOP_PUSH
+    }
+    fn apply(&self, _model: &M<'e>, memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
+        let LogicalOp::Mat { out: o } = expr.op else {
+            return vec![];
+        };
+        let mut out = Vec::new();
+        for ce in memo.group_exprs(expr.children[0]) {
+            let child = memo.expr(ce);
+            let LogicalOp::SetOp { kind } = child.op else {
+                continue;
+            };
+            let (l, r) = (child.children[0], child.children[1]);
+            let mat = |g| op(LogicalOp::Mat { out: o }, vec![grp(g)]);
+            // Mat(A op B) = Mat(A) op Mat(B): set matching is on identity,
+            // which Mat preserves.
+            out.push(op(LogicalOp::SetOp { kind }, vec![mat(l), mat(r)]));
+        }
+        out
+    }
+}
+
+/// Pushes a `Mat` into the join input holding its source variable, and
+/// pulls it back above the join when no other operator depends on it.
+pub struct MatJoinPush;
+
+impl<'e> TransformRule<M<'e>> for MatJoinPush {
+    fn name(&self) -> &'static str {
+        crate::config::rule_names::MAT_JOIN_PUSH
+    }
+    fn apply(&self, model: &M<'e>, memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
+        let mut out = Vec::new();
+        match expr.op {
+            LogicalOp::Mat { out: o } => {
+                let src = match model.env.scopes.var(o).origin {
+                    VarOrigin::Mat { src, .. } => src,
+                    _ => return vec![],
+                };
+                for ce in memo.group_exprs(expr.children[0]) {
+                    let child = memo.expr(ce);
+                    if let LogicalOp::Join { pred } = child.op {
+                        let (l, r) = (child.children[0], child.children[1]);
+                        if memo.props(l).vars.contains(src) {
+                            out.push(op(
+                                LogicalOp::Join { pred },
+                                vec![op(LogicalOp::Mat { out: o }, vec![grp(l)]), grp(r)],
+                            ));
+                        }
+                        if memo.props(r).vars.contains(src) {
+                            out.push(op(
+                                LogicalOp::Join { pred },
+                                vec![grp(l), op(LogicalOp::Mat { out: o }, vec![grp(r)])],
+                            ));
+                        }
+                    }
+                }
+            }
+            LogicalOp::Join { pred } => {
+                // Pull: Join(Mat(X), R) → Mat(Join(X, R)) when the join
+                // predicate ignores the materialized component.
+                let used = model.pred_vars(pred);
+                for side in 0..2 {
+                    for ce in memo.group_exprs(expr.children[side]) {
+                        let child = memo.expr(ce);
+                        if let LogicalOp::Mat { out: o } = child.op {
+                            if !used.contains(o) {
+                                let mut inputs =
+                                    vec![grp(expr.children[0]), grp(expr.children[1])];
+                                inputs[side] = grp(child.children[0]);
+                                out.push(op(
+                                    LogicalOp::Mat { out: o },
+                                    vec![op(LogicalOp::Join { pred }, inputs)],
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+}

@@ -1,0 +1,758 @@
+//! The executor: physical operators over the simulated store.
+
+use crate::eval::{eval_operand, eval_pred};
+use crate::tuple::Tuple;
+use oodb_algebra::{Operand, PhysicalOp, PhysicalPlan, QueryEnv, SetOpKind, VarId, VarOrigin};
+use oodb_object::{Oid, Value};
+use oodb_storage::{DiskStats, Io, PageId, Store};
+use std::collections::{HashMap, HashSet};
+
+/// CPU-ish operation counts, reported instead of seconds so callers apply
+/// their own calibrated constants.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Tuples produced by scans/unnests/projections.
+    pub tuples: u64,
+    /// Predicate terms evaluated.
+    pub preds: u64,
+    /// Hash-table builds + probes.
+    pub hash_ops: u64,
+    /// Reference dereferences (assembly / pointer join).
+    pub derefs: u64,
+}
+
+/// Execution statistics: simulated I/O plus operation counts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecStats {
+    /// Disk statistics (sequential/random/elevator reads, simulated
+    /// seconds).
+    pub disk: DiskStats,
+    /// Operation counts.
+    pub counts: OpCounts,
+    /// Buffer-pool hits.
+    pub buffer_hits: u64,
+    /// Buffer-pool misses.
+    pub buffer_misses: u64,
+}
+
+/// Result rows: raw tuples, or projected values when the plan root is a
+/// projection.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecResult {
+    /// Variable bindings (no projection at the root).
+    Tuples(Vec<Tuple>),
+    /// Projected rows.
+    Rows(Vec<Vec<Value>>),
+}
+
+impl ExecResult {
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ExecResult::Tuples(t) => t.len(),
+            ExecResult::Rows(r) => r.len(),
+        }
+    }
+
+    /// True when the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The tuples, panicking on projected results.
+    pub fn tuples(&self) -> &[Tuple] {
+        match self {
+            ExecResult::Tuples(t) => t,
+            ExecResult::Rows(_) => panic!("result was projected"),
+        }
+    }
+}
+
+/// The plan executor. One per query run; create fresh to reset I/O
+/// accounting (or reuse to model a warm buffer pool).
+pub struct Executor<'a> {
+    /// The database.
+    pub store: &'a Store,
+    /// The query context.
+    pub env: &'a QueryEnv,
+    /// The I/O stack (buffer pool + simulated disk).
+    pub io: Io,
+    counts: OpCounts,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor with the paper's DECstation I/O stack.
+    pub fn new(store: &'a Store, env: &'a QueryEnv) -> Self {
+        Executor {
+            store,
+            env,
+            io: Io::decstation(),
+            counts: OpCounts::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ExecStats {
+        let (hits, misses) = self.io.pool.stats();
+        ExecStats {
+            disk: self.io.disk_stats(),
+            counts: self.counts,
+            buffer_hits: hits,
+            buffer_misses: misses,
+        }
+    }
+
+    /// Runs a plan to completion.
+    pub fn run(&mut self, plan: &PhysicalPlan) -> ExecResult {
+        if let PhysicalOp::AlgProject { items } = &plan.op {
+            let input = self.exec(&plan.children[0]);
+            let rows = input
+                .iter()
+                .map(|t| {
+                    self.counts.tuples += 1;
+                    items
+                        .iter()
+                        .map(|i| eval_operand(self.store, t, i))
+                        .collect()
+                })
+                .collect();
+            return ExecResult::Rows(rows);
+        }
+        ExecResult::Tuples(self.exec(plan))
+    }
+
+    fn n_vars(&self) -> usize {
+        self.env.scopes.len()
+    }
+
+    fn exec(&mut self, plan: &PhysicalPlan) -> Vec<Tuple> {
+        match &plan.op {
+            PhysicalOp::FileScan { coll, var } => {
+                let members = self.store.members(*coll).to_vec();
+                let mut out = Vec::with_capacity(members.len());
+                for oid in members {
+                    self.io.touch(self.store.page_of(oid));
+                    self.counts.tuples += 1;
+                    out.push(Tuple::single(self.n_vars(), *var, oid));
+                }
+                out
+            }
+
+            PhysicalOp::IndexScan { index, var, pred } => {
+                let idx = self.store.index(*index);
+                let full_scan = self.env.preds.pred(*pred).terms.is_empty();
+                let matches: Vec<Oid> = if full_scan {
+                    // Full ordered sweep: every leaf, entries in key order;
+                    // fetch order must follow the keys, not the OIDs.
+                    idx.all_ordered()
+                } else {
+                    let (op, key) = self.index_term(*pred);
+                    // Point or range lookup: fetch in OID (storage) order,
+                    // which is elevator-friendly.
+                    let mut m = idx.lookup_cmp(op, &key);
+                    m.sort_unstable();
+                    m
+                };
+                for p in idx.lookup_pages(matches.len() as u64) {
+                    self.io.touch(p);
+                }
+                for oid in &matches {
+                    self.io.touch(self.store.page_of(*oid));
+                }
+                self.counts.tuples += matches.len() as u64;
+                matches
+                    .into_iter()
+                    .map(|oid| Tuple::single(self.n_vars(), *var, oid))
+                    .collect()
+            }
+
+            PhysicalOp::Filter { pred } => {
+                let input = self.exec(&plan.children[0]);
+                input
+                    .into_iter()
+                    .filter(|t| {
+                        let (ok, n) = eval_pred(self.store, self.env, t, *pred);
+                        self.counts.preds += n;
+                        ok
+                    })
+                    .collect()
+            }
+
+            PhysicalOp::HybridHashJoin { pred } => {
+                let left = self.exec(&plan.children[0]);
+                let right = self.exec(&plan.children[1]);
+                self.hash_join(*pred, left, right)
+            }
+
+            PhysicalOp::PointerJoin { pred } => {
+                let left = self.exec(&plan.children[0]);
+                self.pointer_join(*pred, left)
+            }
+
+            PhysicalOp::Assembly { targets, window } => {
+                let mut tuples = self.exec(&plan.children[0]);
+                for &v in targets {
+                    self.assemble(&mut tuples, v, *window);
+                }
+                tuples
+            }
+
+            PhysicalOp::WarmAssembly { target } => {
+                let tuples = self.exec(&plan.children[0]);
+                self.warm_assemble(tuples, *target)
+            }
+
+            PhysicalOp::AlgUnnest { out } => {
+                let input = self.exec(&plan.children[0]);
+                let VarOrigin::Unnest { src, field } = self.env.scopes.var(*out).origin
+                else {
+                    panic!("AlgUnnest output must have Unnest origin");
+                };
+                let mut result = Vec::new();
+                for t in input {
+                    let set = self
+                        .store
+                        .read_field(t.get(src), field)
+                        .as_ref_set()
+                        .expect("unnest field must be set-valued")
+                        .to_vec();
+                    for m in set {
+                        self.counts.tuples += 1;
+                        result.push(t.with(*out, m));
+                    }
+                }
+                result
+            }
+
+            PhysicalOp::AlgProject { .. } => {
+                panic!("projection only supported at the plan root")
+            }
+
+            PhysicalOp::HashSetOp { kind } => {
+                let left = self.exec(&plan.children[0]);
+                let right = self.exec(&plan.children[1]);
+                self.set_op(*kind, left, right)
+            }
+
+            PhysicalOp::MergeJoin { pred } => {
+                let left = self.exec(&plan.children[0]);
+                let right = self.exec(&plan.children[1]);
+                self.merge_join(*pred, left, right)
+            }
+
+            PhysicalOp::Sort { key } => {
+                let mut tuples = self.exec(&plan.children[0]);
+                self.counts.hash_ops += tuples.len() as u64; // sort work proxy
+                tuples.sort_by(|a, b| {
+                    let va = self.store.read_field(a.get(key.var), key.field);
+                    let vb = self.store.read_field(b.get(key.var), key.field);
+                    va.partial_cmp_val(vb).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                tuples
+            }
+        }
+    }
+
+    /// Extracts the comparison operator and constant key of an index-scan
+    /// predicate, normalizing `const <op> attr` to `attr <flipped-op>
+    /// const`.
+    fn index_term(&self, pred: oodb_algebra::PredId) -> (oodb_object::value::CmpLike, Value) {
+        let p = self.env.preds.pred(pred);
+        for t in &p.terms {
+            if let Operand::Const(v) = &t.right {
+                return (t.op.as_cmp_like(), v.clone());
+            }
+            if let Operand::Const(v) = &t.left {
+                return (t.op.flipped().as_cmp_like(), v.clone());
+            }
+        }
+        panic!("index-scan predicate has no constant")
+    }
+
+    fn hash_join(
+        &mut self,
+        pred: oodb_algebra::PredId,
+        left: Vec<Tuple>,
+        right: Vec<Tuple>,
+    ) -> Vec<Tuple> {
+        let p = self.env.preds.pred(pred);
+        let first = p
+            .terms
+            .iter()
+            .find(|t| t.op == oodb_algebra::CmpOp::Eq)
+            .expect("hash join needs an equality term");
+        // Decide which operand belongs to which side by probing bindings.
+        let (left_key_op, right_key_op) = if left
+            .first()
+            .and_then(|t| first.left.var().and_then(|v| t.try_get(v)))
+            .is_some()
+            || right
+                .first()
+                .and_then(|t| first.right.var().and_then(|v| t.try_get(v)))
+                .is_some()
+        {
+            (&first.left, &first.right)
+        } else {
+            (&first.right, &first.left)
+        };
+
+        // Build on the left input ("hash table of the referenced objects").
+        let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, t) in left.iter().enumerate() {
+            self.counts.hash_ops += 1;
+            if let Some(k) = eval_operand(self.store, t, left_key_op).hash_key() {
+                table.entry(k).or_default().push(i);
+            }
+        }
+        let mut out = Vec::new();
+        for rt in &right {
+            self.counts.hash_ops += 1;
+            let Some(k) = eval_operand(self.store, rt, right_key_op).hash_key() else {
+                continue;
+            };
+            if let Some(matches) = table.get(&k) {
+                for &i in matches {
+                    let merged = left[i].merge(rt);
+                    // Verify the full predicate (hash collisions + residual
+                    // conjuncts).
+                    let (ok, n) = eval_pred(self.store, self.env, &merged, pred);
+                    self.counts.preds += n;
+                    if ok {
+                        out.push(merged);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn pointer_join(&mut self, pred: oodb_algebra::PredId, left: Vec<Tuple>) -> Vec<Tuple> {
+        let p = self.env.preds.pred(pred);
+        let term = p.terms.first().expect("pointer join needs a term");
+        let (ref_on_left, target) = term
+            .as_ref_eq()
+            .expect("pointer join needs a reference equality");
+        let ref_op = if ref_on_left { &term.left } else { &term.right };
+
+        // Partition: gather all references, fetch their pages in one
+        // elevator sweep, then bind.
+        let refs: Vec<Oid> = left
+            .iter()
+            .map(|t| {
+                self.counts.derefs += 1;
+                eval_operand(self.store, t, ref_op)
+                    .as_ref_oid()
+                    .expect("reference operand must yield a reference")
+            })
+            .collect();
+        let pages: Vec<PageId> = refs.iter().map(|&o| self.store.page_of(o)).collect();
+        self.io.touch_elevator(&pages);
+        left.into_iter()
+            .zip(refs)
+            .map(|(t, oid)| t.with(target, oid))
+            .collect()
+    }
+
+    fn assemble(&mut self, tuples: &mut [Tuple], target: VarId, window: u32) {
+        let VarOrigin::Mat { src, field } = self.env.scopes.var(target).origin else {
+            panic!("assembly target must have Mat origin");
+        };
+        let window = window.max(1) as usize;
+        let mut i = 0;
+        while i < tuples.len() {
+            let end = (i + window).min(tuples.len());
+            // Open a window of references, fetch its pages in one elevator
+            // sweep, resolve, slide on.
+            let mut refs = Vec::with_capacity(end - i);
+            for t in &tuples[i..end] {
+                self.counts.derefs += 1;
+                let oid = match field {
+                    Some(f) => self
+                        .store
+                        .read_field(t.get(src), f)
+                        .as_ref_oid()
+                        .expect("Mat field must hold a reference"),
+                    None => t.get(src),
+                };
+                refs.push(oid);
+            }
+            let pages: Vec<PageId> = refs.iter().map(|&o| self.store.page_of(o)).collect();
+            if window == 1 {
+                self.io.touch(pages[0]);
+            } else {
+                self.io.touch_elevator(&pages);
+            }
+            for (t, oid) in tuples[i..end].iter_mut().zip(refs) {
+                t.bind(target, oid);
+            }
+            i = end;
+        }
+    }
+
+    /// Warm-start assembly: sweep the component's whole collection
+    /// sequentially into the buffer pool, then resolve every reference as
+    /// a buffer hit.
+    fn warm_assemble(&mut self, tuples: Vec<Tuple>, target: VarId) -> Vec<Tuple> {
+        let VarOrigin::Mat { src, field } = self.env.scopes.var(target).origin else {
+            panic!("warm assembly target must have Mat origin");
+        };
+        let domain = self
+            .env
+            .var_domain(target)
+            .expect("warm assembly needs a known domain");
+        for page in self.store.scan_pages(domain) {
+            self.io.touch(page);
+        }
+        tuples
+            .into_iter()
+            .map(|t| {
+                self.counts.derefs += 1;
+                let oid = match field {
+                    Some(f) => self
+                        .store
+                        .read_field(t.get(src), f)
+                        .as_ref_oid()
+                        .expect("Mat field must hold a reference"),
+                    None => t.get(src),
+                };
+                // The referenced page is (almost certainly) resident now;
+                // touching it records the buffer hit honestly.
+                self.io.touch(self.store.page_of(oid));
+                t.with(target, oid)
+            })
+            .collect()
+    }
+
+    /// Merge join over key-sorted inputs: advance two cursors, pair up
+    /// equal-key groups, verify residual conjuncts.
+    fn merge_join(
+        &mut self,
+        pred: oodb_algebra::PredId,
+        left: Vec<Tuple>,
+        right: Vec<Tuple>,
+    ) -> Vec<Tuple> {
+        let p = self.env.preds.pred(pred);
+        let eq = p
+            .terms
+            .iter()
+            .find(|t| t.op == oodb_algebra::CmpOp::Eq)
+            .expect("merge join needs an equality term");
+        // Orient operands by which side binds their variable.
+        let (l_op, r_op) = {
+            let lv = eq.left.var().expect("attr operand");
+            if left.first().is_some_and(|t| t.try_get(lv).is_some()) {
+                (&eq.left, &eq.right)
+            } else {
+                (&eq.right, &eq.left)
+            }
+        };
+        let key = |t: &Tuple, op: &Operand| eval_operand(self.store, t, op);
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < left.len() && j < right.len() {
+            self.counts.tuples += 1;
+            let kl = key(&left[i], l_op);
+            let kr = key(&right[j], r_op);
+            match kl
+                .total_cmp_val(&kr)
+            {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // Gather both equal-key runs and cross them.
+                    let i_end = (i..left.len())
+                        .take_while(|&x| key(&left[x], l_op) == kl)
+                        .last()
+                        .unwrap()
+                        + 1;
+                    let j_end = (j..right.len())
+                        .take_while(|&y| key(&right[y], r_op) == kr)
+                        .last()
+                        .unwrap()
+                        + 1;
+                    for x in i..i_end {
+                        for y in j..j_end {
+                            let merged = left[x].merge(&right[y]);
+                            let (ok, n) = eval_pred(self.store, self.env, &merged, pred);
+                            self.counts.preds += n;
+                            if ok {
+                                out.push(merged);
+                            }
+                        }
+                    }
+                    i = i_end;
+                    j = j_end;
+                }
+            }
+        }
+        out
+    }
+
+    fn set_op(&mut self, kind: SetOpKind, left: Vec<Tuple>, right: Vec<Tuple>) -> Vec<Tuple> {
+        let key = |t: &Tuple| -> Vec<(usize, Oid)> { t.bound().collect() };
+        let right_keys: HashSet<Vec<(usize, Oid)>> = right
+            .iter()
+            .map(|t| {
+                self.counts.hash_ops += 1;
+                key(t)
+            })
+            .collect();
+        self.counts.hash_ops += left.len() as u64;
+        match kind {
+            SetOpKind::Union => {
+                let mut seen: HashSet<Vec<(usize, Oid)>> = HashSet::new();
+                let mut out = Vec::new();
+                for t in left.into_iter().chain(right) {
+                    if seen.insert(key(&t)) {
+                        out.push(t);
+                    }
+                }
+                out
+            }
+            SetOpKind::Intersect => left
+                .into_iter()
+                .filter(|t| right_keys.contains(&key(t)))
+                .collect(),
+            SetOpKind::Difference => left
+                .into_iter()
+                .filter(|t| !right_keys.contains(&key(t)))
+                .collect(),
+        }
+    }
+}
+
+/// One-shot convenience: fresh executor, run, return result + stats.
+pub fn execute(
+    store: &Store,
+    env: &QueryEnv,
+    plan: &PhysicalPlan,
+) -> (ExecResult, ExecStats) {
+    let mut ex = Executor::new(store, env);
+    let result = ex.run(plan);
+    (result, ex.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_algebra::{CmpOp, PlanEst, QueryBuilder};
+    use oodb_storage::{generate_paper_db, GenConfig};
+
+    fn plan(op: PhysicalOp, children: Vec<PhysicalPlan>) -> PhysicalPlan {
+        PhysicalPlan {
+            op,
+            children,
+            est: PlanEst::default(),
+        }
+    }
+
+    #[test]
+    fn file_scan_returns_all_members_with_sequential_io() {
+        let (store, m) = generate_paper_db(GenConfig::small());
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (_, c) = qb.get(m.ids.cities, "c");
+        let env = qb.into_env();
+        let scan = plan(
+            PhysicalOp::FileScan {
+                coll: m.ids.cities,
+                var: c,
+            },
+            vec![],
+        );
+        let (res, stats) = execute(&store, &env, &scan);
+        assert_eq!(res.len(), store.members(m.ids.cities).len());
+        // Dense scan: almost everything sequential.
+        assert!(stats.disk.seq_reads >= stats.disk.rand_reads);
+    }
+
+    #[test]
+    fn filter_agrees_with_oracle() {
+        let (store, m) = generate_paper_db(GenConfig::small());
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (_, t) = qb.get(m.ids.tasks, "t");
+        let pred = qb.cmp_const(t, m.ids.task_time, CmpOp::Eq, Value::Int(100));
+        let env = qb.into_env();
+        let p = plan(
+            PhysicalOp::Filter { pred },
+            vec![plan(
+                PhysicalOp::FileScan {
+                    coll: m.ids.tasks,
+                    var: t,
+                },
+                vec![],
+            )],
+        );
+        let (res, _) = execute(&store, &env, &p);
+        let oracle = store
+            .members(m.ids.tasks)
+            .iter()
+            .filter(|&&o| store.read_field(o, m.ids.task_time) == &Value::Int(100))
+            .count();
+        assert_eq!(res.len(), oracle);
+    }
+
+    #[test]
+    fn assembly_resolves_references_and_window_matters() {
+        let (store, m) = generate_paper_db(GenConfig::small());
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (cities, c) = qb.get(m.ids.cities, "c");
+        let (_, cm) = qb.mat(cities, c, m.ids.city_mayor, "cm");
+        let env = qb.into_env();
+
+        let mk = |window: u32| {
+            plan(
+                PhysicalOp::Assembly {
+                    targets: vec![cm],
+                    window,
+                },
+                vec![plan(
+                    PhysicalOp::FileScan {
+                        coll: m.ids.cities,
+                        var: c,
+                    },
+                    vec![],
+                )],
+            )
+        };
+        let (res_w, stats_w) = execute(&store, &env, &mk(8192));
+        let (res_1, stats_1) = execute(&store, &env, &mk(1));
+        assert_eq!(res_w.len(), res_1.len());
+        // Same bindings regardless of window.
+        for (a, b) in res_w.tuples().iter().zip(res_1.tuples()) {
+            assert_eq!(a.get(cm), b.get(cm));
+            assert_eq!(
+                Some(a.get(cm)),
+                store.read_field(a.get(c), m.ids.city_mayor).as_ref_oid()
+            );
+        }
+        // The windowed elevator is cheaper on simulated time.
+        assert!(
+            stats_w.disk.total_s < stats_1.disk.total_s,
+            "window {} vs window-1 {}",
+            stats_w.disk.total_s,
+            stats_1.disk.total_s
+        );
+    }
+
+    #[test]
+    fn hash_join_matches_pointer_join() {
+        let (store, m) = generate_paper_db(GenConfig::small());
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (emp, e) = qb.get(m.ids.employees, "e");
+        let (_, d) = qb.mat(emp, e, m.ids.emp_dept, "d");
+        let pred = qb.ref_eq(e, m.ids.emp_dept, d);
+        let env = qb.into_env();
+
+        let emp_scan = || {
+            plan(
+                PhysicalOp::FileScan {
+                    coll: m.ids.employees,
+                    var: e,
+                },
+                vec![],
+            )
+        };
+        // HHJ: referenced objects (departments) on the build/left side.
+        let hhj = plan(
+            PhysicalOp::HybridHashJoin { pred },
+            vec![
+                plan(
+                    PhysicalOp::FileScan {
+                        coll: m.ids.department_extent,
+                        var: d,
+                    },
+                    vec![],
+                ),
+                emp_scan(),
+            ],
+        );
+        let pj = plan(PhysicalOp::PointerJoin { pred }, vec![emp_scan()]);
+        let (r1, _) = execute(&store, &env, &hhj);
+        let (r2, _) = execute(&store, &env, &pj);
+        assert_eq!(r1.len(), r2.len());
+        assert_eq!(r1.len(), store.members(m.ids.employees).len());
+        let set1: HashSet<&Tuple> = r1.tuples().iter().collect();
+        assert!(r2.tuples().iter().all(|t| set1.contains(t)));
+    }
+
+    #[test]
+    fn set_ops_behave() {
+        let (store, m) = generate_paper_db(GenConfig::small());
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (_, t) = qb.get(m.ids.tasks, "t");
+        let p100 = qb.cmp_const(t, m.ids.task_time, CmpOp::Eq, Value::Int(100));
+        let ple = qb.cmp_const(t, m.ids.task_time, CmpOp::Le, Value::Int(100));
+        let env = qb.into_env();
+        let scan = || {
+            plan(
+                PhysicalOp::FileScan {
+                    coll: m.ids.tasks,
+                    var: t,
+                },
+                vec![],
+            )
+        };
+        let f100 = plan(PhysicalOp::Filter { pred: p100 }, vec![scan()]);
+        let fle = plan(PhysicalOp::Filter { pred: ple }, vec![scan()]);
+
+        let inter = plan(
+            PhysicalOp::HashSetOp {
+                kind: SetOpKind::Intersect,
+            },
+            vec![f100.clone(), fle.clone()],
+        );
+        let diff = plan(
+            PhysicalOp::HashSetOp {
+                kind: SetOpKind::Difference,
+            },
+            vec![fle.clone(), f100.clone()],
+        );
+        let union = plan(
+            PhysicalOp::HashSetOp {
+                kind: SetOpKind::Union,
+            },
+            vec![f100.clone(), fle.clone()],
+        );
+        let (ri, _) = execute(&store, &env, &inter);
+        let (rd, _) = execute(&store, &env, &diff);
+        let (ru, _) = execute(&store, &env, &union);
+        let (r100, _) = execute(&store, &env, &f100);
+        let (rle, _) = execute(&store, &env, &fle);
+        // time==100 ⊆ time<=100.
+        assert_eq!(ri.len(), r100.len());
+        assert_eq!(rd.len(), rle.len() - r100.len());
+        assert_eq!(ru.len(), rle.len());
+    }
+
+    #[test]
+    fn unnest_expands_teams() {
+        let (store, m) = generate_paper_db(GenConfig::small());
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (tasks, t) = qb.get(m.ids.tasks, "t");
+        let (_, mm) = qb.unnest(tasks, t, m.ids.task_team_members, "m");
+        let env = qb.into_env();
+        let p = plan(
+            PhysicalOp::AlgUnnest { out: mm },
+            vec![plan(
+                PhysicalOp::FileScan {
+                    coll: m.ids.tasks,
+                    var: t,
+                },
+                vec![],
+            )],
+        );
+        let (res, _) = execute(&store, &env, &p);
+        let oracle: usize = store
+            .members(m.ids.tasks)
+            .iter()
+            .map(|&o| {
+                store
+                    .read_field(o, m.ids.task_team_members)
+                    .as_ref_set()
+                    .unwrap()
+                    .len()
+            })
+            .sum();
+        assert_eq!(res.len(), oracle);
+    }
+}

@@ -1,0 +1,104 @@
+//! Predicate and operand evaluation over tuples.
+
+use crate::tuple::Tuple;
+use oodb_algebra::{Operand, Pred, PredId, QueryEnv};
+use oodb_object::Value;
+use oodb_storage::Store;
+
+/// Evaluates an operand against a tuple.
+pub fn eval_operand(store: &Store, tuple: &Tuple, op: &Operand) -> Value {
+    match op {
+        Operand::Const(v) => v.clone(),
+        Operand::Attr { var, field } => store.read_field(tuple.get(*var), *field).clone(),
+        Operand::VarOid(v) => Value::Ref(tuple.get(*v)),
+        Operand::RefField { var, field } => store.read_field(tuple.get(*var), *field).clone(),
+        Operand::VarRef(v) => Value::Ref(tuple.get(*v)),
+    }
+}
+
+/// Evaluates one interned predicate (a conjunction) against a tuple.
+/// Returns `(result, terms_evaluated)` — the count feeds CPU accounting.
+pub fn eval_pred(
+    store: &Store,
+    env: &QueryEnv,
+    tuple: &Tuple,
+    pred: PredId,
+) -> (bool, u64) {
+    let p: Pred = env.preds.pred(pred);
+    let mut evaluated = 0;
+    for t in &p.terms {
+        evaluated += 1;
+        let l = eval_operand(store, tuple, &t.left);
+        let r = eval_operand(store, tuple, &t.right);
+        let holds = match l.partial_cmp_val(&r) {
+            Some(ord) => t.op.test(ord),
+            None => false, // incomparable (NULL-ish) ⇒ predicate fails
+        };
+        if !holds {
+            return (false, evaluated);
+        }
+    }
+    (true, evaluated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_algebra::{CmpOp, QueryBuilder};
+    use oodb_object::paper::paper_model;
+    use oodb_storage::{generate_paper_db, GenConfig};
+
+    #[test]
+    fn operand_and_pred_eval_against_store() {
+        let (store, m) = generate_paper_db(GenConfig::small());
+        let _ = paper_model();
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (_, c) = qb.get(m.ids.cities, "c");
+        let (_, cm) = {
+            let (p, cm) = qb.mat(
+                oodb_algebra::LogicalPlan::leaf(oodb_algebra::LogicalOp::Get {
+                    coll: m.ids.cities,
+                    var: c,
+                }),
+                c,
+                m.ids.city_mayor,
+                "cm",
+            );
+            (p, cm)
+        };
+        let env = qb.into_env();
+
+        let city = store.members(m.ids.cities)[0];
+        let mayor = store
+            .read_field(city, m.ids.city_mayor)
+            .as_ref_oid()
+            .unwrap();
+        let mut t = Tuple::empty(env.scopes.len());
+        t.bind(c, city);
+        t.bind(cm, mayor);
+
+        // RefField equality against VarOid: c.mayor == cm.self holds.
+        let pred = env.preds.cmp(
+            Operand::RefField {
+                var: c,
+                field: m.ids.city_mayor,
+            },
+            CmpOp::Eq,
+            Operand::VarOid(cm),
+        );
+        let (ok, n) = eval_pred(&store, &env, &t, pred);
+        assert!(ok);
+        assert_eq!(n, 1);
+
+        // Attribute read matches direct store access.
+        let name = eval_operand(
+            &store,
+            &t,
+            &Operand::Attr {
+                var: cm,
+                field: m.ids.person_name,
+            },
+        );
+        assert_eq!(&name, store.read_field(mayor, m.ids.person_name));
+    }
+}

@@ -1,0 +1,30 @@
+//! # `oodb-exec` — the query execution engine
+//!
+//! The paper deferred running plans: "we delay validating and refining
+//! assembly's cost function until the query plan executor becomes
+//! operational." This crate is that executor, operating against the
+//! simulated storage manager of [`oodb_storage`], so every plan the
+//! optimizer emits can actually be run and its simulated I/O compared with
+//! the optimizer's estimate.
+//!
+//! Every physical operator of the algebra is implemented:
+//!
+//! * file scan (sequential page touches), index scan (B-tree walk + fetch),
+//! * filter (predicate evaluation over bound objects),
+//! * hybrid hash join (hash table on the left/build input),
+//! * pointer join (partitioned reference fetching),
+//! * **assembly** with a genuine *window of open references*: references
+//!   are resolved in windows, each window's pages fetched in one elevator
+//!   sweep — window 1 degenerates to one random fault per reference,
+//! * Alg-Unnest, Alg-Project, and the hash set operations.
+//!
+//! I/O is charged through [`oodb_storage::Io`] (buffer pool + seek-aware
+//! disk); CPU-ish work is reported as operation counts ([`OpCounts`]) so
+//! callers can convert with whatever cost constants they calibrate.
+
+pub mod engine;
+pub mod eval;
+pub mod tuple;
+
+pub use engine::{execute, ExecResult, ExecStats, Executor, OpCounts};
+pub use tuple::Tuple;

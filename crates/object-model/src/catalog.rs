@@ -1,0 +1,502 @@
+//! Catalog: named collections, statistics, and index descriptors.
+//!
+//! This is the optimizer's window onto physical data. Two of the paper's
+//! evaluation points hinge on exactly what the catalog records:
+//!
+//! * **Cardinality is kept only for sets and extents.** Types without an
+//!   extent (the paper's `Plant`) expose *no* cardinality, so the optimizer
+//!   cannot bound the number of page faults when assembling them — this is
+//!   the source of the 50,000-fault estimate for the naive Query 1 plan.
+//! * **Indexes, including path indexes**, are catalog entries: the
+//!   collapse-to-index-scan implementation rule fires only when a matching
+//!   [`IndexDef`] exists, and Table 3 sweeps index availability.
+
+use crate::schema::{FieldId, Schema, TypeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a collection (user-defined set or type extent).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CollectionId(u32);
+
+impl CollectionId {
+    /// Constructs from a raw arena index.
+    pub fn from_index(i: usize) -> Self {
+        CollectionId(i as u32)
+    }
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for CollectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CollectionId({})", self.0)
+    }
+}
+
+/// Identifier of an index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexId(u32);
+
+impl IndexId {
+    /// Constructs from a raw arena index.
+    pub fn from_index(i: usize) -> Self {
+        IndexId(i as u32)
+    }
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for IndexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IndexId({})", self.0)
+    }
+}
+
+/// Whether a collection is a user-defined set or a type extent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CollectionKind {
+    /// A named, user-defined set (e.g. `Employees`); may be a subset of the
+    /// type's population.
+    UserSet,
+    /// The system-maintained extent holding *all* instances of a type —
+    /// the only collection the Mat→Join rule may scan as a substitute for
+    /// reference traversal.
+    Extent,
+}
+
+/// A collection the query processor can scan.
+#[derive(Clone, Debug)]
+pub struct CollectionDef {
+    /// Collection name (`Employees`, `extent(Job)`, ...).
+    pub name: String,
+    /// Element type.
+    pub elem_type: TypeId,
+    /// Set or extent.
+    pub kind: CollectionKind,
+    /// Exact cardinality. Present because cardinality *is* maintained for
+    /// sets and extents (and only for them) in the paper's prototype.
+    pub cardinality: u64,
+    /// Average object size in bytes (Table 1's `Obj. Size`).
+    pub obj_bytes: u32,
+}
+
+/// Kind of index.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IndexKind {
+    /// Index on an embedded attribute of the collection's elements.
+    Attribute,
+    /// Path index: key is reached by traversing one or more reference
+    /// fields and ending in an attribute (e.g. `Cities` on `mayor.name`).
+    Path,
+}
+
+/// An index over a collection.
+///
+/// `path` holds the reference links traversed (empty for plain attribute
+/// indexes) and `key` the terminal attribute. A path index answers a
+/// predicate on the full path *without materializing intermediate objects*,
+/// which is exactly why the collapsed index scan in the paper's Query 2
+/// delivers city objects only — "the mayor component objects are never read
+/// into memory".
+#[derive(Clone, Debug)]
+pub struct IndexDef {
+    /// Index name, for plan display.
+    pub name: String,
+    /// Indexed collection.
+    pub collection: CollectionId,
+    /// Reference links from the element type to the key's owner (empty for
+    /// attribute indexes).
+    pub path: Vec<FieldId>,
+    /// Terminal attribute.
+    pub key: FieldId,
+    /// Number of distinct key values — drives selectivity estimation.
+    pub distinct_keys: u64,
+    /// Whether entries are clustered with the collection's storage order.
+    /// Unclustered indexes pay one random I/O per match when fetching.
+    pub clustered: bool,
+}
+
+impl IndexDef {
+    /// Attribute vs path index.
+    pub fn kind(&self) -> IndexKind {
+        if self.path.is_empty() {
+            IndexKind::Attribute
+        } else {
+            IndexKind::Path
+        }
+    }
+}
+
+/// The catalog: collections, extents, indexes, and their statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    collections: Vec<CollectionDef>,
+    by_name: HashMap<String, CollectionId>,
+    extent_by_type: HashMap<TypeId, CollectionId>,
+    indexes: Vec<IndexDef>,
+    index_by_name: HashMap<String, IndexId>,
+    /// Integrity constraints: all referents of a `Ref`/`RefSet` field are
+    /// known to lie in the given collection. Lets the Mat→Join rule scan a
+    /// (smaller) user set instead of the type extent.
+    ref_domains: HashMap<FieldId, CollectionId>,
+    /// Average number of elements in a `RefSet` field — the fan-out used
+    /// by Unnest cardinality estimation.
+    fanouts: HashMap<FieldId, f64>,
+    /// Collected attribute statistics, keyed by `(collection, reference
+    /// path, terminal attribute)` — the selectivity refinement the paper
+    /// lists as future work.
+    histograms: HashMap<(CollectionId, Vec<FieldId>, FieldId), crate::stats::Histogram>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a collection. Extents are also recorded in the
+    /// type → extent map (at most one extent per type).
+    pub fn add_collection(&mut self, def: CollectionDef) -> CollectionId {
+        assert!(
+            !self.by_name.contains_key(&def.name),
+            "duplicate collection {:?}",
+            def.name
+        );
+        let id = CollectionId::from_index(self.collections.len());
+        if def.kind == CollectionKind::Extent {
+            let prev = self.extent_by_type.insert(def.elem_type, id);
+            assert!(prev.is_none(), "type already has an extent");
+        }
+        self.by_name.insert(def.name.clone(), id);
+        self.collections.push(def);
+        id
+    }
+
+    /// Registers an index.
+    pub fn add_index(&mut self, def: IndexDef) -> IndexId {
+        assert!(
+            !self.index_by_name.contains_key(&def.name),
+            "duplicate index {:?}",
+            def.name
+        );
+        let id = IndexId::from_index(self.indexes.len());
+        self.index_by_name.insert(def.name.clone(), id);
+        self.indexes.push(def);
+        id
+    }
+
+    /// Collection definition.
+    pub fn collection(&self, id: CollectionId) -> &CollectionDef {
+        &self.collections[id.index()]
+    }
+
+    /// Looks a collection up by name.
+    pub fn collection_by_name(&self, name: &str) -> Option<CollectionId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// All collections.
+    pub fn collections(&self) -> impl Iterator<Item = (CollectionId, &CollectionDef)> {
+        self.collections
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CollectionId::from_index(i), c))
+    }
+
+    /// The extent of a type, if the type has one. Per the paper's prototype,
+    /// this is the only way the optimizer learns the population size of a
+    /// type; types without extents (e.g. `Plant`) are cardinality-blind.
+    pub fn extent_of(&self, ty: TypeId) -> Option<CollectionId> {
+        self.extent_by_type.get(&ty).copied()
+    }
+
+    /// Index definition.
+    pub fn index(&self, id: IndexId) -> &IndexDef {
+        &self.indexes[id.index()]
+    }
+
+    /// Looks an index up by name.
+    pub fn index_by_name(&self, name: &str) -> Option<IndexId> {
+        self.index_by_name.get(name).copied()
+    }
+
+    /// All indexes.
+    pub fn indexes(&self) -> impl Iterator<Item = (IndexId, &IndexDef)> {
+        self.indexes
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (IndexId::from_index(i), d))
+    }
+
+    /// Indexes over a given collection.
+    pub fn indexes_on(&self, coll: CollectionId) -> impl Iterator<Item = (IndexId, &IndexDef)> {
+        self.indexes_on_filtered(coll, |_| true)
+    }
+
+    fn indexes_on_filtered<F: Fn(&IndexDef) -> bool>(
+        &self,
+        coll: CollectionId,
+        f: F,
+    ) -> impl Iterator<Item = (IndexId, &IndexDef)> {
+        self.indexes
+            .iter()
+            .enumerate()
+            .filter(move |(_, d)| d.collection == coll && f(d))
+            .map(|(i, d)| (IndexId::from_index(i), d))
+    }
+
+    /// Finds an index on `coll` whose `(path, key)` matches exactly — the
+    /// lookup the collapse-to-index-scan rule performs.
+    pub fn find_index(
+        &self,
+        coll: CollectionId,
+        path: &[FieldId],
+        key: FieldId,
+    ) -> Option<(IndexId, &IndexDef)> {
+        self.indexes_on(coll)
+            .find(|(_, d)| d.path == path && d.key == key)
+    }
+
+    /// Declares that every referent of `field` lies in `coll` (an
+    /// integrity constraint the generator upholds).
+    pub fn set_ref_domain(&mut self, field: FieldId, coll: CollectionId) {
+        self.ref_domains.insert(field, coll);
+    }
+
+    /// The declared referent domain of a reference field, if any.
+    pub fn ref_domain(&self, field: FieldId) -> Option<CollectionId> {
+        self.ref_domains.get(&field).copied()
+    }
+
+    /// Records the average cardinality of a set-valued field.
+    pub fn set_fanout(&mut self, field: FieldId, avg: f64) {
+        self.fanouts.insert(field, avg);
+    }
+
+    /// Average cardinality of a set-valued field. Without a recorded
+    /// statistic the optimizer assumes a fan-out of 5 (in the same naïve
+    /// spirit as the paper's 10% default selectivity).
+    pub fn fanout(&self, field: FieldId) -> f64 {
+        self.fanouts.get(&field).copied().unwrap_or(5.0)
+    }
+
+    /// Attaches a collected histogram for `(coll, path, key)`.
+    pub fn set_histogram(
+        &mut self,
+        coll: CollectionId,
+        path: Vec<FieldId>,
+        key: FieldId,
+        h: crate::stats::Histogram,
+    ) {
+        self.histograms.insert((coll, path, key), h);
+    }
+
+    /// Collected statistics for an attribute path, if any.
+    pub fn histogram(
+        &self,
+        coll: CollectionId,
+        path: &[FieldId],
+        key: FieldId,
+    ) -> Option<&crate::stats::Histogram> {
+        self.histograms.get(&(coll, path.to_vec(), key))
+    }
+
+    /// Number of collected histograms.
+    pub fn histogram_count(&self) -> usize {
+        self.histograms.len()
+    }
+
+    /// Returns a copy of this catalog with only the named indexes retained —
+    /// the index-availability sweep of Table 3.
+    pub fn with_only_indexes(&self, keep: &[&str]) -> Catalog {
+        let mut out = self.clone();
+        out.indexes.clear();
+        out.index_by_name.clear();
+        for d in &self.indexes {
+            if keep.contains(&d.name.as_str()) {
+                out.add_index(d.clone());
+            }
+        }
+        out
+    }
+
+    /// Number of 4 KB-equivalent pages a dense scan of the collection
+    /// touches, given a page size. ("Objects in user-defined sets and type
+    /// extents are assumed to be densely packed on pages.")
+    pub fn pages_of(&self, id: CollectionId, page_bytes: u32) -> u64 {
+        let c = self.collection(id);
+        let per_page = (page_bytes / c.obj_bytes.max(1)).max(1) as u64;
+        c.cardinality.div_ceil(per_page)
+    }
+}
+
+/// Validates that every index in the catalog is well-formed against a
+/// schema: path links are reference fields on the right types and the key
+/// is an attribute. Returns a list of human-readable problems.
+pub fn validate_catalog(schema: &Schema, catalog: &Catalog) -> Vec<String> {
+    let mut problems = Vec::new();
+    for (_, idx) in catalog.indexes() {
+        let coll = catalog.collection(idx.collection);
+        let mut ty = coll.elem_type;
+        for &link in &idx.path {
+            let f = schema.field(link);
+            if !schema.is_subtype(ty, f.owner) {
+                problems.push(format!(
+                    "index {:?}: link {:?} not a field of {:?}",
+                    idx.name,
+                    f.name,
+                    schema.ty(ty).name
+                ));
+            }
+            match f.kind.target() {
+                Some(t) => ty = t,
+                None => {
+                    problems.push(format!(
+                        "index {:?}: link {:?} is not a reference field",
+                        idx.name, f.name
+                    ));
+                    break;
+                }
+            }
+        }
+        let key = schema.field(idx.key);
+        if !schema.is_subtype(ty, key.owner) {
+            problems.push(format!(
+                "index {:?}: key {:?} not a field of {:?}",
+                idx.name,
+                key.name,
+                schema.ty(ty).name
+            ));
+        }
+        if !key.kind.is_attr() {
+            problems.push(format!(
+                "index {:?}: key {:?} is not an attribute",
+                idx.name, key.name
+            ));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, FieldKind, Schema};
+
+    fn setup() -> (Schema, Catalog) {
+        let mut b = Schema::builder();
+        let person = b.add_type("Person", None);
+        b.add_field(person, "name", FieldKind::Attr(AttrType::Str));
+        let city = b.add_type("City", None);
+        b.add_field(city, "mayor", FieldKind::Ref(person));
+        let schema = b.build();
+
+        let mut cat = Catalog::new();
+        cat.add_collection(CollectionDef {
+            name: "Cities".into(),
+            elem_type: city,
+            kind: CollectionKind::UserSet,
+            cardinality: 10_000,
+            obj_bytes: 200,
+        });
+        cat.add_collection(CollectionDef {
+            name: "extent(Person)".into(),
+            elem_type: person,
+            kind: CollectionKind::Extent,
+            cardinality: 100_000,
+            obj_bytes: 100,
+        });
+        (schema, cat)
+    }
+
+    #[test]
+    fn extent_lookup_by_type() {
+        let (schema, cat) = setup();
+        let person = schema.type_by_name("Person").unwrap();
+        let city = schema.type_by_name("City").unwrap();
+        assert!(cat.extent_of(person).is_some());
+        assert!(cat.extent_of(city).is_none(), "City has no extent");
+    }
+
+    #[test]
+    fn path_index_found_by_shape() {
+        let (schema, mut cat) = setup();
+        let city = schema.type_by_name("City").unwrap();
+        let person = schema.type_by_name("Person").unwrap();
+        let mayor = schema.field_by_name(city, "mayor").unwrap();
+        let name = schema.field_by_name(person, "name").unwrap();
+        let cities = cat.collection_by_name("Cities").unwrap();
+        cat.add_index(IndexDef {
+            name: "Cities_mayor_name".into(),
+            collection: cities,
+            path: vec![mayor],
+            key: name,
+            distinct_keys: 5000,
+            clustered: false,
+        });
+        assert!(cat.find_index(cities, &[mayor], name).is_some());
+        assert!(cat.find_index(cities, &[], name).is_none());
+        assert!(validate_catalog(&schema, &cat).is_empty());
+    }
+
+    #[test]
+    fn invalid_index_reported() {
+        let (schema, mut cat) = setup();
+        let city = schema.type_by_name("City").unwrap();
+        let mayor = schema.field_by_name(city, "mayor").unwrap();
+        let cities = cat.collection_by_name("Cities").unwrap();
+        // Key is a reference field, not an attribute: invalid.
+        cat.add_index(IndexDef {
+            name: "bad".into(),
+            collection: cities,
+            path: vec![],
+            key: mayor,
+            distinct_keys: 1,
+            clustered: false,
+        });
+        assert_eq!(validate_catalog(&schema, &cat).len(), 1);
+    }
+
+    #[test]
+    fn with_only_indexes_filters() {
+        let (schema, mut cat) = setup();
+        let city = schema.type_by_name("City").unwrap();
+        let person = schema.type_by_name("Person").unwrap();
+        let mayor = schema.field_by_name(city, "mayor").unwrap();
+        let name = schema.field_by_name(person, "name").unwrap();
+        let cities = cat.collection_by_name("Cities").unwrap();
+        cat.add_index(IndexDef {
+            name: "i1".into(),
+            collection: cities,
+            path: vec![mayor],
+            key: name,
+            distinct_keys: 10,
+            clustered: false,
+        });
+        cat.add_index(IndexDef {
+            name: "i2".into(),
+            collection: cities,
+            path: vec![],
+            key: name,
+            distinct_keys: 10,
+            clustered: false,
+        });
+        let only = cat.with_only_indexes(&["i2"]);
+        assert_eq!(only.indexes().count(), 1);
+        assert!(only.index_by_name("i2").is_some());
+        assert!(only.index_by_name("i1").is_none());
+    }
+
+    #[test]
+    fn pages_of_dense_packing() {
+        let (_, cat) = setup();
+        let cities = cat.collection_by_name("Cities").unwrap();
+        // 4096 / 200 = 20 objects per page; 10_000 / 20 = 500 pages.
+        assert_eq!(cat.pages_of(cities, 4096), 500);
+    }
+}

@@ -1,0 +1,36 @@
+//! # `oodb-object` — the Open OODB object data model
+//!
+//! This crate implements the data-model substrate of the Open OODB query
+//! optimizer reproduction (Blakeley, McKenna, Graefe; SIGMOD 1993):
+//!
+//! * **Object identity** ([`Oid`]) and typed object values ([`Value`],
+//!   [`Object`]).
+//! * **Schema** ([`Schema`], [`TypeDef`], [`FieldDef`]): user-defined types
+//!   with single inheritance, embedded attributes (record-field-like values
+//!   that never need explicit materialization), single-valued inter-object
+//!   references, and set-valued references.
+//! * **Catalog** ([`Catalog`]): named collections (user-defined sets and
+//!   type extents), their cardinalities and object sizes (the paper's
+//!   Table 1), and index descriptors including *path indexes*
+//!   ([`IndexDef`]) that drive the paper's collapse-to-index-scan rule.
+//!
+//! A faithful reconstruction of the paper's Table 1 schema and catalog is
+//! provided by [`paper::paper_schema`] and [`paper::paper_model`].
+//!
+//! Everything downstream — storage, algebra, optimizer, executor, and the
+//! ZQL front end — consumes this crate.
+
+pub mod catalog;
+pub mod oid;
+pub mod paper;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use catalog::{
+    Catalog, CollectionDef, CollectionId, CollectionKind, IndexDef, IndexId, IndexKind,
+};
+pub use oid::Oid;
+pub use schema::{AttrType, FieldDef, FieldId, FieldKind, Schema, TypeDef, TypeId};
+pub use stats::Histogram;
+pub use value::{Date, Object, Value};

@@ -1,0 +1,201 @@
+//! Buffer pool (LRU) and the combined I/O facade.
+//!
+//! The paper notes that "actual assembly performance including the effects
+//! of buffer hits can only be studied in the context of a real, working
+//! system" — this is that system, scaled down: a fixed-capacity LRU page
+//! cache in front of the simulated disk. The executor performs all page
+//! access through [`Io`], so buffer hits are free and misses are charged by
+//! the [`crate::disk::Disk`].
+
+use crate::disk::{Disk, DiskParams, DiskStats, PageId};
+use std::collections::HashMap;
+
+/// A fixed-capacity LRU page cache.
+///
+/// Implementation: a hash map from page to a monotically increasing access
+/// stamp plus a lazily compacted eviction scan. Capacity is in pages; the
+/// paper's 32 MB workstation at 4 KB pages gives 8192.
+#[derive(Clone, Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    clock: u64,
+    resident: HashMap<PageId, u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// Creates a pool holding at most `capacity` pages.
+    pub fn new(capacity: usize) -> Self {
+        BufferPool {
+            capacity: capacity.max(1),
+            clock: 0,
+            resident: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Pool sized for the paper's DECstation (32 MB at the given page size).
+    pub fn decstation(page_bytes: u32) -> Self {
+        BufferPool::new((32 * 1024 * 1024 / page_bytes as usize).max(1))
+    }
+
+    /// Records an access. Returns `true` on a buffer hit. On a miss the
+    /// page becomes resident, evicting the least-recently-used page if the
+    /// pool is full.
+    pub fn access(&mut self, page: PageId) -> bool {
+        self.clock += 1;
+        if let Some(stamp) = self.resident.get_mut(&page) {
+            *stamp = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.resident.len() >= self.capacity {
+            // Evict the LRU entry. Linear scan is fine: eviction only
+            // happens on misses and pools are small in tests / bounded in
+            // experiments.
+            if let Some((&victim, _)) = self.resident.iter().min_by_key(|(_, &s)| s) {
+                self.resident.remove(&victim);
+            }
+        }
+        self.resident.insert(page, self.clock);
+        false
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Drops all cached pages and statistics.
+    pub fn reset(&mut self) {
+        self.resident.clear();
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// The I/O facade the executor charges all page access through:
+/// buffer-pool check first, disk on miss.
+#[derive(Clone, Debug)]
+pub struct Io {
+    /// The page cache.
+    pub pool: BufferPool,
+    /// The simulated device.
+    pub disk: Disk,
+}
+
+impl Io {
+    /// Creates an I/O stack with the given pool capacity and disk timing.
+    pub fn new(pool_pages: usize, params: DiskParams) -> Self {
+        Io {
+            pool: BufferPool::new(pool_pages),
+            disk: Disk::new(params),
+        }
+    }
+
+    /// The paper's evaluation machine: 32 MB buffer, default disk.
+    pub fn decstation() -> Self {
+        let params = DiskParams::default();
+        Io {
+            pool: BufferPool::decstation(params.page_bytes),
+            disk: Disk::new(params),
+        }
+    }
+
+    /// Touches one page (sequential/random classification by the disk).
+    pub fn touch(&mut self, page: PageId) {
+        if !self.pool.access(page) {
+            self.disk.read(page);
+        }
+    }
+
+    /// Touches a batch of pages in elevator order; only misses reach disk.
+    pub fn touch_elevator(&mut self, pages: &[PageId]) {
+        let mut missed: Vec<PageId> = pages
+            .iter()
+            .copied()
+            .filter(|&p| !self.pool.access(p))
+            .collect();
+        if !missed.is_empty() {
+            self.disk.read_elevator(&mut missed);
+        }
+    }
+
+    /// Simulated elapsed I/O time in seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.disk.stats().total_s
+    }
+
+    /// Disk statistics.
+    pub fn disk_stats(&self) -> DiskStats {
+        self.disk.stats()
+    }
+
+    /// Clears both the pool and the disk counters.
+    pub fn reset(&mut self) {
+        self.pool.reset();
+        self.disk.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut b = BufferPool::new(4);
+        assert!(!b.access(1));
+        assert!(b.access(1));
+        assert_eq!(b.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut b = BufferPool::new(2);
+        b.access(1);
+        b.access(2);
+        b.access(1); // 1 now more recent than 2
+        b.access(3); // evicts 2
+        assert!(b.access(1), "1 still resident");
+        assert!(!b.access(2), "2 was evicted");
+    }
+
+    #[test]
+    fn io_charges_only_misses() {
+        let mut io = Io::new(8, DiskParams::default());
+        io.touch(10);
+        io.touch(10);
+        io.touch(10);
+        assert_eq!(io.disk_stats().pages(), 1);
+        let (hits, misses) = io.pool.stats();
+        assert_eq!((hits, misses), (2, 1));
+    }
+
+    #[test]
+    fn elevator_batch_skips_resident_pages() {
+        let mut io = Io::new(8, DiskParams::default());
+        io.touch(5);
+        io.touch_elevator(&[5, 6, 7]);
+        // Page 5 was resident; only 6 and 7 hit the disk.
+        assert_eq!(io.disk_stats().pages(), 3); // 1 initial + 2 batch
+    }
+
+    #[test]
+    fn pool_never_exceeds_capacity() {
+        let mut b = BufferPool::new(3);
+        for p in 0..100 {
+            b.access(p);
+        }
+        assert!(b.resident_pages() <= 3);
+    }
+}

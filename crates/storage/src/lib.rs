@@ -1,0 +1,36 @@
+//! # `oodb-storage` — simulated storage manager for the Open OODB reproduction
+//!
+//! The SIGMOD '93 paper evaluated its optimizer with *estimated* costs on a
+//! DECstation 5000/125; the execution engine was not yet operational. This
+//! crate supplies the substrate the paper assumed: a page-based object store
+//! with dense packing of sets and extents, a disk model that distinguishes
+//! sequential, random, and elevator-ordered I/O (the heart of the assembly
+//! operator's advantage), a buffer pool, and B-tree-style attribute and path
+//! indexes.
+//!
+//! Components:
+//!
+//! * [`disk`] — [`disk::Disk`]: simulated disk with seek accounting.
+//! * [`buffer`] — [`buffer::BufferPool`]: LRU page cache;
+//!   [`buffer::Io`] bundles pool + disk into the single I/O facade the
+//!   executor charges against.
+//! * [`store`] — [`store::Store`]: objects laid out densely in per-type
+//!   page regions; collections as member lists; O(1) OID dereference.
+//! * [`index`] — [`index::BuiltIndex`]: ordered indexes (attribute and
+//!   path) built from catalog [`oodb_object::IndexDef`]s.
+//! * [`datagen`] — synthetic database generator reproducing the paper's
+//!   Table 1 population (with a scale-down knob for fast tests).
+
+pub mod buffer;
+pub mod codec;
+pub mod datagen;
+pub mod disk;
+pub mod index;
+pub mod store;
+
+pub use buffer::{BufferPool, Io};
+pub use codec::{pack_collection, unpack_pages, CodecError, Page, PAGE_BYTES};
+pub use datagen::{generate_paper_db, GenConfig};
+pub use disk::{Disk, DiskParams, DiskStats, PageId};
+pub use index::{BuiltIndex, OrdValue};
+pub use store::Store;

@@ -1,0 +1,345 @@
+//! The object store: typed objects in dense page regions, collections,
+//! and OID dereference.
+//!
+//! Layout model ("objects in user-defined sets and type extents are assumed
+//! to be densely packed on pages"): every type owns one contiguous page
+//! region in which its instances are packed in OID order. A type's extent
+//! scans the whole region; a user-defined set whose members form a prefix
+//! of the region (how the generator lays them out) scans a dense prefix.
+//! Dereferencing an OID maps to an exact page in O(1) — a stored reference
+//! is literally a "goto on disk".
+
+use crate::disk::PageId;
+use crate::index::BuiltIndex;
+use oodb_object::{
+    Catalog, CollectionId, FieldId, IndexId, Object, Oid, Schema, TypeId, Value,
+};
+use std::collections::HashMap;
+
+/// Page region of one type.
+#[derive(Clone, Copy, Debug)]
+struct Region {
+    first_page: PageId,
+    objs_per_page: u32,
+}
+
+/// The in-memory database: schema + catalog + objects + indexes.
+#[derive(Clone, Debug)]
+pub struct Store {
+    schema: Schema,
+    catalog: Catalog,
+    /// Objects per type, indexed by `TypeId`, packed in OID order.
+    objects: Vec<Vec<Object>>,
+    regions: Vec<Option<Region>>,
+    /// Collection membership in storage order, indexed by `CollectionId`.
+    members: Vec<Vec<Oid>>,
+    /// Built indexes, parallel to `catalog.indexes()`.
+    indexes: Vec<BuiltIndex>,
+    /// `(type, field) -> slot` cache so hot-path slot lookup is O(1).
+    slots: HashMap<(TypeId, FieldId), usize>,
+    next_page: PageId,
+}
+
+impl Store {
+    /// Creates an empty store for a schema and catalog. Populate with
+    /// [`Store::insert_objects`] and [`Store::set_members`], then call
+    /// [`Store::build_indexes`].
+    pub fn new(schema: Schema, catalog: Catalog) -> Self {
+        let n_types = schema.type_count();
+        let n_colls = catalog.collections().count();
+        let mut slots = HashMap::new();
+        for (ty, _) in schema.types() {
+            for (slot, f) in schema.fields_of(ty).into_iter().enumerate() {
+                slots.insert((ty, f), slot);
+            }
+        }
+        Store {
+            schema,
+            catalog,
+            objects: vec![Vec::new(); n_types],
+            regions: vec![None; n_types],
+            members: vec![Vec::new(); n_colls],
+            indexes: Vec::new(),
+            slots,
+            next_page: 0,
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Replaces the catalog (index-availability sweeps). The caller must
+    /// re-run [`Store::build_indexes`] afterwards.
+    pub fn set_catalog(&mut self, catalog: Catalog) {
+        self.catalog = catalog;
+        self.indexes.clear();
+    }
+
+    /// Bulk-inserts the instances of one type, packing them into a fresh
+    /// page region at `obj_bytes` per object. Objects must arrive in OID
+    /// order starting at sequence 0. Panics on a second insert for a type.
+    pub fn insert_objects(&mut self, ty: TypeId, objs: Vec<Object>, obj_bytes: u32) {
+        assert!(
+            self.regions[ty.index()].is_none(),
+            "type {} already populated",
+            self.schema.ty(ty).name
+        );
+        for (i, o) in objs.iter().enumerate() {
+            assert_eq!(o.oid, Oid::new(ty, i as u32), "objects must be dense");
+        }
+        let per_page = (4096 / obj_bytes.max(1)).max(1);
+        let pages = (objs.len() as u64).div_ceil(per_page as u64);
+        self.regions[ty.index()] = Some(Region {
+            first_page: self.next_page,
+            objs_per_page: per_page,
+        });
+        self.next_page += pages.max(1);
+        self.objects[ty.index()] = objs;
+    }
+
+    /// Sets a collection's membership (storage order).
+    pub fn set_members(&mut self, coll: CollectionId, oids: Vec<Oid>) {
+        self.members[coll.index()] = oids;
+    }
+
+    /// Members of a collection, in storage order.
+    pub fn members(&self, coll: CollectionId) -> &[Oid] {
+        &self.members[coll.index()]
+    }
+
+    /// Dereferences an OID. Panics on dangling references — the generator
+    /// never produces them, and the executor treats them as corruption.
+    pub fn object(&self, oid: Oid) -> &Object {
+        &self.objects[oid.type_id().index()][oid.seq() as usize]
+    }
+
+    /// Number of stored instances of a type.
+    pub fn population(&self, ty: TypeId) -> usize {
+        self.objects[ty.index()].len()
+    }
+
+    /// The page an object lives on.
+    pub fn page_of(&self, oid: Oid) -> PageId {
+        let r = self.regions[oid.type_id().index()]
+            .expect("type has no storage region");
+        r.first_page + (oid.seq() / r.objs_per_page) as u64
+    }
+
+    /// Slot index of `field` on objects of exact type `ty`.
+    pub fn slot(&self, ty: TypeId, field: FieldId) -> usize {
+        *self
+            .slots
+            .get(&(ty, field))
+            .unwrap_or_else(|| panic!("field not on type {}", self.schema.ty(ty).name))
+    }
+
+    /// Reads a field of an object (by the object's exact type layout).
+    pub fn read_field(&self, oid: Oid, field: FieldId) -> &Value {
+        let obj = self.object(oid);
+        obj.slot(self.slot(oid.type_id(), field))
+    }
+
+    /// Follows a reference path from `oid` (all links single-valued) and
+    /// reads the terminal attribute. Used to build path indexes and as the
+    /// semantic oracle in tests.
+    pub fn eval_path(&self, oid: Oid, path: &[FieldId], key: FieldId) -> Value {
+        let mut cur = oid;
+        for &link in path {
+            match self.read_field(cur, link) {
+                Value::Ref(next) => cur = *next,
+                v => panic!("path link is not a single-valued reference: {v:?}"),
+            }
+        }
+        self.read_field(cur, key).clone()
+    }
+
+    /// Builds every index declared in the catalog.
+    pub fn build_indexes(&mut self) {
+        self.indexes.clear();
+        // Collect first (immutable borrow), then assign page regions.
+        let defs: Vec<_> = self.catalog.indexes().map(|(_, d)| d.clone()).collect();
+        for def in defs {
+            let members = self.members[def.collection.index()].clone();
+            let pairs: Vec<(Value, Oid)> = members
+                .iter()
+                .map(|&oid| (self.eval_path(oid, &def.path, def.key), oid))
+                .collect();
+            // Reserve internal + leaf pages after everything else on disk.
+            let leaf_first = self.next_page + 4;
+            let leaves = (pairs.len() as u64).div_ceil(crate::index::INDEX_FANOUT);
+            self.next_page = leaf_first + leaves.max(1);
+            self.indexes.push(BuiltIndex::build(pairs, leaf_first));
+        }
+    }
+
+    /// A built index by catalog id. Panics if [`Store::build_indexes`] has
+    /// not run or the catalog changed since.
+    pub fn index(&self, id: IndexId) -> &BuiltIndex {
+        &self.indexes[id.index()]
+    }
+
+    /// Total pages allocated so far.
+    pub fn pages_allocated(&self) -> PageId {
+        self.next_page
+    }
+
+    /// Collects an equi-depth histogram for every index's `(collection,
+    /// path, key)` plus any extra attribute paths given, attaching them to
+    /// a copy of the catalog. This is the statistics-gathering pass behind
+    /// the paper's future-work item "refine ... selectivity and cost
+    /// estimation"; rerun it after data changes.
+    pub fn collect_statistics(
+        &self,
+        extra: &[(CollectionId, Vec<FieldId>, FieldId)],
+        buckets: usize,
+    ) -> Catalog {
+        let mut catalog = self.catalog.clone();
+        let mut targets: Vec<(CollectionId, Vec<FieldId>, FieldId)> = self
+            .catalog
+            .indexes()
+            .map(|(_, d)| (d.collection, d.path.clone(), d.key))
+            .collect();
+        targets.extend_from_slice(extra);
+        targets.sort();
+        targets.dedup();
+        for (coll, path, key) in targets {
+            let values: Vec<Value> = self.members(coll)
+                .iter()
+                .map(|&oid| self.eval_path(oid, &path, key))
+                .collect();
+            if let Some(h) = oodb_object::Histogram::build(values, buckets) {
+                catalog.set_histogram(coll, path, key, h);
+            }
+        }
+        catalog
+    }
+
+    /// Pages covering members `[0, n)` of a collection — the dense-prefix
+    /// scan range. For extents this is the whole type region.
+    pub fn scan_pages(&self, coll: CollectionId) -> Vec<PageId> {
+        let mut pages: Vec<PageId> = self.members[coll.index()]
+            .iter()
+            .map(|&o| self.page_of(o))
+            .collect();
+        pages.dedup();
+        pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_object::{AttrType, CollectionDef, CollectionKind, FieldKind};
+
+    fn tiny() -> (Store, TypeId, CollectionId) {
+        let mut b = Schema::builder();
+        let t = b.add_type("T", None);
+        b.add_field(t, "x", FieldKind::Attr(AttrType::Int));
+        let schema = b.build();
+        let mut cat = Catalog::new();
+        let coll = cat.add_collection(CollectionDef {
+            name: "Ts".into(),
+            elem_type: t,
+            kind: CollectionKind::Extent,
+            cardinality: 100,
+            obj_bytes: 400,
+        });
+        let mut store = Store::new(schema, cat);
+        let objs: Vec<Object> = (0..100)
+            .map(|i| Object::new(Oid::new(t, i), vec![Value::Int(i as i64 % 7)]))
+            .collect();
+        store.insert_objects(t, objs, 400);
+        let oids: Vec<Oid> = (0..100).map(|i| Oid::new(t, i)).collect();
+        store.set_members(coll, oids);
+        (store, t, coll)
+    }
+
+    #[test]
+    fn dense_packing_page_math() {
+        let (store, t, _) = tiny();
+        // 4096/400 = 10 objects per page.
+        assert_eq!(store.page_of(Oid::new(t, 0)), 0);
+        assert_eq!(store.page_of(Oid::new(t, 9)), 0);
+        assert_eq!(store.page_of(Oid::new(t, 10)), 1);
+        assert_eq!(store.page_of(Oid::new(t, 99)), 9);
+    }
+
+    #[test]
+    fn scan_pages_are_dense(){
+        let (store, _, coll) = tiny();
+        let pages = store.scan_pages(coll);
+        assert_eq!(pages, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn read_field_roundtrip() {
+        let (store, t, _) = tiny();
+        let x = store.schema().field_by_name(t, "x").unwrap();
+        assert_eq!(store.read_field(Oid::new(t, 8), x), &Value::Int(1));
+    }
+
+    #[test]
+    fn index_build_and_lookup() {
+        let (mut store, t, coll) = tiny();
+        let x = store.schema().field_by_name(t, "x").unwrap();
+        let mut cat = store.catalog().clone();
+        cat.add_index(oodb_object::IndexDef {
+            name: "Ts_x".into(),
+            collection: coll,
+            path: vec![],
+            key: x,
+            distinct_keys: 7,
+            clustered: false,
+        });
+        store.set_catalog(cat);
+        store.build_indexes();
+        let id = store.catalog().index_by_name("Ts_x").unwrap();
+        let hits = store.index(id).lookup_eq(&Value::Int(3));
+        // x = i % 7 == 3 for i in {3,10,17,...,94}: 14 values.
+        assert_eq!(hits.len(), 14);
+        assert!(hits.iter().all(|&o| o == Oid::new(t, o.seq())
+            && store.read_field(o, x) == &Value::Int(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already populated")]
+    fn double_insert_panics() {
+        let (mut store, t, _) = tiny();
+        store.insert_objects(t, vec![], 400);
+    }
+
+    #[test]
+    fn path_eval_follows_refs() {
+        let mut b = Schema::builder();
+        let p = b.add_type("P", None);
+        let p_name = b.add_field(p, "name", FieldKind::Attr(AttrType::Str));
+        let c = b.add_type("C", None);
+        let c_ref = b.add_field(c, "p", FieldKind::Ref(p));
+        let schema = b.build();
+        let mut store = Store::new(schema, Catalog::new());
+        store.insert_objects(
+            p,
+            vec![Object::new(Oid::new(p, 0), vec![Value::str("joe")])],
+            100,
+        );
+        store.insert_objects(
+            c,
+            vec![Object::new(
+                Oid::new(c, 0),
+                vec![Value::Ref(Oid::new(p, 0))],
+            )],
+            100,
+        );
+        assert_eq!(
+            store.eval_path(Oid::new(c, 0), &[c_ref], p_name),
+            Value::str("joe")
+        );
+    }
+}

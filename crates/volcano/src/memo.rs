@@ -1,0 +1,501 @@
+//! The memo: groups of logically equivalent expressions.
+//!
+//! Design notes (see DESIGN.md §4):
+//!
+//! * **Arenas + ids.** Groups and expressions live in `Vec`s addressed by
+//!   [`GroupId`]/[`ExprId`]; expressions hold child *group* ids. No
+//!   reference counting, no interior mutability — rewriting is pure index
+//!   manipulation.
+//! * **Duplicate elimination.** A hash map from `(operator, normalized
+//!   child groups)` to expression detects when a transformation produces an
+//!   expression the memo already holds. This is what makes exhaustive
+//!   transformation terminate, and it is also the paper's "global common
+//!   subexpression factorization ... for free".
+//! * **Group merging.** When a top-level rewrite of group *A* produces an
+//!   expression already present in group *B*, the two groups are proven
+//!   equivalent and merged through a union-find. Merging can cascade:
+//!   normalizing child pointers may reveal further duplicates, which the
+//!   rebuild loop processes to fixpoint.
+
+use crate::model::OptModel;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a memo group (an equivalence class of expressions).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(u32);
+
+impl GroupId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+/// Identifier of a memo expression.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(u32);
+
+impl ExprId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ExprId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
+/// A logical expression in the memo: an operator over child groups.
+#[derive(Debug)]
+pub struct Expr<M: OptModel> {
+    /// The operator.
+    pub op: M::LOp,
+    /// Child groups (normalized at insertion; callers should re-normalize
+    /// through [`Memo::find`] after merges).
+    pub children: Vec<GroupId>,
+    /// Owning group.
+    pub group: GroupId,
+}
+
+// Manual Clone: deriving would require `M: Clone` on the model type.
+impl<M: OptModel> Clone for Expr<M> {
+    fn clone(&self) -> Self {
+        Expr {
+            op: self.op.clone(),
+            children: self.children.clone(),
+            group: self.group,
+        }
+    }
+}
+
+/// A rewrite template: the result shape of a transformation rule. Leaves
+/// point at existing groups; interior nodes create (or find) expressions.
+#[derive(Clone, Debug)]
+pub enum Rewrite<L> {
+    /// A new or existing operator over sub-rewrites.
+    Op(L, Vec<Rewrite<L>>),
+    /// An existing group, passed through unchanged.
+    Group(GroupId),
+}
+
+struct Group<M: OptModel> {
+    exprs: Vec<ExprId>,
+    props: M::LProps,
+}
+
+/// The memo structure.
+pub struct Memo<M: OptModel> {
+    exprs: Vec<Expr<M>>,
+    dead: Vec<bool>,
+    groups: Vec<Group<M>>,
+    /// Union-find parent; `parent[i] == i` for representatives.
+    parent: Vec<u32>,
+    dedup: HashMap<(M::LOp, Vec<GroupId>), ExprId>,
+    merges: u64,
+}
+
+impl<M: OptModel> Default for Memo<M> {
+    fn default() -> Self {
+        Memo {
+            exprs: Vec::new(),
+            dead: Vec::new(),
+            groups: Vec::new(),
+            parent: Vec::new(),
+            dedup: HashMap::new(),
+            merges: 0,
+        }
+    }
+}
+
+impl<M: OptModel> Memo<M> {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Representative group of `g` under merges.
+    pub fn find(&self, g: GroupId) -> GroupId {
+        let mut i = g.0;
+        while self.parent[i as usize] != i {
+            i = self.parent[i as usize];
+        }
+        GroupId(i)
+    }
+
+    fn normalize(&self, children: &[GroupId]) -> Vec<GroupId> {
+        children.iter().map(|&c| self.find(c)).collect()
+    }
+
+    /// Inserts an expression, finding or creating its group. Returns
+    /// `(group, expr, inserted)`; `inserted` is false when the expression
+    /// already existed.
+    pub fn insert(
+        &mut self,
+        model: &M,
+        op: M::LOp,
+        children: Vec<GroupId>,
+    ) -> (GroupId, ExprId, bool) {
+        let children = self.normalize(&children);
+        let key = (op.clone(), children.clone());
+        if let Some(&e) = self.dedup.get(&key) {
+            return (self.find(self.exprs[e.index()].group), e, false);
+        }
+        let props = {
+            let inputs: Vec<&M::LProps> = children
+                .iter()
+                .map(|c| &self.groups[self.find(*c).index()].props)
+                .collect();
+            model.derive_props(&op, &inputs)
+        };
+        let g = GroupId(self.groups.len() as u32);
+        self.groups.push(Group {
+            exprs: Vec::new(),
+            props,
+        });
+        self.parent.push(g.0);
+        let e = self.push_expr(op, children, g);
+        (g, e, true)
+    }
+
+    fn push_expr(&mut self, op: M::LOp, children: Vec<GroupId>, g: GroupId) -> ExprId {
+        let e = ExprId(self.exprs.len() as u32);
+        self.dedup.insert((op.clone(), children.clone()), e);
+        self.exprs.push(Expr {
+            op,
+            children,
+            group: g,
+        });
+        self.dead.push(false);
+        self.groups[g.index()].exprs.push(e);
+        e
+    }
+
+    /// Inserts an expression *into a specific group* (the result of a
+    /// top-level rewrite). If the expression already exists in another
+    /// group, the groups are merged. Returns whether the memo changed.
+    pub fn insert_into(
+        &mut self,
+        _model: &M,
+        group: GroupId,
+        op: M::LOp,
+        children: Vec<GroupId>,
+    ) -> bool {
+        let group = self.find(group);
+        let children = self.normalize(&children);
+        let key = (op.clone(), children.clone());
+        if let Some(&e) = self.dedup.get(&key) {
+            let other = self.find(self.exprs[e.index()].group);
+            if other != group {
+                self.merge(group, other);
+                return true;
+            }
+            return false;
+        }
+        self.push_expr(op, children, group);
+        true
+    }
+
+    /// Recursively materializes a [`Rewrite`] template, inserting the top
+    /// operator into `target`. Returns whether the memo changed.
+    pub fn insert_rewrite(
+        &mut self,
+        model: &M,
+        target: GroupId,
+        rw: Rewrite<M::LOp>,
+    ) -> bool {
+        match rw {
+            Rewrite::Group(g) => {
+                // A bare group at top level asserts target ≡ g.
+                let (a, b) = (self.find(target), self.find(g));
+                if a != b {
+                    self.merge(a, b);
+                    true
+                } else {
+                    false
+                }
+            }
+            Rewrite::Op(op, subs) => {
+                let children: Vec<GroupId> =
+                    subs.into_iter().map(|s| self.materialize(model, s)).collect();
+                self.insert_into(model, target, op, children)
+            }
+        }
+    }
+
+    fn materialize(&mut self, model: &M, rw: Rewrite<M::LOp>) -> GroupId {
+        match rw {
+            Rewrite::Group(g) => self.find(g),
+            Rewrite::Op(op, subs) => {
+                let children: Vec<GroupId> =
+                    subs.into_iter().map(|s| self.materialize(model, s)).collect();
+                self.insert(model, op, children).0
+            }
+        }
+    }
+
+    fn merge(&mut self, a: GroupId, b: GroupId) {
+        let (a, b) = (self.find(a), self.find(b));
+        if a == b {
+            return;
+        }
+        // Keep the lower-numbered group as representative (its props win).
+        let (win, lose) = if a.0 < b.0 { (a, b) } else { (b, a) };
+        self.parent[lose.0 as usize] = win.0;
+        let moved = std::mem::take(&mut self.groups[lose.index()].exprs);
+        for e in &moved {
+            self.exprs[e.index()].group = win;
+        }
+        self.groups[win.index()].exprs.extend(moved);
+        self.merges += 1;
+        self.rebuild_dedup();
+    }
+
+    /// Re-normalizes all dedup keys after a merge; duplicate expressions
+    /// revealed by normalization are killed (same group) or trigger
+    /// cascading merges (different groups).
+    fn rebuild_dedup(&mut self) {
+        loop {
+            let mut map: HashMap<(M::LOp, Vec<GroupId>), ExprId> = HashMap::new();
+            let mut cascade: Option<(GroupId, GroupId)> = None;
+            for i in 0..self.exprs.len() {
+                if self.dead[i] {
+                    continue;
+                }
+                let e = ExprId(i as u32);
+                let norm = self.normalize(&self.exprs[i].children.clone());
+                self.exprs[i].children = norm.clone();
+                let key = (self.exprs[i].op.clone(), norm);
+                match map.get(&key) {
+                    None => {
+                        map.insert(key, e);
+                    }
+                    Some(&first) => {
+                        let g1 = self.find(self.exprs[first.index()].group);
+                        let g2 = self.find(self.exprs[i].group);
+                        if g1 == g2 {
+                            // True duplicate within one group: retire it.
+                            self.dead[i] = true;
+                            self.groups[g2.index()].exprs.retain(|&x| x != e);
+                        } else {
+                            cascade = Some((g1, g2));
+                            break;
+                        }
+                    }
+                }
+            }
+            match cascade {
+                Some((g1, g2)) => {
+                    // Union without recursive rebuild; loop handles it.
+                    let (win, lose) = if g1.0 < g2.0 { (g1, g2) } else { (g2, g1) };
+                    self.parent[lose.0 as usize] = win.0;
+                    let moved = std::mem::take(&mut self.groups[lose.index()].exprs);
+                    for e in &moved {
+                        self.exprs[e.index()].group = win;
+                    }
+                    self.groups[win.index()].exprs.extend(moved);
+                    self.merges += 1;
+                }
+                None => {
+                    self.dedup = map;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Live expressions of a group.
+    pub fn group_exprs(&self, g: GroupId) -> Vec<ExprId> {
+        self.groups[self.find(g).index()]
+            .exprs
+            .iter()
+            .copied()
+            .filter(|e| !self.dead[e.index()])
+            .collect()
+    }
+
+    /// An expression by id.
+    pub fn expr(&self, e: ExprId) -> &Expr<M> {
+        &self.exprs[e.index()]
+    }
+
+    /// Whether an expression was retired by deduplication.
+    pub fn is_dead(&self, e: ExprId) -> bool {
+        self.dead[e.index()]
+    }
+
+    /// Logical properties of a group.
+    pub fn props(&self, g: GroupId) -> &M::LProps {
+        &self.groups[self.find(g).index()].props
+    }
+
+    /// All live expression ids.
+    pub fn live_exprs(&self) -> Vec<ExprId> {
+        (0..self.exprs.len())
+            .filter(|&i| !self.dead[i])
+            .map(|i| ExprId(i as u32))
+            .collect()
+    }
+
+    /// Number of live (representative) groups.
+    pub fn group_count(&self) -> usize {
+        (0..self.groups.len())
+            .filter(|&i| self.parent[i] == i as u32)
+            .count()
+    }
+
+    /// Number of live expressions.
+    pub fn expr_count(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+
+    /// Number of group merges performed.
+    pub fn merge_count(&self) -> u64 {
+        self.merges
+    }
+
+    /// A small fingerprint of a group's current contents, used by the
+    /// search engine to decide whether a rule must re-fire on an
+    /// expression whose children have since grown.
+    pub fn group_version(&self, g: GroupId) -> u64 {
+        let g = self.find(g);
+        (g.0 as u64) << 32 | self.groups[g.index()].exprs.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{Toy, ToyOp};
+
+    fn scan(memo: &mut Memo<Toy>, model: &Toy, t: u32) -> GroupId {
+        memo.insert(model, ToyOp::Table(t), vec![]).0
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let model = Toy::default();
+        let mut memo = Memo::new();
+        let a = scan(&mut memo, &model, 0);
+        let a2 = scan(&mut memo, &model, 0);
+        assert_eq!(a, a2);
+        assert_eq!(memo.group_count(), 1);
+        assert_eq!(memo.expr_count(), 1);
+    }
+
+    #[test]
+    fn rewrite_into_same_group_dedups() {
+        let model = Toy::default();
+        let mut memo = Memo::new();
+        let a = scan(&mut memo, &model, 0);
+        let b = scan(&mut memo, &model, 1);
+        let (j, _, _) = memo.insert(&model, ToyOp::Join, vec![a, b]);
+        // Commuted join: new expression in the same group.
+        assert!(memo.insert_rewrite(
+            &model,
+            j,
+            Rewrite::Op(ToyOp::Join, vec![Rewrite::Group(b), Rewrite::Group(a)])
+        ));
+        assert_eq!(memo.group_exprs(j).len(), 2);
+        // Applying the same rewrite again changes nothing.
+        assert!(!memo.insert_rewrite(
+            &model,
+            j,
+            Rewrite::Op(ToyOp::Join, vec![Rewrite::Group(b), Rewrite::Group(a)])
+        ));
+        assert_eq!(memo.group_exprs(j).len(), 2);
+    }
+
+    #[test]
+    fn top_level_duplicate_merges_groups() {
+        let model = Toy::default();
+        let mut memo = Memo::new();
+        let a = scan(&mut memo, &model, 0);
+        let b = scan(&mut memo, &model, 1);
+        let (j1, _, _) = memo.insert(&model, ToyOp::Join, vec![a, b]);
+        let (j2, _, _) = memo.insert(&model, ToyOp::Join, vec![b, a]);
+        assert_ne!(j1, j2);
+        // Commuting j2 produces Join(a, b) — already the anchor of j1 —
+        // proving j1 ≡ j2.
+        memo.insert_rewrite(
+            &model,
+            j2,
+            Rewrite::Op(ToyOp::Join, vec![Rewrite::Group(a), Rewrite::Group(b)]),
+        );
+        assert_eq!(memo.find(j1), memo.find(j2));
+        assert_eq!(memo.group_exprs(j1).len(), 2);
+        assert_eq!(memo.merge_count(), 1);
+    }
+
+    #[test]
+    fn cascading_merges_deduplicate_parents() {
+        let model = Toy::default();
+        let mut memo = Memo::new();
+        let a = scan(&mut memo, &model, 0);
+        let b = scan(&mut memo, &model, 1);
+        let c = scan(&mut memo, &model, 2);
+        let (ab1, _, _) = memo.insert(&model, ToyOp::Join, vec![a, b]);
+        let (ab2, _, _) = memo.insert(&model, ToyOp::Join, vec![b, a]);
+        // Two parents over the two (not yet merged) join groups.
+        let (p1, _, _) = memo.insert(&model, ToyOp::Join, vec![ab1, c]);
+        let (p2, _, _) = memo.insert(&model, ToyOp::Join, vec![ab2, c]);
+        assert_ne!(memo.find(p1), memo.find(p2));
+        // Merging the child groups must cascade into the parents, because
+        // Join(ab, c) becomes a duplicate expression.
+        memo.insert_rewrite(
+            &model,
+            ab2,
+            Rewrite::Op(ToyOp::Join, vec![Rewrite::Group(a), Rewrite::Group(b)]),
+        );
+        assert_eq!(memo.find(ab1), memo.find(ab2));
+        assert_eq!(memo.find(p1), memo.find(p2), "parent groups must merge");
+    }
+
+    #[test]
+    fn nested_rewrite_creates_subgroups() {
+        let model = Toy::default();
+        let mut memo = Memo::new();
+        let a = scan(&mut memo, &model, 0);
+        let b = scan(&mut memo, &model, 1);
+        let c = scan(&mut memo, &model, 2);
+        let (abc, _, _) = {
+            let (ab, _, _) = memo.insert(&model, ToyOp::Join, vec![a, b]);
+            memo.insert(&model, ToyOp::Join, vec![ab, c])
+        };
+        let before = memo.group_count();
+        // Associate: Join(Join(a,b),c) → Join(a, Join(b,c)).
+        memo.insert_rewrite(
+            &model,
+            abc,
+            Rewrite::Op(
+                ToyOp::Join,
+                vec![
+                    Rewrite::Group(a),
+                    Rewrite::Op(ToyOp::Join, vec![Rewrite::Group(b), Rewrite::Group(c)]),
+                ],
+            ),
+        );
+        assert_eq!(memo.group_count(), before + 1, "one new group: Join(b,c)");
+        assert_eq!(memo.group_exprs(abc).len(), 2);
+    }
+
+    #[test]
+    fn props_derive_bottom_up() {
+        let model = Toy::default();
+        let mut memo = Memo::new();
+        let a = scan(&mut memo, &model, 0); // card 100
+        let b = scan(&mut memo, &model, 1); // card 1000
+        let (j, _, _) = memo.insert(&model, ToyOp::Join, vec![a, b]);
+        // Toy join card = product / 10.
+        assert_eq!(memo.props(j).card, 100.0 * 1000.0 / 10.0);
+    }
+}

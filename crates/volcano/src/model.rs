@@ -1,0 +1,179 @@
+//! The model-description traits: what a DBMS implementor supplies.
+//!
+//! This is the Rust analogue of Volcano's model description file plus
+//! support functions. An [`OptModel`] defines the vocabularies (logical and
+//! physical operators), the property types, the cost type, and the property
+//! derivation function; [`TransformRule`]s, [`ImplRule`]s, and
+//! [`Enforcer`]s populate a [`RuleSet`].
+
+use crate::memo::{Expr, GroupId, Memo, Rewrite};
+use std::fmt;
+use std::hash::Hash;
+
+/// A cost that can be accumulated and compared. Comparison is by scalar
+/// [`CostValue::total`], which keeps richer breakdowns (I/O vs CPU)
+/// available to the implementor while the search engine stays generic.
+pub trait CostValue: Copy + fmt::Debug {
+    /// The zero cost.
+    fn zero() -> Self;
+    /// Component-wise accumulation.
+    fn add(self, other: Self) -> Self;
+    /// Scalar magnitude used for plan comparison (e.g. seconds).
+    fn total(self) -> f64;
+}
+
+impl CostValue for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn add(self, other: Self) -> Self {
+        self + other
+    }
+    fn total(self) -> f64 {
+        self
+    }
+}
+
+/// The model description: operator vocabularies, properties, costs.
+pub trait OptModel: Sized {
+    /// Logical operator type. Equality/hashing define expression identity
+    /// for memo deduplication, so operators must carry interned arguments.
+    type LOp: Clone + Eq + Hash + fmt::Debug;
+    /// Physical operator (execution algorithm / enforcer) type.
+    type POp: Clone + fmt::Debug;
+    /// Logical properties (schema/scope, cardinality, ...), derived
+    /// bottom-up per group.
+    type LProps: Clone + fmt::Debug;
+    /// Physical property vector (sort order, presence in memory, ...).
+    /// Used as part of the search-goal key.
+    type PProps: Clone + Eq + Hash + fmt::Debug;
+    /// Cost type.
+    type Cost: CostValue;
+
+    /// Derives the logical properties of an expression from its operator
+    /// and input properties ("property derivation functions that
+    /// encapsulate schema manipulation, statistical descriptions of
+    /// intermediate results, and selectivity estimation").
+    fn derive_props(&self, op: &Self::LOp, inputs: &[&Self::LProps]) -> Self::LProps;
+
+    /// Whether a delivered property vector satisfies a required one.
+    fn satisfies(&self, required: &Self::PProps, delivered: &Self::PProps) -> bool;
+}
+
+/// A logical-to-logical transformation rule.
+///
+/// Rules receive one expression plus read access to the memo, so
+/// multi-level patterns (join associativity, select-past-mat) match by
+/// enumerating the child groups' expressions. The engine re-fires a rule on
+/// an expression whenever the child groups have grown, so exhaustive
+/// exploration reaches a fixpoint.
+pub trait TransformRule<M: OptModel> {
+    /// Rule name (display, configuration, statistics).
+    fn name(&self) -> &'static str;
+    /// Applies the rule, returning zero or more equivalent expressions as
+    /// [`Rewrite`] templates over existing groups.
+    fn apply(&self, model: &M, memo: &Memo<M>, expr: &Expr<M>) -> Vec<Rewrite<M::LOp>>;
+}
+
+/// One physical alternative produced by an implementation rule.
+#[derive(Clone, Debug)]
+pub struct Candidate<M: OptModel> {
+    /// The algorithm.
+    pub op: M::POp,
+    /// Input groups to optimize (usually the expression's children, but a
+    /// collapsing rule — e.g. select-materialize-get to index scan — may
+    /// produce none).
+    pub children: Vec<GroupId>,
+    /// Required physical properties per input.
+    pub input_props: Vec<M::PProps>,
+    /// Local cost of this operator (inputs excluded).
+    pub cost: M::Cost,
+    /// Physical properties the operator delivers, assuming inputs deliver
+    /// exactly their required properties.
+    pub delivers: M::PProps,
+}
+
+/// A logical-to-physical implementation rule: "the implementation rules
+/// establish the correspondence between logical algebra expressions and
+/// execution algorithms."
+pub trait ImplRule<M: OptModel> {
+    /// Rule name.
+    fn name(&self) -> &'static str;
+    /// Proposes algorithms for `expr` under `required` properties. Return
+    /// an empty vector when the rule cannot deliver them (e.g. an index
+    /// scan cannot deliver referenced components in memory).
+    fn implementations(
+        &self,
+        model: &M,
+        memo: &Memo<M>,
+        expr: &Expr<M>,
+        required: &M::PProps,
+    ) -> Vec<Candidate<M>>;
+}
+
+/// An enforcer candidate: a physical operator layered on the *same* group
+/// optimized under weaker required properties.
+#[derive(Clone, Debug)]
+pub struct EnforceCandidate<M: OptModel> {
+    /// The enforcer algorithm.
+    pub op: M::POp,
+    /// The weakened requirement passed to the input (must differ from the
+    /// original requirement, or the search would not terminate).
+    pub input_props: M::PProps,
+    /// Local cost of enforcement.
+    pub cost: M::Cost,
+    /// Properties delivered after enforcement.
+    pub delivers: M::PProps,
+}
+
+/// A physical-property enforcer (sort, assembly-into-memory, ...).
+pub trait Enforcer<M: OptModel> {
+    /// Enforcer name.
+    fn name(&self) -> &'static str;
+    /// Proposes enforcement alternatives for a group under `required`.
+    fn enforce(
+        &self,
+        model: &M,
+        memo: &Memo<M>,
+        group: GroupId,
+        required: &M::PProps,
+    ) -> Vec<EnforceCandidate<M>>;
+}
+
+/// The complete rule set of a generated optimizer.
+pub struct RuleSet<M: OptModel> {
+    /// Transformation rules.
+    pub transforms: Vec<Box<dyn TransformRule<M>>>,
+    /// Implementation rules.
+    pub impls: Vec<Box<dyn ImplRule<M>>>,
+    /// Property enforcers.
+    pub enforcers: Vec<Box<dyn Enforcer<M>>>,
+}
+
+impl<M: OptModel> Default for RuleSet<M> {
+    fn default() -> Self {
+        RuleSet {
+            transforms: Vec::new(),
+            impls: Vec::new(),
+            enforcers: Vec::new(),
+        }
+    }
+}
+
+impl<M: OptModel> RuleSet<M> {
+    /// An empty rule set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_is_a_cost() {
+        let c = <f64 as CostValue>::zero().add(1.5).add(2.0);
+        assert_eq!(c.total(), 3.5);
+    }
+}

@@ -1,0 +1,509 @@
+//! The search engine: exhaustive transformation + top-down, goal-directed,
+//! memoizing optimization.
+//!
+//! A *goal* is a `(group, required physical properties)` pair. Solving a
+//! goal means finding the cheapest physical plan that computes the group's
+//! logical expression *and* delivers the required properties. Winners are
+//! memoized per goal; physical properties drive the search top-down exactly
+//! as the paper describes for Query 3 ("the search process considers only
+//! those subplans that can deliver the physical properties that are
+//! required by the algorithm of the containing plan").
+
+use crate::memo::{ExprId, GroupId, Memo};
+use crate::model::{CostValue, OptModel, RuleSet};
+use crate::stats::SearchStats;
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchConfig {
+    /// Branch-and-bound: abandon a candidate as soon as its partial cost
+    /// exceeds the best complete plan found for the goal. Sound (never
+    /// changes the winner); saves effort. Off by default to mirror the
+    /// paper's exhaustive-search evaluation.
+    pub prune: bool,
+    /// Record a goal-level search trace (see [`Optimizer::trace`]) — the
+    /// "search state" view of the paper's Figure 11.
+    pub trace: bool,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            prune: false,
+            trace: false,
+        }
+    }
+}
+
+/// One recorded search event (when tracing is enabled).
+#[derive(Clone, Debug)]
+pub enum TraceEvent<P> {
+    /// A goal `(group, required properties)` was opened at the given
+    /// recursion depth.
+    GoalOpened {
+        /// The group being optimized.
+        group: GroupId,
+        /// Required physical properties.
+        props: P,
+        /// Depth in the goal stack.
+        depth: usize,
+    },
+    /// A goal was solved (or proven infeasible).
+    GoalSolved {
+        /// The group.
+        group: GroupId,
+        /// Required properties.
+        props: P,
+        /// Depth in the goal stack.
+        depth: usize,
+        /// Name of the winning rule/enforcer, if feasible.
+        winner: Option<&'static str>,
+        /// Total cost of the winner (scalar), if feasible.
+        cost: Option<f64>,
+    },
+}
+
+/// The winning physical alternative for one goal.
+#[derive(Debug)]
+pub struct Winner<M: OptModel> {
+    /// The chosen algorithm (or enforcer).
+    pub op: M::POp,
+    /// Sub-goals: input group + required properties, resolvable against
+    /// the winners table.
+    pub children: Vec<(GroupId, M::PProps)>,
+    /// Local cost of `op` alone.
+    pub local_cost: M::Cost,
+    /// Total cost including inputs.
+    pub total: M::Cost,
+    /// Properties the plan delivers.
+    pub delivers: M::PProps,
+    /// Name of the rule/enforcer that produced this alternative.
+    pub rule: &'static str,
+}
+
+// Manual Clone impls: deriving would wrongly require `M: Clone` on the
+// model type itself rather than on the associated types.
+impl<M: OptModel> Clone for Winner<M> {
+    fn clone(&self) -> Self {
+        Winner {
+            op: self.op.clone(),
+            children: self.children.clone(),
+            local_cost: self.local_cost,
+            total: self.total,
+            delivers: self.delivers.clone(),
+            rule: self.rule,
+        }
+    }
+}
+
+/// An extracted physical plan node.
+#[derive(Debug)]
+pub struct PlanNode<M: OptModel> {
+    /// The algorithm.
+    pub op: M::POp,
+    /// Input plans.
+    pub children: Vec<PlanNode<M>>,
+    /// Local cost of this operator.
+    pub local_cost: M::Cost,
+    /// Properties delivered here.
+    pub delivers: M::PProps,
+}
+
+impl<M: OptModel> Clone for PlanNode<M> {
+    fn clone(&self) -> Self {
+        PlanNode {
+            op: self.op.clone(),
+            children: self.children.clone(),
+            local_cost: self.local_cost,
+            delivers: self.delivers.clone(),
+        }
+    }
+}
+
+impl<M: OptModel> PlanNode<M> {
+    /// Total plan cost.
+    pub fn total_cost(&self) -> M::Cost {
+        self.children
+            .iter()
+            .fold(self.local_cost, |acc, c| acc.add(c.total_cost()))
+    }
+
+    /// Number of operators in the plan.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(PlanNode::size).sum::<usize>()
+    }
+}
+
+/// The optimizer: memo + rules + winners table.
+pub struct Optimizer<'a, M: OptModel> {
+    model: &'a M,
+    rules: &'a RuleSet<M>,
+    /// The memo (public so the model's rules and the caller can seed and
+    /// inspect it).
+    pub memo: Memo<M>,
+    config: SearchConfig,
+    fired: HashMap<(ExprId, usize), u64>,
+    winners: HashMap<(GroupId, M::PProps), Option<Winner<M>>>,
+    in_progress: HashSet<(GroupId, M::PProps)>,
+    depth: usize,
+    /// The recorded search trace (empty unless `SearchConfig::trace`).
+    pub trace: Vec<TraceEvent<M::PProps>>,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+impl<'a, M: OptModel> Optimizer<'a, M> {
+    /// Creates an optimizer over a model and rule set.
+    pub fn new(model: &'a M, rules: &'a RuleSet<M>, config: SearchConfig) -> Self {
+        Optimizer {
+            model,
+            rules,
+            memo: Memo::new(),
+            config,
+            fired: HashMap::new(),
+            winners: HashMap::new(),
+            in_progress: HashSet::new(),
+            depth: 0,
+            trace: Vec::new(),
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// The model.
+    pub fn model(&self) -> &M {
+        self.model
+    }
+
+    fn children_version(&self, e: ExprId) -> u64 {
+        let mut v: u64 = 0xcbf29ce484222325;
+        for &c in &self.memo.expr(e).children {
+            v = v
+                .wrapping_mul(0x100000001b3)
+                .wrapping_add(self.memo.group_version(c));
+        }
+        v
+    }
+
+    /// Applies transformation rules to a global fixpoint. Rules are
+    /// re-fired on an expression whenever its child groups have grown
+    /// since the last firing, so multi-level patterns are fully explored.
+    pub fn explore_all(&mut self) {
+        loop {
+            let mut changed = false;
+            for e in self.memo.live_exprs() {
+                if self.memo.is_dead(e) {
+                    continue;
+                }
+                for ri in 0..self.rules.transforms.len() {
+                    let ver = self.children_version(e);
+                    if self.fired.get(&(e, ri)) == Some(&ver) {
+                        continue;
+                    }
+                    self.fired.insert((e, ri), ver);
+                    let expr = self.memo.expr(e).clone();
+                    let target = expr.group;
+                    let rewrites =
+                        self.rules.transforms[ri].apply(self.model, &self.memo, &expr);
+                    self.stats.transform_firings += 1;
+                    for rw in rewrites {
+                        self.stats.exprs_generated += 1;
+                        changed |= self.memo.insert_rewrite(self.model, target, rw);
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.stats.groups = self.memo.group_count();
+        self.stats.exprs = self.memo.expr_count();
+    }
+
+    /// Solves a goal: the cheapest plan computing `group` that delivers
+    /// `props`. `None` means no feasible plan exists.
+    pub fn optimize_group(&mut self, group: GroupId, props: M::PProps) -> Option<Winner<M>> {
+        let group = self.memo.find(group);
+        let key = (group, props.clone());
+        if let Some(w) = self.winners.get(&key) {
+            return w.clone();
+        }
+        if !self.in_progress.insert(key.clone()) {
+            return None; // cycle guard: a plan requiring itself is infinite
+        }
+        self.stats.goals += 1;
+        if self.config.trace {
+            self.trace.push(TraceEvent::GoalOpened {
+                group,
+                props: props.clone(),
+                depth: self.depth,
+            });
+        }
+        self.depth += 1;
+
+        let mut best: Option<Winner<M>> = None;
+
+        // Implementation rules over each logical alternative. Copy the
+        // rule-set reference out of `self` so the recursive mutable calls
+        // below don't conflict with the loop borrow.
+        let rules: &'a RuleSet<M> = self.rules;
+        for e in self.memo.group_exprs(group) {
+            let expr = self.memo.expr(e).clone();
+            for rule in &rules.impls {
+                let cands = rule.implementations(self.model, &self.memo, &expr, &props);
+                for cand in cands {
+                    self.stats.candidates += 1;
+                    if !self.model.satisfies(&props, &cand.delivers) {
+                        continue;
+                    }
+                    debug_assert_eq!(cand.children.len(), cand.input_props.len());
+                    let mut total = cand.cost;
+                    let mut children = Vec::with_capacity(cand.children.len());
+                    let mut feasible = true;
+                    for (cg, cp) in cand.children.iter().zip(&cand.input_props) {
+                        if self.config.prune {
+                            if let Some(b) = &best {
+                                if total.total() >= b.total.total() {
+                                    self.stats.pruned += 1;
+                                    feasible = false;
+                                    break;
+                                }
+                            }
+                        }
+                        match self.optimize_group(*cg, cp.clone()) {
+                            Some(w) => {
+                                total = total.add(w.total);
+                                children.push((self.memo.find(*cg), cp.clone()));
+                            }
+                            None => {
+                                feasible = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !feasible {
+                        continue;
+                    }
+                    self.stats.plans_costed += 1;
+                    if best
+                        .as_ref()
+                        .map_or(true, |b| total.total() < b.total.total())
+                    {
+                        best = Some(Winner {
+                            op: cand.op,
+                            children,
+                            local_cost: cand.cost,
+                            total,
+                            delivers: cand.delivers,
+                            rule: rule.name(),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Enforcers: satisfy the goal by fixing up a weaker one.
+        for enf in &rules.enforcers {
+            let cands = enf.enforce(self.model, &self.memo, group, &props);
+            for ec in cands {
+                self.stats.enforcements += 1;
+                if ec.input_props == props {
+                    continue; // no progress: would recurse forever
+                }
+                if !self.model.satisfies(&props, &ec.delivers) {
+                    continue;
+                }
+                if let Some(w) = self.optimize_group(group, ec.input_props.clone()) {
+                    let total = ec.cost.add(w.total);
+                    self.stats.plans_costed += 1;
+                    if best
+                        .as_ref()
+                        .map_or(true, |b| total.total() < b.total.total())
+                    {
+                        best = Some(Winner {
+                            op: ec.op,
+                            children: vec![(group, ec.input_props)],
+                            local_cost: ec.cost,
+                            total,
+                            delivers: ec.delivers,
+                            rule: enf.name(),
+                        });
+                    }
+                }
+            }
+        }
+
+        self.depth -= 1;
+        if self.config.trace {
+            self.trace.push(TraceEvent::GoalSolved {
+                group,
+                props,
+                depth: self.depth,
+                winner: best.as_ref().map(|w| w.rule),
+                cost: best.as_ref().map(|w| w.total.total()),
+            });
+        }
+        self.in_progress.remove(&key);
+        self.winners.insert(key, best.clone());
+        best
+    }
+
+    /// Extracts the winning plan tree for a solved goal.
+    pub fn extract(&self, group: GroupId, props: &M::PProps) -> Option<PlanNode<M>> {
+        let key = (self.memo.find(group), props.clone());
+        let w = self.winners.get(&key)?.as_ref()?;
+        let children = w
+            .children
+            .iter()
+            .map(|(cg, cp)| self.extract(*cg, cp))
+            .collect::<Option<Vec<_>>>()?;
+        Some(PlanNode {
+            op: w.op.clone(),
+            children,
+            local_cost: w.local_cost,
+            delivers: w.delivers.clone(),
+        })
+    }
+
+    /// Full pipeline: explore, solve the root goal, extract the plan.
+    pub fn run(&mut self, root: GroupId, props: M::PProps) -> Option<PlanNode<M>> {
+        let t0 = Instant::now();
+        self.explore_all();
+        self.optimize_group(root, props.clone());
+        let plan = self.extract(root, &props);
+        self.stats.elapsed = t0.elapsed();
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{toy_rules, Toy, ToyOp, ToyPOp, ToySort};
+
+    fn setup<'a>(
+        model: &'a Toy,
+        rules: &'a RuleSet<Toy>,
+        config: SearchConfig,
+    ) -> (Optimizer<'a, Toy>, GroupId) {
+        let mut opt = Optimizer::new(model, rules, config);
+        let a = opt.memo.insert(model, ToyOp::Table(0), vec![]).0;
+        let b = opt.memo.insert(model, ToyOp::Table(1), vec![]).0;
+        let c = opt.memo.insert(model, ToyOp::Table(2), vec![]).0;
+        let (ab, _, _) = opt.memo.insert(model, ToyOp::Join, vec![a, b]);
+        let (root, _, _) = opt.memo.insert(model, ToyOp::Join, vec![ab, c]);
+        (opt, root)
+    }
+
+    #[test]
+    fn exploration_reaches_fixpoint_with_all_join_orders() {
+        let model = Toy::default();
+        let rules = toy_rules();
+        let (mut opt, root) = setup(&model, &rules, SearchConfig::default());
+        opt.explore_all();
+        // Three tables: the root group must contain joins pairing each
+        // table with the join of the other two, in both orders: 6 exprs.
+        assert_eq!(opt.memo.group_exprs(root).len(), 6);
+        // Re-exploration is a no-op.
+        let exprs = opt.memo.expr_count();
+        opt.explore_all();
+        assert_eq!(opt.memo.expr_count(), exprs);
+    }
+
+    #[test]
+    fn finds_cheapest_join_order() {
+        let model = Toy::default(); // cards 100, 1000, 10
+        let rules = toy_rules();
+        let (mut opt, root) = setup(&model, &rules, SearchConfig::default());
+        let plan = opt.run(root, ToySort::default()).expect("plan");
+        // Best order joins the two small tables (100 × 10) first.
+        // cost(join(a,c)) = 2*10 + 100 = 120, out card = 100*10/10 = 100
+        // cost(join(ac,b)) = 2*100 + 1000 = 1200
+        // scans: 100 + 10 + 1000; total = 120 + 1200 + 1110 = 2430.
+        assert!((plan.total_cost() - 2430.0).abs() < 1e-9, "{}", plan.total_cost());
+    }
+
+    #[test]
+    fn goal_directed_search_uses_enforcer_only_when_needed() {
+        let model = Toy::default();
+        let rules = toy_rules();
+        let (mut opt, root) = setup(&model, &rules, SearchConfig::default());
+        let unsorted = opt.run(root, ToySort::default()).expect("plan");
+        assert!(
+            !matches!(unsorted.op, ToyPOp::Sort),
+            "no enforcer without a sorted requirement"
+        );
+        let sorted = opt
+            .optimize_group(root, ToySort { sorted: true })
+            .expect("sorted plan");
+        assert!(matches!(sorted.op, ToyPOp::Sort), "sort enforcer on top");
+        let plan = opt.extract(root, &ToySort { sorted: true }).unwrap();
+        // Sort cost = out card × 3 = (100·1000·10/100) × 3 = 30000 on top.
+        assert!(plan.total_cost() > unsorted.total_cost());
+    }
+
+    #[test]
+    fn sorted_scan_wins_for_single_indexed_table() {
+        let model = Toy::default();
+        let rules = toy_rules();
+        let mut opt = Optimizer::new(&model, &rules, SearchConfig::default());
+        let a = opt.memo.insert(&model, ToyOp::Table(0), vec![]).0;
+        let plan = opt.run(a, ToySort { sorted: true }).expect("plan");
+        // Index scan at 120 beats scan 100 + sort 300.
+        assert!(matches!(plan.op, ToyPOp::SortedScan(0)));
+        assert!((plan.total_cost() - 120.0).abs() < 1e-9);
+
+        // Table 1 has no index: only scan + sort works.
+        let b = opt.memo.insert(&model, ToyOp::Table(1), vec![]).0;
+        opt.optimize_group(b, ToySort { sorted: true });
+        let plan_b = opt.extract(b, &ToySort { sorted: true }).unwrap();
+        assert!(matches!(plan_b.op, ToyPOp::Sort));
+    }
+
+    #[test]
+    fn pruning_preserves_the_winner() {
+        let model = Toy::default();
+        let rules = toy_rules();
+        let (mut opt1, r1) = setup(&model, &rules, SearchConfig::default());
+        let exhaustive = opt1.run(r1, ToySort::default()).unwrap().total_cost();
+        let (mut opt2, r2) = setup(
+            &model,
+            &rules,
+            SearchConfig {
+                prune: true,
+                ..Default::default()
+            },
+        );
+        let pruned = opt2.run(r2, ToySort::default()).unwrap().total_cost();
+        assert_eq!(exhaustive, pruned);
+        assert!(opt2.stats.pruned > 0, "pruning actually triggered");
+    }
+
+    #[test]
+    fn winners_are_memoized_across_goals() {
+        let model = Toy::default();
+        let rules = toy_rules();
+        let (mut opt, root) = setup(&model, &rules, SearchConfig::default());
+        opt.run(root, ToySort::default());
+        let goals_first = opt.stats.goals;
+        // Solving the same goal again must not add work.
+        opt.optimize_group(root, ToySort::default());
+        assert_eq!(opt.stats.goals, goals_first);
+    }
+
+    #[test]
+    fn infeasible_goal_yields_none() {
+        // A model-level impossibility: requiring sorted output from a
+        // rule set without enforcers and without index scans.
+        let model = Toy::default();
+        let rules = RuleSet {
+            transforms: vec![],
+            impls: vec![Box::new(crate::toy::HashJoinImpl)],
+            enforcers: vec![],
+        };
+        let mut opt = Optimizer::new(&model, &rules, SearchConfig::default());
+        let a = opt.memo.insert(&model, ToyOp::Table(0), vec![]).0;
+        assert!(opt.run(a, ToySort { sorted: true }).is_none());
+    }
+}

@@ -1,0 +1,255 @@
+//! A minimal complete optimizer model.
+//!
+//! Serves two purposes: it exercises every framework feature in this
+//! crate's unit tests (memo deduplication and merging, exhaustive
+//! transformation, goal-directed search, enforcers, pruning), and it is a
+//! template showing a new implementor exactly what must be supplied.
+//!
+//! The model is a caricature of relational join ordering: `Table(t)`
+//! leaves with catalog cardinalities, a commutative/associative `Join`,
+//! hash-join and scan algorithms, a `sorted` physical property deliverable
+//! only by an index scan on table 0 or by an explicit `Sort` enforcer.
+
+use crate::memo::{Expr, GroupId, Memo, Rewrite};
+use crate::model::{
+    Candidate, EnforceCandidate, Enforcer, ImplRule, OptModel, RuleSet, TransformRule,
+};
+
+/// Toy logical operators.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ToyOp {
+    /// Scan of table `t`.
+    Table(u32),
+    /// Natural join of two inputs.
+    Join,
+}
+
+/// Toy physical operators.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ToyPOp {
+    /// Heap scan.
+    Scan(u32),
+    /// Index (sorted) scan; only table 0 has an index.
+    SortedScan(u32),
+    /// Hash join.
+    HashJoin,
+    /// Sort enforcer.
+    Sort,
+}
+
+/// Toy logical properties.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ToyProps {
+    /// Estimated cardinality.
+    pub card: f64,
+    /// Bitset of base tables covered.
+    pub tables: u32,
+}
+
+/// Toy physical property vector: sortedness only.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct ToySort {
+    /// Output must be (is) sorted.
+    pub sorted: bool,
+}
+
+/// The toy model: a catalog of table cardinalities.
+#[derive(Clone, Debug)]
+pub struct Toy {
+    /// Cardinality of table `t`.
+    pub cards: Vec<f64>,
+}
+
+impl Default for Toy {
+    fn default() -> Self {
+        Toy {
+            cards: vec![100.0, 1000.0, 10.0, 10_000.0],
+        }
+    }
+}
+
+impl OptModel for Toy {
+    type LOp = ToyOp;
+    type POp = ToyPOp;
+    type LProps = ToyProps;
+    type PProps = ToySort;
+    type Cost = f64;
+
+    fn derive_props(&self, op: &ToyOp, inputs: &[&ToyProps]) -> ToyProps {
+        match op {
+            ToyOp::Table(t) => ToyProps {
+                card: self.cards[*t as usize],
+                tables: 1 << t,
+            },
+            ToyOp::Join => ToyProps {
+                card: inputs[0].card * inputs[1].card / 10.0,
+                tables: inputs[0].tables | inputs[1].tables,
+            },
+        }
+    }
+
+    fn satisfies(&self, required: &ToySort, delivered: &ToySort) -> bool {
+        !required.sorted || delivered.sorted
+    }
+}
+
+/// Join commutativity.
+pub struct Commute;
+
+impl TransformRule<Toy> for Commute {
+    fn name(&self) -> &'static str {
+        "join-commute"
+    }
+    fn apply(&self, _m: &Toy, _memo: &Memo<Toy>, expr: &Expr<Toy>) -> Vec<Rewrite<ToyOp>> {
+        if expr.op != ToyOp::Join {
+            return vec![];
+        }
+        vec![Rewrite::Op(
+            ToyOp::Join,
+            vec![
+                Rewrite::Group(expr.children[1]),
+                Rewrite::Group(expr.children[0]),
+            ],
+        )]
+    }
+}
+
+/// Left-to-right join associativity — a two-level rule that enumerates the
+/// left child group's expressions through the memo.
+pub struct Assoc;
+
+impl TransformRule<Toy> for Assoc {
+    fn name(&self) -> &'static str {
+        "join-assoc"
+    }
+    fn apply(&self, _m: &Toy, memo: &Memo<Toy>, expr: &Expr<Toy>) -> Vec<Rewrite<ToyOp>> {
+        if expr.op != ToyOp::Join {
+            return vec![];
+        }
+        let mut out = Vec::new();
+        for le in memo.group_exprs(expr.children[0]) {
+            let lexpr = memo.expr(le);
+            if lexpr.op == ToyOp::Join {
+                // (A ⋈ B) ⋈ C  →  A ⋈ (B ⋈ C)
+                out.push(Rewrite::Op(
+                    ToyOp::Join,
+                    vec![
+                        Rewrite::Group(lexpr.children[0]),
+                        Rewrite::Op(
+                            ToyOp::Join,
+                            vec![
+                                Rewrite::Group(lexpr.children[1]),
+                                Rewrite::Group(expr.children[1]),
+                            ],
+                        ),
+                    ],
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Scan implementations: heap scan always; sorted index scan on table 0.
+pub struct ScanImpl;
+
+impl ImplRule<Toy> for ScanImpl {
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+    fn implementations(
+        &self,
+        model: &Toy,
+        _memo: &Memo<Toy>,
+        expr: &Expr<Toy>,
+        _required: &ToySort,
+    ) -> Vec<Candidate<Toy>> {
+        let ToyOp::Table(t) = expr.op else {
+            return vec![];
+        };
+        let card = model.cards[t as usize];
+        let mut out = vec![Candidate {
+            op: ToyPOp::Scan(t),
+            children: vec![],
+            input_props: vec![],
+            cost: card,
+            delivers: ToySort { sorted: false },
+        }];
+        if t == 0 {
+            out.push(Candidate {
+                op: ToyPOp::SortedScan(t),
+                children: vec![],
+                input_props: vec![],
+                cost: card * 1.2,
+                delivers: ToySort { sorted: true },
+            });
+        }
+        out
+    }
+}
+
+/// Hash-join implementation (destroys order).
+pub struct HashJoinImpl;
+
+impl ImplRule<Toy> for HashJoinImpl {
+    fn name(&self) -> &'static str {
+        "hash-join"
+    }
+    fn implementations(
+        &self,
+        _model: &Toy,
+        memo: &Memo<Toy>,
+        expr: &Expr<Toy>,
+        _required: &ToySort,
+    ) -> Vec<Candidate<Toy>> {
+        if expr.op != ToyOp::Join {
+            return vec![];
+        }
+        let l = memo.props(expr.children[0]).card;
+        let r = memo.props(expr.children[1]).card;
+        vec![Candidate {
+            op: ToyPOp::HashJoin,
+            children: expr.children.clone(),
+            input_props: vec![ToySort::default(), ToySort::default()],
+            // Build on the smaller side: 2× build + 1× probe.
+            cost: 2.0 * l.min(r) + l.max(r),
+            delivers: ToySort { sorted: false },
+        }]
+    }
+}
+
+/// Sort enforcer.
+pub struct SortEnforcer;
+
+impl Enforcer<Toy> for SortEnforcer {
+    fn name(&self) -> &'static str {
+        "sort"
+    }
+    fn enforce(
+        &self,
+        _model: &Toy,
+        memo: &Memo<Toy>,
+        group: GroupId,
+        required: &ToySort,
+    ) -> Vec<EnforceCandidate<Toy>> {
+        if !required.sorted {
+            return vec![];
+        }
+        let card = memo.props(group).card;
+        vec![EnforceCandidate {
+            op: ToyPOp::Sort,
+            input_props: ToySort { sorted: false },
+            cost: card * 3.0,
+            delivers: ToySort { sorted: true },
+        }]
+    }
+}
+
+/// The full toy rule set.
+pub fn toy_rules() -> RuleSet<Toy> {
+    RuleSet {
+        transforms: vec![Box::new(Commute), Box::new(Assoc)],
+        impls: vec![Box::new(ScanImpl), Box::new(HashJoinImpl)],
+        enforcers: vec![Box::new(SortEnforcer)],
+    }
+}

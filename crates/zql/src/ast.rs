@@ -1,0 +1,134 @@
+//! Abstract syntax of the ZQL fragment.
+
+/// A comparison operator as written.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AstCmp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A literal value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AstLit {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// `Date(y, m, d)` ADT constructor.
+    Date(i32, u32, u32),
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AstExpr {
+    /// Literal.
+    Lit(AstLit),
+    /// A path expression `base.step1().step2()` (empty steps = bare
+    /// variable). Method-call parentheses are optional and ignored.
+    Path {
+        /// Range-variable name.
+        base: String,
+        /// Field steps.
+        steps: Vec<String>,
+    },
+    /// Comparison.
+    Cmp {
+        /// Left operand.
+        left: Box<AstExpr>,
+        /// Operator.
+        op: AstCmp,
+        /// Right operand.
+        right: Box<AstExpr>,
+    },
+    /// Conjunction.
+    And(Box<AstExpr>, Box<AstExpr>),
+    /// Existentially quantified subquery.
+    Exists(Box<AstQuery>),
+}
+
+/// A FROM source.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AstSource {
+    /// A named collection (`Employees`, `extent(Job)` by name).
+    Collection(String),
+    /// A set-valued path (`t.team_members()`) — only valid in subqueries.
+    Path {
+        /// Range-variable of the outer scope.
+        base: String,
+        /// Field steps ending in a set-valued field.
+        steps: Vec<String>,
+    },
+}
+
+/// One FROM binding: `Employee e IN Employees` or `m IN t.team_members()`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AstBinding {
+    /// Optional declared element type (checked against the collection).
+    pub ty: Option<String>,
+    /// Range-variable name.
+    pub var: String,
+    /// The source.
+    pub source: AstSource,
+}
+
+/// A query (or subquery).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AstQuery {
+    /// SELECT items.
+    pub select: Vec<AstExpr>,
+    /// Whether the select list was wrapped in `Newobject(...)` (object
+    /// construction with new identity).
+    pub new_object: bool,
+    /// FROM bindings.
+    pub from: Vec<AstBinding>,
+    /// WHERE condition.
+    pub where_: Option<AstExpr>,
+    /// ORDER BY path (ascending), if any — the sort-order extension.
+    pub order_by: Option<(String, Vec<String>)>,
+}
+
+impl AstExpr {
+    /// Flattens nested conjunctions into a list.
+    pub fn conjuncts(&self) -> Vec<&AstExpr> {
+        match self {
+            AstExpr::And(a, b) => {
+                let mut v = a.conjuncts();
+                v.extend(b.conjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_flattening() {
+        let leaf = |n: &str| AstExpr::Path {
+            base: n.into(),
+            steps: vec![],
+        };
+        let e = AstExpr::And(
+            Box::new(AstExpr::And(Box::new(leaf("a")), Box::new(leaf("b")))),
+            Box::new(leaf("c")),
+        );
+        assert_eq!(e.conjuncts().len(), 3);
+    }
+}

@@ -1,0 +1,303 @@
+//! Tokenizer for the ZQL fragment.
+
+use crate::ZqlError;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are matched case-insensitively by
+    /// the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (double-quoted).
+    Str(String),
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `&&`
+    AndAnd,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// End of input.
+    Eof,
+}
+
+/// A token plus its byte offset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// Byte offset of the token start.
+    pub pos: usize,
+}
+
+/// The lexer.
+pub struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Lexer<'s> {
+    /// Creates a lexer over source text.
+    pub fn new(src: &'s str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenizes the whole input.
+    pub fn tokenize(mut self) -> Result<Vec<Spanned>, ZqlError> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let done = t.tok == Token::Eof;
+            out.push(t);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn next_token(&mut self) -> Result<Spanned, ZqlError> {
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        let Some(b) = self.peek() else {
+            return Ok(Spanned {
+                tok: Token::Eof,
+                pos: start,
+            });
+        };
+        let tok = match b {
+            b'(' => {
+                self.pos += 1;
+                Token::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Token::RParen
+            }
+            b',' => {
+                self.pos += 1;
+                Token::Comma
+            }
+            b'.' => {
+                self.pos += 1;
+                Token::Dot
+            }
+            b';' => {
+                self.pos += 1;
+                Token::Semi
+            }
+            b'=' => {
+                if self.src.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Token::EqEq
+                } else {
+                    return Err(ZqlError::new("expected '=='", Some(start)));
+                }
+            }
+            b'!' => {
+                if self.src.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Token::Ne
+                } else {
+                    return Err(ZqlError::new(
+                        "'!' (negation) is outside the conjunctive fragment",
+                        Some(start),
+                    ));
+                }
+            }
+            b'<' => {
+                if self.src.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Token::Le
+                } else {
+                    self.pos += 1;
+                    Token::Lt
+                }
+            }
+            b'>' => {
+                if self.src.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Token::Ge
+                } else {
+                    self.pos += 1;
+                    Token::Gt
+                }
+            }
+            b'&' => {
+                if self.src.get(self.pos + 1) == Some(&b'&') {
+                    self.pos += 2;
+                    Token::AndAnd
+                } else {
+                    return Err(ZqlError::new("expected '&&'", Some(start)));
+                }
+            }
+            b'|' => {
+                return Err(ZqlError::new(
+                    "'||' (disjunction) is outside the conjunctive fragment \
+                     the paper's simplification covers",
+                    Some(start),
+                ));
+            }
+            b'"' => {
+                self.pos += 1;
+                let s0 = self.pos;
+                while matches!(self.peek(), Some(c) if c != b'"') {
+                    self.pos += 1;
+                }
+                if self.peek().is_none() {
+                    return Err(ZqlError::new("unterminated string", Some(start)));
+                }
+                let s = std::str::from_utf8(&self.src[s0..self.pos])
+                    .map_err(|_| ZqlError::new("invalid utf-8 in string", Some(start)))?
+                    .to_string();
+                self.pos += 1; // closing quote
+                Token::Str(s)
+            }
+            b'0'..=b'9' | b'-' => {
+                let mut end = self.pos + 1;
+                let mut is_float = false;
+                while let Some(&c) = self.src.get(end) {
+                    if c.is_ascii_digit() {
+                        end += 1;
+                    } else if c == b'.'
+                        && self.src.get(end + 1).is_some_and(u8::is_ascii_digit)
+                    {
+                        // A dot is a float point only when followed by a
+                        // digit — `100.foo` stays Int + Dot + Ident.
+                        is_float = true;
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&self.src[self.pos..end]).unwrap();
+                self.pos = end;
+                if is_float {
+                    Token::Float(
+                        text.parse()
+                            .map_err(|_| ZqlError::new("bad float literal", Some(start)))?,
+                    )
+                } else {
+                    Token::Int(
+                        text.parse()
+                            .map_err(|_| ZqlError::new("bad integer literal", Some(start)))?,
+                    )
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut end = self.pos + 1;
+                while matches!(self.src.get(end), Some(&c) if c.is_ascii_alphanumeric() || c == b'_')
+                {
+                    end += 1;
+                }
+                let text = std::str::from_utf8(&self.src[self.pos..end]).unwrap().to_string();
+                self.pos = end;
+                Token::Ident(text)
+            }
+            other => {
+                return Err(ZqlError::new(
+                    format!("unexpected character {:?}", other as char),
+                    Some(start),
+                ));
+            }
+        };
+        Ok(Spanned { tok, pos: start })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|s| s.tok)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_query_tokens() {
+        let ts = toks(r#"SELECT c FROM City c IN Cities WHERE c.mayor().name() == "Joe";"#);
+        assert!(ts.contains(&Token::Ident("SELECT".into())));
+        assert!(ts.contains(&Token::Str("Joe".into())));
+        assert!(ts.contains(&Token::EqEq));
+        assert_eq!(*ts.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            toks("a >= 32 && b <= 5 != <"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Ge,
+                Token::Int(32),
+                Token::AndAnd,
+                Token::Ident("b".into()),
+                Token::Le,
+                Token::Int(5),
+                Token::Ne,
+                Token::Lt,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn int_dot_ident_is_not_a_float() {
+        assert_eq!(
+            toks("100.foo"),
+            vec![
+                Token::Int(100),
+                Token::Dot,
+                Token::Ident("foo".into()),
+                Token::Eof
+            ]
+        );
+        assert_eq!(toks("1.5"), vec![Token::Float(1.5), Token::Eof]);
+    }
+
+    #[test]
+    fn rejects_disjunction_with_position() {
+        let err = Lexer::new("a || b").tokenize().unwrap_err();
+        assert!(err.msg.contains("disjunction"));
+        assert_eq!(err.pos, Some(2));
+    }
+
+    #[test]
+    fn negative_integers() {
+        assert_eq!(toks("-42"), vec![Token::Int(-42), Token::Eof]);
+    }
+}

@@ -1,0 +1,83 @@
+//! # `zql` — a ZQL[C++]-flavored query language front end
+//!
+//! The paper's user language is ZQL[C++], "an SQL-based object query
+//! language designed to be well-integrated with C++": SELECT/FROM/WHERE
+//! over type extents and user-defined collections, path expressions with
+//! method-call syntax (`e.dept().name()`), OID equality on object-valued
+//! expressions, abstract data types (`Date`), and existentially quantified
+//! nested subqueries.
+//!
+//! This crate implements:
+//!
+//! * a lexer and recursive-descent parser ([`parser::parse`]) for the
+//!   conjunctive fragment the paper's simplification covers ("arbitrary
+//!   conjunctive Boolean expressions with existentially quantified nested
+//!   subqueries, but no aggregates");
+//! * a type checker against an [`oodb_object::Schema`];
+//! * **query simplification** ([`simplify::simplify`]): the translation
+//!   from the rich user algebra into the optimizer's simple-argument
+//!   algebra — every path-expression link becomes a `Mat` operator,
+//!   set-valued paths become `Unnest` + `Mat`, multi-collection FROM
+//!   clauses become joins, and EXISTS subqueries are unnested. "This
+//!   translation ... is very straightforward because there is no need for
+//!   optimality."
+//!
+//! ```
+//! use oodb_object::paper::paper_model;
+//! let m = paper_model();
+//! let q = zql::compile(
+//!     "SELECT c FROM City c IN Cities WHERE c.mayor().name() == \"Joe\"",
+//!     &m.schema,
+//!     &m.catalog,
+//! ).unwrap();
+//! let text = oodb_algebra::display::render_logical(&q.env, &q.plan);
+//! assert!(text.contains("Mat c.mayor"));
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod simplify;
+
+pub use ast::{AstBinding, AstExpr, AstQuery, AstSource};
+pub use lexer::{Lexer, Token};
+pub use simplify::{simplify, SimplifiedQuery};
+
+/// A front-end error with a source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ZqlError {
+    /// Human-readable message.
+    pub msg: String,
+    /// Byte offset into the source, when known.
+    pub pos: Option<usize>,
+}
+
+impl ZqlError {
+    pub(crate) fn new(msg: impl Into<String>, pos: Option<usize>) -> Self {
+        ZqlError {
+            msg: msg.into(),
+            pos,
+        }
+    }
+}
+
+impl std::fmt::Display for ZqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.pos {
+            Some(p) => write!(f, "ZQL error at byte {p}: {}", self.msg),
+            None => write!(f, "ZQL error: {}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for ZqlError {}
+
+/// Parses and simplifies a ZQL query in one step.
+pub fn compile(
+    src: &str,
+    schema: &oodb_object::Schema,
+    catalog: &oodb_object::Catalog,
+) -> Result<SimplifiedQuery, ZqlError> {
+    let ast = parser::parse(src)?;
+    simplify::simplify(&ast, schema, catalog)
+}
