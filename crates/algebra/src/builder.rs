@@ -81,10 +81,10 @@ impl QueryBuilder {
         let sv = self.env.scopes.var(src);
         let ty = sv.ty;
         let label = format!("{}.{}", sv.name, self.env.schema.ty(ty).name.to_lowercase());
-        let out = self
-            .env
-            .scopes
-            .add_labeled(name, &label, ty, VarOrigin::Mat { src, field: None });
+        let out =
+            self.env
+                .scopes
+                .add_labeled(name, &label, ty, VarOrigin::Mat { src, field: None });
         (LogicalPlan::unary(LogicalOp::Mat { out }, input), out)
     }
 
@@ -209,7 +209,10 @@ mod tests {
         assert_eq!(q.size(), 3);
         assert!(matches!(q.op, LogicalOp::Select { .. }));
         assert!(matches!(q.children[0].op, LogicalOp::Mat { .. }));
-        assert!(matches!(q.children[0].children[0].op, LogicalOp::Get { .. }));
+        assert!(matches!(
+            q.children[0].children[0].op,
+            LogicalOp::Get { .. }
+        ));
         let env = qb.env();
         assert_eq!(env.scopes.var(cm).label, "c.mayor");
         assert_eq!(env.preds.mem_vars(pred), vec![cm]);

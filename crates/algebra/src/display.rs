@@ -133,10 +133,9 @@ pub fn render_physical_op(env: &QueryEnv, op: &PhysicalOp) -> String {
                 format!("Assembly {t}")
             }
         }
-        PhysicalOp::WarmAssembly { target } => format!(
-            "Warm Assembly {}",
-            env.scopes.var(*target).label
-        ),
+        PhysicalOp::WarmAssembly { target } => {
+            format!("Warm Assembly {}", env.scopes.var(*target).label)
+        }
         PhysicalOp::AlgProject { items } => format!(
             "Alg-Project {}",
             items

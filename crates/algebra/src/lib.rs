@@ -24,6 +24,7 @@
 
 pub mod builder;
 pub mod display;
+pub mod fingerprint;
 pub mod ops;
 pub mod plan;
 pub mod pred;
@@ -31,6 +32,7 @@ pub mod props;
 pub mod scope;
 
 pub use builder::QueryBuilder;
+pub use fingerprint::{fingerprint, QueryFingerprint};
 pub use ops::{LogicalOp, PhysicalOp, SetOpKind};
 pub use plan::{LogicalPlan, PhysicalPlan, PlanEst};
 pub use pred::{CmpOp, Operand, Pred, PredArena, PredId, Term};

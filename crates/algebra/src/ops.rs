@@ -244,7 +244,13 @@ mod tests {
             0
         );
         assert_eq!(LogicalOp::Mat { out: v }.arity(), 1);
-        assert_eq!(LogicalOp::SetOp { kind: SetOpKind::Union }.arity(), 2);
+        assert_eq!(
+            LogicalOp::SetOp {
+                kind: SetOpKind::Union
+            }
+            .arity(),
+            2
+        );
         assert_eq!(
             PhysicalOp::Assembly {
                 targets: vec![v],

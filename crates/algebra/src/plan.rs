@@ -97,13 +97,22 @@ impl PhysicalPlan {
 
     /// Cumulative estimated I/O seconds.
     pub fn total_io_s(&self) -> f64 {
-        self.est.io_s + self.children.iter().map(PhysicalPlan::total_io_s).sum::<f64>()
+        self.est.io_s
+            + self
+                .children
+                .iter()
+                .map(PhysicalPlan::total_io_s)
+                .sum::<f64>()
     }
 
     /// Cumulative estimated CPU seconds.
     pub fn total_cpu_s(&self) -> f64 {
         self.est.cpu_s
-            + self.children.iter().map(PhysicalPlan::total_cpu_s).sum::<f64>()
+            + self
+                .children
+                .iter()
+                .map(PhysicalPlan::total_cpu_s)
+                .sum::<f64>()
     }
 
     /// Number of operators.

@@ -183,9 +183,7 @@ impl Term {
             return None;
         }
         match (&self.left, &self.right) {
-            (Operand::RefField { .. } | Operand::VarRef(_), Operand::VarOid(t)) => {
-                Some((true, *t))
-            }
+            (Operand::RefField { .. } | Operand::VarRef(_), Operand::VarOid(t)) => Some((true, *t)),
             (Operand::VarOid(t), Operand::RefField { .. } | Operand::VarRef(_)) => {
                 Some((false, *t))
             }
@@ -210,14 +208,26 @@ impl Pred {
 
 /// Interning arena for predicates.
 ///
-/// Uses interior mutability (`RefCell`) so *transformation rules* — which
+/// Uses interior mutability (`RwLock`) so *transformation rules* — which
 /// see the query environment through a shared reference during search —
 /// can still intern the predicates their rewrites need (conjunct
-/// splitting, the Mat→Join reference equality). Single-threaded by
-/// design, like the rest of a query's optimization.
-#[derive(Clone, Debug, Default)]
+/// splitting, the Mat→Join reference equality). A query's optimization is
+/// single-threaded, but the arena is `Send + Sync` so a [`QueryEnv`] can
+/// be captured inside a shared plan-cache entry and executed against from
+/// any worker thread.
+///
+/// [`QueryEnv`]: crate::QueryEnv
+#[derive(Debug, Default)]
 pub struct PredArena {
-    inner: std::cell::RefCell<PredStore>,
+    inner: std::sync::RwLock<PredStore>,
+}
+
+impl Clone for PredArena {
+    fn clone(&self) -> Self {
+        PredArena {
+            inner: std::sync::RwLock::new(self.inner.read().unwrap().clone()),
+        }
+    }
 }
 
 #[derive(Clone, Debug, Default)]
@@ -229,7 +239,7 @@ struct PredStore {
 impl PredArena {
     /// Interns a predicate, returning the shared id for its structure.
     pub fn intern(&self, p: Pred) -> PredId {
-        let mut s = self.inner.borrow_mut();
+        let mut s = self.inner.write().unwrap();
         if let Some(&id) = s.interned.get(&p) {
             return id;
         }
@@ -246,7 +256,7 @@ impl PredArena {
 
     /// Looks a predicate up (cloned; predicates are small).
     pub fn pred(&self, id: PredId) -> Pred {
-        self.inner.borrow().preds[id.index()].clone()
+        self.inner.read().unwrap().preds[id.index()].clone()
     }
 
     /// Variables mentioned anywhere in the predicate.
@@ -276,12 +286,12 @@ impl PredArena {
 
     /// Number of interned predicates.
     pub fn len(&self) -> usize {
-        self.inner.borrow().preds.len()
+        self.inner.read().unwrap().preds.len()
     }
 
     /// True when nothing is interned.
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().preds.is_empty()
+        self.inner.read().unwrap().preds.is_empty()
     }
 }
 
@@ -298,19 +308,28 @@ mod tests {
 
     #[test]
     fn interning_shares_ids() {
-        let mut arena = PredArena::default();
+        let arena = PredArena::default();
         let a = arena.cmp(
-            Operand::Attr { var: v(0), field: f(1) },
+            Operand::Attr {
+                var: v(0),
+                field: f(1),
+            },
             CmpOp::Eq,
             Operand::Const(Value::str("Joe")),
         );
         let b = arena.cmp(
-            Operand::Attr { var: v(0), field: f(1) },
+            Operand::Attr {
+                var: v(0),
+                field: f(1),
+            },
             CmpOp::Eq,
             Operand::Const(Value::str("Joe")),
         );
         let c = arena.cmp(
-            Operand::Attr { var: v(0), field: f(1) },
+            Operand::Attr {
+                var: v(0),
+                field: f(1),
+            },
             CmpOp::Eq,
             Operand::Const(Value::str("Ann")),
         );
@@ -321,10 +340,13 @@ mod tests {
 
     #[test]
     fn mem_vars_skip_identity_operands() {
-        let mut arena = PredArena::default();
+        let arena = PredArena::default();
         // e.dept == d : reading e.dept needs e in memory; d is identity only.
         let p = arena.cmp(
-            Operand::RefField { var: v(0), field: f(0) },
+            Operand::RefField {
+                var: v(0),
+                field: f(0),
+            },
             CmpOp::Eq,
             Operand::VarOid(v(1)),
         );
@@ -335,7 +357,10 @@ mod tests {
     #[test]
     fn ref_eq_detection() {
         let t = Term {
-            left: Operand::RefField { var: v(0), field: f(0) },
+            left: Operand::RefField {
+                var: v(0),
+                field: f(0),
+            },
             op: CmpOp::Eq,
             right: Operand::VarOid(v(1)),
         };
@@ -347,7 +372,10 @@ mod tests {
         };
         assert_eq!(flipped.as_ref_eq(), Some((false, v(1))));
         let not_ref = Term {
-            left: Operand::Attr { var: v(0), field: f(0) },
+            left: Operand::Attr {
+                var: v(0),
+                field: f(0),
+            },
             op: CmpOp::Eq,
             right: Operand::Const(Value::Int(3)),
         };

@@ -27,7 +27,9 @@ impl VarSet {
         VarSet(1u64 << v.index())
     }
 
-    /// Builds from an iterator of variables.
+    /// Builds from an iterator of variables. (Not the trait method: this
+    /// is an inherent constructor usable without importing `FromIterator`.)
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(vars: impl IntoIterator<Item = VarId>) -> Self {
         let mut s = VarSet::EMPTY;
         for v in vars {

@@ -100,13 +100,7 @@ impl ScopeArena {
 
     /// Registers a variable with a distinct figure label (e.g. name `e`,
     /// label `m.employee`).
-    pub fn add_labeled(
-        &mut self,
-        name: &str,
-        label: &str,
-        ty: TypeId,
-        origin: VarOrigin,
-    ) -> VarId {
+    pub fn add_labeled(&mut self, name: &str, label: &str, ty: TypeId, origin: VarOrigin) -> VarId {
         assert!(self.vars.len() < 64, "more than 64 scope variables");
         let id = VarId::from_index(self.vars.len());
         self.vars.push(ScopeVar {
@@ -160,7 +154,14 @@ mod tests {
                 field: FieldId::from_index(0),
             },
         );
-        let e = arena.add("e", ty, VarOrigin::Mat { src: m, field: None });
+        let e = arena.add(
+            "e",
+            ty,
+            VarOrigin::Mat {
+                src: m,
+                field: None,
+            },
+        );
         assert!(!arena.var(c).is_ref());
         assert!(arena.var(m).is_ref());
         assert!(!arena.var(e).is_ref());

@@ -36,7 +36,10 @@ fn bench_optimize(c: &mut Criterion) {
     // Table 2's configurations on Query 1.
     let q1 = queries::query1(&m);
     for (label, config) in [
-        ("wo-commutativity", OptimizerConfig::without_join_commutativity()),
+        (
+            "wo-commutativity",
+            OptimizerConfig::without_join_commutativity(),
+        ),
         ("wo-window", OptimizerConfig::without_window()),
         (
             "pruned",

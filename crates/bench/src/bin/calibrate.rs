@@ -15,7 +15,11 @@ fn main() {
     println!("=== Query 1 (Table 2) ===");
     for (label, config, paper) in [
         ("All rules", OptimizerConfig::all_rules(), 161.0),
-        ("W/o Comm.", OptimizerConfig::without_join_commutativity(), 681.0),
+        (
+            "W/o Comm.",
+            OptimizerConfig::without_join_commutativity(),
+            681.0,
+        ),
         ("W/o Window", OptimizerConfig::without_window(), 1188.0),
     ] {
         let q = queries::query1(&m);
@@ -44,7 +48,10 @@ fn main() {
         let q = queries::query2(&m);
         let opt = OpenOodb::with_config(&q.env, config);
         let out = opt.optimize(&q.plan, q.result_vars).expect("plan");
-        println!("{label:12} est {:8.3}s (paper {paper:7.2})", out.cost.total());
+        println!(
+            "{label:12} est {:8.3}s (paper {paper:7.2})",
+            out.cost.total()
+        );
         if verbose {
             println!("{}", render_physical(&q.env, &out.plan));
         }
@@ -73,8 +80,8 @@ fn main() {
         let q = queries::query4_with_catalog(&m, catalog);
         let opt = OpenOodb::with_config(&q.env, OptimizerConfig::all_rules());
         let out = opt.optimize(&q.plan, q.result_vars).expect("plan");
-        let greedy = greedy_plan(&q.env, oodb_core::CostParams::default(), &q.plan)
-            .expect("greedy plan");
+        let greedy =
+            greedy_plan(&q.env, oodb_core::CostParams::default(), &q.plan).expect("greedy plan");
         let greedy_cost = greedy.total_io_s() + greedy.total_cpu_s();
         println!(
             "{label:10} optimal {:8.2} (paper {paper_opt:6.2})   greedy {:8.2} (paper {paper_greedy:6.2})",

@@ -15,7 +15,7 @@
 use oodb_algebra::{CmpOp, QueryBuilder};
 use oodb_bench::report::render_table;
 use oodb_core::{CostParams, OodbModel, OptimizerConfig};
-use oodb_object::{Value};
+use oodb_object::Value;
 use oodb_storage::{generate_paper_db, GenConfig};
 
 fn err_factor(est: f64, truth: f64) -> f64 {
@@ -38,7 +38,11 @@ fn main() {
             (ids.employees, vec![], ids.emp_salary),
             (ids.cities, vec![], ids.city_population),
             (ids.tasks, vec![], ids.task_time),
-            (ids.department_extent, vec![ids.dept_plant], ids.plant_location),
+            (
+                ids.department_extent,
+                vec![ids.dept_plant],
+                ids.plant_location,
+            ),
         ],
         32,
     );
@@ -57,12 +61,54 @@ fn main() {
         Value,
     );
     let cases: Vec<Case> = vec![
-        ("e.age >= 40", ids.employees, vec![], ids.person_age, CmpOp::Ge, Value::Int(40)),
-        ("e.age >= 65", ids.employees, vec![], ids.person_age, CmpOp::Ge, Value::Int(65)),
-        ("e.salary < 40000", ids.employees, vec![], ids.emp_salary, CmpOp::Lt, Value::Int(40_000)),
-        ("e.name == Fred", ids.employees, vec![], ids.person_name, CmpOp::Eq, Value::str("Fred")),
-        ("t.time == 100", ids.tasks, vec![], ids.task_time, CmpOp::Eq, Value::Int(100)),
-        ("t.time <= 100", ids.tasks, vec![], ids.task_time, CmpOp::Le, Value::Int(100)),
+        (
+            "e.age >= 40",
+            ids.employees,
+            vec![],
+            ids.person_age,
+            CmpOp::Ge,
+            Value::Int(40),
+        ),
+        (
+            "e.age >= 65",
+            ids.employees,
+            vec![],
+            ids.person_age,
+            CmpOp::Ge,
+            Value::Int(65),
+        ),
+        (
+            "e.salary < 40000",
+            ids.employees,
+            vec![],
+            ids.emp_salary,
+            CmpOp::Lt,
+            Value::Int(40_000),
+        ),
+        (
+            "e.name == Fred",
+            ids.employees,
+            vec![],
+            ids.person_name,
+            CmpOp::Eq,
+            Value::str("Fred"),
+        ),
+        (
+            "t.time == 100",
+            ids.tasks,
+            vec![],
+            ids.task_time,
+            CmpOp::Eq,
+            Value::Int(100),
+        ),
+        (
+            "t.time <= 100",
+            ids.tasks,
+            vec![],
+            ids.task_time,
+            CmpOp::Le,
+            Value::Int(100),
+        ),
         (
             "c.mayor.name == Joe",
             ids.cities,
@@ -135,7 +181,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Predicate", "True sel.", "1993 estimate (err)", "Histogram (err)"],
+            &[
+                "Predicate",
+                "True sel.",
+                "1993 estimate (err)",
+                "Histogram (err)"
+            ],
             &rows
         )
     );

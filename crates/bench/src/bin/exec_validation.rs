@@ -25,6 +25,12 @@ use oodb_exec::execute;
 use oodb_object::paper::paper_model_scaled;
 use oodb_storage::{generate_paper_db, GenConfig};
 
+type Case = (
+    &'static str,
+    Box<dyn Fn() -> queries::PaperQuery>,
+    Vec<(&'static str, OptimizerConfig)>,
+);
+
 fn main() {
     let scale: u64 = std::env::args()
         .skip_while(|a| a != "--scale")
@@ -38,7 +44,7 @@ fn main() {
     });
     let _ = paper_model_scaled(scale);
 
-    let cases: Vec<(&str, Box<dyn Fn() -> queries::PaperQuery>, Vec<(&str, OptimizerConfig)>)> = vec![
+    let cases: Vec<Case> = vec![
         (
             "Query 1",
             Box::new({
@@ -47,7 +53,10 @@ fn main() {
             }),
             vec![
                 ("optimal", OptimizerConfig::all_rules()),
-                ("w/o commutativity", OptimizerConfig::without_join_commutativity()),
+                (
+                    "w/o commutativity",
+                    OptimizerConfig::without_join_commutativity(),
+                ),
                 ("w/o window", OptimizerConfig::without_window()),
             ],
         ),

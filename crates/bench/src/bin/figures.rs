@@ -72,8 +72,7 @@ WHERE EXISTS (SELECT m FROM m IN t.team_members() WHERE m.age() >= 0)"#;
             .iter()
             .find(|p| {
                 let text = render_logical(&q.env, p);
-                text.contains("Join c.country ==")
-                    && text.contains("Get extent(Country)")
+                text.contains("Join c.country ==") && text.contains("Get extent(Country)")
             })
             .expect("exploration must produce the Mat->Join form");
         println!(
@@ -118,10 +117,7 @@ WHERE EXISTS (SELECT m FROM m IN t.team_members() WHERE m.age() >= 0)"#;
         let q = queries::query2(&m);
         // The paper's Figure 9 plan (filter over assembly over file scan)
         // appears when reference-join alternatives are also unavailable.
-        let fig9 = OptimizerConfig::without(&[
-            rn::COLLAPSE_TO_INDEX_SCAN,
-            rn::MAT_TO_JOIN,
-        ]);
+        let fig9 = OptimizerConfig::without(&[rn::COLLAPSE_TO_INDEX_SCAN, rn::MAT_TO_JOIN]);
         println!("{}", optimal(&m, &q, fig9));
         println!(
             "(Deviation note: with only the collapse rule disabled, our rule set\n\

@@ -1,0 +1,295 @@
+//! `plancache` — plan-cache + query-service benchmark.
+//!
+//! Replays a Zipf-skewed stream of Q1–Q4 variants (different constants,
+//! same shapes — the OLTP pattern plan caches exist for) through the
+//! [`oodb_service::QueryService`] at 1/2/4/8 worker threads, and reports:
+//!
+//! * cold vs. warm mean *optimize* latency (the amortization win),
+//! * aggregate throughput per thread count,
+//! * p50/p99 per-query service latency,
+//! * cache hit rate,
+//!
+//! as JSON in `BENCH_plancache.json`.
+//!
+//! Two modes per thread count:
+//!
+//! * **cpu_only** — queries run back-to-back; on a single-core host the
+//!   workers serialize and throughput cannot scale.
+//! * **realized_io** — each query additionally sleeps
+//!   `simulated_io_seconds × scale`, turning the storage simulator's I/O
+//!   estimate into a real stall. Workers overlap stalls exactly the way a
+//!   real server overlaps disk waits, so throughput scales with workers
+//!   even on one core. The scale is calibrated so the mean stall is a few
+//!   milliseconds and is recorded in the JSON.
+
+use oodb_core::{CostParams, OptimizerConfig};
+use oodb_service::{QueryService, SubmitOptions, WorkerPool};
+use oodb_storage::{generate_paper_db, GenConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SCALE_DIV: u64 = 10;
+const SAMPLES: usize = 600;
+const THREADS: &[usize] = &[1, 2, 4, 8];
+const ZIPF_EXPONENT: f64 = 1.0;
+const TARGET_STALL_S: f64 = 0.003;
+
+/// The distinct query pool: the paper's four query shapes, each with a
+/// spread of constants drawn from the generator's value pools.
+fn query_pool() -> Vec<String> {
+    let mut pool = Vec::new();
+    // Q1: the Dallas report — path-expression join chain.
+    let mut locations = vec!["Dallas".to_string()];
+    locations.extend((1..10).map(|i| format!("loc{i:05}")));
+    for loc in locations {
+        pool.push(format!(
+            "SELECT Newobject(e.name(), e.job().name(), e.dept().name()) \
+             FROM Employee e IN Employees \
+             WHERE e.dept().plant().location() == \"{loc}\""
+        ));
+    }
+    // Q2: mayor-name selection (collapses to one path-index scan).
+    let mut mayors = vec!["Joe".to_string()];
+    mayors.extend((1..16).map(|i| format!("p{i:05}")));
+    for name in &mayors {
+        pool.push(format!(
+            "SELECT c FROM City c IN Cities WHERE c.mayor().name() == \"{name}\""
+        ));
+    }
+    // Q3: projection needing the mayor in memory (assembly enforcer).
+    for name in &mayors {
+        pool.push(format!(
+            "SELECT Newobject(c.mayor().age(), c.name()) \
+             FROM City c IN Cities WHERE c.mayor().name() == \"{name}\""
+        ));
+    }
+    // Q4: set-valued path with EXISTS (unnest + mat).
+    for t in (1..=16).map(|i| i * 10) {
+        pool.push(format!(
+            "SELECT t FROM Task t IN Tasks WHERE t.time() == {t} \
+             && EXISTS (SELECT m FROM m IN t.team_members() WHERE m.name() == \"Fred\")"
+        ));
+    }
+    pool
+}
+
+/// Zipf(s) sampler over `n` ranks via inverse CDF on a cumulative table.
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let u = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c < u)
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct RunStats {
+    throughput_qps: f64,
+    p50_latency_ns: u64,
+    p99_latency_ns: u64,
+    mean_optimize_ns: u64,
+    hit_rate: f64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// One measured replay: `samples` Zipf draws through a pool of `threads`
+/// workers. Latency = service time per query (plan + execute + any
+/// realized stall); throughput = samples / wall.
+fn run_stream(
+    service: &QueryService,
+    stream: &[usize],
+    pool_queries: &[String],
+    threads: usize,
+    realize_io_scale: f64,
+) -> RunStats {
+    let before = service.cache().stats();
+    let pool = WorkerPool::new(service.clone(), threads);
+    let opts = SubmitOptions {
+        realize_io_scale,
+        ..Default::default()
+    };
+    let wall = Instant::now();
+    let pending: Vec<_> = stream
+        .iter()
+        .map(|&i| pool.submit(pool_queries[i].as_str(), opts))
+        .collect();
+    let outputs: Vec<_> = pending
+        .into_iter()
+        .map(|p| p.wait().expect("query failed"))
+        .collect();
+    let wall_s = wall.elapsed().as_secs_f64();
+    pool.shutdown();
+    let after = service.cache().stats();
+
+    let mut latencies: Vec<u64> = outputs
+        .iter()
+        .map(|o| {
+            let stall_ns = (o.sim_io_s * realize_io_scale * 1e9) as u64;
+            o.compile_ns + o.optimize_ns + o.execute_ns + stall_ns
+        })
+        .collect();
+    latencies.sort_unstable();
+    let mean_optimize_ns =
+        outputs.iter().map(|o| o.optimize_ns).sum::<u64>() / outputs.len().max(1) as u64;
+    let lookups = (after.hits + after.misses) - (before.hits + before.misses);
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        (after.hits - before.hits) as f64 / lookups as f64
+    };
+    RunStats {
+        throughput_qps: stream.len() as f64 / wall_s,
+        p50_latency_ns: percentile(&latencies, 0.50),
+        p99_latency_ns: percentile(&latencies, 0.99),
+        mean_optimize_ns,
+        hit_rate,
+    }
+}
+
+fn json_run(out: &mut String, label: &str, r: &RunStats) {
+    let _ = write!(
+        out,
+        "\"{label}\": {{\"throughput_qps\": {:.1}, \"p50_latency_ns\": {}, \
+         \"p99_latency_ns\": {}, \"mean_optimize_ns\": {}, \"hit_rate\": {:.4}}}",
+        r.throughput_qps, r.p50_latency_ns, r.p99_latency_ns, r.mean_optimize_ns, r.hit_rate
+    );
+}
+
+fn main() {
+    eprintln!("generating the Table 1 database at scale 1/{SCALE_DIV}...");
+    let (store, _model) = generate_paper_db(GenConfig {
+        scale_div: SCALE_DIV,
+        ..Default::default()
+    });
+    let queries = query_pool();
+    eprintln!(
+        "{} distinct queries, {} Zipf(s={ZIPF_EXPONENT}) samples per run",
+        queries.len(),
+        SAMPLES
+    );
+
+    // One shared Zipf stream so every thread count replays the same work.
+    let zipf = Zipf::new(queries.len(), ZIPF_EXPONENT);
+    let mut rng = SmallRng::seed_from_u64(0x00db_cafe);
+    let stream: Vec<usize> = (0..SAMPLES).map(|_| zipf.sample(&mut rng)).collect();
+
+    // --- Cold pass: every distinct query once, empty cache. -------------
+    let cold_service = QueryService::new(
+        store.clone(),
+        CostParams::default(),
+        OptimizerConfig::all_rules(),
+        256,
+        8,
+    );
+    let mut cold_optimize_ns: Vec<u64> = Vec::new();
+    let mut mean_io_s = 0.0;
+    for q in &queries {
+        let out = cold_service.submit(q).expect("cold query failed");
+        assert!(!out.cache_hit, "cold pass must miss");
+        cold_optimize_ns.push(out.optimize_ns);
+        mean_io_s += out.sim_io_s;
+    }
+    mean_io_s /= queries.len() as f64;
+    let cold_mean_ns = cold_optimize_ns.iter().sum::<u64>() / cold_optimize_ns.len() as u64;
+    let realize_scale = (TARGET_STALL_S / mean_io_s.max(1e-9)).clamp(1e-4, 10.0);
+    eprintln!(
+        "cold mean optimize: {:.2} ms; mean simulated I/O {:.3} s -> realize scale {realize_scale:.4}",
+        cold_mean_ns as f64 / 1e6,
+        mean_io_s
+    );
+
+    // --- Warm runs per thread count, cpu-only and realized-I/O. ---------
+    let mut rows = Vec::new();
+    let mut warm_mean_1t = 0u64;
+    let mut qps_realized = std::collections::HashMap::new();
+    for &threads in THREADS {
+        // Fresh service per thread count; prime with one pass over the
+        // distinct set so the measured stream is the warm steady state.
+        let service = QueryService::new(
+            store.clone(),
+            CostParams::default(),
+            OptimizerConfig::all_rules(),
+            256,
+            8,
+        );
+        for q in &queries {
+            service.submit(q).expect("prime query failed");
+        }
+        let cpu = run_stream(&service, &stream, &queries, threads, 0.0);
+        let realized = run_stream(&service, &stream, &queries, threads, realize_scale);
+        if threads == 1 {
+            warm_mean_1t = cpu.mean_optimize_ns;
+        }
+        qps_realized.insert(threads, realized.throughput_qps);
+        eprintln!(
+            "{threads} thread(s): cpu {:.0} q/s (p50 {:.2} ms, hit {:.1}%), \
+             realized {:.0} q/s (p50 {:.2} ms)",
+            cpu.throughput_qps,
+            cpu.p50_latency_ns as f64 / 1e6,
+            cpu.hit_rate * 100.0,
+            realized.throughput_qps,
+            realized.p50_latency_ns as f64 / 1e6,
+        );
+        rows.push((threads, cpu, realized));
+    }
+
+    let warm_speedup = cold_mean_ns as f64 / warm_mean_1t.max(1) as f64;
+    let scaling_1_to_4 = qps_realized[&4] / qps_realized[&1];
+    eprintln!(
+        "warm-vs-cold mean optimize speedup: {warm_speedup:.1}x; \
+         realized throughput 1->4 threads: {scaling_1_to_4:.2}x"
+    );
+
+    // --- JSON report. ---------------------------------------------------
+    let mut json = String::from("{\n");
+    let _ = write!(
+        json,
+        "  \"bench\": \"plancache\",\n  \"scale_div\": {SCALE_DIV},\n  \
+         \"distinct_queries\": {},\n  \"samples_per_run\": {SAMPLES},\n  \
+         \"zipf_exponent\": {ZIPF_EXPONENT},\n  \
+         \"realize_io_scale\": {realize_scale:.6},\n  \
+         \"cold_mean_optimize_ns\": {cold_mean_ns},\n  \
+         \"warm_mean_optimize_ns_1t\": {warm_mean_1t},\n  \
+         \"warm_vs_cold_optimize_speedup\": {warm_speedup:.1},\n  \
+         \"realized_throughput_scaling_1_to_4\": {scaling_1_to_4:.2},\n  \
+         \"runs\": [\n",
+        queries.len()
+    );
+    for (i, (threads, cpu, realized)) in rows.iter().enumerate() {
+        let _ = write!(json, "    {{\"threads\": {threads}, ");
+        json_run(&mut json, "cpu_only", cpu);
+        json.push_str(", ");
+        json_run(&mut json, "realized_io", realized);
+        json.push('}');
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_plancache.json");
+    std::fs::write(out_path, &json).expect("write BENCH_plancache.json");
+    eprintln!("wrote {out_path}");
+    println!("{json}");
+}

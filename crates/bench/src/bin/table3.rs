@@ -61,13 +61,19 @@ fn main() {
     );
 
     let (_, q, out, greedy, greedy_cost) = plans.pop().expect("Both sweep");
-    println!("\nWith both indexes — optimal plan (Figure 12, {:.2} s):", out.cost.total());
+    println!(
+        "\nWith both indexes — optimal plan (Figure 12, {:.2} s):",
+        out.cost.total()
+    );
     println!(
         "{}",
         oodb_algebra::display::render_physical(&q.env, &out.plan)
     );
     println!("Greedy plan (Figure 13, {greedy_cost:.2} s):");
-    println!("{}", oodb_algebra::display::render_physical(&q.env, &greedy));
+    println!(
+        "{}",
+        oodb_algebra::display::render_physical(&q.env, &greedy)
+    );
     println!(
         "Greedy is {:.1}× slower than optimal with both indexes present.",
         greedy_cost / out.cost.total()

@@ -216,8 +216,14 @@ mod tests {
         let m = paper_model();
         let q = query1(&m);
         let text = oodb_algebra::display::render_logical(&q.env, &q.plan);
-        assert!(text.contains("Project e.name, e.job.name, e.dept.name"), "{text}");
-        assert!(text.contains("Select d.plant.location == \"Dallas\""), "{text}");
+        assert!(
+            text.contains("Project e.name, e.job.name, e.dept.name"),
+            "{text}"
+        );
+        assert!(
+            text.contains("Select d.plant.location == \"Dallas\""),
+            "{text}"
+        );
         assert!(text.contains("Mat e.dept: d"), "{text}");
         assert!(text.contains("Get Employees: e"), "{text}");
     }

@@ -11,18 +11,21 @@
 //! oodb> \help
 //! ```
 
+use oodb_core::plancache::{CacheKey, CachedBody, CachedPlan, PlanCache};
 use oodb_core::{greedy_plan, CostParams, OpenOodb, OptimizerConfig};
 use oodb_exec::{execute, ExecResult};
 use oodb_object::paper::PaperModel;
 use oodb_object::{Catalog, Value};
 use oodb_storage::{generate_paper_db, GenConfig, Store};
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 struct Shell {
     store: Store,
     model: PaperModel,
     catalog: Catalog,
     config: OptimizerConfig,
+    cache: PlanCache,
 }
 
 fn main() {
@@ -42,6 +45,7 @@ fn main() {
         model,
         catalog,
         config: OptimizerConfig::all_rules(),
+        cache: PlanCache::default(),
     };
     eprintln!("Open OODB reproduction shell. \\help for commands, \\q to quit.");
 
@@ -100,6 +104,7 @@ impl Shell {
                      \\rules [off NAME | on NAME | reset]   rule configuration\n\
                      \\window N            assembly window (1 = no elevator)\n\
                      \\stats               collect histograms for refined selectivity\n\
+                     \\cache [stats|clear] plan-cache counters / drop cached plans\n\
                      \\trace QUERY;        show the goal-directed search trace\n\
                      \\q                   quit"
                 );
@@ -117,16 +122,12 @@ impl Shell {
                                 oodb_object::FieldKind::Attr(a) => {
                                     format!("{}: {a:?}", fd.name)
                                 }
-                                oodb_object::FieldKind::Ref(t) => format!(
-                                    "{} -> {}",
-                                    fd.name,
-                                    self.model.schema.ty(t).name
-                                ),
-                                oodb_object::FieldKind::RefSet(t) => format!(
-                                    "{} -> {{{}}}",
-                                    fd.name,
-                                    self.model.schema.ty(t).name
-                                ),
+                                oodb_object::FieldKind::Ref(t) => {
+                                    format!("{} -> {}", fd.name, self.model.schema.ty(t).name)
+                                }
+                                oodb_object::FieldKind::RefSet(t) => {
+                                    format!("{} -> {{{}}}", fd.name, self.model.schema.ty(t).name)
+                                }
                             }
                         })
                         .collect();
@@ -164,15 +165,13 @@ impl Shell {
                 }
             }
             "\\rules" => match (parts.next(), parts.next()) {
-                (Some("off"), Some(name)) => {
-                    match oodb_core::config::rule_name_by_str(name) {
-                        Some(stable) => {
-                            self.config.disabled_rules.insert(stable);
-                            println!("disabled {stable}");
-                        }
-                        None => println!("unknown rule {name:?} — see \\rules"),
+                (Some("off"), Some(name)) => match oodb_core::config::rule_name_by_str(name) {
+                    Some(stable) => {
+                        self.config.disabled_rules.insert(stable);
+                        println!("disabled {stable}");
                     }
-                }
+                    None => println!("unknown rule {name:?} — see \\rules"),
+                },
                 (Some("on"), Some(name)) => match oodb_core::config::rule_name_by_str(name) {
                     Some(stable) => {
                         self.config.disabled_rules.remove(stable);
@@ -186,7 +185,11 @@ impl Shell {
                 }
                 _ => {
                     for name in oodb_core::config::ALL_RULE_NAMES {
-                        let state = if self.config.enabled(name) { "on " } else { "OFF" };
+                        let state = if self.config.enabled(name) {
+                            "on "
+                        } else {
+                            "OFF"
+                        };
                         println!("{state} {name}");
                     }
                 }
@@ -209,10 +212,32 @@ impl Shell {
             "\\stats" => {
                 self.catalog = self.store.collect_statistics(&[], 32);
                 println!(
-                    "collected {} histograms; selectivity estimation refined",
-                    self.catalog.histogram_count()
+                    "collected {} histograms; selectivity estimation refined \
+                     (stats epoch {} — cached plans will re-optimize)",
+                    self.catalog.histogram_count(),
+                    self.catalog.stats_epoch()
                 );
             }
+            "\\cache" => match parts.next() {
+                Some("clear") => {
+                    self.cache.clear();
+                    println!("plan cache cleared");
+                }
+                None | Some("stats") => {
+                    let s = self.cache.stats();
+                    println!(
+                        "plan cache: {} entries, {} hits, {} misses, {} evictions \
+                         ({:.0}% hit rate); stats epoch {}",
+                        s.entries,
+                        s.hits,
+                        s.misses,
+                        s.evictions,
+                        s.hit_rate() * 100.0,
+                        self.catalog.stats_epoch()
+                    );
+                }
+                Some(other) => println!("unknown subcommand {other:?}; \\cache [stats|clear]"),
+            },
             other => println!("unknown command {other:?}; \\help"),
         }
         true
@@ -241,7 +266,10 @@ impl Shell {
     }
 
     fn statement(&mut self, stmt: &str) {
-        let (explain, src) = match stmt.strip_prefix("EXPLAIN").or_else(|| stmt.strip_prefix("explain")) {
+        let (explain, src) = match stmt
+            .strip_prefix("EXPLAIN")
+            .or_else(|| stmt.strip_prefix("explain"))
+        {
             Some(rest) => (true, rest.trim()),
             None => (false, stmt),
         };
@@ -252,12 +280,13 @@ impl Shell {
                 return;
             }
         };
-        let optimizer = OpenOodb::with_config(&q.env, self.config.clone());
-        let Some(out) = optimizer.optimize_ordered(&q.plan, q.result_vars, q.order) else {
-            println!("no feasible plan under the current rule configuration");
-            return;
-        };
         if explain {
+            // EXPLAIN always optimizes fresh: it exists to show the search.
+            let optimizer = OpenOodb::with_config(&q.env, self.config.clone());
+            let Some(out) = optimizer.optimize_ordered(&q.plan, q.result_vars, q.order) else {
+                println!("no feasible plan under the current rule configuration");
+                return;
+            };
             println!("Logical algebra:");
             println!("{}", oodb_algebra::display::render_logical(&q.env, &q.plan));
             println!(
@@ -267,7 +296,10 @@ impl Shell {
                 out.stats.exprs,
                 out.stats.elapsed
             );
-            println!("{}", oodb_algebra::display::render_physical(&q.env, &out.plan));
+            println!(
+                "{}",
+                oodb_algebra::display::render_physical(&q.env, &out.plan)
+            );
             if let Some(g) = greedy_plan(&q.env, CostParams::default(), &q.plan) {
                 println!(
                     "Greedy (ObjectStore-style) plan ({:.3} s):",
@@ -277,7 +309,49 @@ impl Shell {
             }
             return;
         }
-        let (result, stats) = execute(&self.store, &q.env, &out.plan);
+        // Plan via the cache: key on canonical fingerprint + rule config +
+        // statistics epoch + index set, so \stats or \rules changes can
+        // never serve a stale plan.
+        let fp = oodb_algebra::fingerprint(&q.env, &q.plan, q.result_vars, q.order.as_ref());
+        let key = CacheKey::static_plan(
+            &fp,
+            self.config.fingerprint(),
+            self.catalog.stats_epoch(),
+            self.catalog.index_set_hash(),
+        );
+        let (entry, hit) = match self.cache.get(&key, &fp.key) {
+            Some(entry) => (entry, true),
+            None => {
+                // Scope the optimizer so its borrow of `q.env` ends
+                // before the env moves into the cache entry.
+                let out = OpenOodb::with_config(&q.env, self.config.clone()).optimize_ordered(
+                    &q.plan,
+                    q.result_vars,
+                    q.order,
+                );
+                let Some(out) = out else {
+                    println!("no feasible plan under the current rule configuration");
+                    return;
+                };
+                let entry = Arc::new(CachedPlan {
+                    structural: fp.key.clone(),
+                    env: q.env,
+                    result_vars: q.result_vars,
+                    body: CachedBody::Static {
+                        plan: out.plan,
+                        cost: out.cost,
+                    },
+                });
+                self.cache.insert(key, Arc::clone(&entry));
+                (entry, false)
+            }
+        };
+        // Cached ids index into the entry's captured env, not this parse's.
+        let env = &entry.env;
+        let CachedBody::Static { plan, cost } = &entry.body else {
+            unreachable!("the shell only caches static plans")
+        };
+        let (result, stats) = execute(&self.store, env, plan);
         match &result {
             ExecResult::Rows(rows) => {
                 for row in rows.iter().take(20) {
@@ -290,8 +364,7 @@ impl Shell {
             }
             ExecResult::Tuples(tuples) => {
                 for t in tuples.iter().take(20) {
-                    let cells: Vec<String> = q
-                        .env
+                    let cells: Vec<String> = env
                         .scopes
                         .iter()
                         .filter_map(|(id, v)| t.try_get(id).map(|o| format!("{}={o}", v.name)))
@@ -304,12 +377,13 @@ impl Shell {
             }
         }
         println!(
-            "{} rows; estimated {:.3} s, simulated I/O {:.3} s ({} pages, {} buffer hits)",
+            "{} rows; estimated {:.3} s, simulated I/O {:.3} s ({} pages, {} buffer hits){}",
             result.len(),
-            out.cost.total(),
+            cost.total(),
             stats.disk.total_s,
             stats.disk.pages(),
-            stats.buffer_hits
+            stats.buffer_hits,
+            if hit { " [plan cache hit]" } else { "" }
         );
     }
 }

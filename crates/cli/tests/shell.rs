@@ -68,11 +68,17 @@ SELECT c FROM c IN Cities WHERE c.name() == 3;
     );
     assert!(out.contains("Employees"), "{out}");
     assert!(out.contains("unknown collection"), "{out}");
-    assert!(out.contains("incomparable") || out.contains("cannot compare"), "{out}");
+    assert!(
+        out.contains("incomparable") || out.contains("cannot compare"),
+        "{out}"
+    );
 }
 
 #[test]
 fn stats_collection_reports() {
     let out = run_shell("\\stats\n\\q\n");
-    assert!(out.contains("histograms; selectivity estimation refined"), "{out}");
+    assert!(
+        out.contains("histograms; selectivity estimation refined"),
+        "{out}"
+    );
 }

@@ -178,6 +178,21 @@ impl OptimizerConfig {
         self.disabled_rules.insert(rule);
         self
     }
+
+    /// A stable 64-bit FNV-1a fingerprint of every field that influences
+    /// plan choice. Plan-cache keys include it so a plan optimized under
+    /// one rule configuration is never served under another.
+    pub fn fingerprint(&self) -> u64 {
+        let mut disabled: Vec<&str> = self.disabled_rules.iter().copied().collect();
+        disabled.sort_unstable();
+        let mut ignored: Vec<&str> = self.ignored_indexes.iter().map(String::as_str).collect();
+        ignored.sort_unstable();
+        let text = format!(
+            "rules:-{disabled:?}|window:{}|warm:{}|prune:{}|noindex:{ignored:?}",
+            self.assembly_window, self.enable_warm_assembly, self.prune
+        );
+        oodb_algebra::fingerprint::fnv1a(text.as_bytes())
+    }
 }
 
 #[cfg(test)]

@@ -24,16 +24,25 @@ pub struct Cost {
 
 impl Cost {
     /// Zero cost.
-    pub const ZERO: Cost = Cost { io_s: 0.0, cpu_s: 0.0 };
+    pub const ZERO: Cost = Cost {
+        io_s: 0.0,
+        cpu_s: 0.0,
+    };
 
     /// Pure-I/O cost.
     pub fn io(s: f64) -> Cost {
-        Cost { io_s: s, cpu_s: 0.0 }
+        Cost {
+            io_s: s,
+            cpu_s: 0.0,
+        }
     }
 
     /// Pure-CPU cost.
     pub fn cpu(s: f64) -> Cost {
-        Cost { io_s: 0.0, cpu_s: s }
+        Cost {
+            io_s: 0.0,
+            cpu_s: s,
+        }
     }
 
     /// Both components.

@@ -43,9 +43,7 @@ pub fn indexes_used(env: &QueryEnv, plan: &PhysicalPlan) -> Vec<String> {
         .iter_ops()
         .into_iter()
         .filter_map(|op| match op {
-            PhysicalOp::IndexScan { index, .. } => {
-                Some(env.catalog.index(*index).name.clone())
-            }
+            PhysicalOp::IndexScan { index, .. } => Some(env.catalog.index(*index).name.clone()),
             _ => None,
         })
         .collect();
@@ -63,11 +61,7 @@ pub fn compile_dynamic(
     plan: &LogicalPlan,
     result_vars: VarSet,
 ) -> DynamicPlan {
-    let all_names: Vec<String> = env
-        .catalog
-        .indexes()
-        .map(|(_, d)| d.name.clone())
-        .collect();
+    let all_names: Vec<String> = env.catalog.indexes().map(|(_, d)| d.name.clone()).collect();
     assert!(
         all_names.len() <= MAX_DYNAMIC_INDEXES,
         "dynamic compilation enumerates 2^n index subsets; {} indexes exceed \
@@ -176,12 +170,15 @@ mod tests {
         // There must be an alternative requiring nothing.
         assert!(dynamic.alternatives.iter().any(|a| a.requires.is_empty()));
 
-        let avail = |names: &[&str]| -> HashSet<String> {
-            names.iter().map(|s| s.to_string()).collect()
-        };
+        let avail =
+            |names: &[&str]| -> HashSet<String> { names.iter().map(|s| s.to_string()).collect() };
 
         // All indexes present: the winner uses the time index.
-        let best = dynamic.select(&avail(&["Tasks_time", "Employees_name", "Cities_mayor_name"]));
+        let best = dynamic.select(&avail(&[
+            "Tasks_time",
+            "Employees_name",
+            "Cities_mayor_name",
+        ]));
         assert_eq!(best.requires, vec!["Tasks_time".to_string()]);
 
         // Time index dropped at run time: a different plan applies without

@@ -25,7 +25,7 @@ use crate::cost::CostParams;
 use crate::model::OodbModel;
 use crate::optimizer::annotate_physical;
 use oodb_algebra::{
-    CmpOp, LogicalOp, LogicalPlan, Operand, Pred, PhysicalOp, PhysicalPlan, PlanEst, QueryEnv,
+    CmpOp, LogicalOp, LogicalPlan, Operand, PhysicalOp, PhysicalPlan, PlanEst, Pred, QueryEnv,
     Term, VarId, VarOrigin,
 };
 use oodb_object::Value;
@@ -71,9 +71,7 @@ pub fn greedy_plan(env: &QueryEnv, params: CostParams, plan: &LogicalPlan) -> Op
             }
             LogicalOp::Get { coll, var } => {
                 chain.reverse(); // bottom-up order
-                return build(
-                    &model, env, *coll, *var, chain, terms, project,
-                );
+                return build(&model, env, *coll, *var, chain, terms, project);
             }
             LogicalOp::Join { .. } | LogicalOp::SetOp { .. } => return None,
         }
@@ -171,18 +169,19 @@ fn build(
                                 },
                                 vec![],
                             );
-                            let ref_operand =
-                                match env.scopes.var(out).origin {
-                                    VarOrigin::Mat {
-                                        src,
-                                        field: Some(fld),
-                                    } => Operand::RefField { var: src, field: fld },
-                                    VarOrigin::Mat { src, field: None } => Operand::VarRef(src),
-                                    _ => return None,
-                                };
+                            let ref_operand = match env.scopes.var(out).origin {
+                                VarOrigin::Mat {
+                                    src,
+                                    field: Some(fld),
+                                } => Operand::RefField {
+                                    var: src,
+                                    field: fld,
+                                },
+                                VarOrigin::Mat { src, field: None } => Operand::VarRef(src),
+                                _ => return None,
+                            };
                             let join_pred =
-                                env.preds
-                                    .cmp(ref_operand, CmpOp::Eq, Operand::VarOid(out));
+                                env.preds.cmp(ref_operand, CmpOp::Eq, Operand::VarOid(out));
                             // Hash table on the indexed (referenced) side.
                             current = node(
                                 PhysicalOp::HybridHashJoin { pred: join_pred },

@@ -39,6 +39,7 @@ pub mod dynamic;
 pub mod greedy;
 pub mod model;
 pub mod optimizer;
+pub mod plancache;
 pub mod rules;
 
 pub use config::OptimizerConfig;
@@ -47,3 +48,4 @@ pub use dynamic::{compile_dynamic, DynamicAlternative, DynamicPlan};
 pub use greedy::greedy_plan;
 pub use model::OodbModel;
 pub use optimizer::{OpenOodb, OptimizeOutcome};
+pub use plancache::{CacheKey, CacheStats, CachedBody, CachedPlan, PlanCache};

@@ -211,7 +211,11 @@ impl<'e> OodbModel<'e> {
         for t in &p.terms {
             if card.is_none() {
                 if let Some((_, target)) = t.as_ref_eq() {
-                    let (t_side, ref_side) = if l.vars.contains(target) { (l, r) } else { (r, l) };
+                    let (t_side, ref_side) = if l.vars.contains(target) {
+                        (l, r)
+                    } else {
+                        (r, l)
+                    };
                     let domain = self.var_domain_card(target).unwrap_or(t_side.card);
                     card = Some(ref_side.card * (t_side.card / domain.max(1.0)));
                     continue;
@@ -260,11 +264,7 @@ impl<'e> OodbModel<'e> {
     /// logical properties plus the operator's local cost, given input
     /// properties. Implementation rules, plan annotation, and the greedy
     /// baseline all cost through here, so estimates cannot diverge.
-    pub fn phys_estimate(
-        &self,
-        op: &PhysicalOp,
-        inputs: &[LogicalProps],
-    ) -> (LogicalProps, Cost) {
+    pub fn phys_estimate(&self, op: &PhysicalOp, inputs: &[LogicalProps]) -> (LogicalProps, Cost) {
         let p = &self.params;
         match op {
             PhysicalOp::FileScan { coll, var } => {
@@ -276,10 +276,7 @@ impl<'e> OodbModel<'e> {
                         card: c.cardinality as f64,
                         bytes: c.obj_bytes as f64,
                     },
-                    Cost::new(
-                        p.seq_scan(pages),
-                        c.cardinality as f64 * p.cpu_tuple_s,
-                    ),
+                    Cost::new(p.seq_scan(pages), c.cardinality as f64 * p.cpu_tuple_s),
                 )
             }
             PhysicalOp::IndexScan { index, var, pred } => {
@@ -295,9 +292,7 @@ impl<'e> OodbModel<'e> {
                     Some(t) if t.op == CmpOp::Eq => {
                         self.index_matches(idx.collection, idx.distinct_keys)
                     }
-                    Some(_) => {
-                        (c.cardinality as f64 * self.selectivity(*pred)).max(1.0)
-                    }
+                    Some(_) => (c.cardinality as f64 * self.selectivity(*pred)).max(1.0),
                 };
                 let coll_pages = p.pages(c.cardinality as f64, c.obj_bytes as f64);
                 let io = p.index_lookup_io(c.cardinality as f64, matches)
@@ -343,7 +338,9 @@ impl<'e> OodbModel<'e> {
                     .and_then(|t| t.as_ref_eq())
                     .map(|(_, t)| t)
                     .expect("pointer join needs a reference equality");
-                let domain = self.var_domain(target).expect("pointer join needs a domain");
+                let domain = self
+                    .var_domain(target)
+                    .expect("pointer join needs a domain");
                 let dc = self.env.catalog.collection(domain);
                 let target_props = LogicalProps {
                     vars: VarSet::single(target),

@@ -145,15 +145,16 @@ impl<'e> OpenOodb<'e> {
             .trace
             .iter()
             .map(|ev| match ev {
-                volcano::TraceEvent::GoalOpened { group, props, depth } => {
+                volcano::TraceEvent::GoalOpened {
+                    group,
+                    props,
+                    depth,
+                } => {
                     let anchor = opt.memo.group_exprs(*group)[0];
                     format!(
                         "{}goal: {} requiring {}",
                         "  ".repeat(*depth),
-                        oodb_algebra::display::render_logical_op(
-                            env,
-                            &opt.memo.expr(anchor).op
-                        ),
+                        oodb_algebra::display::render_logical_op(env, &opt.memo.expr(anchor).op),
                         render_props(props),
                     )
                 }
@@ -163,10 +164,9 @@ impl<'e> OpenOodb<'e> {
                     cost,
                     ..
                 } => match (winner, cost) {
-                    (Some(rule), Some(c)) => format!(
-                        "{}  -> won by {rule} ({c:.3} s)",
-                        "  ".repeat(*depth)
-                    ),
+                    (Some(rule), Some(c)) => {
+                        format!("{}  -> won by {rule} ({c:.3} s)", "  ".repeat(*depth))
+                    }
                     _ => format!("{}  -> infeasible", "  ".repeat(*depth)),
                 },
             })
@@ -237,10 +237,7 @@ impl<'e> OpenOodb<'e> {
 
 /// Reconstructs a logical tree from a memo expression, descending into
 /// each child group's first (anchor) expression.
-fn extract_anchored<'e>(
-    memo: &Memo<OodbModel<'e>>,
-    e: volcano::ExprId,
-) -> LogicalPlan {
+fn extract_anchored<'e>(memo: &Memo<OodbModel<'e>>, e: volcano::ExprId) -> LogicalPlan {
     let expr = memo.expr(e);
     LogicalPlan {
         op: expr.op.clone(),
@@ -315,7 +312,10 @@ pub fn plan_cost(plan: &PhysicalPlan) -> Cost {
 /// (Re)annotates a hand-built physical plan bottom-up through the shared
 /// estimator — used by the greedy baseline and by tests comparing
 /// hand-written plans against optimizer output.
-pub fn annotate_physical(model: &OodbModel<'_>, plan: &PhysicalPlan) -> (PhysicalPlan, LogicalProps) {
+pub fn annotate_physical(
+    model: &OodbModel<'_>,
+    plan: &PhysicalPlan,
+) -> (PhysicalPlan, LogicalProps) {
     let mut children = Vec::with_capacity(plan.children.len());
     let mut input_props = Vec::with_capacity(plan.children.len());
     for c in &plan.children {
@@ -358,9 +358,7 @@ mod tests {
         let env = qb.into_env();
 
         let opt = OpenOodb::with_config(&env, OptimizerConfig::all_rules());
-        let out = opt
-            .optimize(&q, VarSet::single(c))
-            .expect("feasible plan");
+        let out = opt.optimize(&q, VarSet::single(c)).expect("feasible plan");
         assert!(
             matches!(out.plan.op, PhysicalOp::IndexScan { .. }),
             "expected a collapsed index scan, got:\n{}",
@@ -368,7 +366,10 @@ mod tests {
         );
         assert_eq!(out.plan.children.len(), 0);
         let total = out.cost.total();
-        assert!(total < 0.5, "index plan should cost well under a second, got {total}");
+        assert!(
+            total < 0.5,
+            "index plan should cost well under a second, got {total}"
+        );
     }
 
     /// Query 2 without the collapse rule: filter over assembly over file
@@ -413,10 +414,7 @@ mod tests {
         let sel = qb.select(matd, pred);
         let q = qb.project(
             sel,
-            vec![
-                qb.attr(cm, m.ids.person_age),
-                qb.attr(c, m.ids.city_name),
-            ],
+            vec![qb.attr(cm, m.ids.person_age), qb.attr(c, m.ids.city_name)],
         );
         let env = qb.into_env();
 

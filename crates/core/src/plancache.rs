@@ -1,0 +1,361 @@
+//! A sharded, statistics-epoch-aware plan cache.
+//!
+//! Industrial optimizers survive OLTP-scale query rates by *amortizing*
+//! optimization: the transformation-based search this crate implements is
+//! exactly the cost worth paying once and reusing. The paper's "<1 s
+//! optimization time" claim becomes "<1 µs on a cache hit".
+//!
+//! Design:
+//!
+//! * **Key** — `(query fingerprint, rule-config fingerprint, stats epoch,
+//!   index-set hash)`. The query fingerprint is the canonical structural
+//!   hash of [`oodb_algebra::fingerprint`]; the full structural key is
+//!   stored in the entry and compared on every hit, so a 64-bit collision
+//!   costs a spurious miss, never a wrong plan.
+//! * **Invalidation is lazy** — `Store::collect_statistics`,
+//!   `Store::build_indexes`, and `Store::set_catalog` bump the catalog's
+//!   monotonic `stats_epoch`; lookups under the new epoch simply miss, and
+//!   the stale entries age out of the LRU. Nothing walks the cache.
+//! * **Sharding** — N independent `std::sync::Mutex` shards selected by
+//!   fingerprint, so concurrent workers rarely contend on one lock. No
+//!   external dependencies.
+//! * **Self-contained entries** — a cached [`PhysicalPlan`]'s `PredId` /
+//!   `VarId` values are indices into the [`QueryEnv`] that existed when it
+//!   was optimized; a fresh parse of the same text may intern differently.
+//!   Every entry therefore carries its own `QueryEnv`, and hits execute
+//!   against the *stored* environment, never the caller's.
+//! * **Dynamic families** — ObjectStore-style dynamic plans
+//!   ([`crate::dynamic::DynamicPlan`]) are cached as a whole per-index-
+//!   subset family under an index-set-independent key: run-time selection
+//!   happens per lookup, so adding or dropping an index changes which
+//!   member runs without invalidating the family (the stats epoch still
+//!   does).
+
+use crate::cost::Cost;
+use crate::dynamic::DynamicPlan;
+use oodb_algebra::{PhysicalPlan, QueryEnv, QueryFingerprint, VarSet};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Full cache key: everything that must match for a cached plan to be
+/// valid for a lookup.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// Canonical query fingerprint hash ([`oodb_algebra::fingerprint`]).
+    pub fingerprint: u64,
+    /// [`crate::OptimizerConfig::fingerprint`] of the rule configuration.
+    pub config: u64,
+    /// The catalog's statistics epoch at optimization time.
+    pub stats_epoch: u64,
+    /// The catalog's index-set hash — zero for dynamic entries, whose
+    /// plan family covers every index subset by construction.
+    pub index_set: u64,
+    /// Distinguishes static plans from dynamic plan families.
+    pub dynamic: bool,
+}
+
+impl CacheKey {
+    /// Key for a single statically chosen plan.
+    pub fn static_plan(
+        fp: &QueryFingerprint,
+        config: u64,
+        stats_epoch: u64,
+        index_set: u64,
+    ) -> Self {
+        CacheKey {
+            fingerprint: fp.hash,
+            config,
+            stats_epoch,
+            index_set,
+            dynamic: false,
+        }
+    }
+
+    /// Key for a dynamic plan family (index-set independent).
+    pub fn dynamic_family(fp: &QueryFingerprint, config: u64, stats_epoch: u64) -> Self {
+        CacheKey {
+            fingerprint: fp.hash,
+            config,
+            stats_epoch,
+            index_set: 0,
+            dynamic: true,
+        }
+    }
+}
+
+/// What a cache entry holds.
+#[derive(Clone, Debug)]
+pub enum CachedBody {
+    /// The winning plan and its estimated cost.
+    Static {
+        /// The winning physical plan.
+        plan: PhysicalPlan,
+        /// Its estimated cost.
+        cost: Cost,
+    },
+    /// A whole per-index-subset plan family; callers select at fetch time.
+    Dynamic(DynamicPlan),
+}
+
+/// A self-contained cached entry: the environment the plan's interned ids
+/// refer to, the full structural key (collision guard), and the plan(s).
+#[derive(Clone, Debug)]
+pub struct CachedPlan {
+    /// Full canonical structural key — compared on every hash hit.
+    pub structural: String,
+    /// The query environment captured at optimization time. The plan's
+    /// `PredId`/`VarId` values index into *this* env, not the caller's.
+    pub env: QueryEnv,
+    /// The query's result variables, as ids into `env` — rendering must
+    /// project these (different plans bind different auxiliary vars).
+    pub result_vars: VarSet,
+    /// The cached plan or plan family.
+    pub body: CachedBody,
+}
+
+/// Counters exposed by [`PlanCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned an entry.
+    pub hits: u64,
+    /// Lookups that found nothing valid.
+    pub misses: u64,
+    /// Entries displaced by the LRU policy.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups (0.0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Shard {
+    map: HashMap<CacheKey, Slot>,
+    capacity: usize,
+}
+
+struct Slot {
+    entry: Arc<CachedPlan>,
+    last_used: u64,
+}
+
+/// The sharded LRU plan cache. Cheap to share: clone an `Arc<PlanCache>`.
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(1024, 8)
+    }
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` entries across `shards` shards
+    /// (both floored at 1; per-shard capacity is the ceiling division).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.max(1).div_ceil(shards);
+        PlanCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        capacity: per_shard,
+                    })
+                })
+                .collect(),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        // Fingerprints are FNV-hashed already; low bits are well mixed.
+        &self.shards[(key.fingerprint as usize) % self.shards.len()]
+    }
+
+    /// Looks up an entry. `structural` is the full canonical key of the
+    /// query being looked up; a hash match with a different structural key
+    /// is a collision and reported as a miss.
+    pub fn get(&self, key: &CacheKey, structural: &str) -> Option<Arc<CachedPlan>> {
+        let mut shard = self.shard(key).lock().unwrap();
+        let found = match shard.map.get_mut(key) {
+            Some(slot) if slot.entry.structural == structural => {
+                slot.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&slot.entry))
+            }
+            _ => None,
+        };
+        drop(shard);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts (or replaces) an entry, evicting the least-recently-used
+    /// slot of the shard when it is full.
+    pub fn insert(&self, key: CacheKey, entry: Arc<CachedPlan>) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(&key).lock().unwrap();
+        if !shard.map.contains_key(&key) && shard.map.len() >= shard.capacity {
+            if let Some(victim) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| *k)
+            {
+                shard.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(
+            key,
+            Slot {
+                entry,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap().map.clear();
+        }
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_object::paper::paper_model;
+
+    fn dummy_entry(structural: &str) -> Arc<CachedPlan> {
+        let m = paper_model();
+        let qb = oodb_algebra::QueryBuilder::new(m.schema, m.catalog);
+        Arc::new(CachedPlan {
+            structural: structural.to_string(),
+            env: qb.into_env(),
+            result_vars: VarSet::default(),
+            body: CachedBody::Static {
+                plan: PhysicalPlan {
+                    op: oodb_algebra::PhysicalOp::Filter {
+                        pred: oodb_algebra::PredId::from_index(0),
+                    },
+                    children: vec![],
+                    est: oodb_algebra::PlanEst {
+                        out_card: 0.0,
+                        io_s: 0.0,
+                        cpu_s: 0.0,
+                    },
+                },
+                cost: Cost::ZERO,
+            },
+        })
+    }
+
+    fn key(fp: u64, epoch: u64) -> CacheKey {
+        CacheKey {
+            fingerprint: fp,
+            config: 1,
+            stats_epoch: epoch,
+            index_set: 2,
+            dynamic: false,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_structural_guard() {
+        let cache = PlanCache::new(16, 4);
+        let k = key(42, 0);
+        assert!(cache.get(&k, "q").is_none());
+        cache.insert(k, dummy_entry("q"));
+        assert!(cache.get(&k, "q").is_some());
+        // Same hash, different structure: collision → miss, never a plan.
+        assert!(cache.get(&k, "другой").is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 1));
+    }
+
+    #[test]
+    fn epoch_in_key_misses_after_bump() {
+        let cache = PlanCache::new(16, 4);
+        cache.insert(key(7, 0), dummy_entry("q"));
+        assert!(cache.get(&key(7, 0), "q").is_some());
+        assert!(cache.get(&key(7, 1), "q").is_none(), "new epoch must miss");
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let cache = PlanCache::new(2, 1); // 2 slots, one shard
+        cache.insert(key(1, 0), dummy_entry("a"));
+        cache.insert(key(2, 0), dummy_entry("b"));
+        assert!(cache.get(&key(1, 0), "a").is_some()); // touch 1
+        cache.insert(key(3, 0), dummy_entry("c")); // evicts 2
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(&key(1, 0), "a").is_some());
+        assert!(cache.get(&key(2, 0), "b").is_none());
+        assert!(cache.get(&key(3, 0), "c").is_some());
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = PlanCache::new(16, 4);
+        cache.insert(key(1, 0), dummy_entry("a"));
+        assert!(cache.get(&key(1, 0), "a").is_some());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

@@ -50,9 +50,7 @@ impl<'e> Enforcer<M<'e>> for SortEnforcer {
         vec![EnforceCandidate {
             op: PhysicalOp::Sort { key },
             input_props: input,
-            cost: crate::cost::Cost::cpu(
-                card * card.log2().max(1.0) * model.params.cpu_tuple_s,
-            ),
+            cost: crate::cost::Cost::cpu(card * card.log2().max(1.0) * model.params.cpu_tuple_s),
             delivers: PhysProps {
                 in_memory: input.in_memory,
                 order: Some(key),

@@ -176,7 +176,10 @@ impl<'e> ImplRule<M<'e>> for FilterImpl {
         let order = pass_order(required, child.vars);
         let op = PhysicalOp::Filter { pred };
         let (_, cost) = model.phys_estimate(&op, &[child]);
-        let props = PhysProps { in_memory: input, order };
+        let props = PhysProps {
+            in_memory: input,
+            order,
+        };
         vec![Candidate {
             op,
             children: vec![expr.children[0]],
@@ -225,8 +228,14 @@ impl<'e> ImplRule<M<'e>> for HybridHashJoinImpl {
             }
         }
         let mem = model.pred_mem_vars(pred);
-        let l_req = required.in_memory.intersect(lp.vars).union(mem.intersect(lp.vars));
-        let r_req = required.in_memory.intersect(rp.vars).union(mem.intersect(rp.vars));
+        let l_req = required
+            .in_memory
+            .intersect(lp.vars)
+            .union(mem.intersect(lp.vars));
+        let r_req = required
+            .in_memory
+            .intersect(rp.vars)
+            .union(mem.intersect(rp.vars));
         let op = PhysicalOp::HybridHashJoin { pred };
         let (_, cost) = model.phys_estimate(&op, &[lp, rp]);
         vec![Candidate {

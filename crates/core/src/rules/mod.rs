@@ -44,7 +44,10 @@ pub fn rule_set<'e>(config: &OptimizerConfig) -> RuleSet<OodbModel<'e>> {
     transform!(rn::MAT_SETOP_PUSH, transform::MatSetOpPush);
 
     implement!(rn::FILE_SCAN, implement::FileScanImpl);
-    implement!(rn::COLLAPSE_TO_INDEX_SCAN, implement::CollapseToIndexScanImpl);
+    implement!(
+        rn::COLLAPSE_TO_INDEX_SCAN,
+        implement::CollapseToIndexScanImpl
+    );
     implement!(rn::FILTER, implement::FilterImpl);
     implement!(rn::HYBRID_HASH_JOIN, implement::HybridHashJoinImpl);
     implement!(rn::POINTER_JOIN, implement::PointerJoinImpl);

@@ -13,9 +13,7 @@ use oodb_algebra::{
 };
 use oodb_object::paper::{paper_model, PaperModel};
 use oodb_object::Value;
-use volcano::{
-    Enforcer, ImplRule, Memo, Optimizer, RuleSet, SearchConfig, TransformRule,
-};
+use volcano::{Enforcer, ImplRule, Memo, Optimizer, RuleSet, SearchConfig, TransformRule};
 
 fn model() -> PaperModel {
     paper_model()
@@ -121,7 +119,11 @@ fn select_on_mat_output_does_not_push() {
     let env = qb.into_env();
 
     let alts = alternatives(&env, &plan, vec![Box::new(transform::SelectMatSwap)]);
-    assert_eq!(alts.len(), 1, "must not push below its own scope: {alts:#?}");
+    assert_eq!(
+        alts.len(),
+        1,
+        "must not push below its own scope: {alts:#?}"
+    );
 }
 
 #[test]
@@ -149,8 +151,9 @@ fn mat_to_join_requires_a_scannable_domain() {
     let env = qb.into_env();
     let alts = alternatives(&env, &plan, vec![Box::new(transform::MatToJoin)]);
     assert_eq!(alts.len(), 2);
-    assert!(alts.iter().any(|a| a.contains("Join e.dept == d.self")
-        && a.contains("Get extent(Department): d")));
+    assert!(alts
+        .iter()
+        .any(|a| a.contains("Join e.dept == d.self") && a.contains("Get extent(Department): d")));
 
     // d.plant → Plant has NO extent: no rewrite.
     let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
@@ -180,10 +183,17 @@ fn join_commute_and_assoc_enumerate_orders() {
     let both = alternatives(
         &env,
         &plan,
-        vec![Box::new(transform::JoinCommute), Box::new(transform::JoinAssoc)],
+        vec![
+            Box::new(transform::JoinCommute),
+            Box::new(transform::JoinAssoc),
+        ],
     );
     // Three-relation join space with a connected predicate set.
-    assert!(both.len() >= 4, "expected several orders, got {}", both.len());
+    assert!(
+        both.len() >= 4,
+        "expected several orders, got {}",
+        both.len()
+    );
 }
 
 #[test]
@@ -218,12 +228,26 @@ fn select_setop_push_distributes_over_union_not_difference_right() {
     let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
     let (l, c) = qb.get(m.ids.cities, "c");
     // Same-scope second input (a filtered variant of the same scan).
-    let big = qb.cmp_const(c, m.ids.city_population, oodb_algebra::CmpOp::Ge, Value::Int(1000));
-    let r = qb.select(LogicalPlan::leaf(LogicalOp::Get { coll: m.ids.cities, var: c }), big);
+    let big = qb.cmp_const(
+        c,
+        m.ids.city_population,
+        oodb_algebra::CmpOp::Ge,
+        Value::Int(1000),
+    );
+    let r = qb.select(
+        LogicalPlan::leaf(LogicalOp::Get {
+            coll: m.ids.cities,
+            var: c,
+        }),
+        big,
+    );
     let _ = l;
     let union = qb.set_op(
         SetOpKind::Union,
-        LogicalPlan::leaf(LogicalOp::Get { coll: m.ids.cities, var: c }),
+        LogicalPlan::leaf(LogicalOp::Get {
+            coll: m.ids.cities,
+            var: c,
+        }),
         r.clone(),
     );
     let name_pred = qb.eq_const(c, m.ids.city_name, Value::str("x"));
@@ -235,7 +259,10 @@ fn select_setop_push_distributes_over_union_not_difference_right() {
 
     let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
     let (l2, c2) = qb.get(m.ids.cities, "c");
-    let r2 = LogicalPlan::leaf(LogicalOp::Get { coll: m.ids.cities, var: c2 });
+    let r2 = LogicalPlan::leaf(LogicalOp::Get {
+        coll: m.ids.cities,
+        var: c2,
+    });
     let diff = qb.set_op(SetOpKind::Difference, l2, r2);
     let pred = qb.eq_const(c2, m.ids.city_name, Value::str("x"));
     let plan = qb.select(diff, pred);
@@ -259,15 +286,20 @@ fn mat_setop_push_distributes_materialization() {
     let m = model();
     let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
     let (l, c) = qb.get(m.ids.cities, "c");
-    let r = LogicalPlan::leaf(LogicalOp::Get { coll: m.ids.cities, var: c });
+    let r = LogicalPlan::leaf(LogicalOp::Get {
+        coll: m.ids.cities,
+        var: c,
+    });
     let union = qb.set_op(SetOpKind::Union, l, r);
     let (plan, _cm) = qb.mat(union, c, m.ids.city_mayor, "cm");
     let env = qb.into_env();
     let alts = alternatives(&env, &plan, vec![Box::new(transform::MatSetOpPush)]);
     assert_eq!(alts.len(), 2);
-    assert!(alts.iter().any(|a| {
-        a.starts_with("Union") && a.matches("Mat c.mayor").count() == 2
-    }), "{alts:#?}");
+    assert!(
+        alts.iter()
+            .any(|a| { a.starts_with("Union") && a.matches("Mat c.mayor").count() == 2 }),
+        "{alts:#?}"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -312,7 +344,12 @@ fn collapse_rule_feasibility_conditions() {
     let (plan, _c) = q2(&mut qb);
     let env = qb.into_env();
     assert_eq!(
-        probe_impl(&env, &plan, &implement::CollapseToIndexScanImpl, PhysProps::NONE),
+        probe_impl(
+            &env,
+            &plan,
+            &implement::CollapseToIndexScanImpl,
+            PhysProps::NONE
+        ),
         1
     );
 
@@ -321,7 +358,12 @@ fn collapse_rule_feasibility_conditions() {
     let (plan, _c) = q2(&mut qb);
     let env = qb.into_env();
     assert_eq!(
-        probe_impl(&env, &plan, &implement::CollapseToIndexScanImpl, PhysProps::NONE),
+        probe_impl(
+            &env,
+            &plan,
+            &implement::CollapseToIndexScanImpl,
+            PhysProps::NONE
+        ),
         0
     );
 
@@ -330,11 +372,21 @@ fn collapse_rule_feasibility_conditions() {
     let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
     let (cities, c) = qb.get(m.ids.cities, "c");
     let (matd, cm) = qb.mat(cities, c, m.ids.city_mayor, "cm");
-    let pred = qb.cmp_const(cm, m.ids.person_name, oodb_algebra::CmpOp::Ge, Value::str("J"));
+    let pred = qb.cmp_const(
+        cm,
+        m.ids.person_name,
+        oodb_algebra::CmpOp::Ge,
+        Value::str("J"),
+    );
     let plan = qb.select(matd, pred);
     let env = qb.into_env();
     assert_eq!(
-        probe_impl(&env, &plan, &implement::CollapseToIndexScanImpl, PhysProps::NONE),
+        probe_impl(
+            &env,
+            &plan,
+            &implement::CollapseToIndexScanImpl,
+            PhysProps::NONE
+        ),
         1
     );
 
@@ -346,7 +398,12 @@ fn collapse_rule_feasibility_conditions() {
     let plan = qb.select(matd, pred);
     let env = qb.into_env();
     assert_eq!(
-        probe_impl(&env, &plan, &implement::CollapseToIndexScanImpl, PhysProps::NONE),
+        probe_impl(
+            &env,
+            &plan,
+            &implement::CollapseToIndexScanImpl,
+            PhysProps::NONE
+        ),
         0
     );
 }
@@ -364,12 +421,22 @@ fn hash_join_is_directional_on_reference_joins() {
     let right = qb.join(dept, emp, pred);
     let env = qb.into_env();
     assert_eq!(
-        probe_impl(&env, &wrong, &implement::HybridHashJoinImpl, PhysProps::NONE),
+        probe_impl(
+            &env,
+            &wrong,
+            &implement::HybridHashJoinImpl,
+            PhysProps::NONE
+        ),
         0,
         "referenced side must be on the left"
     );
     assert_eq!(
-        probe_impl(&env, &right, &implement::HybridHashJoinImpl, PhysProps::NONE),
+        probe_impl(
+            &env,
+            &right,
+            &implement::HybridHashJoinImpl,
+            PhysProps::NONE
+        ),
         1
     );
     // Pointer join wants the opposite orientation.

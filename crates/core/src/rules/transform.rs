@@ -149,7 +149,10 @@ impl<'e> TransformRule<M<'e>> for SelectUnnestSwap {
                     if let LogicalOp::Select { pred } = child.op {
                         out.push(op(
                             LogicalOp::Select { pred },
-                            vec![op(LogicalOp::Unnest { out: *u }, vec![grp(child.children[0])])],
+                            vec![op(
+                                LogicalOp::Unnest { out: *u },
+                                vec![grp(child.children[0])],
+                            )],
                         ));
                     }
                 }
@@ -180,19 +183,13 @@ impl<'e> TransformRule<M<'e>> for SelectJoinPush {
                         if used.is_subset(memo.props(l).vars) {
                             out.push(op(
                                 LogicalOp::Join { pred: jp },
-                                vec![
-                                    op(LogicalOp::Select { pred: *pred }, vec![grp(l)]),
-                                    grp(r),
-                                ],
+                                vec![op(LogicalOp::Select { pred: *pred }, vec![grp(l)]), grp(r)],
                             ));
                         }
                         if used.is_subset(memo.props(r).vars) {
                             out.push(op(
                                 LogicalOp::Join { pred: jp },
-                                vec![
-                                    grp(l),
-                                    op(LogicalOp::Select { pred: *pred }, vec![grp(r)]),
-                                ],
+                                vec![grp(l), op(LogicalOp::Select { pred: *pred }, vec![grp(r)])],
                             ));
                         }
                     }
@@ -253,10 +250,7 @@ impl<'e> TransformRule<M<'e>> for SelectIntoJoin {
             terms.extend(model.env.preds.pred(pred).terms);
             terms.sort_by_key(|t| t.op != oodb_algebra::CmpOp::Eq);
             let merged = model.env.preds.intern(oodb_algebra::Pred { terms });
-            out.push(op(
-                LogicalOp::Join { pred: merged },
-                vec![grp(l), grp(r)],
-            ));
+            out.push(op(LogicalOp::Join { pred: merged }, vec![grp(l), grp(r)]));
         }
         out
     }
@@ -297,13 +291,7 @@ impl<'e> TransformRule<M<'e>> for MatToJoin {
             LogicalOp::Join { pred },
             vec![
                 grp(expr.children[0]),
-                op(
-                    LogicalOp::Get {
-                        coll,
-                        var: mat_out,
-                    },
-                    vec![],
-                ),
+                op(LogicalOp::Get { coll, var: mat_out }, vec![]),
             ],
         )]
     }
@@ -521,8 +509,7 @@ impl<'e> TransformRule<M<'e>> for MatJoinPush {
                         let child = memo.expr(ce);
                         if let LogicalOp::Mat { out: o } = child.op {
                             if !used.contains(o) {
-                                let mut inputs =
-                                    vec![grp(expr.children[0]), grp(expr.children[1])];
+                                let mut inputs = vec![grp(expr.children[0]), grp(expr.children[1])];
                                 inputs[side] = grp(child.children[0]);
                                 out.push(op(
                                     LogicalOp::Mat { out: o },

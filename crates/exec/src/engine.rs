@@ -204,8 +204,7 @@ impl<'a> Executor<'a> {
 
             PhysicalOp::AlgUnnest { out } => {
                 let input = self.exec(&plan.children[0]);
-                let VarOrigin::Unnest { src, field } = self.env.scopes.var(*out).origin
-                else {
+                let VarOrigin::Unnest { src, field } = self.env.scopes.var(*out).origin else {
                     panic!("AlgUnnest output must have Unnest origin");
                 };
                 let mut result = Vec::new();
@@ -453,9 +452,7 @@ impl<'a> Executor<'a> {
             self.counts.tuples += 1;
             let kl = key(&left[i], l_op);
             let kr = key(&right[j], r_op);
-            match kl
-                .total_cmp_val(&kr)
-            {
+            match kl.total_cmp_val(&kr) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
@@ -470,9 +467,9 @@ impl<'a> Executor<'a> {
                         .last()
                         .unwrap()
                         + 1;
-                    for x in i..i_end {
-                        for y in j..j_end {
-                            let merged = left[x].merge(&right[y]);
+                    for l in &left[i..i_end] {
+                        for r in &right[j..j_end] {
+                            let merged = l.merge(r);
                             let (ok, n) = eval_pred(self.store, self.env, &merged, pred);
                             self.counts.preds += n;
                             if ok {
@@ -522,11 +519,7 @@ impl<'a> Executor<'a> {
 }
 
 /// One-shot convenience: fresh executor, run, return result + stats.
-pub fn execute(
-    store: &Store,
-    env: &QueryEnv,
-    plan: &PhysicalPlan,
-) -> (ExecResult, ExecStats) {
+pub fn execute(store: &Store, env: &QueryEnv, plan: &PhysicalPlan) -> (ExecResult, ExecStats) {
     let mut ex = Executor::new(store, env);
     let result = ex.run(plan);
     (result, ex.stats())

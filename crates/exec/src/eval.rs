@@ -18,12 +18,7 @@ pub fn eval_operand(store: &Store, tuple: &Tuple, op: &Operand) -> Value {
 
 /// Evaluates one interned predicate (a conjunction) against a tuple.
 /// Returns `(result, terms_evaluated)` — the count feeds CPU accounting.
-pub fn eval_pred(
-    store: &Store,
-    env: &QueryEnv,
-    tuple: &Tuple,
-    pred: PredId,
-) -> (bool, u64) {
+pub fn eval_pred(store: &Store, env: &QueryEnv, tuple: &Tuple, pred: PredId) -> (bool, u64) {
     let p: Pred = env.preds.pred(pred);
     let mut evaluated = 0;
     for t in &p.terms {

@@ -151,6 +151,11 @@ pub struct Catalog {
     /// path, terminal attribute)` — the selectivity refinement the paper
     /// lists as future work.
     histograms: HashMap<(CollectionId, Vec<FieldId>, FieldId), crate::stats::Histogram>,
+    /// Monotonic statistics epoch. Bumped whenever the statistics or the
+    /// physical design behind this catalog change (histogram collection,
+    /// index rebuilds, catalog replacement), so cached plans keyed on the
+    /// epoch go stale *lazily* — no cache walk on invalidation.
+    stats_epoch: u64,
 }
 
 impl Catalog {
@@ -216,6 +221,7 @@ impl Catalog {
     }
 
     /// Index definition.
+    #[allow(clippy::should_implement_trait)]
     pub fn index(&self, id: IndexId) -> &IndexDef {
         &self.indexes[id.index()]
     }
@@ -322,7 +328,51 @@ impl Catalog {
                 out.add_index(d.clone());
             }
         }
+        out.bump_stats_epoch();
         out
+    }
+
+    /// The current statistics epoch. Plan-cache keys include this value;
+    /// any statistics or physical-design change bumps it, so entries
+    /// cached under an older epoch can never be served again.
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch
+    }
+
+    /// Advances the statistics epoch. Called by the storage layer after
+    /// histogram collection, index (re)builds, and catalog replacement.
+    pub fn bump_stats_epoch(&mut self) {
+        self.stats_epoch += 1;
+    }
+
+    /// Forces the epoch to be at least `floor` (used when a replacement
+    /// catalog must stay monotonic w.r.t. the one it replaces).
+    pub fn raise_stats_epoch_to(&mut self, floor: u64) {
+        self.stats_epoch = self.stats_epoch.max(floor);
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the index *set*: every descriptor's
+    /// name, collection, path, key, and clustering, in catalog order.
+    /// Plan-cache keys include it so adding or dropping an index changes
+    /// the key even if the statistics epoch were somehow left untouched.
+    pub fn index_set_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for d in &self.indexes {
+            eat(d.name.as_bytes());
+            eat(&(d.collection.0).to_le_bytes());
+            for f in &d.path {
+                eat(&(f.index() as u32).to_le_bytes());
+            }
+            eat(&(d.key.index() as u32).to_le_bytes());
+            eat(&[d.clustered as u8, b';']);
+        }
+        h
     }
 
     /// Number of 4 KB-equivalent pages a dense scan of the collection

@@ -300,8 +300,7 @@ pub fn paper_model_scaled(div: u64) -> PaperModel {
     ids.country_extent = cat.add_collection(extent("Country", ids.country, sc(160), 300));
     ids.department_extent =
         cat.add_collection(extent("Department", ids.department, sc(1_000), 400));
-    ids.employee_extent =
-        cat.add_collection(extent("Employee", ids.employee, sc(200_000), 250));
+    ids.employee_extent = cat.add_collection(extent("Employee", ids.employee, sc(200_000), 250));
     ids.information_extent =
         cat.add_collection(extent("Information", ids.information, sc(1_000), 400));
     ids.job_extent = cat.add_collection(extent("Job", ids.job, sc(5_000), 250));

@@ -150,7 +150,9 @@ mod tests {
 
     #[test]
     fn string_histograms_work() {
-        let vals: Vec<Value> = (0..100).map(|i| Value::str(&format!("k{:03}", i % 10))).collect();
+        let vals: Vec<Value> = (0..100)
+            .map(|i| Value::str(&format!("k{:03}", i % 10)))
+            .collect();
         let h = Histogram::build(vals, 5).unwrap();
         assert_eq!(h.distinct(), 10);
         assert!(h.fraction_le(&Value::str("k005")) > 0.4);

@@ -289,10 +289,7 @@ mod tests {
     #[test]
     fn hash_key_distinguishes_types() {
         // Int(0) and Bool(false) must not collide just because both are "0".
-        assert_ne!(
-            Value::Int(0).hash_key(),
-            Value::Bool(false).hash_key()
-        );
+        assert_ne!(Value::Int(0).hash_key(), Value::Bool(false).hash_key());
         assert_eq!(Value::Null.hash_key(), None);
     }
 

@@ -1,0 +1,489 @@
+//! # `oodb-service` — a concurrent query service over the optimizer
+//!
+//! The ROADMAP's north star is a system serving heavy query traffic, yet
+//! everything below this crate is per-query and single-threaded: each ZQL
+//! string pays full parse → simplify → Volcano search → execute. This
+//! crate adds the serving layer:
+//!
+//! * [`QueryService`] owns a shared [`Store`] snapshot, the current
+//!   [`OptimizerConfig`], and a sharded [`PlanCache`]; [`QueryService::submit`]
+//!   compiles, fingerprints, and either reuses a cached plan or optimizes
+//!   and caches the winner.
+//! * [`WorkerPool`] serves `submit` from N `std::thread` workers feeding
+//!   off one queue — the optimizer is `&self` and the executor borrows
+//!   `&Store`, so scaling out is `Arc`-ification, not a rewrite.
+//! * Statistics and physical-design changes go through the service
+//!   ([`QueryService::refresh_statistics`], [`QueryService::restrict_indexes`]),
+//!   which swap in a new store snapshot whose catalog carries a bumped
+//!   `stats_epoch` — cached plans go stale *by key*, never by cache walk.
+//!
+//! In-flight queries keep executing against the snapshot they started
+//! with (the `Arc<Store>` they cloned); new submissions see the new
+//! snapshot and miss the cache. Cached entries carry the `QueryEnv` they
+//! were optimized under, so interned `PredId`/`VarId` values never leak
+//! across parses.
+
+use oodb_algebra::fingerprint::fingerprint;
+use oodb_core::plancache::{CacheKey, CachedBody, CachedPlan, PlanCache};
+use oodb_core::{compile_dynamic, CostParams, OpenOodb, OptimizerConfig};
+use oodb_exec::{execute, ExecResult};
+use oodb_storage::Store;
+use std::collections::HashSet;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Errors a submission can produce.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceError {
+    /// The front end rejected the query.
+    Zql(zql::ZqlError),
+    /// No feasible plan under the current rule configuration.
+    NoPlan,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Zql(e) => write!(f, "{e}"),
+            ServiceError::NoPlan => {
+                write!(f, "no feasible plan under the current rule configuration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Per-submission options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubmitOptions {
+    /// Cache and select from an ObjectStore-style dynamic plan *family*
+    /// (one plan per useful index subset) instead of one static plan.
+    pub dynamic: bool,
+    /// When positive, sleep `simulated_io_seconds × scale` after
+    /// executing, turning the storage simulator's I/O estimate into real
+    /// wall-clock stalls. This is what makes multi-worker throughput
+    /// meaningful on a machine whose *real* I/O is a warm page cache.
+    pub realize_io_scale: f64,
+}
+
+/// The answer to one submission.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryOutput {
+    /// Rendered result rows, sorted — byte-comparable across runs and
+    /// plan choices.
+    pub rows: Vec<String>,
+    /// Number of result rows.
+    pub row_count: usize,
+    /// Whether the plan came from the cache.
+    pub cache_hit: bool,
+    /// Time spent in the front end (parse + simplify) — paid on every
+    /// submission, hit or miss.
+    pub compile_ns: u64,
+    /// Time spent obtaining a plan: fingerprint + cache probe, plus the
+    /// full Volcano search on a miss. This is the stage the cache
+    /// amortizes.
+    pub optimize_ns: u64,
+    /// Time spent executing the plan.
+    pub execute_ns: u64,
+    /// The plan's estimated cost in seconds.
+    pub est_cost_s: f64,
+    /// Simulated I/O seconds the execution charged.
+    pub sim_io_s: f64,
+    /// Index names the executed plan read — evidence for invalidation
+    /// tests that a dropped index is never served.
+    pub indexes_used: Vec<String>,
+}
+
+struct Inner {
+    store: RwLock<Arc<Store>>,
+    /// The configuration plus its precomputed fingerprint — recomputing
+    /// the fingerprint (sorting rule names) on every submit would cost
+    /// more than the cache probe it keys.
+    config: RwLock<(Arc<OptimizerConfig>, u64)>,
+    params: CostParams,
+    cache: Arc<PlanCache>,
+}
+
+/// The query service. Cheap to clone — all clones share state.
+#[derive(Clone)]
+pub struct QueryService {
+    inner: Arc<Inner>,
+}
+
+impl QueryService {
+    /// Wraps a store. `cache_capacity`/`cache_shards` size the plan cache.
+    pub fn new(
+        store: Store,
+        params: CostParams,
+        config: OptimizerConfig,
+        cache_capacity: usize,
+        cache_shards: usize,
+    ) -> Self {
+        let config_fp = config.fingerprint();
+        QueryService {
+            inner: Arc::new(Inner {
+                store: RwLock::new(Arc::new(store)),
+                config: RwLock::new((Arc::new(config), config_fp)),
+                params,
+                cache: Arc::new(PlanCache::new(cache_capacity, cache_shards)),
+            }),
+        }
+    }
+
+    /// The current store snapshot.
+    pub fn store(&self) -> Arc<Store> {
+        Arc::clone(&self.inner.store.read().unwrap())
+    }
+
+    /// The plan cache (shared).
+    pub fn cache(&self) -> &PlanCache {
+        &self.inner.cache
+    }
+
+    /// The current optimizer configuration.
+    pub fn config(&self) -> OptimizerConfig {
+        (*self.inner.config.read().unwrap().0).clone()
+    }
+
+    /// Replaces the optimizer configuration. Plans cached under the old
+    /// configuration stay resident but can no longer be served — the
+    /// config fingerprint is part of every cache key.
+    pub fn set_config(&self, config: OptimizerConfig) {
+        let fp = config.fingerprint();
+        *self.inner.config.write().unwrap() = (Arc::new(config), fp);
+    }
+
+    /// Collects histograms and swaps in a store whose catalog carries the
+    /// refined statistics and a bumped `stats_epoch`.
+    pub fn refresh_statistics(&self, buckets: usize) {
+        let mut store = (*self.store()).clone();
+        let catalog = store.collect_statistics(&[], buckets);
+        store.set_catalog(catalog);
+        store.build_indexes();
+        *self.inner.store.write().unwrap() = Arc::new(store);
+    }
+
+    /// Drops every index not named in `keep` (physical-design change) and
+    /// swaps in the rebuilt store. The epoch bump makes every cached plan
+    /// unservable, so a plan relying on a dropped index can never run.
+    pub fn restrict_indexes(&self, keep: &[&str]) {
+        let mut store = (*self.store()).clone();
+        let catalog = store.catalog().with_only_indexes(keep);
+        store.set_catalog(catalog);
+        store.build_indexes();
+        *self.inner.store.write().unwrap() = Arc::new(store);
+    }
+
+    /// Compiles, plans (via cache), executes. Equivalent to
+    /// [`QueryService::submit_with`] with default options.
+    pub fn submit(&self, zql_src: &str) -> Result<QueryOutput, ServiceError> {
+        self.submit_with(zql_src, SubmitOptions::default())
+    }
+
+    /// Compiles, plans (via cache), executes, with options.
+    pub fn submit_with(
+        &self,
+        zql_src: &str,
+        opts: SubmitOptions,
+    ) -> Result<QueryOutput, ServiceError> {
+        let store = self.store();
+        let (config, config_fp) = {
+            let guard = self.inner.config.read().unwrap();
+            (Arc::clone(&guard.0), guard.1)
+        };
+        let compile_start = Instant::now();
+        let q =
+            zql::compile(zql_src, store.schema(), store.catalog()).map_err(ServiceError::Zql)?;
+        let compile_ns = compile_start.elapsed().as_nanos() as u64;
+        let plan_start = Instant::now();
+        let fp = fingerprint(&q.env, &q.plan, q.result_vars, q.order.as_ref());
+        let epoch = store.catalog().stats_epoch();
+        let key = if opts.dynamic {
+            CacheKey::dynamic_family(&fp, config_fp, epoch)
+        } else {
+            CacheKey::static_plan(&fp, config_fp, epoch, store.catalog().index_set_hash())
+        };
+
+        let (entry, cache_hit) = match self.inner.cache.get(&key, &fp.key) {
+            Some(entry) => (entry, true),
+            None => {
+                let body = if opts.dynamic {
+                    CachedBody::Dynamic(compile_dynamic(
+                        &q.env,
+                        self.inner.params,
+                        &config,
+                        &q.plan,
+                        q.result_vars,
+                    ))
+                } else {
+                    let optimizer = OpenOodb::new(&q.env, self.inner.params, (*config).clone());
+                    let out = optimizer
+                        .optimize_ordered(&q.plan, q.result_vars, q.order)
+                        .ok_or(ServiceError::NoPlan)?;
+                    CachedBody::Static {
+                        plan: out.plan,
+                        cost: out.cost,
+                    }
+                };
+                let entry = Arc::new(CachedPlan {
+                    structural: fp.key.clone(),
+                    env: q.env,
+                    result_vars: q.result_vars,
+                    body,
+                });
+                self.inner.cache.insert(key, Arc::clone(&entry));
+                (entry, false)
+            }
+        };
+        let optimize_ns = plan_start.elapsed().as_nanos() as u64;
+
+        // Dynamic families: select the member for the indexes that exist
+        // *now*. Static plans were keyed on the exact index set.
+        let (plan, est_cost_s) = match &entry.body {
+            CachedBody::Static { plan, cost } => (plan, cost.total()),
+            CachedBody::Dynamic(family) => {
+                let available: HashSet<String> = store
+                    .catalog()
+                    .indexes()
+                    .map(|(_, d)| d.name.clone())
+                    .collect();
+                let alt = family.select(&available);
+                (&alt.plan, alt.cost.total())
+            }
+        };
+
+        let indexes_used = oodb_core::dynamic::indexes_used(&entry.env, plan);
+        let exec_start = Instant::now();
+        let (result, stats) = execute(&store, &entry.env, plan);
+        let execute_ns = exec_start.elapsed().as_nanos() as u64;
+        let sim_io_s = stats.disk.total_s;
+        if opts.realize_io_scale > 0.0 {
+            thread::sleep(Duration::from_secs_f64(sim_io_s * opts.realize_io_scale));
+        }
+
+        let mut rows = render_rows(&entry.env, entry.result_vars, &result);
+        let row_count = rows.len();
+        rows.sort();
+        Ok(QueryOutput {
+            rows,
+            row_count,
+            cache_hit,
+            compile_ns,
+            optimize_ns,
+            execute_ns,
+            est_cost_s,
+            sim_io_s,
+            indexes_used,
+        })
+    }
+}
+
+/// Renders result rows deterministically. Tuple results project only the
+/// query's *result* variables: different plans bind different auxiliary
+/// variables (a materialized path object, say), and those must not leak
+/// into the observable answer.
+fn render_rows(
+    env: &oodb_algebra::QueryEnv,
+    result_vars: oodb_algebra::VarSet,
+    result: &ExecResult,
+) -> Vec<String> {
+    match result {
+        ExecResult::Rows(rows) => rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(oodb_object::Value::to_string).collect();
+                cells.join(" | ")
+            })
+            .collect(),
+        ExecResult::Tuples(tuples) => tuples
+            .iter()
+            .map(|t| {
+                let cells: Vec<String> = env
+                    .scopes
+                    .iter()
+                    .filter(|(id, _)| result_vars.contains(*id))
+                    .filter_map(|(id, v)| t.try_get(id).map(|o| format!("{}={o}", v.name)))
+                    .collect();
+                cells.join("  ")
+            })
+            .collect(),
+    }
+}
+
+type Reply = Result<QueryOutput, ServiceError>;
+
+struct Job {
+    zql: String,
+    opts: SubmitOptions,
+    reply: mpsc::Sender<Reply>,
+}
+
+/// A handle to one enqueued submission.
+pub struct Pending {
+    rx: mpsc::Receiver<Reply>,
+}
+
+impl Pending {
+    /// Blocks until the worker answers.
+    pub fn wait(self) -> Reply {
+        self.rx
+            .recv()
+            .expect("worker pool shut down with job pending")
+    }
+}
+
+/// N `std::thread` workers pulling submissions off one queue.
+pub struct WorkerPool {
+    tx: Option<mpsc::Sender<Job>>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads serving `service`.
+    pub fn new(service: QueryService, workers: usize) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let svc = service.clone();
+                thread::Builder::new()
+                    .name(format!("oodb-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only while dequeuing.
+                        let job = match rx.lock().unwrap().recv() {
+                            Ok(job) => job,
+                            Err(_) => break,
+                        };
+                        let out = svc.submit_with(&job.zql, job.opts);
+                        let _ = job.reply.send(out);
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    /// Enqueues a query; the returned handle yields the result.
+    pub fn submit(&self, zql: impl Into<String>, opts: SubmitOptions) -> Pending {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .as_ref()
+            .expect("pool already shut down")
+            .send(Job {
+                zql: zql.into(),
+                opts,
+                reply,
+            })
+            .expect("all workers exited");
+        Pending { rx }
+    }
+
+    /// Drains the queue and joins every worker.
+    pub fn shutdown(mut self) {
+        self.tx.take(); // close the queue
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.tx.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_storage::{generate_paper_db, GenConfig};
+
+    fn small_service() -> QueryService {
+        let (store, _model) = generate_paper_db(GenConfig {
+            scale_div: 100,
+            ..Default::default()
+        });
+        QueryService::new(
+            store,
+            CostParams::default(),
+            OptimizerConfig::all_rules(),
+            64,
+            4,
+        )
+    }
+
+    const Q_TIME: &str = "SELECT t FROM Task t IN Tasks WHERE t.time() == 100";
+
+    #[test]
+    fn second_submit_hits_the_cache() {
+        let svc = small_service();
+        let first = svc.submit(Q_TIME).unwrap();
+        assert!(!first.cache_hit);
+        let second = svc.submit(Q_TIME).unwrap();
+        assert!(second.cache_hit, "identical re-parse must hit");
+        assert_eq!(first.rows, second.rows);
+        let stats = svc.cache().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn textual_variants_share_an_entry() {
+        let svc = small_service();
+        let a = svc
+            .submit("SELECT t FROM Task t IN Tasks WHERE t.time() == 100")
+            .unwrap();
+        let b = svc
+            .submit("SELECT zz FROM Task zz IN Tasks WHERE 100 == zz.time()")
+            .unwrap();
+        assert!(!a.cache_hit);
+        assert!(b.cache_hit, "renamed variable + flipped Eq must collide");
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let svc = small_service();
+        assert!(matches!(
+            svc.submit("SELECT FROM WHERE"),
+            Err(ServiceError::Zql(_))
+        ));
+    }
+
+    #[test]
+    fn dynamic_family_is_cached_and_selects() {
+        let svc = small_service();
+        let opts = SubmitOptions {
+            dynamic: true,
+            ..Default::default()
+        };
+        let a = svc.submit_with(Q_TIME, opts).unwrap();
+        assert!(!a.cache_hit);
+        let b = svc.submit_with(Q_TIME, opts).unwrap();
+        assert!(b.cache_hit);
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn pool_round_trip() {
+        let svc = small_service();
+        let pool = WorkerPool::new(svc, 2);
+        let pending: Vec<Pending> = (0..8)
+            .map(|_| pool.submit(Q_TIME, SubmitOptions::default()))
+            .collect();
+        let outs: Vec<QueryOutput> = pending.into_iter().map(|p| p.wait().unwrap()).collect();
+        for o in &outs[1..] {
+            assert_eq!(o.rows, outs[0].rows);
+        }
+        pool.shutdown();
+    }
+}

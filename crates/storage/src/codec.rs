@@ -353,7 +353,12 @@ mod tests {
     #[test]
     fn page_packs_and_reads_back() {
         let objs: Vec<Object> = (0..50)
-            .map(|i| obj(i, vec![Value::Int(i as i64), Value::str(&format!("name-{i}"))]))
+            .map(|i| {
+                obj(
+                    i,
+                    vec![Value::Int(i as i64), Value::str(&format!("name-{i}"))],
+                )
+            })
             .collect();
         let pages = pack_collection(objs.iter()).unwrap();
         assert_eq!(pages.len(), 1, "50 small objects fit one page");
@@ -369,7 +374,7 @@ mod tests {
         let pages = pack_collection(objs.iter()).unwrap();
         assert!(pages.len() >= 5, "{} pages", pages.len());
         for p in &pages {
-            assert!(p.len() > 0);
+            assert!(!p.is_empty());
         }
         assert_eq!(unpack_pages(&pages).unwrap(), objs);
     }
@@ -386,10 +391,7 @@ mod tests {
     #[test]
     fn corrupt_input_reports_errors_not_panics() {
         assert_eq!(decode_value(&[], &mut 0), Err(CodecError::UnexpectedEof));
-        assert_eq!(
-            decode_value(&[0xFF], &mut 0),
-            Err(CodecError::BadTag(0xFF))
-        );
+        assert_eq!(decode_value(&[0xFF], &mut 0), Err(CodecError::BadTag(0xFF)));
         // Truncated string.
         let mut buf = Vec::new();
         encode_value(&Value::str("hello"), &mut buf);
@@ -404,7 +406,9 @@ mod tests {
 
     #[test]
     fn page_bytes_roundtrip() {
-        let objs: Vec<Object> = (0..10).map(|i| obj(i, vec![Value::Int(i as i64)])).collect();
+        let objs: Vec<Object> = (0..10)
+            .map(|i| obj(i, vec![Value::Int(i as i64)]))
+            .collect();
         let pages = pack_collection(objs.iter()).unwrap();
         let restored = Page::from_bytes(*pages[0].bytes());
         assert_eq!(restored.len(), 10);

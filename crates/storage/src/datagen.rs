@@ -53,12 +53,14 @@ impl GenConfig {
 }
 
 fn name_pool(prefix: &str, n: u64, special: &str) -> Vec<Arc<str>> {
-    let mut pool: Vec<Arc<str>> = (0..n.max(1)).map(|i| Arc::from(format!("{prefix}{i:05}").as_str())).collect();
+    let mut pool: Vec<Arc<str>> = (0..n.max(1))
+        .map(|i| Arc::from(format!("{prefix}{i:05}").as_str()))
+        .collect();
     pool[0] = Arc::from(special);
     pool
 }
 
-fn pick<'a, R: Rng>(rng: &mut R, pool: &'a [Arc<str>]) -> Value {
+fn pick<R: Rng>(rng: &mut R, pool: &[Arc<str>]) -> Value {
     Value::Str(pool[rng.gen_range(0..pool.len())].clone())
 }
 
@@ -91,7 +93,10 @@ pub fn generate_paper_db(cfg: GenConfig) -> (Store, PaperModel) {
         .map(|i| {
             Object::new(
                 Oid::new(ids.person, i as u32),
-                vec![pick(&mut rng, &person_names), Value::Int(rng.gen_range(18..90))],
+                vec![
+                    pick(&mut rng, &person_names),
+                    Value::Int(rng.gen_range(18..90)),
+                ],
             )
         })
         .collect();
@@ -226,7 +231,11 @@ pub fn generate_paper_db(cfg: GenConfig) -> (Store, PaperModel) {
                     name,
                     Value::Int(rng.gen_range(18..70)),
                     Value::Int(rng.gen_range(20_000..150_000)),
-                    Value::Date(Date::from_ymd(rng.gen_range(1988..1994), rng.gen_range(1..=12), 1)),
+                    Value::Date(Date::from_ymd(
+                        rng.gen_range(1988..1994),
+                        rng.gen_range(1..=12),
+                        1,
+                    )),
                     Value::Ref(Oid::new(ids.department, rng.gen_range(0..n_dept) as u32)),
                     Value::Ref(Oid::new(ids.job, rng.gen_range(0..n_job) as u32)),
                 ],
@@ -259,9 +268,8 @@ pub fn generate_paper_db(cfg: GenConfig) -> (Store, PaperModel) {
     store.insert_objects(ids.task, tasks, 120);
 
     // --- Collection membership (dense prefixes) ----------------------------------
-    let dense = |ty: TypeId, n: u64| -> Vec<Oid> {
-        (0..n).map(|i| Oid::new(ty, i as u32)).collect()
-    };
+    let dense =
+        |ty: TypeId, n: u64| -> Vec<Oid> { (0..n).map(|i| Oid::new(ty, i as u32)).collect() };
     store.set_members(ids.capitals, dense(ids.capital, n_capital));
     store.set_members(ids.cities, dense(ids.city, n_city));
     store.set_members(ids.employees, dense(ids.employee, n_emp_set));
@@ -333,7 +341,10 @@ mod tests {
             .len() as f64;
         let total = store.members(ids.employees).len() as f64;
         // 100 distinct names → ≈1% Freds; allow generous statistical slack.
-        assert!(freds / total > 0.002 && freds / total < 0.05, "{freds}/{total}");
+        assert!(
+            freds / total > 0.002 && freds / total < 0.05,
+            "{freds}/{total}"
+        );
     }
 
     #[test]

@@ -209,10 +209,7 @@ mod tests {
 
     #[test]
     fn range_lookup_in_key_order() {
-        let idx = BuiltIndex::build(
-            (0..10).map(|i| (Value::Int(i), oid(i as u32))),
-            0,
-        );
+        let idx = BuiltIndex::build((0..10).map(|i| (Value::Int(i), oid(i as u32))), 0);
         let hits = idx.lookup_range(&Value::Int(3), &Value::Int(6));
         assert_eq!(hits.len(), 4);
         assert_eq!(hits[0], oid(3));
@@ -254,7 +251,7 @@ mod tests {
 
     #[test]
     fn ordvalue_total_order_on_mixed_variants() {
-        let mut keys = vec![
+        let mut keys = [
             OrdValue(Value::str("x")),
             OrdValue(Value::Int(1)),
             OrdValue(Value::Null),

@@ -11,9 +11,7 @@
 
 use crate::disk::PageId;
 use crate::index::BuiltIndex;
-use oodb_object::{
-    Catalog, CollectionId, FieldId, IndexId, Object, Oid, Schema, TypeId, Value,
-};
+use oodb_object::{Catalog, CollectionId, FieldId, IndexId, Object, Oid, Schema, TypeId, Value};
 use std::collections::HashMap;
 
 /// Page region of one type.
@@ -76,9 +74,13 @@ impl Store {
     }
 
     /// Replaces the catalog (index-availability sweeps). The caller must
-    /// re-run [`Store::build_indexes`] afterwards.
+    /// re-run [`Store::build_indexes`] afterwards. The statistics epoch
+    /// stays monotonic across the swap so plans cached under the old
+    /// catalog can never be served against the new one.
     pub fn set_catalog(&mut self, catalog: Catalog) {
+        let floor = self.catalog.stats_epoch() + 1;
         self.catalog = catalog;
+        self.catalog.raise_stats_epoch_to(floor);
         self.indexes.clear();
     }
 
@@ -127,8 +129,7 @@ impl Store {
 
     /// The page an object lives on.
     pub fn page_of(&self, oid: Oid) -> PageId {
-        let r = self.regions[oid.type_id().index()]
-            .expect("type has no storage region");
+        let r = self.regions[oid.type_id().index()].expect("type has no storage region");
         r.first_page + (oid.seq() / r.objs_per_page) as u64
     }
 
@@ -160,8 +161,11 @@ impl Store {
         self.read_field(cur, key).clone()
     }
 
-    /// Builds every index declared in the catalog.
+    /// Builds every index declared in the catalog. Bumps the catalog's
+    /// statistics epoch: the physical design just (re)materialized, so
+    /// previously cached plans must re-optimize.
     pub fn build_indexes(&mut self) {
+        self.catalog.bump_stats_epoch();
         self.indexes.clear();
         // Collect first (immutable borrow), then assign page regions.
         let defs: Vec<_> = self.catalog.indexes().map(|(_, d)| d.clone()).collect();
@@ -181,6 +185,7 @@ impl Store {
 
     /// A built index by catalog id. Panics if [`Store::build_indexes`] has
     /// not run or the catalog changed since.
+    #[allow(clippy::should_implement_trait)]
     pub fn index(&self, id: IndexId) -> &BuiltIndex {
         &self.indexes[id.index()]
     }
@@ -194,7 +199,9 @@ impl Store {
     /// path, key)` plus any extra attribute paths given, attaching them to
     /// a copy of the catalog. This is the statistics-gathering pass behind
     /// the paper's future-work item "refine ... selectivity and cost
-    /// estimation"; rerun it after data changes.
+    /// estimation"; rerun it after data changes. The returned catalog
+    /// carries a bumped statistics epoch so plan caches re-optimize under
+    /// the refined estimates.
     pub fn collect_statistics(
         &self,
         extra: &[(CollectionId, Vec<FieldId>, FieldId)],
@@ -210,7 +217,8 @@ impl Store {
         targets.sort();
         targets.dedup();
         for (coll, path, key) in targets {
-            let values: Vec<Value> = self.members(coll)
+            let values: Vec<Value> = self
+                .members(coll)
                 .iter()
                 .map(|&oid| self.eval_path(oid, &path, key))
                 .collect();
@@ -218,6 +226,7 @@ impl Store {
                 catalog.set_histogram(coll, path, key, h);
             }
         }
+        catalog.bump_stats_epoch();
         catalog
     }
 
@@ -272,7 +281,7 @@ mod tests {
     }
 
     #[test]
-    fn scan_pages_are_dense(){
+    fn scan_pages_are_dense() {
         let (store, _, coll) = tiny();
         let pages = store.scan_pages(coll);
         assert_eq!(pages, (0..10).collect::<Vec<_>>());
@@ -304,8 +313,9 @@ mod tests {
         let hits = store.index(id).lookup_eq(&Value::Int(3));
         // x = i % 7 == 3 for i in {3,10,17,...,94}: 14 values.
         assert_eq!(hits.len(), 14);
-        assert!(hits.iter().all(|&o| o == Oid::new(t, o.seq())
-            && store.read_field(o, x) == &Value::Int(3)));
+        assert!(hits
+            .iter()
+            .all(|&o| o == Oid::new(t, o.seq()) && store.read_field(o, x) == &Value::Int(3)));
     }
 
     #[test]

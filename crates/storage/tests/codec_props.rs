@@ -1,10 +1,10 @@
 //! Property-based tests for the on-disk codec: arbitrary objects survive
 //! encode→page-pack→decode, and truncated inputs fail cleanly.
 
+use oodb_object::{Date, Object, Oid, TypeId, Value};
 use oodb_storage::codec::{
     decode_object, decode_value, encode_object, encode_value, pack_collection, unpack_pages,
 };
-use oodb_object::{Date, Object, Oid, TypeId, Value};
 use proptest::prelude::*;
 
 fn arb_value() -> impl Strategy<Value = Value> {

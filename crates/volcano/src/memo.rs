@@ -136,6 +136,15 @@ impl<M: OptModel> Memo<M> {
         children.iter().map(|&c| self.find(c)).collect()
     }
 
+    /// In-place variant of [`normalize`](Self::normalize) for callers that
+    /// already own the child vector — avoids an allocation per insert.
+    fn normalize_owned(&self, mut children: Vec<GroupId>) -> Vec<GroupId> {
+        for c in &mut children {
+            *c = self.find(*c);
+        }
+        children
+    }
+
     /// Inserts an expression, finding or creating its group. Returns
     /// `(group, expr, inserted)`; `inserted` is false when the expression
     /// already existed.
@@ -145,17 +154,19 @@ impl<M: OptModel> Memo<M> {
         op: M::LOp,
         children: Vec<GroupId>,
     ) -> (GroupId, ExprId, bool) {
-        let children = self.normalize(&children);
-        let key = (op.clone(), children.clone());
+        // Build the dedup key exactly once; on a miss it is moved into
+        // `push_expr`, which splits it between the map and the arena.
+        let key = (op, self.normalize_owned(children));
         if let Some(&e) = self.dedup.get(&key) {
             return (self.find(self.exprs[e.index()].group), e, false);
         }
         let props = {
-            let inputs: Vec<&M::LProps> = children
+            let inputs: Vec<&M::LProps> = key
+                .1
                 .iter()
                 .map(|c| &self.groups[self.find(*c).index()].props)
                 .collect();
-            model.derive_props(&op, &inputs)
+            model.derive_props(&key.0, &inputs)
         };
         let g = GroupId(self.groups.len() as u32);
         self.groups.push(Group {
@@ -163,18 +174,18 @@ impl<M: OptModel> Memo<M> {
             props,
         });
         self.parent.push(g.0);
-        let e = self.push_expr(op, children, g);
+        let e = self.push_expr(key, g);
         (g, e, true)
     }
 
-    fn push_expr(&mut self, op: M::LOp, children: Vec<GroupId>, g: GroupId) -> ExprId {
+    fn push_expr(&mut self, key: (M::LOp, Vec<GroupId>), g: GroupId) -> ExprId {
         let e = ExprId(self.exprs.len() as u32);
-        self.dedup.insert((op.clone(), children.clone()), e);
         self.exprs.push(Expr {
-            op,
-            children,
+            op: key.0.clone(),
+            children: key.1.clone(),
             group: g,
         });
+        self.dedup.insert(key, e);
         self.dead.push(false);
         self.groups[g.index()].exprs.push(e);
         e
@@ -191,8 +202,7 @@ impl<M: OptModel> Memo<M> {
         children: Vec<GroupId>,
     ) -> bool {
         let group = self.find(group);
-        let children = self.normalize(&children);
-        let key = (op.clone(), children.clone());
+        let key = (op, self.normalize_owned(children));
         if let Some(&e) = self.dedup.get(&key) {
             let other = self.find(self.exprs[e.index()].group);
             if other != group {
@@ -201,18 +211,13 @@ impl<M: OptModel> Memo<M> {
             }
             return false;
         }
-        self.push_expr(op, children, group);
+        self.push_expr(key, group);
         true
     }
 
     /// Recursively materializes a [`Rewrite`] template, inserting the top
     /// operator into `target`. Returns whether the memo changed.
-    pub fn insert_rewrite(
-        &mut self,
-        model: &M,
-        target: GroupId,
-        rw: Rewrite<M::LOp>,
-    ) -> bool {
+    pub fn insert_rewrite(&mut self, model: &M, target: GroupId, rw: Rewrite<M::LOp>) -> bool {
         match rw {
             Rewrite::Group(g) => {
                 // A bare group at top level asserts target ≡ g.
@@ -225,8 +230,10 @@ impl<M: OptModel> Memo<M> {
                 }
             }
             Rewrite::Op(op, subs) => {
-                let children: Vec<GroupId> =
-                    subs.into_iter().map(|s| self.materialize(model, s)).collect();
+                let children: Vec<GroupId> = subs
+                    .into_iter()
+                    .map(|s| self.materialize(model, s))
+                    .collect();
                 self.insert_into(model, target, op, children)
             }
         }
@@ -236,8 +243,10 @@ impl<M: OptModel> Memo<M> {
         match rw {
             Rewrite::Group(g) => self.find(g),
             Rewrite::Op(op, subs) => {
-                let children: Vec<GroupId> =
-                    subs.into_iter().map(|s| self.materialize(model, s)).collect();
+                let children: Vec<GroupId> = subs
+                    .into_iter()
+                    .map(|s| self.materialize(model, s))
+                    .collect();
                 self.insert(model, op, children).0
             }
         }
@@ -272,8 +281,10 @@ impl<M: OptModel> Memo<M> {
                     continue;
                 }
                 let e = ExprId(i as u32);
-                let norm = self.normalize(&self.exprs[i].children.clone());
-                self.exprs[i].children = norm.clone();
+                let norm = self.normalize(&self.exprs[i].children);
+                if self.exprs[i].children != norm {
+                    self.exprs[i].children = norm.clone();
+                }
                 let key = (self.exprs[i].op.clone(), norm);
                 match map.get(&key) {
                     None => {

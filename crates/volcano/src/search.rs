@@ -16,7 +16,7 @@ use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// Engine configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SearchConfig {
     /// Branch-and-bound: abandon a candidate as soon as its partial cost
     /// exceeds the best complete plan found for the goal. Sound (never
@@ -26,15 +26,6 @@ pub struct SearchConfig {
     /// Record a goal-level search trace (see [`Optimizer::trace`]) — the
     /// "search state" view of the paper's Figure 11.
     pub trace: bool,
-}
-
-impl Default for SearchConfig {
-    fn default() -> Self {
-        SearchConfig {
-            prune: false,
-            trace: false,
-        }
-    }
 }
 
 /// One recorded search event (when tracing is enabled).
@@ -145,8 +136,14 @@ pub struct Optimizer<'a, M: OptModel> {
     pub memo: Memo<M>,
     config: SearchConfig,
     fired: HashMap<(ExprId, usize), u64>,
-    winners: HashMap<(GroupId, M::PProps), Option<Winner<M>>>,
-    in_progress: HashSet<(GroupId, M::PProps)>,
+    /// Winners/in-progress keyed on `(group, hash(props))` rather than an
+    /// owned props clone: goal keys become `Copy`, so the hot memoization
+    /// path allocates nothing. A 64-bit hash collision between two
+    /// distinct property requirements on the same group could alias two
+    /// goals; with the handful of property values a query generates the
+    /// odds are ~2⁻⁶⁴ per pair, which we accept for the allocation win.
+    winners: HashMap<(GroupId, u64), Option<Winner<M>>>,
+    in_progress: HashSet<(GroupId, u64)>,
     depth: usize,
     /// The recorded search trace (empty unless `SearchConfig::trace`).
     pub trace: Vec<TraceEvent<M::PProps>>,
@@ -174,6 +171,13 @@ impl<'a, M: OptModel> Optimizer<'a, M> {
     /// The model.
     pub fn model(&self) -> &M {
         self.model
+    }
+
+    fn goal_key(group: GroupId, props: &M::PProps) -> (GroupId, u64) {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        props.hash(&mut h);
+        (group, h.finish())
     }
 
     fn children_version(&self, e: ExprId) -> u64 {
@@ -204,8 +208,7 @@ impl<'a, M: OptModel> Optimizer<'a, M> {
                     self.fired.insert((e, ri), ver);
                     let expr = self.memo.expr(e).clone();
                     let target = expr.group;
-                    let rewrites =
-                        self.rules.transforms[ri].apply(self.model, &self.memo, &expr);
+                    let rewrites = self.rules.transforms[ri].apply(self.model, &self.memo, &expr);
                     self.stats.transform_firings += 1;
                     for rw in rewrites {
                         self.stats.exprs_generated += 1;
@@ -225,11 +228,11 @@ impl<'a, M: OptModel> Optimizer<'a, M> {
     /// `props`. `None` means no feasible plan exists.
     pub fn optimize_group(&mut self, group: GroupId, props: M::PProps) -> Option<Winner<M>> {
         let group = self.memo.find(group);
-        let key = (group, props.clone());
+        let key = Self::goal_key(group, &props);
         if let Some(w) = self.winners.get(&key) {
             return w.clone();
         }
-        if !self.in_progress.insert(key.clone()) {
+        if !self.in_progress.insert(key) {
             return None; // cycle guard: a plan requiring itself is infinite
         }
         self.stats.goals += 1;
@@ -249,9 +252,14 @@ impl<'a, M: OptModel> Optimizer<'a, M> {
         // below don't conflict with the loop borrow.
         let rules: &'a RuleSet<M> = self.rules;
         for e in self.memo.group_exprs(group) {
-            let expr = self.memo.expr(e).clone();
             for rule in &rules.impls {
-                let cands = rule.implementations(self.model, &self.memo, &expr, &props);
+                // Borrow the memoized expression only for candidate
+                // generation; the recursive `optimize_group` calls below
+                // need `&mut self`, so the borrow must end here.
+                let cands = {
+                    let expr = self.memo.expr(e);
+                    rule.implementations(self.model, &self.memo, expr, &props)
+                };
                 for cand in cands {
                     self.stats.candidates += 1;
                     if !self.model.satisfies(&props, &cand.delivers) {
@@ -261,7 +269,7 @@ impl<'a, M: OptModel> Optimizer<'a, M> {
                     let mut total = cand.cost;
                     let mut children = Vec::with_capacity(cand.children.len());
                     let mut feasible = true;
-                    for (cg, cp) in cand.children.iter().zip(&cand.input_props) {
+                    for (cg, cp) in cand.children.into_iter().zip(cand.input_props) {
                         if self.config.prune {
                             if let Some(b) = &best {
                                 if total.total() >= b.total.total() {
@@ -271,10 +279,10 @@ impl<'a, M: OptModel> Optimizer<'a, M> {
                                 }
                             }
                         }
-                        match self.optimize_group(*cg, cp.clone()) {
+                        match self.optimize_group(cg, cp.clone()) {
                             Some(w) => {
                                 total = total.add(w.total);
-                                children.push((self.memo.find(*cg), cp.clone()));
+                                children.push((self.memo.find(cg), cp));
                             }
                             None => {
                                 feasible = false;
@@ -288,7 +296,7 @@ impl<'a, M: OptModel> Optimizer<'a, M> {
                     self.stats.plans_costed += 1;
                     if best
                         .as_ref()
-                        .map_or(true, |b| total.total() < b.total.total())
+                        .is_none_or(|b| total.total() < b.total.total())
                     {
                         best = Some(Winner {
                             op: cand.op,
@@ -319,7 +327,7 @@ impl<'a, M: OptModel> Optimizer<'a, M> {
                     self.stats.plans_costed += 1;
                     if best
                         .as_ref()
-                        .map_or(true, |b| total.total() < b.total.total())
+                        .is_none_or(|b| total.total() < b.total.total())
                     {
                         best = Some(Winner {
                             op: ec.op,
@@ -351,7 +359,7 @@ impl<'a, M: OptModel> Optimizer<'a, M> {
 
     /// Extracts the winning plan tree for a solved goal.
     pub fn extract(&self, group: GroupId, props: &M::PProps) -> Option<PlanNode<M>> {
-        let key = (self.memo.find(group), props.clone());
+        let key = Self::goal_key(self.memo.find(group), props);
         let w = self.winners.get(&key)?.as_ref()?;
         let children = w
             .children
@@ -421,7 +429,11 @@ mod tests {
         // cost(join(a,c)) = 2*10 + 100 = 120, out card = 100*10/10 = 100
         // cost(join(ac,b)) = 2*100 + 1000 = 1200
         // scans: 100 + 10 + 1000; total = 120 + 1200 + 1110 = 2430.
-        assert!((plan.total_cost() - 2430.0).abs() < 1e-9, "{}", plan.total_cost());
+        assert!(
+            (plan.total_cost() - 2430.0).abs() < 1e-9,
+            "{}",
+            plan.total_cost()
+        );
     }
 
     #[test]

@@ -22,8 +22,7 @@ fn tree_over(tables: Vec<u32>) -> BoxedStrategy<Tree> {
     (1..tables.len())
         .prop_flat_map(move |split| {
             let (l, r) = (tables[..split].to_vec(), tables[split..].to_vec());
-            (tree_over(l), tree_over(r))
-                .prop_map(|(a, b)| Tree::Join(Box::new(a), Box::new(b)))
+            (tree_over(l), tree_over(r)).prop_map(|(a, b)| Tree::Join(Box::new(a), Box::new(b)))
         })
         .boxed()
 }

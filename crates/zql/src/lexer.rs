@@ -188,9 +188,7 @@ impl<'s> Lexer<'s> {
                 while let Some(&c) = self.src.get(end) {
                     if c.is_ascii_digit() {
                         end += 1;
-                    } else if c == b'.'
-                        && self.src.get(end + 1).is_some_and(u8::is_ascii_digit)
-                    {
+                    } else if c == b'.' && self.src.get(end + 1).is_some_and(u8::is_ascii_digit) {
                         // A dot is a float point only when followed by a
                         // digit — `100.foo` stays Int + Dot + Ident.
                         is_float = true;
@@ -219,7 +217,9 @@ impl<'s> Lexer<'s> {
                 {
                     end += 1;
                 }
-                let text = std::str::from_utf8(&self.src[self.pos..end]).unwrap().to_string();
+                let text = std::str::from_utf8(&self.src[self.pos..end])
+                    .unwrap()
+                    .to_string();
                 self.pos = end;
                 Token::Ident(text)
             }

@@ -326,8 +326,7 @@ mod tests {
 
     #[test]
     fn parses_query2() {
-        let q = parse(r#"SELECT c FROM City c IN Cities WHERE c.mayor().name() == "Joe""#)
-            .unwrap();
+        let q = parse(r#"SELECT c FROM City c IN Cities WHERE c.mayor().name() == "Joe""#).unwrap();
         assert!(!q.new_object);
         assert_eq!(
             q.select[0],
@@ -393,10 +392,8 @@ mod tests {
         // Bare variable is rejected: ORDER BY needs an attribute.
         assert!(parse("SELECT c FROM c IN Cities ORDER BY c").is_err());
         // ORDER BY follows WHERE.
-        let q = parse(
-            "SELECT c FROM c IN Cities WHERE c.population() >= 10 ORDER BY c.name()",
-        )
-        .unwrap();
+        let q = parse("SELECT c FROM c IN Cities WHERE c.population() >= 10 ORDER BY c.name()")
+            .unwrap();
         assert!(q.where_.is_some());
         assert!(q.order_by.is_some());
     }

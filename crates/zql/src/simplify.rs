@@ -402,14 +402,12 @@ impl Simplifier {
                     match self.env.schema.field(f).kind {
                         FieldKind::Ref(_) => cur = self.mat_var(cur, Some(f)),
                         FieldKind::RefSet(_) => {
-                            return self.err(format!(
-                                "set-valued field {step:?} in a path; use EXISTS"
-                            ))
+                            return self
+                                .err(format!("set-valued field {step:?} in a path; use EXISTS"))
                         }
                         FieldKind::Attr(_) => {
-                            return self.err(format!(
-                                "attribute {step:?} cannot be dereferenced further"
-                            ))
+                            return self
+                                .err(format!("attribute {step:?} cannot be dereferenced further"))
                         }
                     }
                 }
@@ -529,8 +527,14 @@ mod tests {
         )
         .unwrap();
         let text = render_logical(&q.env, &q.plan);
-        assert!(text.contains("Project e.name, e.job.name, e.dept.name"), "{text}");
-        assert!(text.contains("Select e.dept.plant.location == \"Dallas\""), "{text}");
+        assert!(
+            text.contains("Project e.name, e.job.name, e.dept.name"),
+            "{text}"
+        );
+        assert!(
+            text.contains("Select e.dept.plant.location == \"Dallas\""),
+            "{text}"
+        );
         assert!(text.contains("Mat e.dept.plant"), "{text}");
         assert!(text.contains("Mat e.dept\n"), "{text}");
         assert!(text.contains("Mat e.job"), "{text}");
@@ -568,7 +572,10 @@ mod tests {
         assert!(text.contains("Get Employees: e"), "{text}");
         assert!(text.contains("Get extent(Department): d"), "{text}");
         // Join condition consumed; the two attribute conditions remain.
-        assert!(text.contains("Select d.floor == 3 and e.age >= 32"), "{text}");
+        assert!(
+            text.contains("Select d.floor == 3 and e.age >= 32"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -625,10 +632,7 @@ mod tests {
     fn order_by_resolves_to_sort_spec() {
         let m = paper_model();
         // Ordering through a path materializes the link.
-        let q = compile(
-            "SELECT c FROM City c IN Cities ORDER BY c.mayor().age()",
-        )
-        .unwrap();
+        let q = compile("SELECT c FROM City c IN Cities ORDER BY c.mayor().age()").unwrap();
         let spec = q.order.expect("order resolved");
         assert_eq!(m.ids.person_age, spec.field);
         assert!(

@@ -37,8 +37,7 @@ WHERE e.dept().plant().location() == "Dallas""#;
     for (label, config) in configs {
         // Each optimization run gets a fresh environment (scope/predicate
         // arenas are per-query).
-        let q = open_oodb::zql::compile(src, &model.schema, &model.catalog)
-            .expect("compiles");
+        let q = open_oodb::zql::compile(src, &model.schema, &model.catalog).expect("compiles");
         let optimizer = OpenOodb::with_config(&q.env, config);
         let out = optimizer
             .optimize(&q.plan, q.result_vars)

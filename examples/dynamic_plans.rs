@@ -53,8 +53,14 @@ WHERE t.time() == 100
     // "Run time": the DBA drops indexes one by one; selection adapts with
     // zero recompilation. Execute each selected plan to prove it runs.
     let scenarios: [(&str, &[&str]); 3] = [
-        ("all indexes present", &["Tasks_time", "Employees_name", "Cities_mayor_name"]),
-        ("time index dropped", &["Employees_name", "Cities_mayor_name"]),
+        (
+            "all indexes present",
+            &["Tasks_time", "Employees_name", "Cities_mayor_name"],
+        ),
+        (
+            "time index dropped",
+            &["Employees_name", "Cities_mayor_name"],
+        ),
         ("no indexes at all", &[]),
     ];
     for (label, names) in scenarios {

@@ -16,8 +16,7 @@ fn main() {
 
     // 2. Compile a ZQL[C++]-style query: the paper's Query 2.
     let src = r#"SELECT c FROM City c IN Cities WHERE c.mayor().name() == "Joe""#;
-    let q = open_oodb::zql::compile(src, &model.schema, &model.catalog)
-        .expect("query compiles");
+    let q = open_oodb::zql::compile(src, &model.schema, &model.catalog).expect("query compiles");
     println!("ZQL:\n  {src}\n");
     println!("Simplified logical algebra (paper Figure 8):");
     println!("{}", render_logical(&q.env, &q.plan));
@@ -28,7 +27,10 @@ fn main() {
     let out = optimizer
         .optimize(&q.plan, q.result_vars)
         .expect("feasible plan");
-    println!("Optimal physical plan (estimated {:.3} s):", out.cost.total());
+    println!(
+        "Optimal physical plan (estimated {:.3} s):",
+        out.cost.total()
+    );
     println!("{}", render_physical(&q.env, &out.plan));
     println!(
         "Search: {} groups, {} expressions, optimized in {:?}",

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Repo-wide gate: formatting, lints, tests. CI and pre-commit both run this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "OK"

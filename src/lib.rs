@@ -45,6 +45,7 @@ pub use oodb_algebra as algebra;
 pub use oodb_core as core;
 pub use oodb_exec as exec;
 pub use oodb_object as object;
+pub use oodb_service as service;
 pub use oodb_storage as storage;
 pub use volcano;
 pub use zql;
@@ -59,5 +60,6 @@ pub mod prelude {
     pub use oodb_exec::{execute, Executor};
     pub use oodb_object::paper::{paper_model, paper_model_scaled};
     pub use oodb_object::{Catalog, Schema, Value};
+    pub use oodb_service::{QueryService, SubmitOptions, WorkerPool};
     pub use oodb_storage::{generate_paper_db, GenConfig, Store};
 }

@@ -40,8 +40,7 @@ fn query2_all_plans_agree_with_oracle() {
         .members(model.ids.cities)
         .iter()
         .filter(|&&c| {
-            store.eval_path(c, &[model.ids.city_mayor], model.ids.person_name)
-                == Value::str("Joe")
+            store.eval_path(c, &[model.ids.city_mayor], model.ids.person_name) == Value::str("Joe")
         })
         .count();
 
@@ -203,8 +202,7 @@ FROM City c IN Cities WHERE c.mayor().name() == "Joe""#;
         .members(model.ids.cities)
         .iter()
         .filter(|&&c| {
-            store.eval_path(c, &[model.ids.city_mayor], model.ids.person_name)
-                == Value::str("Joe")
+            store.eval_path(c, &[model.ids.city_mayor], model.ids.person_name) == Value::str("Joe")
         })
         .count();
     assert_eq!(rows.len(), oracle);
@@ -218,8 +216,18 @@ fn set_operations_end_to_end() {
     let (store, model) = db();
     let mut qb = QueryBuilder::new(model.schema.clone(), model.catalog.clone());
     let (_, c) = qb.get(model.ids.cities, "c");
-    let big = qb.cmp_const(c, model.ids.city_population, CmpOp::Ge, Value::Int(1_000_000));
-    let small = qb.cmp_const(c, model.ids.city_population, CmpOp::Lt, Value::Int(1_000_000));
+    let big = qb.cmp_const(
+        c,
+        model.ids.city_population,
+        CmpOp::Ge,
+        Value::Int(1_000_000),
+    );
+    let small = qb.cmp_const(
+        c,
+        model.ids.city_population,
+        CmpOp::Lt,
+        Value::Int(1_000_000),
+    );
     let env = qb.into_env();
 
     let scan = || oodb_algebra::PhysicalPlan {
@@ -242,7 +250,11 @@ fn set_operations_end_to_end() {
     };
 
     let total = store.members(model.ids.cities).len();
-    let (u, _) = execute(&store, &env, &setop(SetOpKind::Union, filter(big), filter(small)));
+    let (u, _) = execute(
+        &store,
+        &env,
+        &setop(SetOpKind::Union, filter(big), filter(small)),
+    );
     assert_eq!(u.len(), total, "big ∪ small = all");
     let (i, _) = execute(
         &store,
@@ -298,7 +310,10 @@ WHERE c.population() >= 1000 ORDER BY c.population()"#;
                 .unwrap()
         })
         .collect();
-    assert!(pops.windows(2).all(|w| w[0] <= w[1]), "results must be sorted");
+    assert!(
+        pops.windows(2).all(|w| w[0] <= w[1]),
+        "results must be sorted"
+    );
     assert!(!pops.is_empty());
 }
 
@@ -358,7 +373,12 @@ fn range_index_scans_match_oracle() {
         CmpOp::Ge,
     ]
     .into_iter()
-    .map(|op| (op, qb.cmp_const(t, model.ids.task_time, op, Value::Int(250))))
+    .map(|op| {
+        (
+            op,
+            qb.cmp_const(t, model.ids.task_time, op, Value::Int(250)),
+        )
+    })
     .collect();
     let env = qb.into_env();
 
@@ -398,7 +418,12 @@ fn histograms_change_range_estimates() {
     let build = |catalog: &Catalog| {
         let mut qb = QueryBuilder::new(model.schema.clone(), catalog.clone());
         let (_, t) = qb.get(model.ids.tasks, "t");
-        let pred = qb.cmp_const(t, model.ids.task_time, oodb_algebra::CmpOp::Le, Value::Int(20));
+        let pred = qb.cmp_const(
+            t,
+            model.ids.task_time,
+            oodb_algebra::CmpOp::Le,
+            Value::Int(20),
+        );
         (qb.into_env(), pred)
     };
     let (env0, p0) = build(&model.catalog);
@@ -437,12 +462,9 @@ fn merge_join_agrees_with_hash_join() {
     let result_vars = VarSet::from_iter([c, k]);
 
     // Hash-join-only and merge-join-only configurations.
-    let hash_only = OpenOodb::with_config(
-        &env,
-        OptimizerConfig::without(&[rn::MERGE_JOIN]),
-    )
-    .optimize(&plan, result_vars)
-    .expect("hash plan");
+    let hash_only = OpenOodb::with_config(&env, OptimizerConfig::without(&[rn::MERGE_JOIN]))
+        .optimize(&plan, result_vars)
+        .expect("hash plan");
     let merge_only = OpenOodb::with_config(
         &env,
         OptimizerConfig::without(&[rn::HYBRID_HASH_JOIN, rn::POINTER_JOIN]),
@@ -466,19 +488,26 @@ fn merge_join_agrees_with_hash_join() {
 
     let (r_hash, _) = execute(&store, &env, &hash_only.plan);
     let (r_merge, _) = execute(&store, &env, &merge_only.plan);
-    let set_h: std::collections::HashSet<_> =
-        r_hash.tuples().iter().map(|t| (t.get(c), t.get(k))).collect();
-    let set_m: std::collections::HashSet<_> =
-        r_merge.tuples().iter().map(|t| (t.get(c), t.get(k))).collect();
+    let set_h: std::collections::HashSet<_> = r_hash
+        .tuples()
+        .iter()
+        .map(|t| (t.get(c), t.get(k)))
+        .collect();
+    let set_m: std::collections::HashSet<_> = r_merge
+        .tuples()
+        .iter()
+        .map(|t| (t.get(c), t.get(k)))
+        .collect();
     assert_eq!(set_h, set_m, "join algorithms must agree");
     // Sanity: both match the nested-loop oracle.
     let oracle = store
         .members(model.ids.cities)
         .iter()
         .flat_map(|&cc| {
-            store.members(model.ids.capitals).iter().filter_map(move |&kk| {
-                Some((cc, kk))
-            })
+            store
+                .members(model.ids.capitals)
+                .iter()
+                .map(move |&kk| (cc, kk))
         })
         .filter(|&(cc, kk)| {
             store.read_field(cc, model.ids.city_population)

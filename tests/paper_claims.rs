@@ -80,9 +80,9 @@ fn figure7_naive_pointer_chasing() {
             .contains_op(&|op| matches!(op, PhysicalOp::HybridHashJoin { .. })),
         "hash join requires commutativity to orient the build side"
     );
-    assert!(out
-        .plan
-        .contains_op(&|op| matches!(op, PhysicalOp::FileScan { coll, .. } if *coll == m.ids.employees)));
+    assert!(out.plan.contains_op(
+        &|op| matches!(op, PhysicalOp::FileScan { coll, .. } if *coll == m.ids.employees)
+    ));
 }
 
 /// Queries 2/3: collapse-to-index-scan wins by orders of magnitude; the
@@ -106,7 +106,10 @@ fn query2_query3_magnitudes() {
     assert!(q3.cost.total() < 0.5, "{}", q3.cost.total());
     assert!(q3.cost.total() > q2_fast.cost.total());
     // And the plan really is enforcer-over-index-scan.
-    assert!(matches!(q3.plan.children[0].op, PhysicalOp::Assembly { .. }));
+    assert!(matches!(
+        q3.plan.children[0].op,
+        PhysicalOp::Assembly { .. }
+    ));
     assert!(matches!(
         q3.plan.children[0].children[0].op,
         PhysicalOp::IndexScan { .. }
@@ -125,10 +128,7 @@ fn table3_greedy_vs_cost_based() {
             .optimize(&q.plan, q.result_vars)
             .unwrap();
         let greedy = greedy_plan(&q.env, CostParams::default(), &q.plan).unwrap();
-        (
-            out.cost.total(),
-            greedy.total_io_s() + greedy.total_cpu_s(),
-        )
+        (out.cost.total(), greedy.total_io_s() + greedy.total_cpu_s())
     };
 
     let (opt_time, greedy_time) = ratio(&["Tasks_time"]);

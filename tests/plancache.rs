@@ -1,0 +1,159 @@
+//! End-to-end plan-cache correctness: the invalidation guarantees the
+//! query service must uphold — a cached plan is served only when the
+//! query, rule configuration, statistics epoch, and index set all match,
+//! and concurrent submission is observationally identical to serial.
+
+use oodb_core::config::rule_names;
+use oodb_core::{CostParams, OptimizerConfig};
+use oodb_service::{QueryOutput, QueryService, SubmitOptions, WorkerPool};
+use oodb_storage::{generate_paper_db, GenConfig};
+
+fn service() -> QueryService {
+    let (store, _model) = generate_paper_db(GenConfig {
+        scale_div: 100,
+        ..Default::default()
+    });
+    QueryService::new(
+        store,
+        CostParams::default(),
+        OptimizerConfig::all_rules(),
+        128,
+        8,
+    )
+}
+
+const Q_MAYOR: &str = r#"SELECT c FROM City c IN Cities WHERE c.mayor().name() == "Joe""#;
+const Q_TIME: &str = "SELECT t FROM Task t IN Tasks WHERE t.time() == 100";
+
+#[test]
+fn identical_query_reparse_hits() {
+    let svc = service();
+    let a = svc.submit(Q_MAYOR).unwrap();
+    let b = svc.submit(Q_MAYOR).unwrap();
+    assert!(!a.cache_hit);
+    assert!(b.cache_hit, "re-parsing the same text must hit the cache");
+    assert_eq!(a.rows, b.rows);
+    // And a *textual variant* of the same query shares the entry.
+    let c = svc
+        .submit(r#"SELECT town FROM City town IN Cities WHERE "Joe" == town.mayor().name()"#)
+        .unwrap();
+    assert!(
+        c.cache_hit,
+        "canonical fingerprint must erase naming/operand order"
+    );
+    assert_eq!(a.rows, c.rows);
+}
+
+#[test]
+fn stats_epoch_bump_forces_reoptimization() {
+    let svc = service();
+    let before = svc.store().catalog().stats_epoch();
+    let a = svc.submit(Q_TIME).unwrap();
+    assert!(!a.cache_hit);
+    assert!(svc.submit(Q_TIME).unwrap().cache_hit);
+
+    svc.refresh_statistics(16);
+    assert!(
+        svc.store().catalog().stats_epoch() > before,
+        "collect_statistics must bump the epoch"
+    );
+    let c = svc.submit(Q_TIME).unwrap();
+    assert!(
+        !c.cache_hit,
+        "a statistics refresh must force re-optimization"
+    );
+    assert_eq!(a.rows, c.rows, "same data, same answer");
+    // The re-optimized plan is itself cached again.
+    assert!(svc.submit(Q_TIME).unwrap().cache_hit);
+}
+
+#[test]
+fn rule_config_toggle_never_serves_foreign_plan() {
+    let svc = service();
+    let all = svc.submit(Q_MAYOR).unwrap();
+    assert!(!all.cache_hit);
+    assert!(
+        !all.indexes_used.is_empty(),
+        "all-rules plan uses the path index"
+    );
+
+    // Disable the collapse-to-index-scan rule: the cached all-rules plan
+    // (which scans the index) must not be served.
+    svc.set_config(OptimizerConfig::all_rules().and_without(rule_names::COLLAPSE_TO_INDEX_SCAN));
+    let restricted = svc.submit(Q_MAYOR).unwrap();
+    assert!(
+        !restricted.cache_hit,
+        "a rule toggle must never serve a plan cached under other rules"
+    );
+    assert_eq!(all.rows, restricted.rows, "plans differ, answers must not");
+
+    // Switching back serves the original entry — it never left the cache.
+    svc.set_config(OptimizerConfig::all_rules());
+    assert!(svc.submit(Q_MAYOR).unwrap().cache_hit);
+}
+
+#[test]
+fn dropped_index_is_never_served() {
+    let svc = service();
+    let with_index = svc.submit(Q_MAYOR).unwrap();
+    assert!(with_index
+        .indexes_used
+        .contains(&"Cities_mayor_name".to_string()));
+
+    // Physical-design change: drop every index.
+    svc.restrict_indexes(&[]);
+    let without = svc.submit(Q_MAYOR).unwrap();
+    assert!(!without.cache_hit, "index drop must invalidate");
+    assert!(
+        without.indexes_used.is_empty(),
+        "no plan may touch a dropped index: {:?}",
+        without.indexes_used
+    );
+    assert_eq!(with_index.rows, without.rows);
+
+    // Dropping a *subset* also invalidates: a service restricted to the
+    // unrelated Tasks index must not plan over the dropped mayor index.
+    let svc2 = service();
+    svc2.restrict_indexes(&["Tasks_time"]);
+    let partial = svc2.submit(Q_MAYOR).unwrap();
+    assert!(!partial
+        .indexes_used
+        .contains(&"Cities_mayor_name".to_string()));
+    assert_eq!(with_index.rows, partial.rows);
+}
+
+#[test]
+fn concurrent_submit_is_byte_identical_to_serial() {
+    // One Zipf-ish workload, three queries, interleaved; serial reference
+    // first, then the same stream through 8 workers on a fresh service.
+    let queries = [
+        Q_MAYOR,
+        Q_TIME,
+        r#"SELECT e FROM Employee e IN Employees WHERE e.name() == "Fred""#,
+    ];
+    let stream: Vec<&str> = (0..48).map(|i| queries[i % 3]).collect();
+
+    let serial_svc = service();
+    let serial: Vec<QueryOutput> = stream
+        .iter()
+        .map(|q| serial_svc.submit(q).unwrap())
+        .collect();
+
+    let par_svc = service();
+    let pool = WorkerPool::new(par_svc.clone(), 8);
+    let pending: Vec<_> = stream
+        .iter()
+        .map(|q| pool.submit(*q, SubmitOptions::default()))
+        .collect();
+    let parallel: Vec<QueryOutput> = pending.into_iter().map(|p| p.wait().unwrap()).collect();
+    pool.shutdown();
+
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.rows, p.rows, "concurrent results must be byte-identical");
+        assert_eq!(s.row_count, p.row_count);
+    }
+    // The cache actually worked under concurrency: only 3 distinct plans.
+    let stats = par_svc.cache().stats();
+    assert!(stats.hits >= stream.len() as u64 - 2 * queries.len() as u64);
+}

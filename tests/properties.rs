@@ -60,9 +60,7 @@ fn oracle_holds(store: &Store, m: &PaperModel, e: oodb_object::Oid, c: &Cond) ->
     match c {
         Cond::AgeGe(k) => store.read_field(e, ids.person_age).as_int().unwrap() >= *k,
         Cond::SalaryLt(k) => store.read_field(e, ids.emp_salary).as_int().unwrap() < *k,
-        Cond::NameEq(i) => {
-            store.read_field(e, ids.person_name) == &Value::str(&emp_name(*i))
-        }
+        Cond::NameEq(i) => store.read_field(e, ids.person_name) == &Value::str(&emp_name(*i)),
         Cond::DeptFloorEq(k) => {
             store.eval_path(e, &[ids.emp_dept], ids.dept_floor) == Value::Int(*k)
         }
@@ -81,7 +79,12 @@ fn oracle_holds(store: &Store, m: &PaperModel, e: oodb_object::Oid, c: &Cond) ->
 fn build_query(
     m: &PaperModel,
     conds: &[Cond],
-) -> (oodb_algebra::QueryEnv, LogicalPlan, VarSet, oodb_algebra::VarId) {
+) -> (
+    oodb_algebra::QueryEnv,
+    LogicalPlan,
+    VarSet,
+    oodb_algebra::VarId,
+) {
     use oodb_algebra::{CmpOp, Operand, Term};
     let ids = &m.ids;
     let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
@@ -281,11 +284,7 @@ fn memo_join_enumeration_invariants() {
             g = opt.memo.insert(&model, ToyOp::Join, vec![g, leaf]).0;
         }
         opt.explore_all();
-        assert_eq!(
-            opt.memo.group_exprs(g).len(),
-            expected[idx],
-            "n = {n}"
-        );
+        assert_eq!(opt.memo.group_exprs(g).len(), expected[idx], "n = {n}");
         let before = opt.memo.expr_count();
         opt.explore_all();
         assert_eq!(opt.memo.expr_count(), before, "fixpoint must be stable");

@@ -1,0 +1,53 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// An inclusive length band for generated collections, convertible from
+/// `a..b` (half-open, like the real crate) or an exact `usize`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// Strategy for `Vec`s whose elements come from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.usize_inclusive(self.size.min, self.size.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

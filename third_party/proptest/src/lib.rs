@@ -1,0 +1,137 @@
+//! A tiny, dependency-free, offline drop-in for the subset of the
+//! `proptest` 1.x API this workspace uses.
+//!
+//! The build container has no crates.io access, so the real `proptest`
+//! cannot be vendored. This reimplementation keeps the surface the tests
+//! rely on — `proptest!`, `prop_assert!`/`prop_assert_eq!`, `prop_oneof!`,
+//! `Strategy` with `prop_map`/`prop_flat_map`/`boxed`, `Just`, ranges,
+//! tuples, `collection::vec`, `any`, and a `[class]{m,n}` string pattern —
+//! backed by a deterministic per-test PRNG. It generates and checks random
+//! cases but does **not** shrink failures; a failing case prints its full
+//! `Debug` input instead.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod arbitrary;
+
+pub mod collection;
+
+/// The glob-import module mirrored from the real crate.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declares a block of property tests.
+///
+/// Supports an optional leading `#![proptest_config(expr)]`, then any
+/// number of functions of the form
+/// `#[test] fn name(arg in strategy, ...) { body }`. The body runs once
+/// per generated case inside a closure returning
+/// `Result<(), TestCaseError>`, so `prop_assert!` failures and explicit
+/// `return Ok(())` both work.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            config = $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new(
+                    $config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let strat = ($($strat,)+);
+                runner.run(&strat, |($($arg,)+)| {
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Uniform choice between several strategies producing the same value
+/// type. (Weights are not supported; none of this workspace uses them.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current
+/// case (with the generated inputs printed) instead of panicking
+/// immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    left, right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left == right)`: {}\n  left: `{:?}`\n right: `{:?}`",
+                    format!($($fmt)+),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}

@@ -1,0 +1,153 @@
+//! Deterministic case runner: a seeded PRNG per test (seeded from the
+//! test's module path + name, so runs are reproducible) driving N
+//! generated cases through the test closure.
+
+use crate::strategy::Strategy;
+use std::fmt;
+
+/// Per-block configuration. Only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to generate and check.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property check (no shrinking: carries the message only; the
+/// runner prints the generated inputs alongside it).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic generator handed to strategies (xorshift128+ seeded via
+/// SplitMix64 from a name hash).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s0: u64,
+    s1: u64,
+}
+
+impl TestRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let s0 = next();
+        let s1 = next();
+        TestRng {
+            s0: if s0 == 0 { 0x853c49e6748fea9b } else { s0 },
+            s1: if s1 == 0 { 0xda3e39cb94b95bdb } else { s1 },
+        }
+    }
+
+    /// Test-only constructor (the runner normally owns seeding).
+    #[doc(hidden)]
+    pub fn from_seed_for_tests(seed: u64) -> Self {
+        TestRng::seed_from_u64(seed)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.s0;
+        let y = self.s1;
+        self.s0 = y;
+        x ^= x << 23;
+        self.s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        self.s1.wrapping_add(y)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + self.below((hi - lo) as u64 + 1) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Runs the configured number of cases for one test function.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner whose PRNG is seeded from `name`, so each test
+    /// sees a stable, test-specific stream.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let rng = TestRng::seed_from_u64(fnv1a(name));
+        TestRunner { config, name, rng }
+    }
+
+    /// Generates `config.cases` values and applies `test` to each,
+    /// panicking (like a failed `assert!`) on the first case that
+    /// returns an error.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            let shown = format!("{value:?}");
+            if let Err(e) = test(value) {
+                panic!(
+                    "proptest failure in {} (case {}/{}): {}\n  input: {}",
+                    self.name,
+                    case + 1,
+                    self.config.cases,
+                    e,
+                    shown
+                );
+            }
+        }
+    }
+}
