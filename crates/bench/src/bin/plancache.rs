@@ -25,6 +25,7 @@
 use oodb_core::{CostParams, OptimizerConfig};
 use oodb_service::{QueryService, SubmitOptions, WorkerPool};
 use oodb_storage::{generate_paper_db, GenConfig};
+use oodb_telemetry::HistogramSnapshot;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
@@ -169,6 +170,50 @@ fn run_stream(
     }
 }
 
+/// The submission pipeline stages whose latency histograms the service
+/// records (label values of `oodb_stage_latency_ns`).
+const STAGES: &[&str] = &[
+    "parse",
+    "simplify",
+    "fingerprint",
+    "cache_probe",
+    "optimize",
+    "execute",
+];
+
+/// Per-stage histogram snapshots from a service's registry.
+fn stage_snapshots(service: &QueryService) -> Vec<HistogramSnapshot> {
+    STAGES
+        .iter()
+        .map(|s| {
+            service
+                .telemetry()
+                .histogram("oodb_stage_latency_ns", &[("stage", s)])
+                .snapshot()
+        })
+        .collect()
+}
+
+/// JSON object mapping each stage to its p50/p95/p99 over one interval.
+fn json_stage_breakdown(before: &[HistogramSnapshot], after: &[HistogramSnapshot]) -> String {
+    let mut out = String::from("{");
+    for (i, stage) in STAGES.iter().enumerate() {
+        let d = after[i].delta(&before[i]);
+        let _ = write!(
+            out,
+            "{}\"{stage}\": {{\"count\": {}, \"p50_ns\": {:.0}, \"p95_ns\": {:.0}, \
+             \"p99_ns\": {:.0}}}",
+            if i == 0 { "" } else { ", " },
+            d.count,
+            d.quantile(0.50),
+            d.quantile(0.95),
+            d.quantile(0.99)
+        );
+    }
+    out.push('}');
+    out
+}
+
 fn json_run(out: &mut String, label: &str, r: &RunStats) {
     let _ = write!(
         out,
@@ -238,8 +283,14 @@ fn main() {
         for q in &queries {
             service.submit(q).expect("prime query failed");
         }
+        // Stage-latency histograms for the measured streams only (the
+        // prime pass ran with profiling off and is invisible here).
+        service.set_profiling(true);
+        let stages_before = stage_snapshots(&service);
         let cpu = run_stream(&service, &stream, &queries, threads, 0.0);
         let realized = run_stream(&service, &stream, &queries, threads, realize_scale);
+        let stages_after = stage_snapshots(&service);
+        let stage_json = json_stage_breakdown(&stages_before, &stages_after);
         if threads == 1 {
             warm_mean_1t = cpu.mean_optimize_ns;
         }
@@ -253,8 +304,41 @@ fn main() {
             realized.throughput_qps,
             realized.p50_latency_ns as f64 / 1e6,
         );
-        rows.push((threads, cpu, realized));
+        rows.push((threads, cpu, realized, stage_json));
     }
+
+    // --- Profiling overhead: the same warm 1-thread replay with the
+    // histogram gate off vs. on. Off-mode is the deployment default; the
+    // difference bounds what instrumentation costs a server that never
+    // asks for latency data. Median of 5 alternated pairs tames noise.
+    let overhead_service = QueryService::new(
+        store.clone(),
+        CostParams::default(),
+        OptimizerConfig::all_rules(),
+        256,
+        8,
+    );
+    for q in &queries {
+        overhead_service.submit(q).expect("prime query failed");
+    }
+    let mut qps_off_runs = Vec::new();
+    let mut qps_on_runs = Vec::new();
+    for _ in 0..5 {
+        overhead_service.set_profiling(false);
+        qps_off_runs.push(run_stream(&overhead_service, &stream, &queries, 1, 0.0).throughput_qps);
+        overhead_service.set_profiling(true);
+        qps_on_runs.push(run_stream(&overhead_service, &stream, &queries, 1, 0.0).throughput_qps);
+    }
+    qps_off_runs.sort_by(|a, b| a.total_cmp(b));
+    qps_on_runs.sort_by(|a, b| a.total_cmp(b));
+    let qps_profiling_off = qps_off_runs[qps_off_runs.len() / 2];
+    let qps_profiling_on = qps_on_runs[qps_on_runs.len() / 2];
+    let profiling_overhead_pct = (1.0 - qps_profiling_on / qps_profiling_off) * 100.0;
+    eprintln!(
+        "profiling overhead: {qps_profiling_off:.0} q/s off vs {qps_profiling_on:.0} q/s on \
+         ({profiling_overhead_pct:.2}%)"
+    );
+    let metrics_snapshot = overhead_service.metrics_json();
 
     let warm_speedup = cold_mean_ns as f64 / warm_mean_1t.max(1) as f64;
     let scaling_1_to_4 = qps_realized[&4] / qps_realized[&1];
@@ -278,15 +362,24 @@ fn main() {
          \"runs\": [\n",
         queries.len()
     );
-    for (i, (threads, cpu, realized)) in rows.iter().enumerate() {
+    for (i, (threads, cpu, realized, stage_json)) in rows.iter().enumerate() {
         let _ = write!(json, "    {{\"threads\": {threads}, ");
         json_run(&mut json, "cpu_only", cpu);
         json.push_str(", ");
         json_run(&mut json, "realized_io", realized);
+        let _ = write!(json, ", \"stage_latency\": {stage_json}");
         json.push('}');
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"telemetry_overhead\": {{\"qps_profiling_off\": {qps_profiling_off:.1}, \
+         \"qps_profiling_on\": {qps_profiling_on:.1}, \
+         \"profiling_overhead_pct\": {profiling_overhead_pct:.2}}},"
+    );
+    let _ = writeln!(json, "  \"metrics_snapshot\": {metrics_snapshot}");
+    json.push_str("}\n");
 
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_plancache.json");
     std::fs::write(out_path, &json).expect("write BENCH_plancache.json");

@@ -13,10 +13,11 @@
 
 use oodb_core::plancache::{CacheKey, CachedBody, CachedPlan, PlanCache};
 use oodb_core::{greedy_plan, CostParams, OpenOodb, OptimizerConfig};
-use oodb_exec::{execute, ExecResult};
+use oodb_exec::{execute, execute_traced, ExecResult};
 use oodb_object::paper::PaperModel;
 use oodb_object::{Catalog, Value};
 use oodb_storage::{generate_paper_db, GenConfig, Store};
+use oodb_telemetry::{fmt_ns, MetricsRegistry, StageTimer};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
@@ -26,6 +27,7 @@ struct Shell {
     catalog: Catalog,
     config: OptimizerConfig,
     cache: PlanCache,
+    telemetry: MetricsRegistry,
 }
 
 fn main() {
@@ -46,6 +48,7 @@ fn main() {
         catalog,
         config: OptimizerConfig::all_rules(),
         cache: PlanCache::default(),
+        telemetry: MetricsRegistry::new(),
     };
     eprintln!("Open OODB reproduction shell. \\help for commands, \\q to quit.");
 
@@ -96,7 +99,9 @@ impl Shell {
             "\\help" => {
                 println!(
                     "Statements: any ZQL query ending in ';' — executed and printed.\n\
-                     Prefix with EXPLAIN to see the optimal (and greedy) plan instead.\n\
+                     Prefix with EXPLAIN to see the optimal (and greedy) plan instead,\n\
+                     or EXPLAIN ANALYZE to run it and annotate each operator with\n\
+                     actual rows, wall time, and buffer I/O.\n\
                      Commands:\n\
                      \\schema              types and fields\n\
                      \\catalog             collections and cardinalities\n\
@@ -106,6 +111,8 @@ impl Shell {
                      \\stats               collect histograms for refined selectivity\n\
                      \\cache [stats|clear] plan-cache counters / drop cached plans\n\
                      \\trace QUERY;        show the goal-directed search trace\n\
+                     \\metrics             dump all metrics (Prometheus text format)\n\
+                     \\profile on|off      latency histogram collection (default off)\n\
                      \\q                   quit"
                 );
             }
@@ -238,6 +245,27 @@ impl Shell {
                 }
                 Some(other) => println!("unknown subcommand {other:?}; \\cache [stats|clear]"),
             },
+            "\\metrics" => {
+                print!("{}", self.telemetry.render_prometheus());
+            }
+            "\\profile" => match parts.next() {
+                Some("on") => {
+                    self.telemetry.set_profiling(true);
+                    println!("profiling on — latency histograms recording");
+                }
+                Some("off") => {
+                    self.telemetry.set_profiling(false);
+                    println!("profiling off");
+                }
+                _ => println!(
+                    "profiling is {}; \\profile on|off",
+                    if self.telemetry.profiling() {
+                        "on"
+                    } else {
+                        "off"
+                    }
+                ),
+            },
             other => println!("unknown command {other:?}; \\help"),
         }
         true
@@ -265,14 +293,32 @@ impl Shell {
         }
     }
 
+    /// Folds one execution's statistics into the always-on counters.
+    fn record_exec(&self, stats: &oodb_exec::ExecStats) {
+        self.telemetry.counter("oodb_statements_total", &[]).inc();
+        self.telemetry
+            .counter("oodb_exec_buffer_hits_total", &[])
+            .add(stats.buffer_hits);
+        self.telemetry
+            .counter("oodb_exec_buffer_misses_total", &[])
+            .add(stats.buffer_misses);
+        self.telemetry
+            .counter("oodb_exec_pages_read_total", &[])
+            .add(stats.disk.pages());
+    }
+
     fn statement(&mut self, stmt: &str) {
-        let (explain, src) = match stmt
-            .strip_prefix("EXPLAIN")
-            .or_else(|| stmt.strip_prefix("explain"))
-        {
-            Some(rest) => (true, rest.trim()),
-            None => (false, stmt),
+        let upper = stmt.to_ascii_uppercase();
+        // EXPLAIN ANALYZE runs the plan and annotates it; bare EXPLAIN
+        // only shows the search result.
+        let (explain, analyze, src) = if upper.starts_with("EXPLAIN ANALYZE") {
+            (false, true, stmt["EXPLAIN ANALYZE".len()..].trim())
+        } else if upper.starts_with("EXPLAIN") {
+            (true, false, stmt["EXPLAIN".len()..].trim())
+        } else {
+            (false, false, stmt)
         };
+        let mut timer = StageTimer::start();
         let q = match zql::compile(src, &self.model.schema, &self.catalog) {
             Ok(q) => q,
             Err(e) => {
@@ -280,6 +326,11 @@ impl Shell {
                 return;
             }
         };
+        timer.lap_into(
+            &self
+                .telemetry
+                .histogram("oodb_stage_latency_ns", &[("stage", "compile")]),
+        );
         if explain {
             // EXPLAIN always optimizes fresh: it exists to show the search.
             let optimizer = OpenOodb::with_config(&q.env, self.config.clone());
@@ -346,12 +397,47 @@ impl Shell {
                 (entry, false)
             }
         };
+        timer.lap_into(
+            &self
+                .telemetry
+                .histogram("oodb_stage_latency_ns", &[("stage", "plan")]),
+        );
         // Cached ids index into the entry's captured env, not this parse's.
         let env = &entry.env;
         let CachedBody::Static { plan, cost } = &entry.body else {
             unreachable!("the shell only caches static plans")
         };
+        if analyze {
+            let (result, stats, trace) = execute_traced(&self.store, env, plan);
+            timer.lap_into(
+                &self
+                    .telemetry
+                    .histogram("oodb_stage_latency_ns", &[("stage", "execute")]),
+            );
+            self.record_exec(&stats);
+            println!("Physical plan (analyzed):");
+            print!("{}", trace.render());
+            println!(
+                "{} rows in {}; estimated {:.3} s, simulated I/O {:.3} s \
+                 ({} pages, {} buffer hits / {} misses){}",
+                result.len(),
+                fmt_ns(trace.elapsed_ns),
+                cost.total(),
+                stats.disk.total_s,
+                stats.disk.pages(),
+                stats.buffer_hits,
+                stats.buffer_misses,
+                if hit { " [plan cache hit]" } else { "" }
+            );
+            return;
+        }
         let (result, stats) = execute(&self.store, env, plan);
+        timer.lap_into(
+            &self
+                .telemetry
+                .histogram("oodb_stage_latency_ns", &[("stage", "execute")]),
+        );
+        self.record_exec(&stats);
         match &result {
             ExecResult::Rows(rows) => {
                 for row in rows.iter().take(20) {

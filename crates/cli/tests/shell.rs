@@ -82,3 +82,77 @@ fn stats_collection_reports() {
         "{out}"
     );
 }
+
+#[test]
+fn explain_analyze_annotates_operators() {
+    let out = run_shell(
+        r#"EXPLAIN ANALYZE SELECT t FROM Task t IN Tasks WHERE t.time() == 100;
+explain analyze SELECT t FROM Task t IN Tasks WHERE t.time() == 100;
+\q
+"#,
+    );
+    assert!(out.contains("Physical plan (analyzed):"), "{out}");
+    assert!(
+        out.contains("actual rows="),
+        "per-operator annotations expected:\n{out}"
+    );
+    assert!(out.contains("buf hit/miss="), "{out}");
+    assert!(out.contains("rows in "), "summary line expected:\n{out}");
+    assert!(
+        out.contains("[plan cache hit]"),
+        "second analyze should hit the plan cache:\n{out}"
+    );
+}
+
+#[test]
+fn metrics_dump_is_prometheus_text() {
+    let out = run_shell(
+        r#"\profile on
+SELECT t FROM Task t IN Tasks WHERE t.time() == 100;
+\metrics
+\profile off
+\q
+"#,
+    );
+    assert!(out.contains("profiling on"), "{out}");
+    assert!(
+        out.contains("# TYPE oodb_statements_total counter"),
+        "{out}"
+    );
+    assert!(out.contains("oodb_statements_total 1"), "{out}");
+    assert!(
+        out.contains(r#"oodb_stage_latency_ns_count{stage="execute"} 1"#),
+        "{out}"
+    );
+    // Every exposition line is either a comment or `name{labels} value`.
+    let dump_start = out.find("# TYPE").expect("exposition present");
+    for line in out[dump_start..].lines() {
+        if line.starts_with('#') || line.is_empty() || !line.contains("oodb_") {
+            continue;
+        }
+        if line.starts_with("oodb_") {
+            let mut halves = line.rsplitn(2, ' ');
+            let value = halves.next().expect("value column");
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparsable sample value in {line:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn profile_off_skips_histograms() {
+    let out = run_shell(
+        r#"SELECT t FROM Task t IN Tasks WHERE t.time() == 100;
+\metrics
+\q
+"#,
+    );
+    // Counters are always live; histograms need \profile on.
+    assert!(out.contains("oodb_statements_total 1"), "{out}");
+    assert!(
+        !out.contains(r#"oodb_stage_latency_ns_count{stage="execute"} 1"#),
+        "histogram should not record with profiling off:\n{out}"
+    );
+}

@@ -4,8 +4,10 @@ use crate::eval::{eval_operand, eval_pred};
 use crate::tuple::Tuple;
 use oodb_algebra::{Operand, PhysicalOp, PhysicalPlan, QueryEnv, SetOpKind, VarId, VarOrigin};
 use oodb_object::{Oid, Value};
-use oodb_storage::{DiskStats, Io, PageId, Store};
+use oodb_storage::{DiskParams, DiskStats, Io, PageId, Store};
+use oodb_telemetry::OpTrace;
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 /// CPU-ish operation counts, reported instead of seconds so callers apply
 /// their own calibrated constants.
@@ -19,6 +21,18 @@ pub struct OpCounts {
     pub hash_ops: u64,
     /// Reference dereferences (assembly / pointer join).
     pub derefs: u64,
+}
+
+impl OpCounts {
+    /// Counts accumulated since `base` was captured.
+    fn delta(&self, base: &OpCounts) -> OpCounts {
+        OpCounts {
+            tuples: self.tuples - base.tuples,
+            preds: self.preds - base.preds,
+            hash_ops: self.hash_ops - base.hash_ops,
+            derefs: self.derefs - base.derefs,
+        }
+    }
 }
 
 /// Execution statistics: simulated I/O plus operation counts.
@@ -68,8 +82,36 @@ impl ExecResult {
     }
 }
 
-/// The plan executor. One per query run; create fresh to reset I/O
-/// accounting (or reuse to model a warm buffer pool).
+/// Per-run accounting baseline: every counter the executor accumulates,
+/// captured at the start of each `run*` call so [`Executor::stats`]
+/// reports that run alone even when the executor (and its warm buffer
+/// pool) is reused across queries.
+#[derive(Clone, Copy, Debug, Default)]
+struct RunBase {
+    disk: DiskStats,
+    counts: OpCounts,
+    hits: u64,
+    misses: u64,
+}
+
+/// I/O counters at one instant, for per-operator trace deltas.
+#[derive(Clone, Copy, Debug)]
+struct IoMark {
+    hits: u64,
+    misses: u64,
+    io_s: f64,
+}
+
+/// The plan executor. One per query run, or reused across runs to model a
+/// warm buffer pool — statistics are attributed per run either way (see
+/// [`Executor::stats`]).
+///
+/// Buffer hits and misses are tallied **locally** from each access's
+/// outcome, never read back from the pool's global counters. With a
+/// [`oodb_storage::SharedBufferPool`] attached to the store, concurrent
+/// executors share page residency, and pool-global counters interleave
+/// arbitrarily — per-access tallying is what keeps each query's
+/// [`ExecStats`] its own.
 pub struct Executor<'a> {
     /// The database.
     pub store: &'a Store,
@@ -78,60 +120,206 @@ pub struct Executor<'a> {
     /// The I/O stack (buffer pool + simulated disk).
     pub io: Io,
     counts: OpCounts,
+    /// This executor's buffer outcomes (not the pool's globals).
+    hits: u64,
+    misses: u64,
+    run_base: RunBase,
+    tracing: bool,
+    /// Stack of children-lists for the trace tree under construction;
+    /// `exec` pushes a fresh frame before descending and folds it into the
+    /// parent frame after.
+    trace_stack: Vec<Vec<OpTrace>>,
 }
 
 impl<'a> Executor<'a> {
-    /// Creates an executor with the paper's DECstation I/O stack.
+    /// Creates an executor. Charges I/O through the store's shared buffer
+    /// pool when one is attached, otherwise through a private pool sized
+    /// for the paper's DECstation.
     pub fn new(store: &'a Store, env: &'a QueryEnv) -> Self {
+        let io = match store.shared_pool() {
+            Some(pool) => Io::with_shared_pool(pool.clone(), DiskParams::default()),
+            None => Io::decstation(),
+        };
         Executor {
             store,
             env,
-            io: Io::decstation(),
+            io,
             counts: OpCounts::default(),
+            hits: 0,
+            misses: 0,
+            run_base: RunBase::default(),
+            tracing: false,
+            trace_stack: Vec::new(),
         }
     }
 
-    /// Statistics so far.
+    /// Statistics for the current run: counters accumulated since the last
+    /// `run*` call began (equivalently, since creation for a fresh
+    /// executor). A reused executor keeps its warm buffer pool but never
+    /// smears one run's I/O into the next run's numbers.
     pub fn stats(&self) -> ExecStats {
-        let (hits, misses) = self.io.pool.stats();
+        ExecStats {
+            disk: self.io.disk_stats().delta(&self.run_base.disk),
+            counts: self.counts.delta(&self.run_base.counts),
+            buffer_hits: self.hits - self.run_base.hits,
+            buffer_misses: self.misses - self.run_base.misses,
+        }
+    }
+
+    /// Statistics since the executor was created, across every run.
+    pub fn cumulative_stats(&self) -> ExecStats {
         ExecStats {
             disk: self.io.disk_stats(),
             counts: self.counts,
-            buffer_hits: hits,
-            buffer_misses: misses,
+            buffer_hits: self.hits,
+            buffer_misses: self.misses,
         }
+    }
+
+    /// Marks the start of a run: subsequent [`Executor::stats`] reads
+    /// report deltas from here.
+    fn begin_run(&mut self) {
+        self.run_base = RunBase {
+            disk: self.io.disk_stats(),
+            counts: self.counts,
+            hits: self.hits,
+            misses: self.misses,
+        };
     }
 
     /// Runs a plan to completion.
     pub fn run(&mut self, plan: &PhysicalPlan) -> ExecResult {
+        self.begin_run();
+        self.exec_root(plan)
+    }
+
+    /// Runs a plan to completion while recording a per-operator
+    /// [`OpTrace`]: actual rows, wall-clock time, and buffer/disk traffic
+    /// for every node of the plan tree. This is `EXPLAIN ANALYZE`.
+    pub fn run_traced(&mut self, plan: &PhysicalPlan) -> (ExecResult, OpTrace) {
+        self.begin_run();
+        self.tracing = true;
+        self.trace_stack.clear();
+        self.trace_stack.push(Vec::new());
+        let result = self.exec_root(plan);
+        self.tracing = false;
+        let root = self
+            .trace_stack
+            .pop()
+            .and_then(|mut frame| frame.pop())
+            .expect("traced run must produce a root trace");
+        (result, root)
+    }
+
+    fn exec_root(&mut self, plan: &PhysicalPlan) -> ExecResult {
         if let PhysicalOp::AlgProject { items } = &plan.op {
-            let input = self.exec(&plan.children[0]);
-            let rows = input
-                .iter()
-                .map(|t| {
-                    self.counts.tuples += 1;
-                    items
-                        .iter()
-                        .map(|i| eval_operand(self.store, t, i))
-                        .collect()
-                })
-                .collect();
-            return ExecResult::Rows(rows);
+            // Projection is only legal at the root, so `exec` never sees
+            // it; trace it here with the same wrap the inner nodes get.
+            if self.tracing {
+                let start = Instant::now();
+                let before = self.io_mark();
+                self.trace_stack.push(Vec::new());
+                let rows = self.project(items, &plan.children[0]);
+                let children = self.trace_stack.pop().expect("trace frame");
+                let node = self.trace_node(plan, rows.len() as u64, start, before, children);
+                self.trace_stack
+                    .last_mut()
+                    .expect("root trace frame")
+                    .push(node);
+                return ExecResult::Rows(rows);
+            }
+            return ExecResult::Rows(self.project(items, &plan.children[0]));
         }
         ExecResult::Tuples(self.exec(plan))
+    }
+
+    fn project(&mut self, items: &[Operand], child: &PhysicalPlan) -> Vec<Vec<Value>> {
+        let input = self.exec(child);
+        input
+            .iter()
+            .map(|t| {
+                self.counts.tuples += 1;
+                items
+                    .iter()
+                    .map(|i| eval_operand(self.store, t, i))
+                    .collect()
+            })
+            .collect()
     }
 
     fn n_vars(&self) -> usize {
         self.env.scopes.len()
     }
 
+    /// Touches one page, attributing the hit/miss to this executor.
+    fn touch(&mut self, page: PageId) {
+        if self.io.touch(page) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    /// Touches a batch in elevator order, attributing hits/misses.
+    fn touch_elevator(&mut self, pages: &[PageId]) {
+        let (hits, misses) = self.io.touch_elevator(pages);
+        self.hits += hits;
+        self.misses += misses;
+    }
+
+    fn io_mark(&self) -> IoMark {
+        IoMark {
+            hits: self.hits,
+            misses: self.misses,
+            io_s: self.io.elapsed_s(),
+        }
+    }
+
+    fn trace_node(
+        &self,
+        plan: &PhysicalPlan,
+        rows: u64,
+        start: Instant,
+        before: IoMark,
+        children: Vec<OpTrace>,
+    ) -> OpTrace {
+        OpTrace {
+            label: oodb_algebra::display::render_physical_op(self.env, &plan.op),
+            actual_rows: rows,
+            elapsed_ns: start.elapsed().as_nanos() as u64,
+            buffer_hits: self.hits - before.hits,
+            buffer_misses: self.misses - before.misses,
+            sim_io_s: self.io.elapsed_s() - before.io_s,
+            children,
+        }
+    }
+
+    /// Executes one operator; when tracing, wraps it with a stopwatch and
+    /// an I/O probe and records the node into the trace tree.
     fn exec(&mut self, plan: &PhysicalPlan) -> Vec<Tuple> {
+        if !self.tracing {
+            return self.exec_node(plan);
+        }
+        let start = Instant::now();
+        let before = self.io_mark();
+        self.trace_stack.push(Vec::new());
+        let out = self.exec_node(plan);
+        let children = self.trace_stack.pop().expect("trace frame");
+        let node = self.trace_node(plan, out.len() as u64, start, before, children);
+        self.trace_stack
+            .last_mut()
+            .expect("parent trace frame")
+            .push(node);
+        out
+    }
+
+    fn exec_node(&mut self, plan: &PhysicalPlan) -> Vec<Tuple> {
         match &plan.op {
             PhysicalOp::FileScan { coll, var } => {
                 let members = self.store.members(*coll).to_vec();
                 let mut out = Vec::with_capacity(members.len());
                 for oid in members {
-                    self.io.touch(self.store.page_of(oid));
+                    self.touch(self.store.page_of(oid));
                     self.counts.tuples += 1;
                     out.push(Tuple::single(self.n_vars(), *var, oid));
                 }
@@ -154,10 +342,10 @@ impl<'a> Executor<'a> {
                     m
                 };
                 for p in idx.lookup_pages(matches.len() as u64) {
-                    self.io.touch(p);
+                    self.touch(p);
                 }
                 for oid in &matches {
-                    self.io.touch(self.store.page_of(*oid));
+                    self.touch(self.store.page_of(*oid));
                 }
                 self.counts.tuples += matches.len() as u64;
                 matches
@@ -345,7 +533,7 @@ impl<'a> Executor<'a> {
             })
             .collect();
         let pages: Vec<PageId> = refs.iter().map(|&o| self.store.page_of(o)).collect();
-        self.io.touch_elevator(&pages);
+        self.touch_elevator(&pages);
         left.into_iter()
             .zip(refs)
             .map(|(t, oid)| t.with(target, oid))
@@ -377,9 +565,9 @@ impl<'a> Executor<'a> {
             }
             let pages: Vec<PageId> = refs.iter().map(|&o| self.store.page_of(o)).collect();
             if window == 1 {
-                self.io.touch(pages[0]);
+                self.touch(pages[0]);
             } else {
-                self.io.touch_elevator(&pages);
+                self.touch_elevator(&pages);
             }
             for (t, oid) in tuples[i..end].iter_mut().zip(refs) {
                 t.bind(target, oid);
@@ -400,7 +588,7 @@ impl<'a> Executor<'a> {
             .var_domain(target)
             .expect("warm assembly needs a known domain");
         for page in self.store.scan_pages(domain) {
-            self.io.touch(page);
+            self.touch(page);
         }
         tuples
             .into_iter()
@@ -416,7 +604,7 @@ impl<'a> Executor<'a> {
                 };
                 // The referenced page is (almost certainly) resident now;
                 // touching it records the buffer hit honestly.
-                self.io.touch(self.store.page_of(oid));
+                self.touch(self.store.page_of(oid));
                 t.with(target, oid)
             })
             .collect()
@@ -523,6 +711,18 @@ pub fn execute(store: &Store, env: &QueryEnv, plan: &PhysicalPlan) -> (ExecResul
     let mut ex = Executor::new(store, env);
     let result = ex.run(plan);
     (result, ex.stats())
+}
+
+/// One-shot `EXPLAIN ANALYZE`: fresh executor, traced run, return result,
+/// stats, and the per-operator trace tree.
+pub fn execute_traced(
+    store: &Store,
+    env: &QueryEnv,
+    plan: &PhysicalPlan,
+) -> (ExecResult, ExecStats, OpTrace) {
+    let mut ex = Executor::new(store, env);
+    let (result, trace) = ex.run_traced(plan);
+    (result, ex.stats(), trace)
 }
 
 #[cfg(test)]
@@ -715,6 +915,107 @@ mod tests {
         assert_eq!(ri.len(), r100.len());
         assert_eq!(rd.len(), rle.len() - r100.len());
         assert_eq!(ru.len(), rle.len());
+    }
+
+    #[test]
+    fn reused_executor_attributes_stats_per_run() {
+        let (store, m) = generate_paper_db(GenConfig::small());
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (_, c) = qb.get(m.ids.cities, "c");
+        let env = qb.into_env();
+        let scan = plan(
+            PhysicalOp::FileScan {
+                coll: m.ids.cities,
+                var: c,
+            },
+            vec![],
+        );
+        let mut ex = Executor::new(&store, &env);
+        ex.run(&scan);
+        let first = ex.stats();
+        ex.run(&scan);
+        let second = ex.stats();
+        // Second run reports only its own work: all buffer hits (pool is
+        // warm), no fresh misses, same tuple count as the first run.
+        assert_eq!(second.counts.tuples, first.counts.tuples);
+        assert_eq!(second.buffer_misses, 0, "warm rerun must not miss");
+        assert!(second.buffer_hits > 0);
+        assert_eq!(second.disk.pages(), 0, "warm rerun reads no pages");
+        // Cumulative view still aggregates both runs.
+        let cum = ex.cumulative_stats();
+        assert_eq!(
+            cum.counts.tuples,
+            first.counts.tuples + second.counts.tuples
+        );
+        assert_eq!(cum.buffer_misses, first.buffer_misses);
+    }
+
+    #[test]
+    fn traced_run_reconciles_with_stats() {
+        let (store, m) = generate_paper_db(GenConfig::small());
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (_, t) = qb.get(m.ids.tasks, "t");
+        let pred = qb.cmp_const(t, m.ids.task_time, CmpOp::Eq, Value::Int(100));
+        let env = qb.into_env();
+        let p = plan(
+            PhysicalOp::Filter { pred },
+            vec![plan(
+                PhysicalOp::FileScan {
+                    coll: m.ids.tasks,
+                    var: t,
+                },
+                vec![],
+            )],
+        );
+        let (result, stats, trace) = execute_traced(&store, &env, &p);
+        // The trace tree mirrors the plan tree.
+        assert_eq!(trace.children.len(), 1);
+        assert!(trace.label.starts_with("Filter"), "{}", trace.label);
+        assert!(trace.children[0].label.starts_with("File Scan"));
+        // Root actual rows equal result cardinality.
+        assert_eq!(trace.actual_rows, result.len() as u64);
+        // Root (cumulative) I/O equals the run's ExecStats.
+        assert_eq!(
+            trace.buffer_hits + trace.buffer_misses,
+            stats.buffer_hits + stats.buffer_misses
+        );
+        assert!((trace.sim_io_s - stats.disk.total_s).abs() < 1e-12);
+        // The scan produced at least as many rows as survived the filter.
+        assert!(trace.children[0].actual_rows >= trace.actual_rows);
+        // Untraced execution returns identical results.
+        let (plain, _) = execute(&store, &env, &p);
+        assert_eq!(plain, result);
+    }
+
+    #[test]
+    fn shared_pool_attribution_is_per_executor() {
+        let (mut store, m) = generate_paper_db(GenConfig::small());
+        store.attach_shared_pool(1 << 14);
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (_, c) = qb.get(m.ids.cities, "c");
+        let env = qb.into_env();
+        let scan = plan(
+            PhysicalOp::FileScan {
+                coll: m.ids.cities,
+                var: c,
+            },
+            vec![],
+        );
+        let (_, cold) = execute(&store, &env, &scan);
+        let (_, warm) = execute(&store, &env, &scan);
+        // The second executor is brand new, yet the shared pool is warm.
+        assert!(cold.buffer_misses > 0);
+        assert_eq!(warm.buffer_misses, 0, "shared pool must stay warm");
+        assert_eq!(warm.buffer_hits, cold.buffer_hits + cold.buffer_misses);
+        // Pool-wide counters equal the sum of the per-executor tallies.
+        let pool = store.shared_pool().unwrap();
+        assert_eq!(
+            pool.stats(),
+            (
+                cold.buffer_hits + warm.buffer_hits,
+                cold.buffer_misses + warm.buffer_misses
+            )
+        );
     }
 
     #[test]

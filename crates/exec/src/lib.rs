@@ -26,5 +26,6 @@ pub mod engine;
 pub mod eval;
 pub mod tuple;
 
-pub use engine::{execute, ExecResult, ExecStats, Executor, OpCounts};
+pub use engine::{execute, execute_traced, ExecResult, ExecStats, Executor, OpCounts};
+pub use oodb_telemetry::OpTrace;
 pub use tuple::Tuple;

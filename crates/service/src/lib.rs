@@ -26,13 +26,14 @@
 use oodb_algebra::fingerprint::fingerprint;
 use oodb_core::plancache::{CacheKey, CachedBody, CachedPlan, PlanCache};
 use oodb_core::{compile_dynamic, CostParams, OpenOodb, OptimizerConfig};
-use oodb_exec::{execute, ExecResult};
+use oodb_exec::{execute, execute_traced, ExecResult, ExecStats};
 use oodb_storage::Store;
+use oodb_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, OpTrace, StageTimer};
 use std::collections::HashSet;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Errors a submission can produce.
 #[derive(Clone, Debug, PartialEq)]
@@ -67,6 +68,29 @@ pub struct SubmitOptions {
     /// wall-clock stalls. This is what makes multi-worker throughput
     /// meaningful on a machine whose *real* I/O is a warm page cache.
     pub realize_io_scale: f64,
+    /// Record a per-operator [`OpTrace`] during execution (`EXPLAIN
+    /// ANALYZE`); the trace lands in [`QueryOutput::trace`].
+    pub trace: bool,
+}
+
+/// Wall-clock nanoseconds each pipeline stage of one submission took.
+/// Every submission pays parse → simplify → fingerprint → cache probe;
+/// `optimize` is the Volcano search plus cache insert (≈0 on a hit);
+/// `execute` is the plan run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageBreakdown {
+    /// ZQL parse.
+    pub parse_ns: u64,
+    /// Simplification into the optimizer's algebra.
+    pub simplify_ns: u64,
+    /// Canonical fingerprint computation.
+    pub fingerprint_ns: u64,
+    /// Plan-cache probe.
+    pub cache_probe_ns: u64,
+    /// Volcano search + cache insert (misses only; ~0 on hits).
+    pub optimize_ns: u64,
+    /// Plan execution.
+    pub execute_ns: u64,
 }
 
 /// The answer to one submission.
@@ -95,6 +119,77 @@ pub struct QueryOutput {
     /// Index names the executed plan read — evidence for invalidation
     /// tests that a dropped index is never served.
     pub indexes_used: Vec<String>,
+    /// Per-stage wall-clock breakdown of this submission.
+    pub stages: StageBreakdown,
+    /// Buffer hits charged to this execution (per-run attribution).
+    pub buffer_hits: u64,
+    /// Buffer misses charged to this execution.
+    pub buffer_misses: u64,
+    /// The per-operator execution trace, when [`SubmitOptions::trace`]
+    /// was set.
+    pub trace: Option<OpTrace>,
+}
+
+/// Handles to every metric the service records, registered once at
+/// construction so the per-submission path never takes the registry lock.
+struct ServiceMetrics {
+    stage_parse: Histogram,
+    stage_simplify: Histogram,
+    stage_fingerprint: Histogram,
+    stage_cache_probe: Histogram,
+    stage_optimize: Histogram,
+    stage_execute: Histogram,
+    submissions: Counter,
+    errors: Counter,
+    optimizer_runs: Counter,
+    transform_firings: Counter,
+    plans_costed: Counter,
+    exec_buffer_hits: Counter,
+    exec_buffer_misses: Counter,
+    exec_pages_read: Counter,
+    exec_tuples: Counter,
+    exec_sim_io_us: Counter,
+    // Mirrors of the plan cache's own counters, refreshed at export time.
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_evictions: Counter,
+    cache_entries: Gauge,
+}
+
+impl ServiceMetrics {
+    fn register(reg: &MetricsRegistry) -> Self {
+        let stage = |name: &str| reg.histogram("oodb_stage_latency_ns", &[("stage", name)]);
+        ServiceMetrics {
+            stage_parse: stage("parse"),
+            stage_simplify: stage("simplify"),
+            stage_fingerprint: stage("fingerprint"),
+            stage_cache_probe: stage("cache_probe"),
+            stage_optimize: stage("optimize"),
+            stage_execute: stage("execute"),
+            submissions: reg.counter("oodb_submissions_total", &[]),
+            errors: reg.counter("oodb_submission_errors_total", &[]),
+            optimizer_runs: reg.counter("oodb_optimizer_runs_total", &[]),
+            transform_firings: reg.counter("oodb_optimizer_transform_firings_total", &[]),
+            plans_costed: reg.counter("oodb_optimizer_plans_costed_total", &[]),
+            exec_buffer_hits: reg.counter("oodb_exec_buffer_hits_total", &[]),
+            exec_buffer_misses: reg.counter("oodb_exec_buffer_misses_total", &[]),
+            exec_pages_read: reg.counter("oodb_exec_pages_read_total", &[]),
+            exec_tuples: reg.counter("oodb_exec_tuples_total", &[]),
+            exec_sim_io_us: reg.counter("oodb_exec_sim_io_microseconds_total", &[]),
+            cache_hits: reg.counter("oodb_plancache_hits_total", &[]),
+            cache_misses: reg.counter("oodb_plancache_misses_total", &[]),
+            cache_evictions: reg.counter("oodb_plancache_evictions_total", &[]),
+            cache_entries: reg.gauge("oodb_plancache_entries", &[]),
+        }
+    }
+
+    fn record_exec(&self, stats: &ExecStats) {
+        self.exec_buffer_hits.add(stats.buffer_hits);
+        self.exec_buffer_misses.add(stats.buffer_misses);
+        self.exec_pages_read.add(stats.disk.pages());
+        self.exec_tuples.add(stats.counts.tuples);
+        self.exec_sim_io_us.add((stats.disk.total_s * 1e6) as u64);
+    }
 }
 
 struct Inner {
@@ -105,6 +200,8 @@ struct Inner {
     config: RwLock<(Arc<OptimizerConfig>, u64)>,
     params: CostParams,
     cache: Arc<PlanCache>,
+    telemetry: Arc<MetricsRegistry>,
+    metrics: ServiceMetrics,
 }
 
 /// The query service. Cheap to clone — all clones share state.
@@ -123,14 +220,53 @@ impl QueryService {
         cache_shards: usize,
     ) -> Self {
         let config_fp = config.fingerprint();
+        let telemetry = Arc::new(MetricsRegistry::new());
+        let metrics = ServiceMetrics::register(&telemetry);
         QueryService {
             inner: Arc::new(Inner {
                 store: RwLock::new(Arc::new(store)),
                 config: RwLock::new((Arc::new(config), config_fp)),
                 params,
                 cache: Arc::new(PlanCache::new(cache_capacity, cache_shards)),
+                telemetry,
+                metrics,
             }),
         }
+    }
+
+    /// The service's metrics registry (shared with all clones).
+    pub fn telemetry(&self) -> &Arc<MetricsRegistry> {
+        &self.inner.telemetry
+    }
+
+    /// Turns per-stage latency histograms on or off. Counters and gauges
+    /// stay live either way; with profiling off the histogram observation
+    /// path reduces to one relaxed load.
+    pub fn set_profiling(&self, on: bool) {
+        self.inner.telemetry.set_profiling(on);
+    }
+
+    /// Refreshes the plan-cache mirror metrics from the cache's own
+    /// counters. Called automatically by the render methods.
+    fn sync_cache_metrics(&self) {
+        let s = self.inner.cache.stats();
+        let m = &self.inner.metrics;
+        m.cache_hits.store(s.hits);
+        m.cache_misses.store(s.misses);
+        m.cache_evictions.store(s.evictions);
+        m.cache_entries.set(s.entries as i64);
+    }
+
+    /// Every metric in the Prometheus text exposition format (`\metrics`).
+    pub fn metrics_prometheus(&self) -> String {
+        self.sync_cache_metrics();
+        self.inner.telemetry.render_prometheus()
+    }
+
+    /// A JSON snapshot of every metric, for embedding in bench reports.
+    pub fn metrics_json(&self) -> String {
+        self.sync_cache_metrics();
+        self.inner.telemetry.render_json()
     }
 
     /// The current store snapshot.
@@ -189,16 +325,25 @@ impl QueryService {
         zql_src: &str,
         opts: SubmitOptions,
     ) -> Result<QueryOutput, ServiceError> {
+        let m = &self.inner.metrics;
+        m.submissions.inc();
         let store = self.store();
         let (config, config_fp) = {
             let guard = self.inner.config.read().unwrap();
             (Arc::clone(&guard.0), guard.1)
         };
-        let compile_start = Instant::now();
-        let q =
-            zql::compile(zql_src, store.schema(), store.catalog()).map_err(ServiceError::Zql)?;
-        let compile_ns = compile_start.elapsed().as_nanos() as u64;
-        let plan_start = Instant::now();
+        let mut stages = StageBreakdown::default();
+        let mut timer = StageTimer::start();
+        let ast = zql::parser::parse(zql_src).map_err(|e| {
+            m.errors.inc();
+            ServiceError::Zql(e)
+        })?;
+        stages.parse_ns = timer.lap_into(&m.stage_parse);
+        let q = zql::simplify(&ast, store.schema(), store.catalog()).map_err(|e| {
+            m.errors.inc();
+            ServiceError::Zql(e)
+        })?;
+        stages.simplify_ns = timer.lap_into(&m.stage_simplify);
         let fp = fingerprint(&q.env, &q.plan, q.result_vars, q.order.as_ref());
         let epoch = store.catalog().stats_epoch();
         let key = if opts.dynamic {
@@ -206,10 +351,14 @@ impl QueryService {
         } else {
             CacheKey::static_plan(&fp, config_fp, epoch, store.catalog().index_set_hash())
         };
+        stages.fingerprint_ns = timer.lap_into(&m.stage_fingerprint);
 
-        let (entry, cache_hit) = match self.inner.cache.get(&key, &fp.key) {
+        let probed = self.inner.cache.get(&key, &fp.key);
+        stages.cache_probe_ns = timer.lap_into(&m.stage_cache_probe);
+        let (entry, cache_hit) = match probed {
             Some(entry) => (entry, true),
             None => {
+                m.optimizer_runs.inc();
                 let body = if opts.dynamic {
                     CachedBody::Dynamic(compile_dynamic(
                         &q.env,
@@ -222,7 +371,12 @@ impl QueryService {
                     let optimizer = OpenOodb::new(&q.env, self.inner.params, (*config).clone());
                     let out = optimizer
                         .optimize_ordered(&q.plan, q.result_vars, q.order)
-                        .ok_or(ServiceError::NoPlan)?;
+                        .ok_or_else(|| {
+                            m.errors.inc();
+                            ServiceError::NoPlan
+                        })?;
+                    m.transform_firings.add(out.stats.transform_firings);
+                    m.plans_costed.add(out.stats.plans_costed);
                     CachedBody::Static {
                         plan: out.plan,
                         cost: out.cost,
@@ -238,7 +392,7 @@ impl QueryService {
                 (entry, false)
             }
         };
-        let optimize_ns = plan_start.elapsed().as_nanos() as u64;
+        stages.optimize_ns = timer.lap_into(&m.stage_optimize);
 
         // Dynamic families: select the member for the indexes that exist
         // *now*. Static plans were keyed on the exact index set.
@@ -256,9 +410,15 @@ impl QueryService {
         };
 
         let indexes_used = oodb_core::dynamic::indexes_used(&entry.env, plan);
-        let exec_start = Instant::now();
-        let (result, stats) = execute(&store, &entry.env, plan);
-        let execute_ns = exec_start.elapsed().as_nanos() as u64;
+        let (result, stats, trace) = if opts.trace {
+            let (result, stats, trace) = execute_traced(&store, &entry.env, plan);
+            (result, stats, Some(trace))
+        } else {
+            let (result, stats) = execute(&store, &entry.env, plan);
+            (result, stats, None)
+        };
+        stages.execute_ns = timer.lap_into(&m.stage_execute);
+        m.record_exec(&stats);
         let sim_io_s = stats.disk.total_s;
         if opts.realize_io_scale > 0.0 {
             thread::sleep(Duration::from_secs_f64(sim_io_s * opts.realize_io_scale));
@@ -271,12 +431,16 @@ impl QueryService {
             rows,
             row_count,
             cache_hit,
-            compile_ns,
-            optimize_ns,
-            execute_ns,
+            compile_ns: stages.parse_ns + stages.simplify_ns,
+            optimize_ns: stages.fingerprint_ns + stages.cache_probe_ns + stages.optimize_ns,
+            execute_ns: stages.execute_ns,
             est_cost_s,
             sim_io_s,
             indexes_used,
+            stages,
+            buffer_hits: stats.buffer_hits,
+            buffer_misses: stats.buffer_misses,
+            trace,
         })
     }
 }
@@ -339,17 +503,27 @@ impl Pending {
 pub struct WorkerPool {
     tx: Option<mpsc::Sender<Job>>,
     handles: Vec<thread::JoinHandle<()>>,
+    queue_depth: Gauge,
 }
 
 impl WorkerPool {
-    /// Spawns `workers` threads serving `service`.
+    /// Spawns `workers` threads serving `service`. The pool registers a
+    /// shared `oodb_queue_depth` gauge (incremented on enqueue, decremented
+    /// on dequeue) plus per-worker `oodb_worker_busy` gauges and
+    /// `oodb_worker_jobs_total` counters in the service's registry.
     pub fn new(service: QueryService, workers: usize) -> Self {
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
+        let reg = Arc::clone(service.telemetry());
+        let queue_depth = reg.gauge("oodb_queue_depth", &[]);
         let handles = (0..workers.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let svc = service.clone();
+                let depth = queue_depth.clone();
+                let worker = i.to_string();
+                let busy = reg.gauge("oodb_worker_busy", &[("worker", &worker)]);
+                let jobs = reg.counter("oodb_worker_jobs_total", &[("worker", &worker)]);
                 thread::Builder::new()
                     .name(format!("oodb-worker-{i}"))
                     .spawn(move || loop {
@@ -358,7 +532,11 @@ impl WorkerPool {
                             Ok(job) => job,
                             Err(_) => break,
                         };
+                        depth.sub(1);
+                        busy.set(1);
+                        jobs.inc();
                         let out = svc.submit_with(&job.zql, job.opts);
+                        busy.set(0);
                         let _ = job.reply.send(out);
                     })
                     .expect("spawn worker thread")
@@ -367,12 +545,14 @@ impl WorkerPool {
         WorkerPool {
             tx: Some(tx),
             handles,
+            queue_depth,
         }
     }
 
     /// Enqueues a query; the returned handle yields the result.
     pub fn submit(&self, zql: impl Into<String>, opts: SubmitOptions) -> Pending {
         let (reply, rx) = mpsc::channel();
+        self.queue_depth.add(1);
         self.tx
             .as_ref()
             .expect("pool already shut down")
@@ -471,6 +651,47 @@ mod tests {
         let b = svc.submit_with(Q_TIME, opts).unwrap();
         assert!(b.cache_hit);
         assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn stage_breakdown_and_counters_populate() {
+        let svc = small_service();
+        svc.set_profiling(true);
+        let out = svc.submit(Q_TIME).unwrap();
+        assert_eq!(out.compile_ns, out.stages.parse_ns + out.stages.simplify_ns);
+        assert_eq!(
+            out.optimize_ns,
+            out.stages.fingerprint_ns + out.stages.cache_probe_ns + out.stages.optimize_ns
+        );
+        assert_eq!(out.execute_ns, out.stages.execute_ns);
+        let text = svc.metrics_prometheus();
+        assert!(text.contains("oodb_submissions_total 1"));
+        assert!(text.contains("oodb_optimizer_runs_total 1"));
+        assert!(text.contains("oodb_plancache_misses_total 1"));
+        assert!(text.contains(r#"oodb_stage_latency_ns_count{stage="parse"} 1"#));
+        let json = svc.metrics_json();
+        assert!(json.contains(r#""name": "oodb_submissions_total""#));
+    }
+
+    #[test]
+    fn traced_submit_reconciles_with_row_count() {
+        let svc = small_service();
+        let opts = SubmitOptions {
+            trace: true,
+            ..Default::default()
+        };
+        let out = svc.submit_with(Q_TIME, opts).unwrap();
+        let trace = out.trace.expect("trace requested");
+        assert_eq!(trace.actual_rows, out.row_count as u64);
+        assert!(svc.submit(Q_TIME).unwrap().trace.is_none());
+    }
+
+    #[test]
+    fn errors_are_counted() {
+        let svc = small_service();
+        let _ = svc.submit("SELECT FROM WHERE");
+        let text = svc.metrics_prometheus();
+        assert!(text.contains("oodb_submission_errors_total 1"));
     }
 
     #[test]

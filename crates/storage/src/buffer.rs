@@ -9,6 +9,7 @@
 
 use crate::disk::{Disk, DiskParams, DiskStats, PageId};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// A fixed-capacity LRU page cache.
 ///
@@ -83,12 +84,59 @@ impl BufferPool {
     }
 }
 
+/// A buffer pool shared by concurrent executions (one pool per database,
+/// the way a real server runs). Page *residency* is global — one query's
+/// fetch warms the next query's access — while hit/miss **attribution**
+/// stays with each caller: [`Io::touch`] reports the outcome per access,
+/// and the executor tallies its own query's hits and misses locally. The
+/// pool's own counters remain the pool-wide totals.
+#[derive(Clone, Debug)]
+pub struct SharedBufferPool(Arc<Mutex<BufferPool>>);
+
+impl SharedBufferPool {
+    /// A shared pool holding at most `capacity` pages.
+    pub fn new(capacity: usize) -> Self {
+        SharedBufferPool(Arc::new(Mutex::new(BufferPool::new(capacity))))
+    }
+
+    /// Records an access; `true` on a hit. See [`BufferPool::access`].
+    pub fn access(&self, page: PageId) -> bool {
+        self.0.lock().unwrap().access(page)
+    }
+
+    /// Pool-wide (hits, misses) across every sharing execution.
+    pub fn stats(&self) -> (u64, u64) {
+        self.0.lock().unwrap().stats()
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.0.lock().unwrap().resident_pages()
+    }
+
+    /// Drops all cached pages and statistics.
+    pub fn reset(&self) {
+        self.0.lock().unwrap().reset();
+    }
+}
+
+/// The page cache an [`Io`] stack charges accesses through: either a
+/// private pool (the historical per-executor model, which keeps every
+/// simulation deterministic) or a [`SharedBufferPool`].
+#[derive(Clone, Debug)]
+enum PoolRef {
+    Local(BufferPool),
+    Shared(SharedBufferPool),
+}
+
 /// The I/O facade the executor charges all page access through:
-/// buffer-pool check first, disk on miss.
+/// buffer-pool check first, disk on miss. [`Io::touch`] and
+/// [`Io::touch_elevator`] report per-access hit/miss outcomes so callers
+/// can attribute I/O to the execution that performed it even when the
+/// underlying pool is shared.
 #[derive(Clone, Debug)]
 pub struct Io {
-    /// The page cache.
-    pub pool: BufferPool,
+    pool: PoolRef,
     /// The simulated device.
     pub disk: Disk,
 }
@@ -97,7 +145,7 @@ impl Io {
     /// Creates an I/O stack with the given pool capacity and disk timing.
     pub fn new(pool_pages: usize, params: DiskParams) -> Self {
         Io {
-            pool: BufferPool::new(pool_pages),
+            pool: PoolRef::Local(BufferPool::new(pool_pages)),
             disk: Disk::new(params),
         }
     }
@@ -106,27 +154,64 @@ impl Io {
     pub fn decstation() -> Self {
         let params = DiskParams::default();
         Io {
-            pool: BufferPool::decstation(params.page_bytes),
+            pool: PoolRef::Local(BufferPool::decstation(params.page_bytes)),
             disk: Disk::new(params),
         }
     }
 
-    /// Touches one page (sequential/random classification by the disk).
-    pub fn touch(&mut self, page: PageId) {
-        if !self.pool.access(page) {
-            self.disk.read(page);
+    /// An I/O stack charging through a shared pool. The disk (and its
+    /// timing) stays private to this stack, so simulated I/O seconds are
+    /// attributed to the execution that missed.
+    pub fn with_shared_pool(pool: SharedBufferPool, params: DiskParams) -> Self {
+        Io {
+            pool: PoolRef::Shared(pool),
+            disk: Disk::new(params),
         }
     }
 
+    fn access(&mut self, page: PageId) -> bool {
+        match &mut self.pool {
+            PoolRef::Local(p) => p.access(page),
+            PoolRef::Shared(p) => p.access(page),
+        }
+    }
+
+    /// Touches one page (sequential/random classification by the disk).
+    /// Returns `true` on a buffer hit.
+    pub fn touch(&mut self, page: PageId) -> bool {
+        let hit = self.access(page);
+        if !hit {
+            self.disk.read(page);
+        }
+        hit
+    }
+
     /// Touches a batch of pages in elevator order; only misses reach disk.
-    pub fn touch_elevator(&mut self, pages: &[PageId]) {
-        let mut missed: Vec<PageId> = pages
-            .iter()
-            .copied()
-            .filter(|&p| !self.pool.access(p))
-            .collect();
+    /// Returns `(hits, misses)` for the batch.
+    pub fn touch_elevator(&mut self, pages: &[PageId]) -> (u64, u64) {
+        let mut missed: Vec<PageId> = pages.iter().copied().filter(|&p| !self.access(p)).collect();
+        let misses = missed.len() as u64;
         if !missed.is_empty() {
             self.disk.read_elevator(&mut missed);
+        }
+        (pages.len() as u64 - misses, misses)
+    }
+
+    /// (hits, misses) of the underlying pool. For a shared pool these are
+    /// the **pool-wide** totals, not this execution's share — per-execution
+    /// attribution comes from the [`Io::touch`] return values.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        match &self.pool {
+            PoolRef::Local(p) => p.stats(),
+            PoolRef::Shared(p) => p.stats(),
+        }
+    }
+
+    /// Number of pages resident in the underlying pool.
+    pub fn resident_pages(&self) -> usize {
+        match &self.pool {
+            PoolRef::Local(p) => p.resident_pages(),
+            PoolRef::Shared(p) => p.resident_pages(),
         }
     }
 
@@ -142,7 +227,10 @@ impl Io {
 
     /// Clears both the pool and the disk counters.
     pub fn reset(&mut self) {
-        self.pool.reset();
+        match &mut self.pool {
+            PoolRef::Local(p) => p.reset(),
+            PoolRef::Shared(p) => p.reset(),
+        }
         self.disk.reset();
     }
 }
@@ -177,7 +265,7 @@ mod tests {
         io.touch(10);
         io.touch(10);
         assert_eq!(io.disk_stats().pages(), 1);
-        let (hits, misses) = io.pool.stats();
+        let (hits, misses) = io.pool_stats();
         assert_eq!((hits, misses), (2, 1));
     }
 
@@ -185,9 +273,31 @@ mod tests {
     fn elevator_batch_skips_resident_pages() {
         let mut io = Io::new(8, DiskParams::default());
         io.touch(5);
-        io.touch_elevator(&[5, 6, 7]);
+        let (hits, misses) = io.touch_elevator(&[5, 6, 7]);
         // Page 5 was resident; only 6 and 7 hit the disk.
+        assert_eq!((hits, misses), (1, 2));
         assert_eq!(io.disk_stats().pages(), 3); // 1 initial + 2 batch
+    }
+
+    #[test]
+    fn touch_reports_per_access_outcome() {
+        let mut io = Io::new(8, DiskParams::default());
+        assert!(!io.touch(9), "first access misses");
+        assert!(io.touch(9), "second access hits");
+    }
+
+    #[test]
+    fn shared_pool_keeps_residency_across_stacks() {
+        let shared = SharedBufferPool::new(16);
+        let mut a = Io::with_shared_pool(shared.clone(), DiskParams::default());
+        let mut b = Io::with_shared_pool(shared.clone(), DiskParams::default());
+        assert!(!a.touch(1), "cold in stack a");
+        assert!(b.touch(1), "warm in stack b via the shared pool");
+        // Pool-wide counters aggregate both stacks; each stack's disk only
+        // charged its own misses.
+        assert_eq!(shared.stats(), (1, 1));
+        assert_eq!(a.disk_stats().pages(), 1);
+        assert_eq!(b.disk_stats().pages(), 0);
     }
 
     #[test]

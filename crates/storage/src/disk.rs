@@ -58,6 +58,17 @@ impl DiskStats {
     pub fn pages(&self) -> u64 {
         self.seq_reads + self.rand_reads + self.elevator_reads
     }
+
+    /// Counters accumulated since `base` was captured (for per-run
+    /// attribution on a reused disk/executor).
+    pub fn delta(&self, base: &DiskStats) -> DiskStats {
+        DiskStats {
+            seq_reads: self.seq_reads - base.seq_reads,
+            rand_reads: self.rand_reads - base.rand_reads,
+            elevator_reads: self.elevator_reads - base.elevator_reads,
+            total_s: self.total_s - base.total_s,
+        }
+    }
 }
 
 /// The simulated disk.

@@ -36,6 +36,12 @@ pub struct Store {
     /// `(type, field) -> slot` cache so hot-path slot lookup is O(1).
     slots: HashMap<(TypeId, FieldId), usize>,
     next_page: PageId,
+    /// When attached, executors charge page access through this shared
+    /// pool instead of a private one: concurrent queries share residency
+    /// (one query's fetch warms the next) exactly as on a real server.
+    /// Cloning the store — snapshot swaps in the query service — clones
+    /// the `Arc`, so the pool stays warm across catalog changes.
+    shared_pool: Option<crate::SharedBufferPool>,
 }
 
 impl Store {
@@ -60,7 +66,25 @@ impl Store {
             indexes: Vec::new(),
             slots,
             next_page: 0,
+            shared_pool: None,
         }
+    }
+
+    /// Attaches a shared buffer pool of `capacity` pages (replacing any
+    /// previous one, cold). Executors created against this store charge
+    /// page access through it; see [`crate::SharedBufferPool`].
+    pub fn attach_shared_pool(&mut self, capacity: usize) {
+        self.shared_pool = Some(crate::SharedBufferPool::new(capacity));
+    }
+
+    /// Detaches the shared pool; executors go back to private pools.
+    pub fn detach_shared_pool(&mut self) {
+        self.shared_pool = None;
+    }
+
+    /// The shared buffer pool, when one is attached.
+    pub fn shared_pool(&self) -> Option<&crate::SharedBufferPool> {
+        self.shared_pool.as_ref()
     }
 
     /// The schema.

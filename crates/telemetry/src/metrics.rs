@@ -1,0 +1,709 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Hot-path cost model:
+//!
+//! * counter/gauge update — one relaxed atomic RMW, always on;
+//! * histogram observation — one relaxed gate load, and when profiling is
+//!   on, a bucket search over a fixed 28-entry table plus three relaxed
+//!   RMWs; when off, the gate load alone;
+//! * registration — one mutex acquisition, paid once per handle, never on
+//!   the per-query path (callers cache handles).
+//!
+//! Buckets are fixed powers of two in nanoseconds so every process buckets
+//! identically: reports from different runs (or different worker counts)
+//! merge by summing counts, and quantiles are reproducible.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of finite histogram buckets.
+pub const BUCKET_COUNT: usize = 27;
+
+/// Upper bounds (inclusive) of the finite buckets, in nanoseconds:
+/// 256 ns, 512 ns, … doubling up to ~17 s. Observations above the last
+/// bound land in an overflow (`+Inf`) bucket.
+pub const BUCKET_BOUNDS_NS: [u64; BUCKET_COUNT] = {
+    let mut bounds = [0u64; BUCKET_COUNT];
+    let mut i = 0;
+    while i < BUCKET_COUNT {
+        bounds[i] = 256u64 << i;
+        i += 1;
+    }
+    bounds
+};
+
+/// A monotonically increasing counter. Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A detached counter (not in any registry).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the absolute value. For mirroring a monotone counter that is
+    /// maintained elsewhere (e.g. the plan cache's own hit/miss cells)
+    /// into the registry at export time.
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that goes up and down (queue depths, residency).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A detached gauge (not in any registry).
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative via [`Gauge::sub`]).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Subtracts `d`.
+    pub fn sub(&self, d: i64) {
+        self.0.fetch_sub(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Finite buckets plus one overflow bucket.
+    counts: [AtomicU64; BUCKET_COUNT + 1],
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+    /// Shared with the owning registry; observations no-op when false.
+    gate: Arc<AtomicBool>,
+}
+
+/// A fixed-bucket latency histogram. Cloning shares the underlying cells.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Index of the bucket an observation falls in (overflow = `BUCKET_COUNT`).
+fn bucket_index(ns: u64) -> usize {
+    // Inclusive upper bounds: bounds[i] = 256 << i, so the bucket is the
+    // number of doublings needed past 256.
+    if ns <= BUCKET_BOUNDS_NS[0] {
+        return 0;
+    }
+    let idx = (64 - (ns - 1).leading_zeros() as usize).saturating_sub(8);
+    idx.min(BUCKET_COUNT)
+}
+
+impl Histogram {
+    /// A detached histogram whose gate is always open (tests, ad-hoc use).
+    pub fn new() -> Self {
+        Histogram::with_gate(Arc::new(AtomicBool::new(true)))
+    }
+
+    fn with_gate(gate: Arc<AtomicBool>) -> Self {
+        Histogram(Arc::new(HistogramCore {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            gate,
+        }))
+    }
+
+    /// Records one observation in nanoseconds. A no-op while the owning
+    /// registry's profiling gate is off.
+    pub fn record(&self, ns: u64) {
+        if !self.0.gate.load(Ordering::Relaxed) {
+            return;
+        }
+        self.0.counts[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.0.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// An interpolated quantile in nanoseconds (`q` in `[0, 1]`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// A consistent point-in-time copy of the cells.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .0
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum_ns: self.sum_ns(),
+            count: self.count(),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram's cells.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (finite buckets then overflow).
+    pub counts: Vec<u64>,
+    /// Sum of observations in nanoseconds.
+    pub sum_ns: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Observations accumulated since `base` was captured: subtracts the
+    /// older snapshot cell-wise, windowing a cumulative histogram to one
+    /// measured interval (the fixed buckets make this exact).
+    pub fn delta(&self, base: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .zip(base.counts.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+            sum_ns: self.sum_ns - base.sum_ns,
+            count: self.count - base.count,
+        }
+    }
+
+    /// An interpolated quantile in nanoseconds (`q` in `[0, 1]`): linear
+    /// within the containing bucket, saturating at the last finite bound
+    /// for observations in the overflow bucket.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo = if i == 0 { 0 } else { BUCKET_BOUNDS_NS[i - 1] };
+            if i >= BUCKET_COUNT {
+                // Overflow: no upper bound to interpolate against.
+                return lo as f64;
+            }
+            let hi = BUCKET_BOUNDS_NS[i];
+            if seen + c >= target {
+                let frac = (target - seen) as f64 / c as f64;
+                return lo as f64 + frac * (hi - lo) as f64;
+            }
+            seen += c;
+        }
+        *BUCKET_BOUNDS_NS.last().unwrap() as f64
+    }
+}
+
+/// A stage stopwatch: `lap()` yields nanoseconds since the previous lap,
+/// so one timer splits a pipeline into consecutive stage latencies.
+#[derive(Debug)]
+pub struct StageTimer {
+    last: Instant,
+}
+
+impl Default for StageTimer {
+    fn default() -> Self {
+        StageTimer::start()
+    }
+}
+
+impl StageTimer {
+    /// Starts timing.
+    pub fn start() -> Self {
+        StageTimer {
+            last: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the previous lap (or start), then resets.
+    pub fn lap(&mut self) -> u64 {
+        let now = Instant::now();
+        let ns = now.duration_since(self.last).as_nanos() as u64;
+        self.last = now;
+        ns
+    }
+
+    /// Laps and records the split into `hist`. Returns the split.
+    pub fn lap_into(&mut self, hist: &Histogram) -> u64 {
+        let ns = self.lap();
+        hist.record(ns);
+        ns
+    }
+}
+
+/// A metric's identity: name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey {
+    /// Metric name (Prometheus conventions: `snake_case`, unit suffix).
+    pub name: String,
+    /// Label pairs, sorted by label name.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// `{k="v",…}` or the empty string.
+    fn label_suffix(&self, extra: Option<(&str, &str)>) -> String {
+        let mut pairs: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect();
+        if let Some((k, v)) = extra {
+            pairs.push(format!("{k}=\"{}\"", escape_label(v)));
+        }
+        if pairs.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", pairs.join(","))
+        }
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[derive(Clone, Debug)]
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The registry: get-or-create handles by `(name, labels)`, render the
+/// whole population as Prometheus text or JSON. Cheap to share behind an
+/// `Arc`; handle lookups lock a `Mutex`, metric updates never do.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    profiling: Arc<AtomicBool>,
+    metrics: Mutex<BTreeMap<MetricKey, Slot>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry. Profiling (histogram observation) starts **off**
+    /// so an instrumented hot path costs one relaxed load until someone
+    /// asks for latency data; counters and gauges are always live.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            profiling: Arc::new(AtomicBool::new(false)),
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Turns histogram observation on or off. Counters and gauges are
+    /// unaffected — they stay correct either way.
+    pub fn set_profiling(&self, on: bool) {
+        self.profiling.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether histograms are currently observing.
+    pub fn profiling(&self) -> bool {
+        self.profiling.load(Ordering::Relaxed)
+    }
+
+    /// Gets or creates a counter. Panics if the key exists as another kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(key)
+            .or_insert_with(|| Slot::Counter(Counter::new()))
+        {
+            Slot::Counter(c) => c.clone(),
+            other => panic!("metric {name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Gets or creates a gauge. Panics if the key exists as another kind.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(key)
+            .or_insert_with(|| Slot::Gauge(Gauge::new()))
+        {
+            Slot::Gauge(g) => g.clone(),
+            other => panic!("metric {name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Gets or creates a histogram (gated by this registry's profiling
+    /// flag). Panics if the key exists as another kind.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = MetricKey::new(name, labels);
+        let gate = Arc::clone(&self.profiling);
+        let mut metrics = self.metrics.lock().unwrap();
+        match metrics
+            .entry(key)
+            .or_insert_with(|| Slot::Histogram(Histogram::with_gate(gate)))
+        {
+            Slot::Histogram(h) => h.clone(),
+            other => panic!("metric {name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Renders every metric in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let metrics = self.metrics.lock().unwrap();
+        let mut out = String::new();
+        let mut last_typed: Option<(String, &'static str)> = None;
+        for (key, slot) in metrics.iter() {
+            let needs_type = last_typed
+                .as_ref()
+                .map(|(n, _)| n != &key.name)
+                .unwrap_or(true);
+            if needs_type {
+                let _ = writeln!(out, "# TYPE {} {}", key.name, slot.kind());
+                last_typed = Some((key.name.clone(), slot.kind()));
+            }
+            match slot {
+                Slot::Counter(c) => {
+                    let _ = writeln!(out, "{}{} {}", key.name, key.label_suffix(None), c.get());
+                }
+                Slot::Gauge(g) => {
+                    let _ = writeln!(out, "{}{} {}", key.name, key.label_suffix(None), g.get());
+                }
+                Slot::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let mut cum = 0u64;
+                    for (i, c) in snap.counts.iter().enumerate() {
+                        cum += c;
+                        let le = if i < BUCKET_COUNT {
+                            BUCKET_BOUNDS_NS[i].to_string()
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            key.name,
+                            key.label_suffix(Some(("le", &le))),
+                            cum
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        key.name,
+                        key.label_suffix(None),
+                        snap.sum_ns
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        key.name,
+                        key.label_suffix(None),
+                        snap.count
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a JSON snapshot: counters and gauges with their values,
+    /// histograms with count/sum/mean and interpolated p50/p95/p99.
+    pub fn render_json(&self) -> String {
+        let metrics = self.metrics.lock().unwrap();
+        let labels_json = |key: &MetricKey| {
+            let pairs: Vec<String> = key
+                .labels
+                .iter()
+                .map(|(k, v)| format!("\"{}\": \"{}\"", escape_json(k), escape_json(v)))
+                .collect();
+            format!("{{{}}}", pairs.join(", "))
+        };
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (key, slot) in metrics.iter() {
+            let name = escape_json(&key.name);
+            match slot {
+                Slot::Counter(c) => counters.push(format!(
+                    "{{\"name\": \"{name}\", \"labels\": {}, \"value\": {}}}",
+                    labels_json(key),
+                    c.get()
+                )),
+                Slot::Gauge(g) => gauges.push(format!(
+                    "{{\"name\": \"{name}\", \"labels\": {}, \"value\": {}}}",
+                    labels_json(key),
+                    g.get()
+                )),
+                Slot::Histogram(h) => {
+                    let snap = h.snapshot();
+                    histograms.push(format!(
+                        "{{\"name\": \"{name}\", \"labels\": {}, \"count\": {}, \
+                         \"sum_ns\": {}, \"mean_ns\": {:.1}, \"p50_ns\": {:.1}, \
+                         \"p95_ns\": {:.1}, \"p99_ns\": {:.1}}}",
+                        labels_json(key),
+                        snap.count,
+                        snap.sum_ns,
+                        snap.mean_ns(),
+                        snap.quantile(0.50),
+                        snap.quantile(0.95),
+                        snap.quantile(0.99)
+                    ));
+                }
+            }
+        }
+        format!(
+            "{{\"counters\": [{}], \"gauges\": [{}], \"histograms\": [{}]}}",
+            counters.join(", "),
+            gauges.join(", "),
+            histograms.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_bounds() {
+        // Every bound must land in its own bucket; bound+1 in the next.
+        for (i, &b) in BUCKET_BOUNDS_NS.iter().enumerate() {
+            assert_eq!(bucket_index(b), i, "bound {b}");
+            assert_eq!(bucket_index(b + 1), (i + 1).min(BUCKET_COUNT));
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT);
+    }
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let h = Histogram::new();
+        for ns in [100u64, 300, 1000, 5000, 100_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_ns(), 106_400);
+        let p50 = h.quantile(0.5);
+        // Third of five observations: the 1000 ns one, bucket (512, 1024].
+        assert!(p50 > 512.0 && p50 <= 1024.0, "p50 = {p50}");
+        assert!(h.quantile(1.0) >= 65_536.0);
+        assert_eq!(h.quantile(0.0), h.quantile(1.0 / 5.0));
+    }
+
+    #[test]
+    fn profiling_gate_stops_histograms_not_counters() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("x_ns", &[]);
+        let c = reg.counter("y_total", &[]);
+        reg.set_profiling(false);
+        h.record(100);
+        c.inc();
+        assert_eq!(h.count(), 0, "gated histogram must not observe");
+        assert_eq!(c.get(), 1, "counters are always live");
+        reg.set_profiling(true);
+        h.record(100);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn registry_reuses_handles() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("hits_total", &[("shard", "0")]);
+        let b = reg.counter("hits_total", &[("shard", "0")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same key must share the cell");
+        let other = reg.counter("hits_total", &[("shard", "1")]);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x", &[]);
+        reg.gauge("x", &[]);
+    }
+
+    #[test]
+    fn prometheus_format_shape() {
+        let reg = MetricsRegistry::new();
+        reg.set_profiling(true);
+        reg.counter("requests_total", &[("kind", "read")]).add(3);
+        reg.gauge("queue_depth", &[]).set(2);
+        let h = reg.histogram("latency_ns", &[("stage", "parse")]);
+        h.record(300);
+        h.record(70_000);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE requests_total counter"), "{text}");
+        assert!(text.contains("requests_total{kind=\"read\"} 3"), "{text}");
+        assert!(text.contains("# TYPE queue_depth gauge"), "{text}");
+        assert!(text.contains("queue_depth 2"), "{text}");
+        assert!(text.contains("# TYPE latency_ns histogram"), "{text}");
+        assert!(
+            text.contains("latency_ns_bucket{stage=\"parse\",le=\"512\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("latency_ns_bucket{stage=\"parse\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("latency_ns_sum{stage=\"parse\"} 70300"),
+            "{text}"
+        );
+        assert!(
+            text.contains("latency_ns_count{stage=\"parse\"} 2"),
+            "{text}"
+        );
+        // Cumulative buckets never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("latency_ns_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "{line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let reg = MetricsRegistry::new();
+        reg.set_profiling(true);
+        reg.counter("c_total", &[]).add(7);
+        reg.histogram("h_ns", &[("stage", "x")]).record(1000);
+        let json = reg.render_json();
+        assert!(json.contains("\"name\": \"c_total\""), "{json}");
+        assert!(json.contains("\"value\": 7"), "{json}");
+        assert!(json.contains("\"stage\": \"x\""), "{json}");
+        assert!(json.contains("\"count\": 1"), "{json}");
+        assert!(json.contains("\"p99_ns\""), "{json}");
+    }
+
+    #[test]
+    fn snapshot_delta_windows_an_interval() {
+        let h = Histogram::new();
+        h.record(300);
+        h.record(5_000);
+        let base = h.snapshot();
+        h.record(5_000);
+        h.record(70_000);
+        let d = h.snapshot().delta(&base);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum_ns, 75_000);
+        assert_eq!(d.counts.iter().sum::<u64>(), 2);
+        // The interval excludes the pre-base 300ns observation entirely.
+        assert_eq!(d.counts[bucket_index(300)], 0);
+    }
+
+    #[test]
+    fn stage_timer_splits() {
+        let mut t = StageTimer::start();
+        let h = Histogram::new();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let a = t.lap_into(&h);
+        assert!(a >= 1_000_000, "{a}");
+        assert_eq!(h.count(), 1);
+        let b = t.lap();
+        assert!(b < a, "second lap must restart from the first lap's end");
+    }
+}

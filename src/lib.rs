@@ -47,6 +47,7 @@ pub use oodb_exec as exec;
 pub use oodb_object as object;
 pub use oodb_service as service;
 pub use oodb_storage as storage;
+pub use oodb_telemetry as telemetry;
 pub use volcano;
 pub use zql;
 
@@ -57,9 +58,10 @@ pub mod prelude {
         LogicalOp, LogicalPlan, PhysicalOp, PhysicalPlan, QueryBuilder, QueryEnv, VarSet,
     };
     pub use oodb_core::{greedy_plan, Cost, CostParams, OpenOodb, OptimizerConfig};
-    pub use oodb_exec::{execute, Executor};
+    pub use oodb_exec::{execute, execute_traced, Executor};
     pub use oodb_object::paper::{paper_model, paper_model_scaled};
     pub use oodb_object::{Catalog, Schema, Value};
     pub use oodb_service::{QueryService, SubmitOptions, WorkerPool};
     pub use oodb_storage::{generate_paper_db, GenConfig, Store};
+    pub use oodb_telemetry::{MetricsRegistry, OpTrace};
 }

@@ -1,0 +1,162 @@
+//! End-to-end telemetry invariants: operator traces must reconcile with
+//! the executor's statistics, histograms must account for every
+//! observation, and the service's counters must balance under concurrency.
+
+use oodb_core::{CostParams, OptimizerConfig};
+use oodb_service::{QueryService, SubmitOptions, WorkerPool};
+use oodb_storage::{generate_paper_db, GenConfig};
+use oodb_telemetry::BUCKET_BOUNDS_NS;
+
+fn service() -> QueryService {
+    let (store, _model) = generate_paper_db(GenConfig {
+        scale_div: 100,
+        ..Default::default()
+    });
+    QueryService::new(
+        store,
+        CostParams::default(),
+        OptimizerConfig::all_rules(),
+        128,
+        8,
+    )
+}
+
+/// The paper's four query shapes (Q1–Q4).
+const QUERIES: &[&str] = &[
+    // Q1: the Dallas report — path-expression join chain.
+    "SELECT Newobject(e.name(), e.job().name(), e.dept().name()) \
+     FROM Employee e IN Employees \
+     WHERE e.dept().plant().location() == \"Dallas\"",
+    // Q2: mayor-name selection (collapses to one path-index scan).
+    r#"SELECT c FROM City c IN Cities WHERE c.mayor().name() == "Joe""#,
+    // Q3: projection needing the mayor in memory (assembly enforcer).
+    r#"SELECT Newobject(c.mayor().age(), c.name()) FROM City c IN Cities WHERE c.mayor().name() == "Joe""#,
+    // Q4: set-valued path with EXISTS (unnest + mat).
+    "SELECT t FROM Task t IN Tasks WHERE t.time() == 100 \
+     && EXISTS (SELECT m FROM m IN t.team_members() WHERE m.name() == \"Fred\")",
+];
+
+#[test]
+fn root_trace_rows_equal_result_cardinality() {
+    let svc = service();
+    let opts = SubmitOptions {
+        trace: true,
+        ..Default::default()
+    };
+    for q in QUERIES {
+        let out = svc.submit_with(q, opts).unwrap();
+        let trace = out.trace.as_ref().expect("trace requested");
+        assert_eq!(
+            trace.actual_rows, out.row_count as u64,
+            "root operator rows must equal result cardinality for {q}"
+        );
+        // The root is cumulative, so its I/O must match the whole run's.
+        assert_eq!(
+            (trace.buffer_hits, trace.buffer_misses),
+            (out.buffer_hits, out.buffer_misses),
+            "trace root buffer I/O must reconcile with ExecStats for {q}"
+        );
+        // Children never account for more than their parent.
+        for node in trace.flatten() {
+            let child_ns: u64 = node.children.iter().map(|c| c.elapsed_ns).sum();
+            assert!(node.elapsed_ns >= child_ns, "cumulative time in {q}");
+        }
+    }
+}
+
+#[test]
+fn histogram_counts_sum_to_observation_count() {
+    let svc = service();
+    svc.set_profiling(true);
+    let n = 17;
+    for i in 0..n {
+        let q = format!("SELECT t FROM Task t IN Tasks WHERE t.time() == {}", i * 10);
+        svc.submit(&q).unwrap();
+    }
+    for stage in [
+        "parse",
+        "simplify",
+        "fingerprint",
+        "cache_probe",
+        "optimize",
+        "execute",
+    ] {
+        let snap = svc
+            .telemetry()
+            .histogram("oodb_stage_latency_ns", &[("stage", stage)])
+            .snapshot();
+        assert_eq!(snap.count, n, "one observation per submission ({stage})");
+        assert_eq!(
+            snap.counts.iter().sum::<u64>(),
+            snap.count,
+            "bucket counts must sum to the observation count ({stage})"
+        );
+        assert_eq!(snap.counts.len(), BUCKET_BOUNDS_NS.len() + 1);
+    }
+}
+
+#[test]
+fn cache_counters_balance_across_concurrent_replay() {
+    let svc = service();
+    let pool = WorkerPool::new(svc.clone(), 4);
+    let submissions = 60;
+    let pending: Vec<_> = (0..submissions)
+        .map(|i| {
+            pool.submit(
+                QUERIES[i % QUERIES.len()].to_string(),
+                SubmitOptions::default(),
+            )
+        })
+        .collect();
+    for p in pending {
+        p.wait().unwrap();
+    }
+    pool.shutdown();
+
+    let stats = svc.cache().stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        submissions as u64,
+        "every submission probes the cache exactly once"
+    );
+    assert_eq!(stats.misses, QUERIES.len() as u64, "one miss per shape");
+
+    let text = svc.metrics_prometheus();
+    assert!(
+        text.contains(&format!("oodb_submissions_total {submissions}")),
+        "{text}"
+    );
+    assert!(
+        text.contains(&format!("oodb_plancache_hits_total {}", stats.hits)),
+        "{text}"
+    );
+    // Worker job counters must also account for every submission.
+    let jobs: u64 = text
+        .lines()
+        .filter(|l| l.starts_with("oodb_worker_jobs_total"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(jobs, submissions as u64);
+    // The queue fully drained.
+    assert!(text.contains("oodb_queue_depth 0"), "{text}");
+}
+
+#[test]
+fn traced_and_untraced_runs_agree() {
+    let svc = service();
+    let traced = svc
+        .submit_with(
+            QUERIES[0],
+            SubmitOptions {
+                trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let plain = svc.submit(QUERIES[0]).unwrap();
+    assert_eq!(traced.rows, plain.rows, "tracing must not change answers");
+    assert_eq!(
+        (traced.buffer_hits + traced.buffer_misses > 0),
+        (plain.buffer_hits + plain.buffer_misses > 0)
+    );
+}
