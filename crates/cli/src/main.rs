@@ -100,8 +100,10 @@ impl Shell {
                 println!(
                     "Statements: any ZQL query ending in ';' — executed and printed.\n\
                      Prefix with EXPLAIN to see the optimal (and greedy) plan instead,\n\
-                     or EXPLAIN ANALYZE to run it and annotate each operator with\n\
-                     actual rows, wall time, and buffer I/O.\n\
+                     EXPLAIN ANALYZE to run it and annotate each operator with\n\
+                     actual rows, wall time, and buffer I/O, or EXPLAIN VERIFY to\n\
+                     statically check the winning plan (and, with verify-search on,\n\
+                     every expression the transformation rules generated).\n\
                      Commands:\n\
                      \\schema              types and fields\n\
                      \\catalog             collections and cardinalities\n\
@@ -111,6 +113,8 @@ impl Shell {
                      \\stats               collect histograms for refined selectivity\n\
                      \\cache [stats|clear] plan-cache counters / drop cached plans\n\
                      \\trace QUERY;        show the goal-directed search trace\n\
+                     \\verify QUERY;       statically verify the query's winning plan\n\
+                     \\verify search on|off   also lint every memo expression (slow)\n\
                      \\metrics             dump all metrics (Prometheus text format)\n\
                      \\profile on|off      latency histogram collection (default off)\n\
                      \\q                   quit"
@@ -216,6 +220,29 @@ impl Shell {
                     None => println!("usage: \\trace SELECT ... ;"),
                 }
             }
+            "\\verify" => {
+                let rest: Vec<&str> = line.splitn(2, ' ').collect();
+                match rest.get(1).map(|s| s.trim()) {
+                    Some("search on") => {
+                        self.config.verify_search = true;
+                        println!("verify-search on — every memo expression is linted");
+                    }
+                    Some("search off") => {
+                        self.config.verify_search = false;
+                        println!("verify-search off");
+                    }
+                    Some(src) if !src.is_empty() => self.verify_stmt(src.trim_end_matches(';')),
+                    _ => println!(
+                        "usage: \\verify SELECT ... ;  or  \\verify search on|off \
+                         (currently {})",
+                        if self.config.verify_search {
+                            "on"
+                        } else {
+                            "off"
+                        }
+                    ),
+                }
+            }
             "\\stats" => {
                 self.catalog = self.store.collect_statistics(&[], 32);
                 println!(
@@ -271,6 +298,51 @@ impl Shell {
         true
     }
 
+    /// Statically verifies a query's winning plan (always under
+    /// verify-search, regardless of the session toggle): lints the logical
+    /// algebra, optimizes, and reports every diagnostic — or a clean bill.
+    fn verify_stmt(&mut self, src: &str) {
+        let q = match zql::compile(src, &self.model.schema, &self.catalog) {
+            Ok(q) => q,
+            Err(e) => {
+                println!("{e}");
+                return;
+            }
+        };
+        let mut diags = oodb_core::verify::lint_logical(&q.env, &q.plan);
+        let mut config = self.config.clone();
+        config.verify_search = true;
+        let optimizer = OpenOodb::with_config(&q.env, config);
+        let searched = match optimizer.optimize_ordered(&q.plan, q.result_vars, q.order) {
+            Some(out) => {
+                diags.extend(out.diagnostics);
+                Some((out.stats, out.cost))
+            }
+            None => {
+                println!("no feasible plan under the current rule configuration");
+                None
+            }
+        };
+        self.telemetry
+            .counter("oodb_verify_violations_total", &[])
+            .add(diags.len() as u64);
+        for d in &diags {
+            println!("verify violation: {d}");
+        }
+        if let Some((stats, cost)) = searched {
+            if diags.is_empty() {
+                println!(
+                    "verify: OK — 0 diagnostics across the winning plan and \
+                     {} memo expressions (estimated {:.3} s)",
+                    stats.exprs,
+                    cost.total()
+                );
+            } else {
+                println!("verify: {} diagnostic(s)", diags.len());
+            }
+        }
+    }
+
     /// Shows the goal-level search trace for a query (the paper's
     /// Figure 11 view, live).
     fn trace(&mut self, src: &str) {
@@ -309,8 +381,14 @@ impl Shell {
 
     fn statement(&mut self, stmt: &str) {
         let upper = stmt.to_ascii_uppercase();
-        // EXPLAIN ANALYZE runs the plan and annotates it; bare EXPLAIN
-        // only shows the search result.
+        // EXPLAIN VERIFY statically checks the plan; EXPLAIN ANALYZE runs
+        // the plan and annotates it; bare EXPLAIN only shows the search
+        // result.
+        if upper.starts_with("EXPLAIN VERIFY") {
+            let src = stmt["EXPLAIN VERIFY".len()..].trim();
+            self.verify_stmt(src.trim_end_matches(';'));
+            return;
+        }
         let (explain, analyze, src) = if upper.starts_with("EXPLAIN ANALYZE") {
             (false, true, stmt["EXPLAIN ANALYZE".len()..].trim())
         } else if upper.starts_with("EXPLAIN") {

@@ -121,6 +121,11 @@ pub struct OptimizerConfig {
     /// compile-time half of ObjectStore-style dynamic plan selection
     /// (see [`crate::dynamic`]).
     pub ignored_indexes: Vec<String>,
+    /// Debug mode: statically verify every expression the memo holds at
+    /// the end of search (not just the winning plan). Excluded from
+    /// [`Self::fingerprint`] — verification never influences plan choice,
+    /// so toggling it must not invalidate cached plans.
+    pub verify_search: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -131,6 +136,7 @@ impl Default for OptimizerConfig {
             enable_warm_assembly: false,
             prune: false,
             ignored_indexes: Vec::new(),
+            verify_search: false,
         }
     }
 }

@@ -47,5 +47,8 @@ pub use cost::{Cost, CostParams};
 pub use dynamic::{compile_dynamic, DynamicAlternative, DynamicPlan};
 pub use greedy::greedy_plan;
 pub use model::OodbModel;
+/// The static plan verifier, re-exported so downstream crates reach the
+/// linter and property checker without a separate dependency.
+pub use oodb_verify as verify;
 pub use optimizer::{OpenOodb, OptimizeOutcome};
 pub use plancache::{CacheKey, CacheStats, CachedBody, CachedPlan, PlanCache};

@@ -23,6 +23,10 @@ pub struct OptimizeOutcome {
     pub cost: Cost,
     /// Search statistics (for the paper's optimization-effort columns).
     pub stats: SearchStats,
+    /// Static-verifier findings on the winning plan (and, when
+    /// [`OptimizerConfig::verify_search`] is set, on every logical
+    /// expression left in the memo). Empty on a sound run; never a panic.
+    pub diagnostics: Vec<oodb_verify::Diagnostic>,
 }
 
 /// The Open OODB optimizer: environment + parameters + configuration.
@@ -102,10 +106,15 @@ impl<'e> OpenOodb<'e> {
         let node = opt.run(root, props)?;
         let cost = node.total_cost();
         let plan = merge_assemblies(self.annotate(&node));
+        let mut diagnostics = oodb_verify::verify_physical(self.model.env, &plan, props);
+        if self.model.config.verify_search {
+            diagnostics.extend(verify_search_space(&opt.memo, self.model.env));
+        }
         Some(OptimizeOutcome {
             plan,
             cost,
             stats: opt.stats,
+            diagnostics,
         })
     }
 
@@ -172,11 +181,16 @@ impl<'e> OpenOodb<'e> {
             })
             .collect();
         let plan = merge_assemblies(self.annotate(&node));
+        let mut diagnostics = oodb_verify::verify_physical(self.model.env, &plan, props);
+        if self.model.config.verify_search {
+            diagnostics.extend(verify_search_space(&opt.memo, self.model.env));
+        }
         Some((
             OptimizeOutcome {
                 plan,
                 cost,
                 stats: opt.stats,
+                diagnostics,
             },
             lines,
         ))
@@ -235,9 +249,28 @@ impl<'e> OpenOodb<'e> {
     }
 }
 
+/// Lints every live logical expression in a searched memo — the
+/// `verify_search` debug mode. Each expression is extracted as a tree
+/// (children anchored at each group's first expression, which exploration
+/// has already linted transitively) and run through the well-formedness
+/// linter, so an unsound transformation rule is caught even when its
+/// rewrite loses costing and never becomes the winner.
+pub fn verify_search_space<'e>(
+    memo: &Memo<OodbModel<'e>>,
+    env: &QueryEnv,
+) -> Vec<oodb_verify::Diagnostic> {
+    let mut out = Vec::new();
+    for e in memo.live_exprs() {
+        let tree = extract_anchored(memo, e);
+        out.extend(oodb_verify::lint_logical(env, &tree));
+    }
+    out
+}
+
 /// Reconstructs a logical tree from a memo expression, descending into
-/// each child group's first (anchor) expression.
-fn extract_anchored<'e>(memo: &Memo<OodbModel<'e>>, e: volcano::ExprId) -> LogicalPlan {
+/// each child group's first (anchor) expression. Exposed for the
+/// rule-soundness harness, which replays individual rewrites as trees.
+pub fn extract_anchored<'e>(memo: &Memo<OodbModel<'e>>, e: volcano::ExprId) -> LogicalPlan {
     let expr = memo.expr(e);
     LogicalPlan {
         op: expr.op.clone(),

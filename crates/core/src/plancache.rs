@@ -123,6 +123,13 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries displaced by the LRU policy.
     pub evictions: u64,
+    /// Inserts refused because the entry's statistics epoch was already
+    /// superseded when the optimizer finished (the optimize-during-
+    /// epoch-bump race).
+    pub stale_rejects: u64,
+    /// Inserts refused because the static verifier found the plan
+    /// malformed — a corrupt plan is never cached, so never served.
+    pub verify_rejects: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -156,6 +163,13 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Highest statistics epoch this cache has ever observed (from lookup
+    /// keys and [`PlanCache::note_epoch`]). Inserts under an older epoch
+    /// are refused: such entries could only ever miss, and would pin a
+    /// stale environment in the LRU until displaced.
+    latest_epoch: AtomicU64,
+    stale_rejects: AtomicU64,
+    verify_rejects: AtomicU64,
 }
 
 impl std::fmt::Debug for PlanCache {
@@ -192,6 +206,9 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            latest_epoch: AtomicU64::new(0),
+            stale_rejects: AtomicU64::new(0),
+            verify_rejects: AtomicU64::new(0),
         }
     }
 
@@ -204,6 +221,8 @@ impl PlanCache {
     /// query being looked up; a hash match with a different structural key
     /// is a collision and reported as a miss.
     pub fn get(&self, key: &CacheKey, structural: &str) -> Option<Arc<CachedPlan>> {
+        self.latest_epoch
+            .fetch_max(key.stats_epoch, Ordering::Relaxed);
         let mut shard = self.shard(key).lock().unwrap();
         let found = match shard.map.get_mut(key) {
             Some(slot) if slot.entry.structural == structural => {
@@ -220,9 +239,34 @@ impl PlanCache {
         found
     }
 
+    /// Advances the cache's view of the catalog's statistics epoch. Call
+    /// with the *current* epoch just before [`PlanCache::insert`]: if
+    /// statistics were recollected while the optimizer ran, the insert is
+    /// refused instead of caching a plan that can only ever miss.
+    pub fn note_epoch(&self, epoch: u64) {
+        self.latest_epoch.fetch_max(epoch, Ordering::Relaxed);
+    }
+
     /// Inserts (or replaces) an entry, evicting the least-recently-used
-    /// slot of the shard when it is full.
-    pub fn insert(&self, key: CacheKey, entry: Arc<CachedPlan>) {
+    /// slot of the shard when it is full. Returns `false` (and counts the
+    /// rejection) when the entry is refused:
+    ///
+    /// * its `stats_epoch` is older than the newest epoch the cache has
+    ///   seen — the optimize-during-epoch-bump race — or
+    /// * the static verifier ([`oodb_verify`]) finds the plan malformed,
+    ///   so a corrupt plan can never be served.
+    pub fn insert(&self, key: CacheKey, entry: Arc<CachedPlan>) -> bool {
+        let seen = self
+            .latest_epoch
+            .fetch_max(key.stats_epoch, Ordering::Relaxed);
+        if key.stats_epoch < seen {
+            self.stale_rejects.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        if !verify_entry(&entry) {
+            self.verify_rejects.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard(&key).lock().unwrap();
         if !shard.map.contains_key(&key) && shard.map.len() >= shard.capacity {
@@ -243,6 +287,7 @@ impl PlanCache {
                 last_used: tick,
             },
         );
+        true
     }
 
     /// Drops every entry (counters are preserved).
@@ -271,8 +316,24 @@ impl PlanCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            stale_rejects: self.stale_rejects.load(Ordering::Relaxed),
+            verify_rejects: self.verify_rejects.load(Ordering::Relaxed),
             entries: self.len(),
         }
+    }
+}
+
+/// Static verification of an entry against its own captured environment.
+/// Root requirements are unknown at this layer (they live with the
+/// caller's goal), so only internal consistency is checked: shape, scoping,
+/// link types, enforcer placement, and cost sanity.
+fn verify_entry(entry: &CachedPlan) -> bool {
+    let clean = |plan: &PhysicalPlan| {
+        oodb_verify::verify_physical(&entry.env, plan, oodb_algebra::PhysProps::NONE).is_empty()
+    };
+    match &entry.body {
+        CachedBody::Static { plan, .. } => clean(plan),
+        CachedBody::Dynamic(family) => family.alternatives.iter().all(|a| clean(&a.plan)),
     }
 }
 
@@ -281,7 +342,39 @@ mod tests {
     use super::*;
     use oodb_object::paper::paper_model;
 
+    /// A minimal *well-formed* entry: a bare file scan of Cities. Inserts
+    /// are verified, so test entries must pass the linter.
     fn dummy_entry(structural: &str) -> Arc<CachedPlan> {
+        let m = paper_model();
+        let cities = m.ids.cities;
+        let card = m.catalog.collection(cities).cardinality as f64;
+        let mut qb = oodb_algebra::QueryBuilder::new(m.schema, m.catalog);
+        let (_, c) = qb.get(cities, "c");
+        Arc::new(CachedPlan {
+            structural: structural.to_string(),
+            env: qb.into_env(),
+            result_vars: VarSet::single(c),
+            body: CachedBody::Static {
+                plan: PhysicalPlan {
+                    op: oodb_algebra::PhysicalOp::FileScan {
+                        coll: cities,
+                        var: c,
+                    },
+                    children: vec![],
+                    est: oodb_algebra::PlanEst {
+                        out_card: card,
+                        io_s: 0.1,
+                        cpu_s: 0.01,
+                    },
+                },
+                cost: Cost::ZERO,
+            },
+        })
+    }
+
+    /// A malformed entry: a filter with no inputs whose predicate id
+    /// dangles into an empty arena — the shape a rule bug could produce.
+    fn corrupt_entry(structural: &str) -> Arc<CachedPlan> {
         let m = paper_model();
         let qb = oodb_algebra::QueryBuilder::new(m.schema, m.catalog);
         Arc::new(CachedPlan {
@@ -347,6 +440,36 @@ mod tests {
         assert!(cache.get(&key(1, 0), "a").is_some());
         assert!(cache.get(&key(2, 0), "b").is_none());
         assert!(cache.get(&key(3, 0), "c").is_some());
+    }
+
+    #[test]
+    fn stale_epoch_insert_is_rejected_and_counted() {
+        let cache = PlanCache::new(16, 4);
+        // A lookup under epoch 2 teaches the cache the current epoch…
+        assert!(cache.get(&key(7, 2), "q").is_none());
+        // …so an optimizer that started under epoch 1 (and finished after
+        // the bump) may not insert its result.
+        assert!(!cache.insert(key(7, 1), dummy_entry("q")));
+        assert_eq!(cache.stats().stale_rejects, 1);
+        assert!(cache.is_empty());
+        // The current epoch is still insertable, as is a newer one.
+        assert!(cache.insert(key(7, 2), dummy_entry("q")));
+        assert!(cache.insert(key(8, 3), dummy_entry("r")));
+        assert_eq!(cache.stats().entries, 2);
+        // note_epoch advances the watermark without a lookup.
+        cache.note_epoch(5);
+        assert!(!cache.insert(key(9, 4), dummy_entry("s")));
+        assert_eq!(cache.stats().stale_rejects, 2);
+    }
+
+    #[test]
+    fn corrupt_plan_is_rejected_and_never_served() {
+        let cache = PlanCache::new(16, 4);
+        let k = key(11, 0);
+        assert!(!cache.insert(k, corrupt_entry("bad")));
+        assert_eq!(cache.stats().verify_rejects, 1);
+        assert!(cache.get(&k, "bad").is_none());
+        assert!(cache.is_empty());
     }
 
     #[test]

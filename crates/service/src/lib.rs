@@ -149,10 +149,14 @@ struct ServiceMetrics {
     exec_pages_read: Counter,
     exec_tuples: Counter,
     exec_sim_io_us: Counter,
+    /// Static-verifier findings on winning plans (0 on a sound optimizer).
+    verify_violations: Counter,
     // Mirrors of the plan cache's own counters, refreshed at export time.
     cache_hits: Counter,
     cache_misses: Counter,
     cache_evictions: Counter,
+    cache_stale_rejects: Counter,
+    cache_verify_rejects: Counter,
     cache_entries: Gauge,
 }
 
@@ -176,9 +180,12 @@ impl ServiceMetrics {
             exec_pages_read: reg.counter("oodb_exec_pages_read_total", &[]),
             exec_tuples: reg.counter("oodb_exec_tuples_total", &[]),
             exec_sim_io_us: reg.counter("oodb_exec_sim_io_microseconds_total", &[]),
+            verify_violations: reg.counter("oodb_verify_violations_total", &[]),
             cache_hits: reg.counter("oodb_plancache_hits_total", &[]),
             cache_misses: reg.counter("oodb_plancache_misses_total", &[]),
             cache_evictions: reg.counter("oodb_plancache_evictions_total", &[]),
+            cache_stale_rejects: reg.counter("oodb_plancache_stale_rejects_total", &[]),
+            cache_verify_rejects: reg.counter("oodb_plancache_verify_rejects_total", &[]),
             cache_entries: reg.gauge("oodb_plancache_entries", &[]),
         }
     }
@@ -254,6 +261,8 @@ impl QueryService {
         m.cache_hits.store(s.hits);
         m.cache_misses.store(s.misses);
         m.cache_evictions.store(s.evictions);
+        m.cache_stale_rejects.store(s.stale_rejects);
+        m.cache_verify_rejects.store(s.verify_rejects);
         m.cache_entries.set(s.entries as i64);
     }
 
@@ -377,6 +386,7 @@ impl QueryService {
                         })?;
                     m.transform_firings.add(out.stats.transform_firings);
                     m.plans_costed.add(out.stats.plans_costed);
+                    m.verify_violations.add(out.diagnostics.len() as u64);
                     CachedBody::Static {
                         plan: out.plan,
                         cost: out.cost,
@@ -388,6 +398,12 @@ impl QueryService {
                     result_vars: q.result_vars,
                     body,
                 });
+                // Re-read the *current* epoch before inserting: if
+                // statistics were recollected while we optimized, the
+                // cache refuses the now-stale entry instead of pinning it.
+                self.inner
+                    .cache
+                    .note_epoch(self.store().catalog().stats_epoch());
                 self.inner.cache.insert(key, Arc::clone(&entry));
                 (entry, false)
             }

@@ -126,8 +126,17 @@ fn bucket_index(ns: u64) -> usize {
     if ns <= BUCKET_BOUNDS_NS[0] {
         return 0;
     }
-    let idx = (64 - (ns - 1).leading_zeros() as usize).saturating_sub(8);
-    idx.min(BUCKET_COUNT)
+    // Boundary determinism: an exact power of two is its own inclusive
+    // bound — 256 << k lands in bucket k, never the next one up. Handled
+    // as its own case so the property holds by construction rather than
+    // through `ns - 1` borrow arithmetic.
+    let log2 = if ns.is_power_of_two() {
+        ns.trailing_zeros() as usize
+    } else {
+        // Non-powers round up: bucket = ceil(log2(ns)) - 8.
+        64 - ns.leading_zeros() as usize
+    };
+    log2.saturating_sub(8).min(BUCKET_COUNT)
 }
 
 impl Histogram {
@@ -573,6 +582,32 @@ mod tests {
         assert_eq!(bucket_index(0), 0);
         assert_eq!(bucket_index(1), 0);
         assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT);
+    }
+
+    /// Regression: exact powers of two must land deterministically in the
+    /// bucket whose inclusive bound they equal — checked against a plain
+    /// linear scan over the declared bounds for every power of two a u64
+    /// can hold, plus both neighbors (the values most exposed to
+    /// off-by-one arithmetic).
+    #[test]
+    fn power_of_two_samples_land_on_their_own_bound() {
+        let linear = |ns: u64| -> usize {
+            BUCKET_BOUNDS_NS
+                .iter()
+                .position(|&b| ns <= b)
+                .unwrap_or(BUCKET_COUNT)
+        };
+        for k in 0..64 {
+            let p = 1u64 << k;
+            for ns in [p.saturating_sub(1), p, p.saturating_add(1)] {
+                assert_eq!(bucket_index(ns), linear(ns), "ns={ns} (2^{k} neighborhood)");
+            }
+        }
+        // The boundary itself and its successor always differ (until the
+        // overflow bucket absorbs both).
+        for &b in &BUCKET_BOUNDS_NS[..BUCKET_COUNT - 1] {
+            assert_ne!(bucket_index(b), bucket_index(b + 1), "bound {b}");
+        }
     }
 
     #[test]

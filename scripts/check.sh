@@ -12,4 +12,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+# Supply-chain lint: advisories, duplicate versions, license allow-list.
+# cargo-deny is an external binary; skip gracefully where it is not
+# installed (the offline build container) rather than failing the gate.
+if command -v cargo-deny >/dev/null 2>&1; then
+    echo "==> cargo deny check"
+    cargo deny check
+else
+    echo "==> cargo deny check (skipped: cargo-deny not installed)"
+fi
+
 echo "OK"

@@ -221,6 +221,28 @@ proptest! {
         }
     }
 
+    /// Every randomly generated valid algebra tree passes the static
+    /// linter, and the winning physical plan passes full verification
+    /// (linter + property checker + cost sanity).
+    #[test]
+    fn linter_accepts_random_valid_queries(
+        conds in proptest::collection::vec(cond_strategy(), 1..4)
+    ) {
+        use oodb_core::verify;
+        let (_, m) = db();
+        let (env, plan, result_vars, _) = build_query(m, &conds);
+        let diags = verify::lint_logical(&env, &plan);
+        prop_assert!(diags.is_empty(), "linter rejected a valid tree: {diags:?}");
+        let out = OpenOodb::with_config(&env, OptimizerConfig::all_rules())
+            .optimize(&plan, result_vars)
+            .expect("optimal plan");
+        prop_assert!(
+            out.diagnostics.is_empty(),
+            "verifier flagged a sound winning plan: {:?}",
+            out.diagnostics
+        );
+    }
+
     /// VarSet behaves like a HashSet<usize> under random operations.
     #[test]
     fn varset_models_hashset(ops in proptest::collection::vec((0usize..64, any::<bool>()), 0..40)) {
@@ -256,6 +278,83 @@ proptest! {
         let lex = (y1, m1, d1).cmp(&(y2, m2, d2));
         prop_assert_eq!(a.cmp(&b), lex);
     }
+}
+
+/// Mutation test 1 — dropped `Mat` link: splicing the `Mat d` node out of
+/// `Select(Mat d (Get e))` leaves the predicate's `d` unbound, and the
+/// linter must pinpoint the root `Select` (path `root`), not merely fail.
+#[test]
+fn linter_pinpoints_dropped_mat_link() {
+    use oodb_core::verify::{self, checks};
+    let (_, m) = db();
+    let (env, plan, ..) = build_query(m, &[Cond::DeptFloorEq(3)]);
+    assert!(verify::lint_logical(&env, &plan).is_empty());
+    // Splice: Select directly over Get, Mat gone.
+    let broken = LogicalPlan {
+        op: plan.op.clone(),
+        children: vec![plan.children[0].children[0].clone()],
+    };
+    let diags = verify::lint_logical(&env, &broken);
+    let hit = diags
+        .iter()
+        .find(|d| d.check == checks::UNBOUND_VAR)
+        .unwrap_or_else(|| panic!("expected unbound-var, got {diags:?}"));
+    assert_eq!(hit.path, Vec::<usize>::new(), "culprit is the root Select");
+    assert_eq!(hit.op, "Select");
+    assert_eq!(hit.path_string(), "root");
+}
+
+/// Mutation test 2 — swapped binding: rebinding the `Mat` to the `Get`
+/// variable (whose origin is a scan, not a link) must be flagged at the
+/// Mat's exact position with an origin mismatch.
+#[test]
+fn linter_pinpoints_swapped_binding() {
+    use oodb_core::verify::{self, checks};
+    let (_, m) = db();
+    let (env, plan, _, e_var) = build_query(m, &[Cond::DeptFloorEq(3)]);
+    let mut broken = plan.clone();
+    broken.children[0].op = oodb_algebra::LogicalOp::Mat { out: e_var };
+    let diags = verify::lint_logical(&env, &broken);
+    let hit = diags
+        .iter()
+        .find(|d| d.check == checks::ORIGIN_MISMATCH)
+        .unwrap_or_else(|| panic!("expected origin-mismatch, got {diags:?}"));
+    assert_eq!(hit.path, vec![0], "culprit is the Mat under the Select");
+    assert_eq!(hit.path_string(), "root.0");
+    // Rebinding an already-bound variable is also a duplicate binding.
+    assert!(diags
+        .iter()
+        .any(|d| d.check == checks::DUPLICATE_BINDING && d.path == vec![0]));
+}
+
+/// Mutation test 3 — removed enforcer: stripping the assembly out of
+/// Query 3's winning plan (Alg-Project over Assembly over index scan)
+/// leaves the projection reading an object that is never brought into
+/// memory; the property checker must blame the Alg-Project at the root.
+#[test]
+fn property_checker_pinpoints_removed_enforcer() {
+    use oodb_bench::queries;
+    use oodb_core::verify::{self, checks};
+    let (_, m) = db();
+    let q = queries::query3(m);
+    let out = OpenOodb::with_config(&q.env, OptimizerConfig::all_rules())
+        .optimize(&q.plan, q.result_vars)
+        .expect("query 3 plan");
+    assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    assert!(matches!(
+        out.plan.children[0].op,
+        oodb_algebra::PhysicalOp::Assembly { .. }
+    ));
+    // Strip the enforcer: project directly over the scan.
+    let mut broken = out.plan.clone();
+    broken.children = broken.children[0].children.clone();
+    let diags = verify::check_physical_props(&q.env, &broken, oodb_algebra::PhysProps::NONE);
+    let hit = diags
+        .iter()
+        .find(|d| d.check == checks::INPUT_NOT_IN_MEMORY)
+        .unwrap_or_else(|| panic!("expected input-not-in-memory, got {diags:?}"));
+    assert_eq!(hit.path, Vec::<usize>::new(), "culprit is the root project");
+    assert_eq!(hit.op, "Alg-Project");
 }
 
 /// Memo invariants under exploration of a random-size join tree: the

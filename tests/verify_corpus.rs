@@ -1,0 +1,53 @@
+//! The verifier over the paper corpus: full optimizer runs on Queries 1–4
+//! (and the Figure 2 chain) must produce zero static diagnostics — on the
+//! winning plan and, with `verify_search`, on every expression the
+//! transformation rules left in the memo.
+
+use oodb_bench::queries;
+use oodb_core::{OpenOodb, OptimizerConfig};
+use oodb_object::paper::paper_model;
+
+fn assert_clean(name: &str, q: &queries::PaperQuery) {
+    let mut config = OptimizerConfig::all_rules();
+    config.verify_search = true;
+    let out = OpenOodb::with_config(&q.env, config)
+        .optimize_ordered(&q.plan, q.result_vars, None)
+        .unwrap_or_else(|| panic!("{name}: no feasible plan"));
+    assert!(
+        out.diagnostics.is_empty(),
+        "{name}: verifier diagnostics on a sound run:\n{}",
+        out.diagnostics
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn paper_corpus_verifies_clean_with_search_verification() {
+    let m = paper_model();
+    assert_clean("query1", &queries::query1(&m));
+    assert_clean("query2", &queries::query2(&m));
+    assert_clean("query3", &queries::query3(&m));
+    assert_clean("query4", &queries::query4(&m));
+    assert_clean("fig2", &queries::fig2_query(&m));
+}
+
+/// The winner-verification hook also runs under ablated configurations —
+/// the paper's "W/o Comm." and "W/o Window" plans are shaped differently
+/// (pointer chasing, single-object windows) but equally sound.
+#[test]
+fn ablated_configs_verify_clean() {
+    let m = paper_model();
+    let q = queries::query1(&m);
+    for (name, config) in [
+        ("wo-comm", OptimizerConfig::without_join_commutativity()),
+        ("wo-window", OptimizerConfig::without_window()),
+    ] {
+        let out = OpenOodb::with_config(&q.env, config)
+            .optimize(&q.plan, q.result_vars)
+            .unwrap_or_else(|| panic!("{name}: no feasible plan"));
+        assert!(out.diagnostics.is_empty(), "{name}: {:?}", out.diagnostics);
+    }
+}
