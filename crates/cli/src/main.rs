@@ -13,10 +13,10 @@
 
 use oodb_core::plancache::{CacheKey, CachedBody, CachedPlan, PlanCache};
 use oodb_core::{greedy_plan, CostParams, OpenOodb, OptimizerConfig};
-use oodb_exec::{execute, execute_traced, ExecResult};
+use oodb_exec::{try_execute, try_execute_traced, ExecResult, RunLimits};
 use oodb_object::paper::PaperModel;
 use oodb_object::{Catalog, Value};
-use oodb_storage::{generate_paper_db, GenConfig, Store};
+use oodb_storage::{generate_paper_db, FaultConfig, FaultInjector, GenConfig, Store};
 use oodb_telemetry::{fmt_ns, MetricsRegistry, StageTimer};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
@@ -117,6 +117,9 @@ impl Shell {
                      \\verify search on|off   also lint every memo expression (slow)\n\
                      \\metrics             dump all metrics (Prometheus text format)\n\
                      \\profile on|off      latency histogram collection (default off)\n\
+                     \\faults on [RATE] [SEED]   inject storage faults (default 0.05)\n\
+                     \\faults off          detach the fault injector\n\
+                     \\faults stats        injector counters and enabled state\n\
                      \\q                   quit"
                 );
             }
@@ -275,6 +278,47 @@ impl Shell {
             "\\metrics" => {
                 print!("{}", self.telemetry.render_prometheus());
             }
+            "\\faults" => match parts.next() {
+                Some("on") => {
+                    let rate = parts
+                        .next()
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .unwrap_or(0.05)
+                        .clamp(0.0, 1.0);
+                    let seed: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0x00DB);
+                    self.store
+                        .attach_fault_injector(FaultInjector::new(FaultConfig {
+                            read_fault_rate: rate,
+                            seed,
+                            ..Default::default()
+                        }));
+                    println!("fault injection on: read fault rate {rate}, seed {seed}");
+                }
+                Some("off") => {
+                    self.store.detach_fault_injector();
+                    println!("fault injection off");
+                }
+                None | Some("stats") => match self.store.fault_injector() {
+                    Some(inj) => {
+                        let s = inj.stats();
+                        println!(
+                            "fault injector {}: {} injected ({} transient, {} permanent), \
+                             {} panics, {} healed accesses, {} latency events",
+                            if inj.enabled() { "enabled" } else { "disabled" },
+                            s.injected,
+                            s.transient,
+                            s.permanent,
+                            s.panics,
+                            s.healed_accesses,
+                            s.latency_events
+                        );
+                    }
+                    None => println!("no fault injector attached; \\faults on [RATE] [SEED]"),
+                },
+                Some(other) => {
+                    println!("unknown subcommand {other:?}; \\faults on|off|stats")
+                }
+            },
             "\\profile" => match parts.next() {
                 Some("on") => {
                     self.telemetry.set_profiling(true);
@@ -486,7 +530,14 @@ impl Shell {
             unreachable!("the shell only caches static plans")
         };
         if analyze {
-            let (result, stats, trace) = execute_traced(&self.store, env, plan);
+            let (result, stats, trace) =
+                match try_execute_traced(&self.store, env, plan, RunLimits::default()) {
+                    Ok(run) => run,
+                    Err(e) => {
+                        println!("execution failed: {e}");
+                        return;
+                    }
+                };
             timer.lap_into(
                 &self
                     .telemetry
@@ -509,7 +560,13 @@ impl Shell {
             );
             return;
         }
-        let (result, stats) = execute(&self.store, env, plan);
+        let (result, stats) = match try_execute(&self.store, env, plan, RunLimits::default()) {
+            Ok(run) => run,
+            Err(e) => {
+                println!("execution failed: {e}");
+                return;
+            }
+        };
         timer.lap_into(
             &self
                 .telemetry

@@ -142,6 +142,38 @@ SELECT t FROM Task t IN Tasks WHERE t.time() == 100;
 }
 
 #[test]
+fn fault_injection_toggles_and_reports() {
+    let out = run_shell(
+        r#"\faults on 1.0 7
+SELECT t FROM Task t IN Tasks WHERE t.time() == 100;
+\faults stats
+\faults off
+SELECT t FROM Task t IN Tasks WHERE t.time() == 100;
+\faults stats
+\q
+"#,
+    );
+    assert!(
+        out.contains("fault injection on: read fault rate 1, seed 7"),
+        "{out}"
+    );
+    // At rate 1.0 the very first page read faults, as a typed error — the
+    // shell keeps running instead of panicking.
+    assert!(
+        out.contains("execution failed") && out.contains("storage fault"),
+        "fault should surface as a printed error:\n{out}"
+    );
+    assert!(out.contains("fault injector enabled"), "{out}");
+    assert!(out.contains("fault injection off"), "{out}");
+    // After detaching, the same query runs to completion.
+    assert!(
+        out.contains("rows;"),
+        "query should succeed once off:\n{out}"
+    );
+    assert!(out.contains("no fault injector attached"), "{out}");
+}
+
+#[test]
 fn profile_off_skips_histograms() {
     let out = run_shell(
         r#"SELECT t FROM Task t IN Tasks WHERE t.time() == 100;

@@ -50,5 +50,5 @@ pub use model::OodbModel;
 /// The static plan verifier, re-exported so downstream crates reach the
 /// linter and property checker without a separate dependency.
 pub use oodb_verify as verify;
-pub use optimizer::{OpenOodb, OptimizeOutcome};
+pub use optimizer::{greedy_fallback, BoundedOutcome, OpenOodb, OptimizeOutcome};
 pub use plancache::{CacheKey, CacheStats, CachedBody, CachedPlan, PlanCache};

@@ -29,6 +29,21 @@ pub struct OptimizeOutcome {
     pub diagnostics: Vec<oodb_verify::Diagnostic>,
 }
 
+/// Outcome of a deadline-bounded optimization ([`OpenOodb::optimize_within`]).
+#[derive(Clone, Debug)]
+pub enum BoundedOutcome {
+    /// The search finished (possibly just under the wire) with a winner.
+    /// Boxed: the outcome (plan + stats + diagnostics) dwarfs the other
+    /// variants, and this enum rides in return position.
+    Complete(Box<OptimizeOutcome>),
+    /// The deadline expired before a winner was found; the caller should
+    /// degrade (greedy fallback) rather than report infeasibility.
+    DeadlineExpired,
+    /// No feasible plan exists under the current rule configuration —
+    /// a real infeasibility, not a timeout.
+    Infeasible,
+}
+
 /// The Open OODB optimizer: environment + parameters + configuration.
 pub struct OpenOodb<'e> {
     model: OodbModel<'e>,
@@ -93,8 +108,28 @@ impl<'e> OpenOodb<'e> {
         result_vars: VarSet,
         order: Option<oodb_algebra::SortSpec>,
     ) -> Option<OptimizeOutcome> {
+        match self.optimize_within(plan, result_vars, order, None) {
+            BoundedOutcome::Complete(out) => Some(*out),
+            BoundedOutcome::DeadlineExpired | BoundedOutcome::Infeasible => None,
+        }
+    }
+
+    /// Like [`OpenOodb::optimize_ordered`], bounded by an absolute
+    /// deadline. The Volcano search checks the deadline at sweep and goal
+    /// boundaries and never memoizes past expiry, so a plan that *is*
+    /// returned was assembled only from fully-solved goals. Distinguishes
+    /// timeout from genuine infeasibility so callers can degrade to the
+    /// greedy baseline instead of failing.
+    pub fn optimize_within(
+        &self,
+        plan: &LogicalPlan,
+        result_vars: VarSet,
+        order: Option<oodb_algebra::SortSpec>,
+        deadline: Option<std::time::Instant>,
+    ) -> BoundedOutcome {
         let search = SearchConfig {
             prune: self.model.config.prune,
+            deadline,
             ..Default::default()
         };
         let mut opt = Optimizer::new(&self.model, &self.rules, search);
@@ -103,19 +138,25 @@ impl<'e> OpenOodb<'e> {
             in_memory: self.model.objify(result_vars),
             order,
         };
-        let node = opt.run(root, props)?;
+        let Some(node) = opt.run(root, props) else {
+            return if opt.stats.deadline_hit {
+                BoundedOutcome::DeadlineExpired
+            } else {
+                BoundedOutcome::Infeasible
+            };
+        };
         let cost = node.total_cost();
         let plan = merge_assemblies(self.annotate(&node));
         let mut diagnostics = oodb_verify::verify_physical(self.model.env, &plan, props);
         if self.model.config.verify_search {
             diagnostics.extend(verify_search_space(&opt.memo, self.model.env));
         }
-        Some(OptimizeOutcome {
+        BoundedOutcome::Complete(Box::new(OptimizeOutcome {
             plan,
             cost,
             stats: opt.stats,
             diagnostics,
-        })
+        }))
     }
 
     /// Like [`OpenOodb::optimize`], additionally returning a rendered
@@ -131,6 +172,7 @@ impl<'e> OpenOodb<'e> {
         let search = SearchConfig {
             prune: self.model.config.prune,
             trace: true,
+            ..Default::default()
         };
         let mut opt = Optimizer::new(&self.model, &self.rules, search);
         let root = seed(&mut opt.memo, &self.model, plan);
@@ -340,6 +382,25 @@ pub fn merge_assemblies(plan: PhysicalPlan) -> PhysicalPlan {
 /// Convenience: the total estimated cost of an already-annotated plan.
 pub fn plan_cost(plan: &PhysicalPlan) -> Cost {
     Cost::new(plan.total_io_s(), plan.total_cpu_s())
+}
+
+/// The degradation path taken when the cost-based search runs out of
+/// deadline: the ObjectStore-style greedy plan, annotated through the same
+/// estimator and linted by the static verifier so a degraded answer is
+/// still a *checked* answer. Returns `None` for shapes outside the greedy
+/// strategy's repertoire (explicit joins, set operators).
+pub fn greedy_fallback(
+    env: &QueryEnv,
+    params: CostParams,
+    plan: &LogicalPlan,
+    result_vars: VarSet,
+) -> Option<(PhysicalPlan, Cost, Vec<oodb_verify::Diagnostic>)> {
+    let phys = crate::greedy::greedy_plan(env, params, plan)?;
+    let cost = plan_cost(&phys);
+    let model = OodbModel::new(env, params, OptimizerConfig::default());
+    let props = PhysProps::in_memory(model.objify(result_vars));
+    let diagnostics = oodb_verify::verify_physical(env, &phys, props);
+    Some((phys, cost, diagnostics))
 }
 
 /// (Re)annotates a hand-built physical plan bottom-up through the shared

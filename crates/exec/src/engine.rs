@@ -3,11 +3,54 @@
 use crate::eval::{eval_operand, eval_pred};
 use crate::tuple::Tuple;
 use oodb_algebra::{Operand, PhysicalOp, PhysicalPlan, QueryEnv, SetOpKind, VarId, VarOrigin};
+use oodb_fault::{Fault, RunLimits};
 use oodb_object::{Oid, Value};
 use oodb_storage::{DiskParams, DiskStats, Io, PageId, Store};
 use oodb_telemetry::OpTrace;
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::time::Instant;
+
+/// A structured execution failure. Replaces the panic paths the engine
+/// grew up with: storage faults, cooperative cancellation, deadline and
+/// row-budget expiry, and malformed plans/traces all surface as typed
+/// errors the service can map to user-visible failures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// The storage layer reported an (injected) read fault.
+    Fault(Fault),
+    /// The run's [`oodb_fault::CancelToken`] was cancelled.
+    Cancelled,
+    /// The run's deadline passed at an operator batch boundary.
+    DeadlineExceeded,
+    /// The run materialized more tuples than its budget allows.
+    RowBudgetExceeded {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// The plan is not executable (the static verifier should have caught
+    /// this; reaching here indicates an optimizer or caller bug).
+    MalformedPlan(String),
+    /// Trace-tree bookkeeping broke during a traced run.
+    MalformedTrace(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Fault(fault) => write!(f, "{fault}"),
+            ExecError::Cancelled => write!(f, "query cancelled"),
+            ExecError::DeadlineExceeded => write!(f, "execution deadline exceeded"),
+            ExecError::RowBudgetExceeded { budget } => {
+                write!(f, "row budget of {budget} tuples exceeded")
+            }
+            ExecError::MalformedPlan(msg) => write!(f, "malformed plan: {msg}"),
+            ExecError::MalformedTrace(msg) => write!(f, "malformed trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// CPU-ish operation counts, reported instead of seconds so callers apply
 /// their own calibrated constants.
@@ -129,6 +172,12 @@ pub struct Executor<'a> {
     /// `exec` pushes a fresh frame before descending and folds it into the
     /// parent frame after.
     trace_stack: Vec<Vec<OpTrace>>,
+    /// Cooperative run limits (deadline, cancellation, row budget),
+    /// checked at operator batch boundaries and every 1024 page touches.
+    limits: RunLimits,
+    /// Page touches this executor has performed (drives the periodic
+    /// mid-operator limit check).
+    touched: u64,
 }
 
 impl<'a> Executor<'a> {
@@ -136,10 +185,13 @@ impl<'a> Executor<'a> {
     /// pool when one is attached, otherwise through a private pool sized
     /// for the paper's DECstation.
     pub fn new(store: &'a Store, env: &'a QueryEnv) -> Self {
-        let io = match store.shared_pool() {
+        let mut io = match store.shared_pool() {
             Some(pool) => Io::with_shared_pool(pool.clone(), DiskParams::default()),
             None => Io::decstation(),
         };
+        // Route page access through the store's fault injector when one is
+        // attached — the executor is where injected read faults surface.
+        io.set_fault_injector(store.fault_injector().cloned());
         Executor {
             store,
             env,
@@ -150,7 +202,37 @@ impl<'a> Executor<'a> {
             run_base: RunBase::default(),
             tracing: false,
             trace_stack: Vec::new(),
+            limits: RunLimits::default(),
+            touched: 0,
         }
+    }
+
+    /// Installs cooperative run limits for subsequent `run*` calls. The
+    /// limits are checked at every operator entry and exit and every 1024
+    /// page touches, so a runaway operator is interrupted mid-batch.
+    pub fn set_limits(&mut self, limits: RunLimits) {
+        self.limits = limits;
+    }
+
+    /// Checks cancellation, deadline, and row budget. Cheap when the run
+    /// is unlimited (three `Option` tests, no clock read).
+    fn checkpoint(&self) -> Result<(), ExecError> {
+        if let Some(c) = &self.limits.cancel {
+            if c.is_cancelled() {
+                return Err(ExecError::Cancelled);
+            }
+        }
+        if let Some(d) = self.limits.deadline {
+            if Instant::now() >= d {
+                return Err(ExecError::DeadlineExceeded);
+            }
+        }
+        if let Some(budget) = self.limits.row_budget {
+            if self.counts.tuples - self.run_base.counts.tuples > budget {
+                return Err(ExecError::RowBudgetExceeded { budget });
+            }
+        }
+        Ok(())
     }
 
     /// Statistics for the current run: counters accumulated since the last
@@ -187,31 +269,54 @@ impl<'a> Executor<'a> {
         };
     }
 
-    /// Runs a plan to completion.
+    /// Runs a plan to completion, panicking on failure. Prefer
+    /// [`Executor::try_run`] in code that can propagate errors; this
+    /// wrapper exists for the many callers (tests, experiments) that run
+    /// trusted plans against fault-free stores.
     pub fn run(&mut self, plan: &PhysicalPlan) -> ExecResult {
+        self.try_run(plan)
+            .unwrap_or_else(|e| panic!("execution failed: {e}"))
+    }
+
+    /// Runs a plan to completion, surfacing faults, cancellation, and
+    /// limit expiry as [`ExecError`]s.
+    pub fn try_run(&mut self, plan: &PhysicalPlan) -> Result<ExecResult, ExecError> {
         self.begin_run();
+        self.checkpoint()?;
         self.exec_root(plan)
     }
 
     /// Runs a plan to completion while recording a per-operator
     /// [`OpTrace`]: actual rows, wall-clock time, and buffer/disk traffic
     /// for every node of the plan tree. This is `EXPLAIN ANALYZE`.
+    /// Panics on failure; prefer [`Executor::try_run_traced`].
     pub fn run_traced(&mut self, plan: &PhysicalPlan) -> (ExecResult, OpTrace) {
+        self.try_run_traced(plan)
+            .unwrap_or_else(|e| panic!("execution failed: {e}"))
+    }
+
+    /// Fallible [`Executor::run_traced`]. On error the executor leaves
+    /// traced mode cleanly, so it can be reused for further runs.
+    pub fn try_run_traced(
+        &mut self,
+        plan: &PhysicalPlan,
+    ) -> Result<(ExecResult, OpTrace), ExecError> {
         self.begin_run();
         self.tracing = true;
         self.trace_stack.clear();
         self.trace_stack.push(Vec::new());
-        let result = self.exec_root(plan);
+        let result = self.checkpoint().and_then(|()| self.exec_root(plan));
         self.tracing = false;
+        let result = result?;
         let root = self
             .trace_stack
             .pop()
             .and_then(|mut frame| frame.pop())
-            .expect("traced run must produce a root trace");
-        (result, root)
+            .ok_or_else(|| ExecError::MalformedTrace("traced run produced no root trace".into()))?;
+        Ok((result, root))
     }
 
-    fn exec_root(&mut self, plan: &PhysicalPlan) -> ExecResult {
+    fn exec_root(&mut self, plan: &PhysicalPlan) -> Result<ExecResult, ExecError> {
         if let PhysicalOp::AlgProject { items } = &plan.op {
             // Projection is only legal at the root, so `exec` never sees
             // it; trace it here with the same wrap the inner nodes get.
@@ -219,23 +324,30 @@ impl<'a> Executor<'a> {
                 let start = Instant::now();
                 let before = self.io_mark();
                 self.trace_stack.push(Vec::new());
-                let rows = self.project(items, &plan.children[0]);
-                let children = self.trace_stack.pop().expect("trace frame");
+                let rows = self.project(items, &plan.children[0])?;
+                let children = self
+                    .trace_stack
+                    .pop()
+                    .ok_or_else(|| ExecError::MalformedTrace("trace frame missing".into()))?;
                 let node = self.trace_node(plan, rows.len() as u64, start, before, children);
                 self.trace_stack
                     .last_mut()
-                    .expect("root trace frame")
+                    .ok_or_else(|| ExecError::MalformedTrace("root trace frame missing".into()))?
                     .push(node);
-                return ExecResult::Rows(rows);
+                return Ok(ExecResult::Rows(rows));
             }
-            return ExecResult::Rows(self.project(items, &plan.children[0]));
+            return Ok(ExecResult::Rows(self.project(items, &plan.children[0])?));
         }
-        ExecResult::Tuples(self.exec(plan))
+        Ok(ExecResult::Tuples(self.exec(plan)?))
     }
 
-    fn project(&mut self, items: &[Operand], child: &PhysicalPlan) -> Vec<Vec<Value>> {
-        let input = self.exec(child);
-        input
+    fn project(
+        &mut self,
+        items: &[Operand],
+        child: &PhysicalPlan,
+    ) -> Result<Vec<Vec<Value>>, ExecError> {
+        let input = self.exec(child)?;
+        let rows = input
             .iter()
             .map(|t| {
                 self.counts.tuples += 1;
@@ -244,7 +356,9 @@ impl<'a> Executor<'a> {
                     .map(|i| eval_operand(self.store, t, i))
                     .collect()
             })
-            .collect()
+            .collect();
+        self.checkpoint()?;
+        Ok(rows)
     }
 
     fn n_vars(&self) -> usize {
@@ -252,19 +366,33 @@ impl<'a> Executor<'a> {
     }
 
     /// Touches one page, attributing the hit/miss to this executor.
-    fn touch(&mut self, page: PageId) {
-        if self.io.touch(page) {
+    /// Surfaces injected storage faults and (every 1024 touches) the run
+    /// limits, so even single-operator scans stay interruptible.
+    fn touch(&mut self, page: PageId) -> Result<(), ExecError> {
+        self.touched += 1;
+        if self.touched & 1023 == 0 {
+            self.checkpoint()?;
+        }
+        if self.io.try_touch(page).map_err(ExecError::Fault)? {
             self.hits += 1;
         } else {
             self.misses += 1;
         }
+        Ok(())
     }
 
-    /// Touches a batch in elevator order, attributing hits/misses.
-    fn touch_elevator(&mut self, pages: &[PageId]) {
-        let (hits, misses) = self.io.touch_elevator(pages);
+    /// Touches a batch in elevator order, attributing hits/misses. A
+    /// fault aborts before any page of the batch is charged.
+    fn touch_elevator(&mut self, pages: &[PageId]) -> Result<(), ExecError> {
+        self.touched += pages.len() as u64;
+        self.checkpoint()?;
+        let (hits, misses) = self
+            .io
+            .try_touch_elevator(pages)
+            .map_err(ExecError::Fault)?;
         self.hits += hits;
         self.misses += misses;
+        Ok(())
     }
 
     fn io_mark(&self) -> IoMark {
@@ -295,35 +423,43 @@ impl<'a> Executor<'a> {
     }
 
     /// Executes one operator; when tracing, wraps it with a stopwatch and
-    /// an I/O probe and records the node into the trace tree.
-    fn exec(&mut self, plan: &PhysicalPlan) -> Vec<Tuple> {
-        if !self.tracing {
-            return self.exec_node(plan);
-        }
-        let start = Instant::now();
-        let before = self.io_mark();
-        self.trace_stack.push(Vec::new());
-        let out = self.exec_node(plan);
-        let children = self.trace_stack.pop().expect("trace frame");
-        let node = self.trace_node(plan, out.len() as u64, start, before, children);
-        self.trace_stack
-            .last_mut()
-            .expect("parent trace frame")
-            .push(node);
-        out
+    /// an I/O probe and records the node into the trace tree. The run
+    /// limits are checked at every operator boundary (entry and exit).
+    fn exec(&mut self, plan: &PhysicalPlan) -> Result<Vec<Tuple>, ExecError> {
+        self.checkpoint()?;
+        let out = if !self.tracing {
+            self.exec_node(plan)?
+        } else {
+            let start = Instant::now();
+            let before = self.io_mark();
+            self.trace_stack.push(Vec::new());
+            let out = self.exec_node(plan)?;
+            let children = self
+                .trace_stack
+                .pop()
+                .ok_or_else(|| ExecError::MalformedTrace("trace frame missing".into()))?;
+            let node = self.trace_node(plan, out.len() as u64, start, before, children);
+            self.trace_stack
+                .last_mut()
+                .ok_or_else(|| ExecError::MalformedTrace("parent trace frame missing".into()))?
+                .push(node);
+            out
+        };
+        self.checkpoint()?;
+        Ok(out)
     }
 
-    fn exec_node(&mut self, plan: &PhysicalPlan) -> Vec<Tuple> {
+    fn exec_node(&mut self, plan: &PhysicalPlan) -> Result<Vec<Tuple>, ExecError> {
         match &plan.op {
             PhysicalOp::FileScan { coll, var } => {
                 let members = self.store.members(*coll).to_vec();
                 let mut out = Vec::with_capacity(members.len());
                 for oid in members {
-                    self.touch(self.store.page_of(oid));
+                    self.touch(self.store.page_of(oid))?;
                     self.counts.tuples += 1;
                     out.push(Tuple::single(self.n_vars(), *var, oid));
                 }
-                out
+                Ok(out)
             }
 
             PhysicalOp::IndexScan { index, var, pred } => {
@@ -334,7 +470,7 @@ impl<'a> Executor<'a> {
                     // fetch order must follow the keys, not the OIDs.
                     idx.all_ordered()
                 } else {
-                    let (op, key) = self.index_term(*pred);
+                    let (op, key) = self.index_term(*pred)?;
                     // Point or range lookup: fetch in OID (storage) order,
                     // which is elevator-friendly.
                     let mut m = idx.lookup_cmp(op, &key);
@@ -342,58 +478,60 @@ impl<'a> Executor<'a> {
                     m
                 };
                 for p in idx.lookup_pages(matches.len() as u64) {
-                    self.touch(p);
+                    self.touch(p)?;
                 }
                 for oid in &matches {
-                    self.touch(self.store.page_of(*oid));
+                    self.touch(self.store.page_of(*oid))?;
                 }
                 self.counts.tuples += matches.len() as u64;
-                matches
+                Ok(matches
                     .into_iter()
                     .map(|oid| Tuple::single(self.n_vars(), *var, oid))
-                    .collect()
+                    .collect())
             }
 
             PhysicalOp::Filter { pred } => {
-                let input = self.exec(&plan.children[0]);
-                input
+                let input = self.exec(&plan.children[0])?;
+                Ok(input
                     .into_iter()
                     .filter(|t| {
                         let (ok, n) = eval_pred(self.store, self.env, t, *pred);
                         self.counts.preds += n;
                         ok
                     })
-                    .collect()
+                    .collect())
             }
 
             PhysicalOp::HybridHashJoin { pred } => {
-                let left = self.exec(&plan.children[0]);
-                let right = self.exec(&plan.children[1]);
+                let left = self.exec(&plan.children[0])?;
+                let right = self.exec(&plan.children[1])?;
                 self.hash_join(*pred, left, right)
             }
 
             PhysicalOp::PointerJoin { pred } => {
-                let left = self.exec(&plan.children[0]);
+                let left = self.exec(&plan.children[0])?;
                 self.pointer_join(*pred, left)
             }
 
             PhysicalOp::Assembly { targets, window } => {
-                let mut tuples = self.exec(&plan.children[0]);
+                let mut tuples = self.exec(&plan.children[0])?;
                 for &v in targets {
-                    self.assemble(&mut tuples, v, *window);
+                    self.assemble(&mut tuples, v, *window)?;
                 }
-                tuples
+                Ok(tuples)
             }
 
             PhysicalOp::WarmAssembly { target } => {
-                let tuples = self.exec(&plan.children[0]);
+                let tuples = self.exec(&plan.children[0])?;
                 self.warm_assemble(tuples, *target)
             }
 
             PhysicalOp::AlgUnnest { out } => {
-                let input = self.exec(&plan.children[0]);
+                let input = self.exec(&plan.children[0])?;
                 let VarOrigin::Unnest { src, field } = self.env.scopes.var(*out).origin else {
-                    panic!("AlgUnnest output must have Unnest origin");
+                    return Err(ExecError::MalformedPlan(
+                        "AlgUnnest output must have Unnest origin".into(),
+                    ));
                 };
                 let mut result = Vec::new();
                 for t in input {
@@ -401,41 +539,43 @@ impl<'a> Executor<'a> {
                         .store
                         .read_field(t.get(src), field)
                         .as_ref_set()
-                        .expect("unnest field must be set-valued")
+                        .ok_or_else(|| {
+                            ExecError::MalformedPlan("unnest field must be set-valued".into())
+                        })?
                         .to_vec();
                     for m in set {
                         self.counts.tuples += 1;
                         result.push(t.with(*out, m));
                     }
                 }
-                result
+                Ok(result)
             }
 
-            PhysicalOp::AlgProject { .. } => {
-                panic!("projection only supported at the plan root")
-            }
+            PhysicalOp::AlgProject { .. } => Err(ExecError::MalformedPlan(
+                "projection only supported at the plan root".into(),
+            )),
 
             PhysicalOp::HashSetOp { kind } => {
-                let left = self.exec(&plan.children[0]);
-                let right = self.exec(&plan.children[1]);
-                self.set_op(*kind, left, right)
+                let left = self.exec(&plan.children[0])?;
+                let right = self.exec(&plan.children[1])?;
+                Ok(self.set_op(*kind, left, right))
             }
 
             PhysicalOp::MergeJoin { pred } => {
-                let left = self.exec(&plan.children[0]);
-                let right = self.exec(&plan.children[1]);
+                let left = self.exec(&plan.children[0])?;
+                let right = self.exec(&plan.children[1])?;
                 self.merge_join(*pred, left, right)
             }
 
             PhysicalOp::Sort { key } => {
-                let mut tuples = self.exec(&plan.children[0]);
+                let mut tuples = self.exec(&plan.children[0])?;
                 self.counts.hash_ops += tuples.len() as u64; // sort work proxy
                 tuples.sort_by(|a, b| {
                     let va = self.store.read_field(a.get(key.var), key.field);
                     let vb = self.store.read_field(b.get(key.var), key.field);
                     va.partial_cmp_val(vb).unwrap_or(std::cmp::Ordering::Equal)
                 });
-                tuples
+                Ok(tuples)
             }
         }
     }
@@ -443,17 +583,22 @@ impl<'a> Executor<'a> {
     /// Extracts the comparison operator and constant key of an index-scan
     /// predicate, normalizing `const <op> attr` to `attr <flipped-op>
     /// const`.
-    fn index_term(&self, pred: oodb_algebra::PredId) -> (oodb_object::value::CmpLike, Value) {
+    fn index_term(
+        &self,
+        pred: oodb_algebra::PredId,
+    ) -> Result<(oodb_object::value::CmpLike, Value), ExecError> {
         let p = self.env.preds.pred(pred);
         for t in &p.terms {
             if let Operand::Const(v) = &t.right {
-                return (t.op.as_cmp_like(), v.clone());
+                return Ok((t.op.as_cmp_like(), v.clone()));
             }
             if let Operand::Const(v) = &t.left {
-                return (t.op.flipped().as_cmp_like(), v.clone());
+                return Ok((t.op.flipped().as_cmp_like(), v.clone()));
             }
         }
-        panic!("index-scan predicate has no constant")
+        Err(ExecError::MalformedPlan(
+            "index-scan predicate has no constant".into(),
+        ))
     }
 
     fn hash_join(
@@ -461,13 +606,13 @@ impl<'a> Executor<'a> {
         pred: oodb_algebra::PredId,
         left: Vec<Tuple>,
         right: Vec<Tuple>,
-    ) -> Vec<Tuple> {
+    ) -> Result<Vec<Tuple>, ExecError> {
         let p = self.env.preds.pred(pred);
         let first = p
             .terms
             .iter()
             .find(|t| t.op == oodb_algebra::CmpOp::Eq)
-            .expect("hash join needs an equality term");
+            .ok_or_else(|| ExecError::MalformedPlan("hash join needs an equality term".into()))?;
         // Decide which operand belongs to which side by probing bindings.
         let (left_key_op, right_key_op) = if left
             .first()
@@ -510,39 +655,55 @@ impl<'a> Executor<'a> {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
-    fn pointer_join(&mut self, pred: oodb_algebra::PredId, left: Vec<Tuple>) -> Vec<Tuple> {
+    fn pointer_join(
+        &mut self,
+        pred: oodb_algebra::PredId,
+        left: Vec<Tuple>,
+    ) -> Result<Vec<Tuple>, ExecError> {
         let p = self.env.preds.pred(pred);
-        let term = p.terms.first().expect("pointer join needs a term");
-        let (ref_on_left, target) = term
-            .as_ref_eq()
-            .expect("pointer join needs a reference equality");
+        let term = p
+            .terms
+            .first()
+            .ok_or_else(|| ExecError::MalformedPlan("pointer join needs a term".into()))?;
+        let (ref_on_left, target) = term.as_ref_eq().ok_or_else(|| {
+            ExecError::MalformedPlan("pointer join needs a reference equality".into())
+        })?;
         let ref_op = if ref_on_left { &term.left } else { &term.right };
 
         // Partition: gather all references, fetch their pages in one
         // elevator sweep, then bind.
-        let refs: Vec<Oid> = left
-            .iter()
-            .map(|t| {
-                self.counts.derefs += 1;
-                eval_operand(self.store, t, ref_op)
-                    .as_ref_oid()
-                    .expect("reference operand must yield a reference")
-            })
-            .collect();
+        let mut refs = Vec::with_capacity(left.len());
+        for t in &left {
+            self.counts.derefs += 1;
+            let oid = eval_operand(self.store, t, ref_op)
+                .as_ref_oid()
+                .ok_or_else(|| {
+                    ExecError::MalformedPlan("reference operand must yield a reference".into())
+                })?;
+            refs.push(oid);
+        }
         let pages: Vec<PageId> = refs.iter().map(|&o| self.store.page_of(o)).collect();
-        self.touch_elevator(&pages);
-        left.into_iter()
+        self.touch_elevator(&pages)?;
+        Ok(left
+            .into_iter()
             .zip(refs)
             .map(|(t, oid)| t.with(target, oid))
-            .collect()
+            .collect())
     }
 
-    fn assemble(&mut self, tuples: &mut [Tuple], target: VarId, window: u32) {
+    fn assemble(
+        &mut self,
+        tuples: &mut [Tuple],
+        target: VarId,
+        window: u32,
+    ) -> Result<(), ExecError> {
         let VarOrigin::Mat { src, field } = self.env.scopes.var(target).origin else {
-            panic!("assembly target must have Mat origin");
+            return Err(ExecError::MalformedPlan(
+                "assembly target must have Mat origin".into(),
+            ));
         };
         let window = window.max(1) as usize;
         let mut i = 0;
@@ -558,56 +719,66 @@ impl<'a> Executor<'a> {
                         .store
                         .read_field(t.get(src), f)
                         .as_ref_oid()
-                        .expect("Mat field must hold a reference"),
+                        .ok_or_else(|| {
+                            ExecError::MalformedPlan("Mat field must hold a reference".into())
+                        })?,
                     None => t.get(src),
                 };
                 refs.push(oid);
             }
             let pages: Vec<PageId> = refs.iter().map(|&o| self.store.page_of(o)).collect();
             if window == 1 {
-                self.touch(pages[0]);
+                self.touch(pages[0])?;
             } else {
-                self.touch_elevator(&pages);
+                self.touch_elevator(&pages)?;
             }
             for (t, oid) in tuples[i..end].iter_mut().zip(refs) {
                 t.bind(target, oid);
             }
             i = end;
         }
+        Ok(())
     }
 
     /// Warm-start assembly: sweep the component's whole collection
     /// sequentially into the buffer pool, then resolve every reference as
     /// a buffer hit.
-    fn warm_assemble(&mut self, tuples: Vec<Tuple>, target: VarId) -> Vec<Tuple> {
+    fn warm_assemble(
+        &mut self,
+        tuples: Vec<Tuple>,
+        target: VarId,
+    ) -> Result<Vec<Tuple>, ExecError> {
         let VarOrigin::Mat { src, field } = self.env.scopes.var(target).origin else {
-            panic!("warm assembly target must have Mat origin");
+            return Err(ExecError::MalformedPlan(
+                "warm assembly target must have Mat origin".into(),
+            ));
         };
         let domain = self
             .env
             .var_domain(target)
-            .expect("warm assembly needs a known domain");
+            .ok_or_else(|| ExecError::MalformedPlan("warm assembly needs a known domain".into()))?;
         for page in self.store.scan_pages(domain) {
-            self.touch(page);
+            self.touch(page)?;
         }
-        tuples
-            .into_iter()
-            .map(|t| {
-                self.counts.derefs += 1;
-                let oid = match field {
-                    Some(f) => self
-                        .store
-                        .read_field(t.get(src), f)
-                        .as_ref_oid()
-                        .expect("Mat field must hold a reference"),
-                    None => t.get(src),
-                };
-                // The referenced page is (almost certainly) resident now;
-                // touching it records the buffer hit honestly.
-                self.touch(self.store.page_of(oid));
-                t.with(target, oid)
-            })
-            .collect()
+        let mut out = Vec::with_capacity(tuples.len());
+        for t in tuples {
+            self.counts.derefs += 1;
+            let oid = match field {
+                Some(f) => self
+                    .store
+                    .read_field(t.get(src), f)
+                    .as_ref_oid()
+                    .ok_or_else(|| {
+                        ExecError::MalformedPlan("Mat field must hold a reference".into())
+                    })?,
+                None => t.get(src),
+            };
+            // The referenced page is (almost certainly) resident now;
+            // touching it records the buffer hit honestly.
+            self.touch(self.store.page_of(oid))?;
+            out.push(t.with(target, oid));
+        }
+        Ok(out)
     }
 
     /// Merge join over key-sorted inputs: advance two cursors, pair up
@@ -617,16 +788,18 @@ impl<'a> Executor<'a> {
         pred: oodb_algebra::PredId,
         left: Vec<Tuple>,
         right: Vec<Tuple>,
-    ) -> Vec<Tuple> {
+    ) -> Result<Vec<Tuple>, ExecError> {
         let p = self.env.preds.pred(pred);
         let eq = p
             .terms
             .iter()
             .find(|t| t.op == oodb_algebra::CmpOp::Eq)
-            .expect("merge join needs an equality term");
+            .ok_or_else(|| ExecError::MalformedPlan("merge join needs an equality term".into()))?;
         // Orient operands by which side binds their variable.
         let (l_op, r_op) = {
-            let lv = eq.left.var().expect("attr operand");
+            let lv = eq.left.var().ok_or_else(|| {
+                ExecError::MalformedPlan("merge join needs an attribute operand".into())
+            })?;
             if left.first().is_some_and(|t| t.try_get(lv).is_some()) {
                 (&eq.left, &eq.right)
             } else {
@@ -670,7 +843,7 @@ impl<'a> Executor<'a> {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     fn set_op(&mut self, kind: SetOpKind, left: Vec<Tuple>, right: Vec<Tuple>) -> Vec<Tuple> {
@@ -707,14 +880,32 @@ impl<'a> Executor<'a> {
 }
 
 /// One-shot convenience: fresh executor, run, return result + stats.
+/// Panics on failure — use [`try_execute`] when faults, deadlines, or
+/// cancellation are in play.
 pub fn execute(store: &Store, env: &QueryEnv, plan: &PhysicalPlan) -> (ExecResult, ExecStats) {
     let mut ex = Executor::new(store, env);
     let result = ex.run(plan);
     (result, ex.stats())
 }
 
+/// One-shot fallible execution under cooperative [`RunLimits`]: fresh
+/// executor, run, return result + stats or the [`ExecError`] that stopped
+/// the run.
+pub fn try_execute(
+    store: &Store,
+    env: &QueryEnv,
+    plan: &PhysicalPlan,
+    limits: RunLimits,
+) -> Result<(ExecResult, ExecStats), ExecError> {
+    let mut ex = Executor::new(store, env);
+    ex.set_limits(limits);
+    let result = ex.try_run(plan)?;
+    Ok((result, ex.stats()))
+}
+
 /// One-shot `EXPLAIN ANALYZE`: fresh executor, traced run, return result,
-/// stats, and the per-operator trace tree.
+/// stats, and the per-operator trace tree. Panics on failure — use
+/// [`try_execute_traced`] when faults or limits are in play.
 pub fn execute_traced(
     store: &Store,
     env: &QueryEnv,
@@ -723,6 +914,19 @@ pub fn execute_traced(
     let mut ex = Executor::new(store, env);
     let (result, trace) = ex.run_traced(plan);
     (result, ex.stats(), trace)
+}
+
+/// Fallible [`execute_traced`] under cooperative [`RunLimits`].
+pub fn try_execute_traced(
+    store: &Store,
+    env: &QueryEnv,
+    plan: &PhysicalPlan,
+    limits: RunLimits,
+) -> Result<(ExecResult, ExecStats, OpTrace), ExecError> {
+    let mut ex = Executor::new(store, env);
+    ex.set_limits(limits);
+    let (result, trace) = ex.try_run_traced(plan)?;
+    Ok((result, ex.stats(), trace))
 }
 
 #[cfg(test)]
@@ -1016,6 +1220,108 @@ mod tests {
                 cold.buffer_misses + warm.buffer_misses
             )
         );
+    }
+
+    #[test]
+    fn nested_projection_is_a_typed_error_not_a_panic() {
+        let (store, m) = generate_paper_db(GenConfig::small());
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (_, c) = qb.get(m.ids.cities, "c");
+        let items = vec![Operand::VarOid(c)];
+        let env = qb.into_env();
+        // A projection *below* a filter is malformed: only the root may
+        // project. The engine must refuse, not panic.
+        let p = plan(
+            PhysicalOp::Filter {
+                pred: env.preds.intern(oodb_algebra::Pred { terms: vec![] }),
+            },
+            vec![plan(
+                PhysicalOp::AlgProject { items },
+                vec![plan(
+                    PhysicalOp::FileScan {
+                        coll: m.ids.cities,
+                        var: c,
+                    },
+                    vec![],
+                )],
+            )],
+        );
+        let err = try_execute(&store, &env, &p, RunLimits::default()).unwrap_err();
+        assert!(matches!(err, ExecError::MalformedPlan(_)), "{err:?}");
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_run() {
+        let (store, m) = generate_paper_db(GenConfig::small());
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (_, c) = qb.get(m.ids.cities, "c");
+        let env = qb.into_env();
+        let scan = plan(
+            PhysicalOp::FileScan {
+                coll: m.ids.cities,
+                var: c,
+            },
+            vec![],
+        );
+        let cancel = oodb_fault::CancelToken::new();
+        cancel.cancel();
+        let limits = RunLimits {
+            cancel: Some(cancel),
+            ..Default::default()
+        };
+        assert_eq!(
+            try_execute(&store, &env, &scan, limits).unwrap_err(),
+            ExecError::Cancelled
+        );
+    }
+
+    #[test]
+    fn row_budget_interrupts_a_scan() {
+        let (store, m) = generate_paper_db(GenConfig::small());
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (_, c) = qb.get(m.ids.cities, "c");
+        let env = qb.into_env();
+        let scan = plan(
+            PhysicalOp::FileScan {
+                coll: m.ids.cities,
+                var: c,
+            },
+            vec![],
+        );
+        let limits = RunLimits {
+            row_budget: Some(0),
+            ..Default::default()
+        };
+        assert_eq!(
+            try_execute(&store, &env, &scan, limits).unwrap_err(),
+            ExecError::RowBudgetExceeded { budget: 0 }
+        );
+    }
+
+    #[test]
+    fn injected_faults_surface_as_typed_errors() {
+        let (mut store, m) = generate_paper_db(GenConfig::small());
+        store.attach_fault_injector(oodb_storage::FaultInjector::new(
+            oodb_storage::FaultConfig {
+                read_fault_rate: 1.0,
+                ..Default::default()
+            },
+        ));
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (_, c) = qb.get(m.ids.cities, "c");
+        let env = qb.into_env();
+        let scan = plan(
+            PhysicalOp::FileScan {
+                coll: m.ids.cities,
+                var: c,
+            },
+            vec![],
+        );
+        let err = try_execute(&store, &env, &scan, RunLimits::default()).unwrap_err();
+        assert!(matches!(err, ExecError::Fault(_)), "{err:?}");
+        // Disabling the injector restores infallible execution.
+        store.fault_injector().unwrap().set_enabled(false);
+        assert!(try_execute(&store, &env, &scan, RunLimits::default()).is_ok());
     }
 
     #[test]

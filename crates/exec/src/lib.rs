@@ -26,6 +26,12 @@ pub mod engine;
 pub mod eval;
 pub mod tuple;
 
-pub use engine::{execute, execute_traced, ExecResult, ExecStats, Executor, OpCounts};
+pub use engine::{
+    execute, execute_traced, try_execute, try_execute_traced, ExecError, ExecResult, ExecStats,
+    Executor, OpCounts,
+};
+/// Run-limit and fault types, re-exported so executor callers reach the
+/// cancellation and injection machinery without a separate dependency.
+pub use oodb_fault::{CancelToken, Fault, FaultClass, RunLimits};
 pub use oodb_telemetry::OpTrace;
 pub use tuple::Tuple;

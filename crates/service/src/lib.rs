@@ -25,15 +25,17 @@
 
 use oodb_algebra::fingerprint::fingerprint;
 use oodb_core::plancache::{CacheKey, CachedBody, CachedPlan, PlanCache};
-use oodb_core::{compile_dynamic, CostParams, OpenOodb, OptimizerConfig};
-use oodb_exec::{execute, execute_traced, ExecResult, ExecStats};
+use oodb_core::{compile_dynamic, BoundedOutcome, CostParams, OpenOodb, OptimizerConfig};
+use oodb_exec::{try_execute, try_execute_traced, ExecError, ExecResult, ExecStats};
+use oodb_fault::{CancelToken, FaultClass, FaultInjector, RunLimits};
 use oodb_storage::Store;
 use oodb_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, OpTrace, StageTimer};
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Errors a submission can produce.
 #[derive(Clone, Debug, PartialEq)]
@@ -42,6 +44,33 @@ pub enum ServiceError {
     Zql(zql::ZqlError),
     /// No feasible plan under the current rule configuration.
     NoPlan,
+    /// The submission's deadline expired in the named pipeline stage.
+    DeadlineExceeded {
+        /// Which stage ran out of time (`"execute"` today; optimizer
+        /// expiry degrades to the greedy plan instead of erroring).
+        stage: &'static str,
+    },
+    /// The submission's [`CancelToken`] was cancelled.
+    Cancelled,
+    /// Execution materialized more tuples than
+    /// [`SubmitOptions::row_budget`] allows.
+    RowBudgetExceeded {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// A storage fault survived the retry budget (or was permanent).
+    StorageFault {
+        /// Whether the final fault was transient (retryable in principle).
+        transient: bool,
+        /// How many retries were spent before giving up.
+        retries: u32,
+    },
+    /// Execution failed in a non-retryable way (malformed plan or trace).
+    Exec(String),
+    /// The worker serving this submission died before replying.
+    WorkerLost,
+    /// The submission panicked; the service caught it and stayed up.
+    Panicked(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -51,11 +80,55 @@ impl std::fmt::Display for ServiceError {
             ServiceError::NoPlan => {
                 write!(f, "no feasible plan under the current rule configuration")
             }
+            ServiceError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded during {stage}")
+            }
+            ServiceError::Cancelled => write!(f, "query cancelled"),
+            ServiceError::RowBudgetExceeded { budget } => {
+                write!(f, "row budget of {budget} tuples exceeded")
+            }
+            ServiceError::StorageFault { transient, retries } => write!(
+                f,
+                "{} storage fault after {retries} retries",
+                if *transient { "transient" } else { "permanent" }
+            ),
+            ServiceError::Exec(msg) => write!(f, "execution failed: {msg}"),
+            ServiceError::WorkerLost => write!(f, "worker died before replying"),
+            ServiceError::Panicked(msg) => write!(f, "submission panicked: {msg}"),
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
+
+/// Recovers a read guard even when a previous holder panicked: the
+/// service's shared state (store snapshot, config + fingerprint) is only
+/// ever replaced wholesale by `Arc` swap, so a guard abandoned mid-panic
+/// cannot leave it half-written and poisoning must not cascade.
+fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write counterpart of [`read_lock`].
+fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Poison-recovering mutex lock (worker queue receiver).
+fn lock_mutex<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 /// Per-submission options.
 #[derive(Clone, Copy, Debug, Default)]
@@ -71,6 +144,19 @@ pub struct SubmitOptions {
     /// Record a per-operator [`OpTrace`] during execution (`EXPLAIN
     /// ANALYZE`); the trace lands in [`QueryOutput::trace`].
     pub trace: bool,
+    /// Per-submission wall-clock deadline. Bounds the Volcano search
+    /// (expiry degrades to the greedy plan, flagged in
+    /// [`QueryOutput::degraded`]) and non-degraded execution (expiry is
+    /// [`ServiceError::DeadlineExceeded`]). A degraded plan executes
+    /// *without* the deadline: a late best-effort answer beats an error.
+    pub deadline: Option<Duration>,
+    /// Abort execution once it materializes more than this many tuples
+    /// (across all operators of the run).
+    pub row_budget: Option<u64>,
+    /// How many times a transient storage fault may be retried (with
+    /// exponential backoff) before surfacing as
+    /// [`ServiceError::StorageFault`].
+    pub retries: u32,
 }
 
 /// Wall-clock nanoseconds each pipeline stage of one submission took.
@@ -128,6 +214,11 @@ pub struct QueryOutput {
     /// The per-operator execution trace, when [`SubmitOptions::trace`]
     /// was set.
     pub trace: Option<OpTrace>,
+    /// True when the optimizer deadline expired and this answer came from
+    /// the greedy fallback plan rather than the full cost-based search.
+    pub degraded: bool,
+    /// Transient-fault retries this submission spent before succeeding.
+    pub retries: u32,
 }
 
 /// Handles to every metric the service records, registered once at
@@ -151,6 +242,17 @@ struct ServiceMetrics {
     exec_sim_io_us: Counter,
     /// Static-verifier findings on winning plans (0 on a sound optimizer).
     verify_violations: Counter,
+    /// Submissions that ran out of deadline during execution.
+    timeouts: Counter,
+    /// Transient-storage-fault retries across all submissions.
+    retries: Counter,
+    /// Optimizer-deadline expiries served by the greedy fallback plan.
+    fallback_plans: Counter,
+    /// Submissions that panicked and were converted to typed errors.
+    submission_panics: Counter,
+    /// Mirror of the fault injector's total injected faults (refreshed at
+    /// export time, like the cache mirrors).
+    injected_faults: Counter,
     // Mirrors of the plan cache's own counters, refreshed at export time.
     cache_hits: Counter,
     cache_misses: Counter,
@@ -181,6 +283,11 @@ impl ServiceMetrics {
             exec_tuples: reg.counter("oodb_exec_tuples_total", &[]),
             exec_sim_io_us: reg.counter("oodb_exec_sim_io_microseconds_total", &[]),
             verify_violations: reg.counter("oodb_verify_violations_total", &[]),
+            timeouts: reg.counter("oodb_timeouts_total", &[]),
+            retries: reg.counter("oodb_retries_total", &[]),
+            fallback_plans: reg.counter("oodb_fallback_plans_total", &[]),
+            submission_panics: reg.counter("oodb_submission_panics_total", &[]),
+            injected_faults: reg.counter("oodb_injected_faults_total", &[]),
             cache_hits: reg.counter("oodb_plancache_hits_total", &[]),
             cache_misses: reg.counter("oodb_plancache_misses_total", &[]),
             cache_evictions: reg.counter("oodb_plancache_evictions_total", &[]),
@@ -264,6 +371,9 @@ impl QueryService {
         m.cache_stale_rejects.store(s.stale_rejects);
         m.cache_verify_rejects.store(s.verify_rejects);
         m.cache_entries.set(s.entries as i64);
+        if let Some(inj) = self.store().fault_injector() {
+            m.injected_faults.store(inj.stats().injected);
+        }
     }
 
     /// Every metric in the Prometheus text exposition format (`\metrics`).
@@ -280,7 +390,7 @@ impl QueryService {
 
     /// The current store snapshot.
     pub fn store(&self) -> Arc<Store> {
-        Arc::clone(&self.inner.store.read().unwrap())
+        Arc::clone(&read_lock(&self.inner.store))
     }
 
     /// The plan cache (shared).
@@ -290,7 +400,7 @@ impl QueryService {
 
     /// The current optimizer configuration.
     pub fn config(&self) -> OptimizerConfig {
-        (*self.inner.config.read().unwrap().0).clone()
+        (*read_lock(&self.inner.config).0).clone()
     }
 
     /// Replaces the optimizer configuration. Plans cached under the old
@@ -298,7 +408,7 @@ impl QueryService {
     /// config fingerprint is part of every cache key.
     pub fn set_config(&self, config: OptimizerConfig) {
         let fp = config.fingerprint();
-        *self.inner.config.write().unwrap() = (Arc::new(config), fp);
+        *write_lock(&self.inner.config) = (Arc::new(config), fp);
     }
 
     /// Collects histograms and swaps in a store whose catalog carries the
@@ -308,7 +418,7 @@ impl QueryService {
         let catalog = store.collect_statistics(&[], buckets);
         store.set_catalog(catalog);
         store.build_indexes();
-        *self.inner.store.write().unwrap() = Arc::new(store);
+        *write_lock(&self.inner.store) = Arc::new(store);
     }
 
     /// Drops every index not named in `keep` (physical-design change) and
@@ -319,7 +429,28 @@ impl QueryService {
         let catalog = store.catalog().with_only_indexes(keep);
         store.set_catalog(catalog);
         store.build_indexes();
-        *self.inner.store.write().unwrap() = Arc::new(store);
+        *write_lock(&self.inner.store) = Arc::new(store);
+    }
+
+    /// Routes subsequent executions through a fault injector by swapping
+    /// in a store snapshot that carries it. No epoch bump: injected faults
+    /// do not invalidate cached plans, only their executions.
+    pub fn attach_fault_injector(&self, injector: FaultInjector) {
+        let mut store = (*self.store()).clone();
+        store.attach_fault_injector(injector);
+        *write_lock(&self.inner.store) = Arc::new(store);
+    }
+
+    /// Removes the fault injector (fresh snapshots execute fault-free).
+    pub fn detach_fault_injector(&self) {
+        let mut store = (*self.store()).clone();
+        store.detach_fault_injector();
+        *write_lock(&self.inner.store) = Arc::new(store);
+    }
+
+    /// The fault injector on the current store snapshot, if any.
+    pub fn fault_injector(&self) -> Option<FaultInjector> {
+        self.store().fault_injector().cloned()
     }
 
     /// Compiles, plans (via cache), executes. Equivalent to
@@ -328,17 +459,66 @@ impl QueryService {
         self.submit_with(zql_src, SubmitOptions::default())
     }
 
-    /// Compiles, plans (via cache), executes, with options.
+    /// Compiles, plans (via cache), executes, with options. Panics inside
+    /// the pipeline are caught and surfaced as
+    /// [`ServiceError::Panicked`] — a submission can fail, but it cannot
+    /// take the service down.
     pub fn submit_with(
         &self,
         zql_src: &str,
         opts: SubmitOptions,
     ) -> Result<QueryOutput, ServiceError> {
+        self.submit_guarded(zql_src, opts, None)
+    }
+
+    /// [`QueryService::submit_with`] plus a cooperative [`CancelToken`]:
+    /// cancel it from any thread and the execution stops at its next
+    /// operator batch boundary with [`ServiceError::Cancelled`].
+    pub fn submit_cancellable(
+        &self,
+        zql_src: &str,
+        opts: SubmitOptions,
+        cancel: &CancelToken,
+    ) -> Result<QueryOutput, ServiceError> {
+        self.submit_guarded(zql_src, opts, Some(cancel))
+    }
+
+    /// The panic boundary around the submission pipeline.
+    fn submit_guarded(
+        &self,
+        zql_src: &str,
+        opts: SubmitOptions,
+        cancel: Option<&CancelToken>,
+    ) -> Result<QueryOutput, ServiceError> {
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.submit_inner(zql_src, opts, cancel)
+        })) {
+            Ok(reply) => reply,
+            Err(payload) => {
+                let m = &self.inner.metrics;
+                m.errors.inc();
+                m.submission_panics.inc();
+                Err(ServiceError::Panicked(panic_message(payload.as_ref())))
+            }
+        }
+    }
+
+    fn submit_inner(
+        &self,
+        zql_src: &str,
+        opts: SubmitOptions,
+        cancel: Option<&CancelToken>,
+    ) -> Result<QueryOutput, ServiceError> {
         let m = &self.inner.metrics;
         m.submissions.inc();
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            m.errors.inc();
+            return Err(ServiceError::Cancelled);
+        }
+        let deadline = opts.deadline.map(|d| Instant::now() + d);
         let store = self.store();
         let (config, config_fp) = {
-            let guard = self.inner.config.read().unwrap();
+            let guard = read_lock(&self.inner.config);
             (Arc::clone(&guard.0), guard.1)
         };
         let mut stages = StageBreakdown::default();
@@ -364,10 +544,11 @@ impl QueryService {
 
         let probed = self.inner.cache.get(&key, &fp.key);
         stages.cache_probe_ns = timer.lap_into(&m.stage_cache_probe);
-        let (entry, cache_hit) = match probed {
-            Some(entry) => (entry, true),
+        let (entry, cache_hit, degraded) = match probed {
+            Some(entry) => (entry, true, false),
             None => {
                 m.optimizer_runs.inc();
+                let mut degraded = false;
                 let body = if opts.dynamic {
                     CachedBody::Dynamic(compile_dynamic(
                         &q.env,
@@ -378,18 +559,39 @@ impl QueryService {
                     ))
                 } else {
                     let optimizer = OpenOodb::new(&q.env, self.inner.params, (*config).clone());
-                    let out = optimizer
-                        .optimize_ordered(&q.plan, q.result_vars, q.order)
-                        .ok_or_else(|| {
+                    match optimizer.optimize_within(&q.plan, q.result_vars, q.order, deadline) {
+                        BoundedOutcome::Complete(out) => {
+                            m.transform_firings.add(out.stats.transform_firings);
+                            m.plans_costed.add(out.stats.plans_costed);
+                            m.verify_violations.add(out.diagnostics.len() as u64);
+                            CachedBody::Static {
+                                plan: out.plan,
+                                cost: out.cost,
+                            }
+                        }
+                        BoundedOutcome::DeadlineExpired => {
+                            // Degradation ladder: full search → greedy.
+                            // The greedy plan is still estimator-annotated
+                            // and verifier-linted; it is just not optimal.
+                            m.fallback_plans.inc();
+                            degraded = true;
+                            let (plan, cost, diagnostics) = oodb_core::greedy_fallback(
+                                &q.env,
+                                self.inner.params,
+                                &q.plan,
+                                q.result_vars,
+                            )
+                            .ok_or_else(|| {
+                                m.errors.inc();
+                                ServiceError::NoPlan
+                            })?;
+                            m.verify_violations.add(diagnostics.len() as u64);
+                            CachedBody::Static { plan, cost }
+                        }
+                        BoundedOutcome::Infeasible => {
                             m.errors.inc();
-                            ServiceError::NoPlan
-                        })?;
-                    m.transform_firings.add(out.stats.transform_firings);
-                    m.plans_costed.add(out.stats.plans_costed);
-                    m.verify_violations.add(out.diagnostics.len() as u64);
-                    CachedBody::Static {
-                        plan: out.plan,
-                        cost: out.cost,
+                            return Err(ServiceError::NoPlan);
+                        }
                     }
                 };
                 let entry = Arc::new(CachedPlan {
@@ -401,11 +603,15 @@ impl QueryService {
                 // Re-read the *current* epoch before inserting: if
                 // statistics were recollected while we optimized, the
                 // cache refuses the now-stale entry instead of pinning it.
-                self.inner
-                    .cache
-                    .note_epoch(self.store().catalog().stats_epoch());
-                self.inner.cache.insert(key, Arc::clone(&entry));
-                (entry, false)
+                // Degraded plans are never cached — the next submission
+                // deserves the full search.
+                if !degraded {
+                    self.inner
+                        .cache
+                        .note_epoch(self.store().catalog().stats_epoch());
+                    self.inner.cache.insert(key, Arc::clone(&entry));
+                }
+                (entry, false, degraded)
             }
         };
         stages.optimize_ns = timer.lap_into(&m.stage_optimize);
@@ -426,12 +632,59 @@ impl QueryService {
         };
 
         let indexes_used = oodb_core::dynamic::indexes_used(&entry.env, plan);
-        let (result, stats, trace) = if opts.trace {
-            let (result, stats, trace) = execute_traced(&store, &entry.env, plan);
-            (result, stats, Some(trace))
-        } else {
-            let (result, stats) = execute(&store, &entry.env, plan);
-            (result, stats, None)
+        // A degraded plan executes without the deadline: once the search
+        // has already timed out, a late best-effort answer beats an error.
+        let exec_deadline = if degraded { None } else { deadline };
+        let mut retries_used = 0u32;
+        let (result, stats, trace) = loop {
+            let limits = RunLimits {
+                deadline: exec_deadline,
+                cancel: cancel.cloned(),
+                row_budget: opts.row_budget,
+            };
+            let attempt = if opts.trace {
+                try_execute_traced(&store, &entry.env, plan, limits)
+                    .map(|(r, s, t)| (r, s, Some(t)))
+            } else {
+                try_execute(&store, &entry.env, plan, limits).map(|(r, s)| (r, s, None))
+            };
+            match attempt {
+                Ok(v) => break v,
+                Err(ExecError::Fault(f))
+                    if f.class == FaultClass::Transient
+                        && retries_used < opts.retries
+                        && exec_deadline.is_none_or(|d| Instant::now() < d) =>
+                {
+                    retries_used += 1;
+                    m.retries.inc();
+                    // Exponential backoff from 100 µs, capped at 5 ms and
+                    // clipped to the remaining deadline.
+                    let mut backoff = Duration::from_micros(50u64 << retries_used.min(7))
+                        .min(Duration::from_millis(5));
+                    if let Some(d) = exec_deadline {
+                        backoff = backoff.min(d.saturating_duration_since(Instant::now()));
+                    }
+                    thread::sleep(backoff);
+                }
+                Err(e) => {
+                    m.errors.inc();
+                    return Err(match e {
+                        ExecError::Fault(f) => ServiceError::StorageFault {
+                            transient: f.class == FaultClass::Transient,
+                            retries: retries_used,
+                        },
+                        ExecError::Cancelled => ServiceError::Cancelled,
+                        ExecError::DeadlineExceeded => {
+                            m.timeouts.inc();
+                            ServiceError::DeadlineExceeded { stage: "execute" }
+                        }
+                        ExecError::RowBudgetExceeded { budget } => {
+                            ServiceError::RowBudgetExceeded { budget }
+                        }
+                        other => ServiceError::Exec(other.to_string()),
+                    });
+                }
+            }
         };
         stages.execute_ns = timer.lap_into(&m.stage_execute);
         m.record_exec(&stats);
@@ -457,6 +710,8 @@ impl QueryService {
             buffer_hits: stats.buffer_hits,
             buffer_misses: stats.buffer_misses,
             trace,
+            degraded,
+            retries: retries_used,
         })
     }
 }
@@ -498,6 +753,10 @@ type Reply = Result<QueryOutput, ServiceError>;
 struct Job {
     zql: String,
     opts: SubmitOptions,
+    cancel: Option<CancelToken>,
+    /// Test hook: a poison pill that makes the receiving worker retire
+    /// without replying, simulating a worker death mid-job.
+    kill: bool,
     reply: mpsc::Sender<Reply>,
 }
 
@@ -507,84 +766,190 @@ pub struct Pending {
 }
 
 impl Pending {
-    /// Blocks until the worker answers.
+    /// Blocks until the worker answers. If the worker died with the job
+    /// in flight (its reply sender was dropped), this is
+    /// [`ServiceError::WorkerLost`] — never a panic or a hang.
     pub fn wait(self) -> Reply {
-        self.rx
-            .recv()
-            .expect("worker pool shut down with job pending")
+        self.rx.recv().unwrap_or(Err(ServiceError::WorkerLost))
+    }
+
+    /// Waits up to `timeout` for the reply. `None` means no reply arrived
+    /// in time — the job may still be queued or running (e.g. waiting on
+    /// a worker respawn) and can complete later.
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Reply> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(reply) => Some(reply),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServiceError::WorkerLost)),
+        }
     }
 }
 
-/// N `std::thread` workers pulling submissions off one queue.
+/// State shared between the pool handle and its worker threads, so a
+/// replacement worker can be spawned from the same queue and registry.
+struct PoolShared {
+    rx: Mutex<mpsc::Receiver<Job>>,
+    svc: QueryService,
+    reg: Arc<MetricsRegistry>,
+    queue_depth: Gauge,
+}
+
+fn spawn_worker(shared: &Arc<PoolShared>, i: usize) -> thread::JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    thread::Builder::new()
+        .name(format!("oodb-worker-{i}"))
+        .spawn(move || {
+            let worker = i.to_string();
+            // Registration is get-or-create, so a respawned worker
+            // reclaims its predecessor's gauges and counters.
+            let busy = shared.reg.gauge("oodb_worker_busy", &[("worker", &worker)]);
+            let jobs = shared
+                .reg
+                .counter("oodb_worker_jobs_total", &[("worker", &worker)]);
+            loop {
+                // Hold the receiver lock only while dequeuing.
+                let job = match lock_mutex(&shared.rx).recv() {
+                    Ok(job) => job,
+                    Err(_) => break,
+                };
+                shared.queue_depth.sub(1);
+                busy.set(1);
+                jobs.inc();
+                if job.kill {
+                    // Retire without replying: the dropped reply sender
+                    // surfaces as WorkerLost and the next enqueue respawns.
+                    busy.set(0);
+                    break;
+                }
+                // `submit_guarded` already converts pipeline panics into
+                // typed errors; this outer boundary covers everything
+                // else (reply plumbing, metrics). A worker that panics
+                // anyway retires silently and is respawned.
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    shared
+                        .svc
+                        .submit_guarded(&job.zql, job.opts, job.cancel.as_ref())
+                }));
+                busy.set(0);
+                match out {
+                    Ok(reply) => {
+                        let _ = job.reply.send(reply);
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawn worker thread")
+}
+
+/// N `std::thread` workers pulling submissions off one queue. Dead
+/// workers (panics, poison pills) are detected and respawned on the next
+/// enqueue; their in-flight jobs surface as [`ServiceError::WorkerLost`]
+/// rather than hanging or panicking the caller.
 pub struct WorkerPool {
     tx: Option<mpsc::Sender<Job>>,
-    handles: Vec<thread::JoinHandle<()>>,
+    shared: Arc<PoolShared>,
+    /// Worker slots: (slot index, live handle). A slot's handle is
+    /// replaced when the worker is found dead.
+    handles: Mutex<Vec<(usize, thread::JoinHandle<()>)>>,
     queue_depth: Gauge,
+    respawns: Counter,
 }
 
 impl WorkerPool {
     /// Spawns `workers` threads serving `service`. The pool registers a
     /// shared `oodb_queue_depth` gauge (incremented on enqueue, decremented
-    /// on dequeue) plus per-worker `oodb_worker_busy` gauges and
-    /// `oodb_worker_jobs_total` counters in the service's registry.
+    /// on dequeue), an `oodb_worker_respawns_total` counter, plus
+    /// per-worker `oodb_worker_busy` gauges and `oodb_worker_jobs_total`
+    /// counters in the service's registry.
     pub fn new(service: QueryService, workers: usize) -> Self {
         let (tx, rx) = mpsc::channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
         let reg = Arc::clone(service.telemetry());
         let queue_depth = reg.gauge("oodb_queue_depth", &[]);
+        let respawns = reg.counter("oodb_worker_respawns_total", &[]);
+        let shared = Arc::new(PoolShared {
+            rx: Mutex::new(rx),
+            svc: service,
+            reg,
+            queue_depth: queue_depth.clone(),
+        });
         let handles = (0..workers.max(1))
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                let svc = service.clone();
-                let depth = queue_depth.clone();
-                let worker = i.to_string();
-                let busy = reg.gauge("oodb_worker_busy", &[("worker", &worker)]);
-                let jobs = reg.counter("oodb_worker_jobs_total", &[("worker", &worker)]);
-                thread::Builder::new()
-                    .name(format!("oodb-worker-{i}"))
-                    .spawn(move || loop {
-                        // Hold the receiver lock only while dequeuing.
-                        let job = match rx.lock().unwrap().recv() {
-                            Ok(job) => job,
-                            Err(_) => break,
-                        };
-                        depth.sub(1);
-                        busy.set(1);
-                        jobs.inc();
-                        let out = svc.submit_with(&job.zql, job.opts);
-                        busy.set(0);
-                        let _ = job.reply.send(out);
-                    })
-                    .expect("spawn worker thread")
-            })
+            .map(|i| (i, spawn_worker(&shared, i)))
             .collect();
         WorkerPool {
             tx: Some(tx),
-            handles,
+            shared,
+            handles: Mutex::new(handles),
             queue_depth,
+            respawns,
         }
+    }
+
+    /// Replaces every dead worker with a fresh thread on the same slot.
+    fn reap(&self) {
+        let mut handles = lock_mutex(&self.handles);
+        for slot in handles.iter_mut() {
+            if slot.1.is_finished() {
+                let fresh = spawn_worker(&self.shared, slot.0);
+                let dead = std::mem::replace(&mut slot.1, fresh);
+                let _ = dead.join();
+                self.respawns.inc();
+            }
+        }
+    }
+
+    fn enqueue(
+        &self,
+        zql: String,
+        opts: SubmitOptions,
+        cancel: Option<CancelToken>,
+        kill: bool,
+    ) -> Pending {
+        self.reap();
+        let (reply, rx) = mpsc::channel();
+        self.queue_depth.add(1);
+        if let Some(tx) = self.tx.as_ref() {
+            // The receiver lives in PoolShared, so this send cannot fail
+            // while the pool exists; `let _ =` keeps shutdown races benign.
+            let _ = tx.send(Job {
+                zql,
+                opts,
+                cancel,
+                kill,
+                reply,
+            });
+        }
+        Pending { rx }
     }
 
     /// Enqueues a query; the returned handle yields the result.
     pub fn submit(&self, zql: impl Into<String>, opts: SubmitOptions) -> Pending {
-        let (reply, rx) = mpsc::channel();
-        self.queue_depth.add(1);
-        self.tx
-            .as_ref()
-            .expect("pool already shut down")
-            .send(Job {
-                zql: zql.into(),
-                opts,
-                reply,
-            })
-            .expect("all workers exited");
-        Pending { rx }
+        self.enqueue(zql.into(), opts, None, false)
+    }
+
+    /// Enqueues a query with a [`CancelToken`] the caller can trip from
+    /// any thread to stop the execution cooperatively.
+    pub fn submit_cancellable(
+        &self,
+        zql: impl Into<String>,
+        opts: SubmitOptions,
+        cancel: &CancelToken,
+    ) -> Pending {
+        self.enqueue(zql.into(), opts, Some(cancel.clone()), false)
+    }
+
+    /// Test hook: enqueues a poison pill that kills the worker that
+    /// dequeues it. The returned handle yields
+    /// [`ServiceError::WorkerLost`]; the next enqueue respawns the worker.
+    #[doc(hidden)]
+    pub fn kill_worker_for_test(&self) -> Pending {
+        self.enqueue(String::new(), SubmitOptions::default(), None, true)
     }
 
     /// Drains the queue and joins every worker.
     pub fn shutdown(mut self) {
         self.tx.take(); // close the queue
-        for h in self.handles.drain(..) {
+        for (_, h) in lock_mutex(&self.handles).drain(..) {
             let _ = h.join();
         }
     }
@@ -593,7 +958,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.tx.take();
-        for h in self.handles.drain(..) {
+        for (_, h) in lock_mutex(&self.handles).drain(..) {
             let _ = h.join();
         }
     }
@@ -722,5 +1087,130 @@ mod tests {
             assert_eq!(o.rows, outs[0].rows);
         }
         pool.shutdown();
+    }
+
+    #[test]
+    fn poisoned_locks_recover() {
+        let svc = small_service();
+        // Poison both shared RwLocks: grab each write guard on another
+        // thread-of-control and panic while holding it.
+        let s = svc.clone();
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = s.inner.config.write().unwrap();
+            panic!("poison the config lock");
+        }));
+        assert!(svc.inner.config.is_poisoned());
+        let s = svc.clone();
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = s.inner.store.write().unwrap();
+            panic!("poison the store lock");
+        }));
+        assert!(svc.inner.store.is_poisoned());
+        // The service keeps working: reads recover the guards, and the
+        // state behind them is still the intact pre-panic Arc.
+        assert!(svc.submit(Q_TIME).is_ok());
+        svc.set_config(OptimizerConfig::all_rules());
+        svc.refresh_statistics(8);
+        assert!(svc.submit(Q_TIME).is_ok());
+    }
+
+    #[test]
+    fn injected_panic_is_caught_and_service_stays_healthy() {
+        let svc = small_service();
+        svc.attach_fault_injector(FaultInjector::new(oodb_fault::FaultConfig {
+            panic_rate: 1.0,
+            ..Default::default()
+        }));
+        let err = svc.submit(Q_TIME).unwrap_err();
+        assert!(matches!(err, ServiceError::Panicked(_)), "{err:?}");
+        let text = svc.metrics_prometheus();
+        assert!(text.contains("oodb_submission_panics_total 1"), "{text}");
+        // Detach and the same service (same locks, same cache) recovers.
+        svc.detach_fault_injector();
+        assert!(svc.submit(Q_TIME).is_ok());
+    }
+
+    #[test]
+    fn worker_death_surfaces_as_worker_lost_and_respawns() {
+        let svc = small_service();
+        let pool = WorkerPool::new(svc.clone(), 1);
+        assert_eq!(
+            pool.kill_worker_for_test().wait(),
+            Err(ServiceError::WorkerLost)
+        );
+        // The next submissions respawn the dead worker and are served.
+        // `wait_timeout` guards the race where the enqueue's reap ran
+        // before the dead thread was observably finished: that job sits
+        // queued until a later enqueue respawns the worker.
+        let mut served = false;
+        for _ in 0..100 {
+            let pending = pool.submit(Q_TIME, SubmitOptions::default());
+            if matches!(
+                pending.wait_timeout(Duration::from_millis(200)),
+                Some(Ok(_))
+            ) {
+                served = true;
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert!(served, "respawned worker must serve new submissions");
+        let text = svc.metrics_prometheus();
+        assert!(text.contains("oodb_worker_respawns_total 1"), "{text}");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn cancelled_submission_returns_typed_error() {
+        let svc = small_service();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        assert_eq!(
+            svc.submit_cancellable(Q_TIME, SubmitOptions::default(), &cancel),
+            Err(ServiceError::Cancelled)
+        );
+        // A fresh token does not interfere.
+        let fresh = CancelToken::new();
+        assert!(svc
+            .submit_cancellable(Q_TIME, SubmitOptions::default(), &fresh)
+            .is_ok());
+    }
+
+    #[test]
+    fn row_budget_zero_is_rejected_with_budget_in_error() {
+        let svc = small_service();
+        let opts = SubmitOptions {
+            row_budget: Some(0),
+            ..Default::default()
+        };
+        assert_eq!(
+            svc.submit_with(Q_TIME, opts),
+            Err(ServiceError::RowBudgetExceeded { budget: 0 })
+        );
+    }
+
+    #[test]
+    fn transient_faults_retry_to_success_and_are_counted() {
+        let svc = small_service();
+        svc.attach_fault_injector(FaultInjector::new(oodb_fault::FaultConfig {
+            read_fault_rate: 0.05,
+            permanent_ratio: 0.0,
+            ..Default::default()
+        }));
+        let opts = SubmitOptions {
+            retries: 64,
+            ..Default::default()
+        };
+        let out = svc.submit_with(Q_TIME, opts).expect("retries must win");
+        assert!(!out.degraded);
+        let inj = svc.fault_injector().unwrap();
+        assert_eq!(inj.stats().permanent, 0);
+        // Every injected transient fault cost exactly one retry.
+        assert_eq!(out.retries as u64, inj.stats().transient);
+        let text = svc.metrics_prometheus();
+        assert!(
+            text.contains(&format!("oodb_retries_total {}", out.retries)),
+            "{text}"
+        );
     }
 }

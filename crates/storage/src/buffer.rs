@@ -8,6 +8,7 @@
 //! the [`crate::disk::Disk`].
 
 use crate::disk::{Disk, DiskParams, DiskStats, PageId};
+use oodb_fault::{Fault, FaultInjector};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -139,6 +140,9 @@ pub struct Io {
     pool: PoolRef,
     /// The simulated device.
     pub disk: Disk,
+    /// Optional fault injector consulted before every page access (see
+    /// [`Io::try_touch`]). `None` keeps the read path infallible.
+    injector: Option<FaultInjector>,
 }
 
 impl Io {
@@ -147,6 +151,7 @@ impl Io {
         Io {
             pool: PoolRef::Local(BufferPool::new(pool_pages)),
             disk: Disk::new(params),
+            injector: None,
         }
     }
 
@@ -156,6 +161,7 @@ impl Io {
         Io {
             pool: PoolRef::Local(BufferPool::decstation(params.page_bytes)),
             disk: Disk::new(params),
+            injector: None,
         }
     }
 
@@ -166,6 +172,7 @@ impl Io {
         Io {
             pool: PoolRef::Shared(pool),
             disk: Disk::new(params),
+            injector: None,
         }
     }
 
@@ -195,6 +202,35 @@ impl Io {
             self.disk.read_elevator(&mut missed);
         }
         (pages.len() as u64 - misses, misses)
+    }
+
+    /// Routes subsequent page access through a fault injector (or removes
+    /// it with `None`). The executor installs the store's injector here.
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.injector = injector;
+    }
+
+    /// Fallible [`Io::touch`]: consults the fault injector (if any) before
+    /// the buffer pool. A faulted read charges nothing — the page is
+    /// neither cached nor billed to the disk — so a retry repeats the
+    /// access from scratch.
+    pub fn try_touch(&mut self, page: PageId) -> Result<bool, Fault> {
+        if let Some(inj) = &self.injector {
+            inj.check_read(page)?;
+        }
+        Ok(self.touch(page))
+    }
+
+    /// Fallible [`Io::touch_elevator`]: checks every page of the batch
+    /// against the injector first, then performs the whole sweep. A fault
+    /// aborts before any page of the batch is charged.
+    pub fn try_touch_elevator(&mut self, pages: &[PageId]) -> Result<(u64, u64), Fault> {
+        if let Some(inj) = &self.injector {
+            for &p in pages {
+                inj.check_read(p)?;
+            }
+        }
+        Ok(self.touch_elevator(pages))
     }
 
     /// (hits, misses) of the underlying pool. For a shared pool these are

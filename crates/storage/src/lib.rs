@@ -33,4 +33,7 @@ pub use codec::{pack_collection, unpack_pages, CodecError, Page, PAGE_BYTES};
 pub use datagen::{generate_paper_db, GenConfig};
 pub use disk::{Disk, DiskParams, DiskStats, PageId};
 pub use index::{BuiltIndex, OrdValue};
+/// Fault-injection types, re-exported so storage users reach the injector
+/// without a separate dependency.
+pub use oodb_fault::{Fault, FaultClass, FaultConfig, FaultInjector, FaultStats};
 pub use store::Store;

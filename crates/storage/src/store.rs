@@ -42,6 +42,11 @@ pub struct Store {
     /// Cloning the store — snapshot swaps in the query service — clones
     /// the `Arc`, so the pool stays warm across catalog changes.
     shared_pool: Option<crate::SharedBufferPool>,
+    /// When attached, every executor created against this store routes
+    /// page reads through the injector first (see
+    /// [`oodb_fault::FaultInjector`]). Clones share counters and healing
+    /// state, mirroring the shared-pool pattern above.
+    fault_injector: Option<oodb_fault::FaultInjector>,
 }
 
 impl Store {
@@ -67,6 +72,7 @@ impl Store {
             slots,
             next_page: 0,
             shared_pool: None,
+            fault_injector: None,
         }
     }
 
@@ -85,6 +91,22 @@ impl Store {
     /// The shared buffer pool, when one is attached.
     pub fn shared_pool(&self) -> Option<&crate::SharedBufferPool> {
         self.shared_pool.as_ref()
+    }
+
+    /// Attaches a fault injector: executors created against this store
+    /// consult it on every page read.
+    pub fn attach_fault_injector(&mut self, injector: oodb_fault::FaultInjector) {
+        self.fault_injector = Some(injector);
+    }
+
+    /// Detaches the fault injector; reads become infallible again.
+    pub fn detach_fault_injector(&mut self) {
+        self.fault_injector = None;
+    }
+
+    /// The fault injector, when one is attached.
+    pub fn fault_injector(&self) -> Option<&oodb_fault::FaultInjector> {
+        self.fault_injector.as_ref()
     }
 
     /// The schema.

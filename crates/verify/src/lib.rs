@@ -778,10 +778,13 @@ impl<'e> Cx<'e> {
                 self.check_scan_domain(*var, idx.collection, op);
                 // The scan answers its predicate through the index; the
                 // predicate may mention path-chain variables (never
-                // materialized), but each must chain back to the base.
+                // materialized), but each must chain back to the base. The
+                // base itself is always fair game: the scan binds it
+                // directly, whatever its origin — a Mat→Join `Get` scans
+                // the reference's domain under the Mat-origin variable.
                 if self.pred_ok(*pred) {
                     for v in self.env.preds.vars_used(*pred) {
-                        if self.chain_root(v) != *var {
+                        if v != *var && self.chain_root(v) != *var {
                             self.emit(
                                 checks::UNBOUND_VAR,
                                 op,
@@ -1457,6 +1460,41 @@ mod tests {
             diags
                 .iter()
                 .any(|d| d.check == checks::DUPLICATE_BINDING && d.path == vec![0]),
+            "{diags:?}"
+        );
+    }
+
+    /// A Mat→Join `Get` scans the reference's domain collection binding
+    /// the Mat-origin variable directly; a collapsed index scan over that
+    /// shape predicates on the scan's own base. That is bound by the scan
+    /// itself and must not be flagged — only predicate variables that
+    /// chain to a *different* root are unbound.
+    #[test]
+    fn index_scan_predicate_on_its_own_mat_origin_base_is_bound() {
+        let m = paper_model();
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (tasks, t) = qb.get(m.ids.tasks, "t");
+        let (unnested, mm) = qb.unnest(tasks, t, m.ids.task_team_members, "m");
+        let (_matd, me) = qb.mat_deref(unnested, mm, "e");
+        let good = qb.eq_const(me, m.ids.person_name, Value::str("Fred"));
+        let bad = qb.eq_const(t, m.ids.task_time, Value::Int(100));
+        let env = qb.into_env();
+        let scan = |pred| PhysicalPlan {
+            op: PhysicalOp::IndexScan {
+                index: m.ids.idx_employees_name,
+                var: me,
+                pred,
+            },
+            children: vec![],
+            est: Default::default(),
+        };
+        // Predicate on the scan's own base variable: bound, whatever the
+        // base's origin chain says.
+        assert_eq!(lint_physical(&env, &scan(good)), vec![]);
+        // A predicate variable rooted elsewhere is still an error.
+        let diags = lint_physical(&env, &scan(bad));
+        assert!(
+            diags.iter().any(|d| d.check == checks::UNBOUND_VAR),
             "{diags:?}"
         );
     }

@@ -26,6 +26,13 @@ pub struct SearchConfig {
     /// Record a goal-level search trace (see [`Optimizer::trace`]) — the
     /// "search state" view of the paper's Figure 11.
     pub trace: bool,
+    /// Absolute deadline for the search. Checked at sweep and goal
+    /// boundaries; once hit, exploration stops, every unsolved goal bails
+    /// out as infeasible, and **nothing is memoized past the expiry** —
+    /// any plan extracted afterwards is built only from winners completed
+    /// before the deadline, so it is always internally consistent.
+    /// [`crate::SearchStats::deadline_hit`] records that the bound bit.
+    pub deadline: Option<Instant>,
 }
 
 /// One recorded search event (when tracing is enabled).
@@ -180,6 +187,21 @@ impl<'a, M: OptModel> Optimizer<'a, M> {
         (group, h.finish())
     }
 
+    /// Whether the search deadline has expired. Latches into
+    /// `stats.deadline_hit` so subsequent checks skip the clock read.
+    fn deadline_expired(&mut self) -> bool {
+        if self.stats.deadline_hit {
+            return true;
+        }
+        match self.config.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.stats.deadline_hit = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
     fn children_version(&self, e: ExprId) -> u64 {
         let mut v: u64 = 0xcbf29ce484222325;
         for &c in &self.memo.expr(e).children {
@@ -194,9 +216,12 @@ impl<'a, M: OptModel> Optimizer<'a, M> {
     /// re-fired on an expression whenever its child groups have grown
     /// since the last firing, so multi-level patterns are fully explored.
     pub fn explore_all(&mut self) {
-        loop {
+        'sweep: loop {
             let mut changed = false;
             for e in self.memo.live_exprs() {
+                if self.deadline_expired() {
+                    break 'sweep;
+                }
                 if self.memo.is_dead(e) {
                     continue;
                 }
@@ -231,6 +256,11 @@ impl<'a, M: OptModel> Optimizer<'a, M> {
         let key = Self::goal_key(group, &props);
         if let Some(w) = self.winners.get(&key) {
             return w.clone();
+        }
+        if self.deadline_expired() {
+            // Bail without memoizing: this goal is unsolved, not
+            // infeasible, and must not be remembered as such.
+            return None;
         }
         if !self.in_progress.insert(key) {
             return None; // cycle guard: a plan requiring itself is infinite
@@ -353,7 +383,12 @@ impl<'a, M: OptModel> Optimizer<'a, M> {
             });
         }
         self.in_progress.remove(&key);
-        self.winners.insert(key, best.clone());
+        // A goal solved while the deadline expired underneath it may have
+        // skipped alternatives; recording it as the goal's final answer
+        // would wrongly pin a partial (or absent) winner.
+        if !self.stats.deadline_hit {
+            self.winners.insert(key, best.clone());
+        }
         best
     }
 
@@ -502,6 +537,46 @@ mod tests {
         // Solving the same goal again must not add work.
         opt.optimize_group(root, ToySort::default());
         assert_eq!(opt.stats.goals, goals_first);
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_search_without_memoizing() {
+        let model = Toy::default();
+        let rules = toy_rules();
+        let (mut opt, root) = setup(
+            &model,
+            &rules,
+            SearchConfig {
+                deadline: Some(Instant::now()),
+                ..Default::default()
+            },
+        );
+        assert!(opt.run(root, ToySort::default()).is_none());
+        assert!(opt.stats.deadline_hit);
+        assert_eq!(
+            opt.stats.goals, 0,
+            "no goal opened past an expired deadline"
+        );
+        assert!(opt.winners.is_empty(), "nothing memoized past the deadline");
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let model = Toy::default();
+        let rules = toy_rules();
+        let (mut opt1, r1) = setup(&model, &rules, SearchConfig::default());
+        let unbounded = opt1.run(r1, ToySort::default()).unwrap().total_cost();
+        let (mut opt2, r2) = setup(
+            &model,
+            &rules,
+            SearchConfig {
+                deadline: Some(Instant::now() + std::time::Duration::from_secs(600)),
+                ..Default::default()
+            },
+        );
+        let bounded = opt2.run(r2, ToySort::default()).unwrap().total_cost();
+        assert_eq!(unbounded, bounded);
+        assert!(!opt2.stats.deadline_hit);
     }
 
     #[test]

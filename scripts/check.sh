@@ -12,6 +12,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+# Chaos gate: replay the paper's queries under the deterministic fault
+# injector (fixed seed — CI adds a randomized-seed leg on top).
+echo "==> chaos replay (fixed seed)"
+cargo test -q --test resilience
+
 # Supply-chain lint: advisories, duplicate versions, license allow-list.
 # cargo-deny is an external binary; skip gracefully where it is not
 # installed (the offline build container) rather than failing the gate.

@@ -44,6 +44,7 @@
 pub use oodb_algebra as algebra;
 pub use oodb_core as core;
 pub use oodb_exec as exec;
+pub use oodb_fault as fault;
 pub use oodb_object as object;
 pub use oodb_service as service;
 pub use oodb_storage as storage;
@@ -58,7 +59,8 @@ pub mod prelude {
         LogicalOp, LogicalPlan, PhysicalOp, PhysicalPlan, QueryBuilder, QueryEnv, VarSet,
     };
     pub use oodb_core::{greedy_plan, Cost, CostParams, OpenOodb, OptimizerConfig};
-    pub use oodb_exec::{execute, execute_traced, Executor};
+    pub use oodb_exec::{execute, execute_traced, try_execute, try_execute_traced, Executor};
+    pub use oodb_fault::{CancelToken, FaultConfig, FaultInjector, RunLimits};
     pub use oodb_object::paper::{paper_model, paper_model_scaled};
     pub use oodb_object::{Catalog, Schema, Value};
     pub use oodb_service::{QueryService, SubmitOptions, WorkerPool};

@@ -1,0 +1,315 @@
+//! Chaos replay: the paper's four query shapes under an injected storage
+//! fault model. The invariants are absolute — no panic ever escapes, every
+//! submission resolves to `Ok` or a *typed* `ServiceError`, transient
+//! faults retry to success, and the telemetry counters reconcile exactly
+//! with what the injector says it did.
+//!
+//! The fault stream is deterministic per seed. Failures print the seed;
+//! re-run with `OODB_CHAOS_SEED=<seed>` to reproduce.
+
+use oodb_core::{CostParams, OptimizerConfig};
+use oodb_service::{QueryService, ServiceError, SubmitOptions, WorkerPool};
+use oodb_storage::{generate_paper_db, FaultConfig, FaultInjector, GenConfig};
+use open_oodb::fault::CancelToken;
+use std::time::Duration;
+
+/// The paper's four query shapes (Q1–Q4).
+const QUERIES: &[&str] = &[
+    // Q1: the Dallas report — path-expression join chain.
+    "SELECT Newobject(e.name(), e.job().name(), e.dept().name()) \
+     FROM Employee e IN Employees \
+     WHERE e.dept().plant().location() == \"Dallas\"",
+    // Q2: mayor-name selection (collapses to one path-index scan).
+    r#"SELECT c FROM City c IN Cities WHERE c.mayor().name() == "Joe""#,
+    // Q3: projection needing the mayor in memory (assembly enforcer).
+    r#"SELECT Newobject(c.mayor().age(), c.name()) FROM City c IN Cities WHERE c.mayor().name() == "Joe""#,
+    // Q4: set-valued path with EXISTS (unnest + mat).
+    "SELECT t FROM Task t IN Tasks WHERE t.time() == 100 \
+     && EXISTS (SELECT m FROM m IN t.team_members() WHERE m.name() == \"Fred\")",
+];
+
+fn service() -> QueryService {
+    let (store, _model) = generate_paper_db(GenConfig {
+        scale_div: 100,
+        ..Default::default()
+    });
+    QueryService::new(
+        store,
+        CostParams::default(),
+        OptimizerConfig::all_rules(),
+        128,
+        8,
+    )
+}
+
+/// Seed for the chaos run: fixed by default, overridable for CI's
+/// randomized leg. Printed so a failing run is reproducible.
+fn chaos_seed() -> u64 {
+    let seed = std::env::var("OODB_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE);
+    eprintln!("chaos seed: {seed} (set OODB_CHAOS_SEED to override)");
+    seed
+}
+
+/// Extracts a counter's value from a Prometheus exposition dump.
+fn counter(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|r| r.strip_prefix(' ')))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Replays Q1–Q4 through a worker pool at several transient-fault rates:
+/// every reply must be `Ok`, answers must match the fault-free baseline,
+/// and the service's retry counter must equal the injector's transient
+/// fault count (each injected transient fault aborts exactly one attempt,
+/// which is retried exactly once).
+#[test]
+fn chaos_replay_under_transient_faults() {
+    let seed = chaos_seed();
+    for &rate in &[0.0, 0.01, 0.05, 0.15] {
+        let svc = service();
+        // Fault-free baseline (also warms the plan cache so the replay
+        // exercises execution faults, not concurrent cold misses).
+        let baseline: Vec<Vec<String>> = QUERIES
+            .iter()
+            .map(|q| {
+                let mut rows = svc.submit(q).expect("baseline must run clean").rows;
+                rows.sort();
+                rows
+            })
+            .collect();
+
+        let injector = FaultInjector::new(FaultConfig {
+            read_fault_rate: rate,
+            seed,
+            ..Default::default()
+        });
+        svc.attach_fault_injector(injector.clone());
+
+        let pool = WorkerPool::new(svc.clone(), 4);
+        let submissions = 48;
+        let opts = SubmitOptions {
+            retries: 64,
+            ..Default::default()
+        };
+        let pending: Vec<_> = (0..submissions)
+            .map(|i| pool.submit(QUERIES[i % QUERIES.len()].to_string(), opts))
+            .collect();
+        let mut total_retries = 0u64;
+        for (i, p) in pending.into_iter().enumerate() {
+            let out = p
+                .wait()
+                .unwrap_or_else(|e| panic!("seed {seed} rate {rate}: submission {i}: {e}"));
+            assert!(!out.degraded, "no deadline was set (seed {seed})");
+            total_retries += u64::from(out.retries);
+            let mut rows = out.rows;
+            rows.sort();
+            assert_eq!(
+                rows,
+                baseline[i % QUERIES.len()],
+                "answers must survive transient faults (seed {seed}, rate {rate})"
+            );
+        }
+        pool.shutdown();
+
+        let stats = injector.stats();
+        assert_eq!(stats.permanent, 0, "transient-only model (seed {seed})");
+        assert_eq!(stats.panics, 0, "no panic stream configured (seed {seed})");
+        if rate == 0.0 {
+            assert_eq!(stats.injected, 0);
+        }
+        // Reconciliation: every transient fault aborted one attempt, and
+        // every aborted attempt was retried (all submissions succeeded).
+        let text = svc.metrics_prometheus();
+        assert_eq!(
+            counter(&text, "oodb_retries_total"),
+            stats.transient,
+            "retry counter must reconcile with injected faults \
+             (seed {seed}, rate {rate}):\n{text}"
+        );
+        assert_eq!(counter(&text, "oodb_retries_total"), total_retries);
+        assert_eq!(counter(&text, "oodb_injected_faults_total"), stats.injected);
+        assert_eq!(counter(&text, "oodb_submission_panics_total"), 0);
+        assert!(text.contains("oodb_queue_depth 0"), "{text}");
+    }
+}
+
+/// Permanent faults are not retried — they surface immediately as a typed
+/// error — and detaching the injector restores a healthy service.
+#[test]
+fn permanent_faults_surface_without_retry() {
+    let svc = service();
+    svc.attach_fault_injector(FaultInjector::new(FaultConfig {
+        read_fault_rate: 1.0,
+        permanent_ratio: 1.0,
+        seed: chaos_seed(),
+        ..Default::default()
+    }));
+    let err = svc
+        .submit_with(
+            QUERIES[1],
+            SubmitOptions {
+                retries: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ServiceError::StorageFault {
+            transient: false,
+            retries: 0,
+        },
+        "permanent faults must not burn the retry budget"
+    );
+    svc.detach_fault_injector();
+    assert!(
+        svc.submit(QUERIES[1]).is_ok(),
+        "detaching heals the service"
+    );
+}
+
+/// An immediately-expired deadline never breaks a query: the optimizer
+/// degrades to the greedy plan, which still produces the right answer and
+/// lints clean, and the degradation is visible in the output and metrics.
+#[test]
+fn optimizer_deadline_degrades_to_greedy() {
+    let baseline = {
+        let svc = service();
+        let mut rows = svc.submit(QUERIES[3]).unwrap().rows;
+        rows.sort();
+        rows
+    };
+    let svc = service();
+    let out = svc
+        .submit_with(
+            QUERIES[3],
+            SubmitOptions {
+                deadline: Some(Duration::from_nanos(1)),
+                ..Default::default()
+            },
+        )
+        .expect("degraded plan must still answer");
+    assert!(out.degraded, "1 ns leaves no time for the full search");
+    let mut rows = out.rows;
+    rows.sort();
+    assert_eq!(rows, baseline, "greedy fallback must agree with the winner");
+    let text = svc.metrics_prometheus();
+    assert_eq!(counter(&text, "oodb_fallback_plans_total"), 1, "{text}");
+    // The fallback plan went through oodb-verify's static lint on its way
+    // out; the greedy plan for Q4 is clean.
+    assert_eq!(counter(&text, "oodb_verify_violations_total"), 0, "{text}");
+    // Degraded plans are never cached: a relaxed resubmission re-optimizes.
+    let relaxed = svc.submit(QUERIES[3]).unwrap();
+    assert!(!relaxed.degraded);
+    assert_eq!(
+        svc.cache().stats().hits,
+        0,
+        "degraded plan must not be cached"
+    );
+}
+
+/// Injected per-page latency plus a short deadline times execution out —
+/// as a typed error with the stage named, counted in telemetry.
+#[test]
+fn execution_deadline_times_out() {
+    let svc = service();
+    svc.submit(QUERIES[0]).unwrap(); // warm the plan cache
+    svc.attach_fault_injector(FaultInjector::new(FaultConfig {
+        latency_ns: 500_000,
+        seed: chaos_seed(),
+        ..Default::default()
+    }));
+    let err = svc
+        .submit_with(
+            QUERIES[0],
+            SubmitOptions {
+                deadline: Some(Duration::from_millis(2)),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err, ServiceError::DeadlineExceeded { stage: "execute" });
+    let text = svc.metrics_prometheus();
+    assert_eq!(counter(&text, "oodb_timeouts_total"), 1, "{text}");
+}
+
+/// A cancelled token stops the submission with a typed error; a fresh
+/// token runs normally.
+#[test]
+fn cancellation_is_a_typed_error() {
+    let svc = service();
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    assert_eq!(
+        svc.submit_cancellable(QUERIES[1], SubmitOptions::default(), &cancel),
+        Err(ServiceError::Cancelled)
+    );
+    let fresh = CancelToken::new();
+    assert!(svc
+        .submit_cancellable(QUERIES[1], SubmitOptions::default(), &fresh)
+        .is_ok());
+}
+
+/// A zero row budget interrupts any materializing run with the budget in
+/// the error.
+#[test]
+fn row_budget_bounds_execution() {
+    let svc = service();
+    assert_eq!(
+        svc.submit_with(
+            QUERIES[0],
+            SubmitOptions {
+                row_budget: Some(0),
+                ..Default::default()
+            },
+        ),
+        Err(ServiceError::RowBudgetExceeded { budget: 0 })
+    );
+}
+
+/// Overhead gate for EXPERIMENTS.md: an attached-but-disabled injector
+/// must cost (almost) nothing on the hot read path. Timing-sensitive, so
+/// ignored by default; `cargo test -- --ignored` runs it.
+#[test]
+#[ignore = "timing-sensitive; run explicitly for the overhead table"]
+fn injector_disabled_overhead_is_negligible() {
+    let svc = service();
+    for q in QUERIES {
+        svc.submit(q).unwrap(); // warm cache and buffer pool
+    }
+    let rounds = 200;
+    let replay = |svc: &QueryService| {
+        let start = std::time::Instant::now();
+        for i in 0..rounds {
+            svc.submit(QUERIES[i % QUERIES.len()]).unwrap();
+        }
+        start.elapsed()
+    };
+    replay(&svc); // untimed: settle the buffer pool and allocator
+    let without = replay(&svc);
+    let injector = FaultInjector::new(FaultConfig {
+        read_fault_rate: 0.05,
+        seed: chaos_seed(),
+        ..Default::default()
+    });
+    injector.set_enabled(false);
+    svc.attach_fault_injector(injector);
+    let with = replay(&svc);
+    let overhead = with.as_secs_f64() / without.as_secs_f64() - 1.0;
+    eprintln!(
+        "disabled-injector overhead: {:+.2}% ({:?} -> {:?} over {rounds} replays)",
+        overhead * 100.0,
+        without,
+        with
+    );
+    assert!(
+        overhead < 0.10,
+        "disabled injector cost {:.1}% (gate is <1% on quiet machines, \
+         10% here to absorb CI noise)",
+        overhead * 100.0
+    );
+}
