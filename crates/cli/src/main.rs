@@ -16,7 +16,9 @@ use oodb_core::{greedy_plan, CostParams, OpenOodb, OptimizerConfig};
 use oodb_exec::{try_execute, try_execute_traced, ExecResult, RunLimits};
 use oodb_object::paper::PaperModel;
 use oodb_object::{Catalog, Value};
-use oodb_storage::{generate_paper_db, FaultConfig, FaultInjector, GenConfig, Store};
+use oodb_storage::{
+    generate_paper_db, FaultConfig, FaultInjector, GenConfig, MemoryGovernor, Store,
+};
 use oodb_telemetry::{fmt_ns, MetricsRegistry, StageTimer};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
@@ -120,6 +122,10 @@ impl Shell {
                      \\faults on [RATE] [SEED]   inject storage faults (default 0.05)\n\
                      \\faults off          detach the fault injector\n\
                      \\faults stats        injector counters and enabled state\n\
+                     \\mem on [BYTES]      govern execution memory (default 1 MiB);\n\
+                     \\                    hash joins and set ops spill when over\n\
+                     \\mem off             detach the memory governor\n\
+                     \\mem stats           governor ledger and pressure level\n\
                      \\q                   quit"
                 );
             }
@@ -317,6 +323,47 @@ impl Shell {
                 },
                 Some(other) => {
                     println!("unknown subcommand {other:?}; \\faults on|off|stats")
+                }
+            },
+            "\\mem" => match parts.next() {
+                Some("on") => {
+                    let bytes: u64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(1 << 20)
+                        .max(1);
+                    self.store
+                        .attach_memory_governor(MemoryGovernor::new(bytes));
+                    println!(
+                        "memory governor on: {bytes} bytes capacity; operators \
+                         spill to simulated disk when grants run out"
+                    );
+                }
+                Some("off") => {
+                    self.store.detach_memory_governor();
+                    println!("memory governor off");
+                }
+                None | Some("stats") => match self.store.memory_governor() {
+                    Some(gov) => {
+                        let s = gov.stats();
+                        println!(
+                            "memory governor: {}/{} bytes reserved (peak {}), \
+                             pressure {}; {} grants, {} denials, spill {} B \
+                             written / {} B read",
+                            s.reserved,
+                            s.capacity,
+                            s.peak_reserved,
+                            gov.pressure(),
+                            s.grants_issued,
+                            s.grant_denials,
+                            s.spill_bytes_written,
+                            s.spill_bytes_read
+                        );
+                    }
+                    None => println!("no memory governor attached; \\mem on [BYTES]"),
+                },
+                Some(other) => {
+                    println!("unknown subcommand {other:?}; \\mem on|off|stats")
                 }
             },
             "\\profile" => match parts.next() {
@@ -546,9 +593,10 @@ impl Shell {
             self.record_exec(&stats);
             println!("Physical plan (analyzed):");
             print!("{}", trace.render());
+            let spilled = stats.disk.spill_pages();
             println!(
                 "{} rows in {}; estimated {:.3} s, simulated I/O {:.3} s \
-                 ({} pages, {} buffer hits / {} misses){}",
+                 ({} pages, {} buffer hits / {} misses){}{}",
                 result.len(),
                 fmt_ns(trace.elapsed_ns),
                 cost.total(),
@@ -556,6 +604,14 @@ impl Shell {
                 stats.disk.pages(),
                 stats.buffer_hits,
                 stats.buffer_misses,
+                if spilled > 0 {
+                    format!(
+                        ", {} spill pages (peak {} B)",
+                        spilled, stats.mem.peak_bytes
+                    )
+                } else {
+                    String::new()
+                },
                 if hit { " [plan cache hit]" } else { "" }
             );
             return;

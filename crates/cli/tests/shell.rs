@@ -124,6 +124,12 @@ SELECT t FROM Task t IN Tasks WHERE t.time() == 100;
         out.contains(r#"oodb_stage_latency_ns_count{stage="execute"} 1"#),
         "{out}"
     );
+    // Histograms must expose their `_sum` series alongside `_count` —
+    // without it a scraper cannot compute average latency.
+    assert!(
+        out.contains(r#"oodb_stage_latency_ns_sum{stage="execute"}"#),
+        "histogram _sum series expected:\n{out}"
+    );
     // Every exposition line is either a comment or `name{labels} value`.
     let dump_start = out.find("# TYPE").expect("exposition present");
     for line in out[dump_start..].lines() {
@@ -139,6 +145,41 @@ SELECT t FROM Task t IN Tasks WHERE t.time() == 100;
             );
         }
     }
+}
+
+#[test]
+fn mem_governor_toggles_spills_and_reports() {
+    let out = run_shell(
+        r#"\mem stats
+\mem on 512
+\rules off pointer-join
+\rules off merge-join
+EXPLAIN ANALYZE SELECT Newobject(e.name(), d.name()) FROM Employee e IN Employees, Department d IN Department WHERE e.dept() == d;
+\mem stats
+\mem off
+\mem stats
+\q
+"#,
+    );
+    assert!(out.contains("no memory governor attached"), "{out}");
+    assert!(
+        out.contains("memory governor on: 512 bytes capacity"),
+        "{out}"
+    );
+    // A 500-row hash join under a 512-byte governor must overflow: the
+    // analyze summary and the governor ledger both say so.
+    assert!(
+        out.contains("spill pages (peak "),
+        "spill summary expected:\n{out}"
+    );
+    assert!(out.contains("spill=") && out.contains(" pages)"), "{out}");
+    assert!(
+        out.contains("memory governor: 0/512 bytes reserved"),
+        "{out}"
+    );
+    assert!(out.contains("memory governor off"), "{out}");
+    let after_off = out.rfind("no memory governor attached");
+    assert!(after_off > out.find("memory governor off"), "{out}");
 }
 
 #[test]

@@ -114,6 +114,32 @@ pub struct CachedPlan {
     pub body: CachedBody,
 }
 
+impl CachedPlan {
+    /// Approximate resident bytes of this entry: the structural key, the
+    /// captured environment (scope + predicate arenas), and every plan
+    /// node. The constants are coarse — the point is that a cache full
+    /// of `QueryEnv` clones has byte-proportional growth the entry-count
+    /// LRU alone cannot see, so the byte cap must track the same shape.
+    pub fn approx_bytes(&self) -> usize {
+        const BASE: usize = 256;
+        const SCOPE_BYTES: usize = 128;
+        const PRED_BYTES: usize = 192;
+        const NODE_BYTES: usize = 160;
+        let plan_nodes: usize = match &self.body {
+            CachedBody::Static { plan, .. } => plan.iter_ops().len(),
+            CachedBody::Dynamic(family) => family
+                .alternatives
+                .iter()
+                .map(|a| a.plan.iter_ops().len())
+                .sum(),
+        };
+        BASE + self.structural.len()
+            + self.env.scopes.len() * SCOPE_BYTES
+            + self.env.preds.len() * PRED_BYTES
+            + plan_nodes * NODE_BYTES
+    }
+}
+
 /// Counters exposed by [`PlanCache::stats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -132,6 +158,9 @@ pub struct CacheStats {
     pub verify_rejects: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Approximate resident bytes across all entries (see
+    /// [`CachedPlan::approx_bytes`]).
+    pub bytes: usize,
 }
 
 impl CacheStats {
@@ -149,11 +178,18 @@ impl CacheStats {
 struct Shard {
     map: HashMap<CacheKey, Slot>,
     capacity: usize,
+    /// Approximate resident bytes in this shard.
+    bytes: usize,
+    /// Byte budget for this shard; eviction runs until under it.
+    max_bytes: usize,
 }
 
 struct Slot {
     entry: Arc<CachedPlan>,
     last_used: u64,
+    /// `entry.approx_bytes()`, captured at insert so eviction accounting
+    /// never recomputes.
+    bytes: usize,
 }
 
 /// The sharded LRU plan cache. Cheap to share: clone an `Arc<PlanCache>`.
@@ -188,17 +224,35 @@ impl Default for PlanCache {
 }
 
 impl PlanCache {
+    /// Default byte budget for [`PlanCache::new`]: generous enough that
+    /// entry-count LRU remains the binding limit for typical workloads,
+    /// tight enough that a cache of pathological mega-queries cannot grow
+    /// without bound.
+    pub const DEFAULT_BYTE_CAP: usize = 16 << 20;
+
     /// A cache holding at most `capacity` entries across `shards` shards
-    /// (both floored at 1; per-shard capacity is the ceiling division).
+    /// (both floored at 1; per-shard capacity is the ceiling division),
+    /// with the default [`PlanCache::DEFAULT_BYTE_CAP`] byte budget.
     pub fn new(capacity: usize, shards: usize) -> Self {
+        PlanCache::with_byte_cap(capacity, shards, PlanCache::DEFAULT_BYTE_CAP)
+    }
+
+    /// As [`PlanCache::new`], but with an explicit resident-byte budget
+    /// (floored at 1 byte, split evenly across shards). Whichever limit
+    /// binds first — entry count or approximate bytes — drives LRU
+    /// eviction.
+    pub fn with_byte_cap(capacity: usize, shards: usize, max_bytes: usize) -> Self {
         let shards = shards.max(1);
         let per_shard = capacity.max(1).div_ceil(shards);
+        let bytes_per_shard = max_bytes.max(1).div_ceil(shards);
         PlanCache {
             shards: (0..shards)
                 .map(|_| {
                     Mutex::new(Shard {
                         map: HashMap::new(),
                         capacity: per_shard,
+                        bytes: 0,
+                        max_bytes: bytes_per_shard,
                     })
                 })
                 .collect(),
@@ -247,9 +301,9 @@ impl PlanCache {
         self.latest_epoch.fetch_max(epoch, Ordering::Relaxed);
     }
 
-    /// Inserts (or replaces) an entry, evicting the least-recently-used
-    /// slot of the shard when it is full. Returns `false` (and counts the
-    /// rejection) when the entry is refused:
+    /// Inserts (or replaces) an entry, evicting least-recently-used slots
+    /// of the shard while it is over its entry or byte limit. Returns
+    /// `false` (and counts the rejection) when the entry is refused:
     ///
     /// * its `stats_epoch` is older than the newest epoch the cache has
     ///   seen — the optimize-during-epoch-bump race — or
@@ -268,23 +322,38 @@ impl PlanCache {
             return false;
         }
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let entry_bytes = entry.approx_bytes();
         let mut shard = self.shard(&key).lock().unwrap();
-        if !shard.map.contains_key(&key) && shard.map.len() >= shard.capacity {
+        // Replacement first, so the old entry's bytes don't count against
+        // the budget its successor is admitted under.
+        if let Some(old) = shard.map.remove(&key) {
+            shard.bytes -= old.bytes;
+        }
+        // Evict LRU victims until both limits admit the new entry. A
+        // single entry larger than the whole shard budget still lands
+        // (floor of one resident entry, matching the entry-count floor).
+        while !shard.map.is_empty()
+            && (shard.map.len() >= shard.capacity || shard.bytes + entry_bytes > shard.max_bytes)
+        {
             if let Some(victim) = shard
                 .map
                 .iter()
                 .min_by_key(|(_, s)| s.last_used)
                 .map(|(k, _)| *k)
             {
-                shard.map.remove(&victim);
+                if let Some(gone) = shard.map.remove(&victim) {
+                    shard.bytes -= gone.bytes;
+                }
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
+        shard.bytes += entry_bytes;
         shard.map.insert(
             key,
             Slot {
                 entry,
                 last_used: tick,
+                bytes: entry_bytes,
             },
         );
         true
@@ -293,7 +362,9 @@ impl PlanCache {
     /// Drops every entry (counters are preserved).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().unwrap().map.clear();
+            let mut shard = shard.lock().unwrap();
+            shard.map.clear();
+            shard.bytes = 0;
         }
     }
 
@@ -310,6 +381,11 @@ impl PlanCache {
         self.len() == 0
     }
 
+    /// Approximate resident bytes across all shards.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().bytes).sum()
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -319,6 +395,7 @@ impl PlanCache {
             stale_rejects: self.stale_rejects.load(Ordering::Relaxed),
             verify_rejects: self.verify_rejects.load(Ordering::Relaxed),
             entries: self.len(),
+            bytes: self.resident_bytes(),
         }
     }
 }
@@ -470,6 +547,52 @@ mod tests {
         assert_eq!(cache.stats().verify_rejects, 1);
         assert!(cache.get(&k, "bad").is_none());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn byte_cap_evicts_before_entry_cap() {
+        let one = dummy_entry("a").approx_bytes();
+        // Room for two entries by bytes, sixteen by count: bytes bind.
+        let cache = PlanCache::with_byte_cap(16, 1, one * 2 + one / 2);
+        cache.insert(key(1, 0), dummy_entry("a"));
+        cache.insert(key(2, 0), dummy_entry("b"));
+        assert_eq!(cache.stats().evictions, 0);
+        assert!(cache.get(&key(2, 0), "b").is_some()); // touch 2
+        cache.insert(key(3, 0), dummy_entry("c")); // over budget → evict LRU 1
+        let s = cache.stats();
+        assert_eq!((s.evictions, s.entries), (1, 2));
+        assert!(s.bytes <= one * 2 + one / 2, "{} resident bytes", s.bytes);
+        assert!(cache.get(&key(1, 0), "a").is_none());
+        assert!(cache.get(&key(2, 0), "b").is_some());
+        assert!(cache.get(&key(3, 0), "c").is_some());
+    }
+
+    #[test]
+    fn oversized_entry_still_lands_alone() {
+        // Budget below a single entry: the cache keeps a floor of one
+        // resident entry rather than thrashing to empty.
+        let cache = PlanCache::with_byte_cap(16, 1, 1);
+        cache.insert(key(1, 0), dummy_entry("a"));
+        cache.insert(key(2, 0), dummy_entry("b"));
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (1, 1));
+        assert!(cache.get(&key(2, 0), "b").is_some());
+    }
+
+    #[test]
+    fn byte_ledger_tracks_replace_and_clear() {
+        let cache = PlanCache::new(16, 4);
+        cache.insert(key(1, 0), dummy_entry("a"));
+        let after_one = cache.resident_bytes();
+        assert!(after_one > 0);
+        // Replacing the same key must not double-count.
+        cache.insert(key(1, 0), dummy_entry("a"));
+        assert_eq!(cache.resident_bytes(), after_one);
+        // A longer structural key weighs more.
+        cache.insert(key(1, 0), dummy_entry(&"long".repeat(64)));
+        assert!(cache.resident_bytes() > after_one);
+        cache.clear();
+        assert_eq!(cache.resident_bytes(), 0);
     }
 
     #[test]

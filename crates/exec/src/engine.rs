@@ -4,6 +4,7 @@ use crate::eval::{eval_operand, eval_pred};
 use crate::tuple::Tuple;
 use oodb_algebra::{Operand, PhysicalOp, PhysicalPlan, QueryEnv, SetOpKind, VarId, VarOrigin};
 use oodb_fault::{Fault, RunLimits};
+use oodb_mem::MemoryGrant;
 use oodb_object::{Oid, Value};
 use oodb_storage::{DiskParams, DiskStats, Io, PageId, Store};
 use oodb_telemetry::OpTrace;
@@ -28,6 +29,16 @@ pub enum ExecError {
         /// The budget that was exceeded.
         budget: u64,
     },
+    /// The run's memory grant could not cover even the smallest working
+    /// unit (one hash-table chunk row, one staged set-op flag vector):
+    /// spilling and staging were tried and still did not fit.
+    MemoryExhausted {
+        /// Bytes the failing reservation asked for.
+        requested: u64,
+        /// The per-query budget in force (`u64::MAX` = governor-capped
+        /// only).
+        budget: u64,
+    },
     /// The plan is not executable (the static verifier should have caught
     /// this; reaching here indicates an optimizer or caller bug).
     MalformedPlan(String),
@@ -43,6 +54,12 @@ impl fmt::Display for ExecError {
             ExecError::DeadlineExceeded => write!(f, "execution deadline exceeded"),
             ExecError::RowBudgetExceeded { budget } => {
                 write!(f, "row budget of {budget} tuples exceeded")
+            }
+            ExecError::MemoryExhausted { requested, budget } => {
+                write!(
+                    f,
+                    "memory grant exhausted: {requested} bytes requested, budget {budget}"
+                )
             }
             ExecError::MalformedPlan(msg) => write!(f, "malformed plan: {msg}"),
             ExecError::MalformedTrace(msg) => write!(f, "malformed trace: {msg}"),
@@ -78,6 +95,22 @@ impl OpCounts {
     }
 }
 
+/// Memory-governance effort for one run: what the grant held at peak and
+/// what overflow work the governed operators performed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemEffort {
+    /// High-water mark of bytes reserved by this run's grant.
+    pub peak_bytes: u64,
+    /// Pages written to spill partitions (also in `disk.spill_writes`).
+    pub spill_pages_written: u64,
+    /// Pages read back from spill partitions.
+    pub spill_pages_read: u64,
+    /// Hash-join partitions that overflowed to simulated disk.
+    pub spilled_partitions: u64,
+    /// Reservations the grant refused this run.
+    pub grant_denials: u64,
+}
+
 /// Execution statistics: simulated I/O plus operation counts.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ExecStats {
@@ -90,6 +123,8 @@ pub struct ExecStats {
     pub buffer_hits: u64,
     /// Buffer-pool misses.
     pub buffer_misses: u64,
+    /// Memory-grant accounting (peak bytes, spill traffic, denials).
+    pub mem: MemEffort,
 }
 
 /// Result rows: raw tuples, or projected values when the plan root is a
@@ -135,6 +170,7 @@ struct RunBase {
     counts: OpCounts,
     hits: u64,
     misses: u64,
+    spilled_partitions: u64,
 }
 
 /// I/O counters at one instant, for per-operator trace deltas.
@@ -143,6 +179,7 @@ struct IoMark {
     hits: u64,
     misses: u64,
     io_s: f64,
+    spill_pages: u64,
 }
 
 /// The plan executor. One per query run, or reused across runs to model a
@@ -178,6 +215,17 @@ pub struct Executor<'a> {
     /// Page touches this executor has performed (drives the periodic
     /// mid-operator limit check).
     touched: u64,
+    /// This run's memory grant, recreated at every `begin_run` from the
+    /// store's governor (when attached) and `RunLimits::mem_budget`.
+    /// Operators reserve against it in coarse units (a hash table, a
+    /// partition, an assembly window) — never per row.
+    grant: MemoryGrant,
+    /// Hash-join partitions spilled to simulated disk, cumulative.
+    spilled_partitions: u64,
+    /// CPU-loop iterations (hash build/probe, set-op staging) since
+    /// creation; every 256th drives a limits check so a huge build is
+    /// interruptible mid-loop, not only at operator boundaries.
+    worked: u64,
 }
 
 impl<'a> Executor<'a> {
@@ -204,6 +252,9 @@ impl<'a> Executor<'a> {
             trace_stack: Vec::new(),
             limits: RunLimits::default(),
             touched: 0,
+            grant: MemoryGrant::detached(None),
+            spilled_partitions: 0,
+            worked: 0,
         }
     }
 
@@ -240,32 +291,56 @@ impl<'a> Executor<'a> {
     /// executor). A reused executor keeps its warm buffer pool but never
     /// smears one run's I/O into the next run's numbers.
     pub fn stats(&self) -> ExecStats {
+        let disk = self.io.disk_stats().delta(&self.run_base.disk);
         ExecStats {
-            disk: self.io.disk_stats().delta(&self.run_base.disk),
+            disk,
             counts: self.counts.delta(&self.run_base.counts),
             buffer_hits: self.hits - self.run_base.hits,
             buffer_misses: self.misses - self.run_base.misses,
+            mem: MemEffort {
+                peak_bytes: self.grant.peak(),
+                spill_pages_written: disk.spill_writes,
+                spill_pages_read: disk.spill_reads,
+                spilled_partitions: self.spilled_partitions - self.run_base.spilled_partitions,
+                grant_denials: self.grant.denials(),
+            },
         }
     }
 
     /// Statistics since the executor was created, across every run.
     pub fn cumulative_stats(&self) -> ExecStats {
+        let disk = self.io.disk_stats();
         ExecStats {
-            disk: self.io.disk_stats(),
+            disk,
             counts: self.counts,
             buffer_hits: self.hits,
             buffer_misses: self.misses,
+            mem: MemEffort {
+                peak_bytes: self.grant.peak(),
+                spill_pages_written: disk.spill_writes,
+                spill_pages_read: disk.spill_reads,
+                spilled_partitions: self.spilled_partitions,
+                grant_denials: self.grant.denials(),
+            },
         }
     }
 
     /// Marks the start of a run: subsequent [`Executor::stats`] reads
-    /// report deltas from here.
+    /// report deltas from here. Draws a fresh memory grant from the
+    /// store's governor (when attached) under this run's `mem_budget`;
+    /// dropping the previous grant returns any stragglers, so governor
+    /// ledgers reconcile across reuse.
     fn begin_run(&mut self) {
         self.run_base = RunBase {
             disk: self.io.disk_stats(),
             counts: self.counts,
             hits: self.hits,
             misses: self.misses,
+            spilled_partitions: self.spilled_partitions,
+        };
+        self.grant = match self.store.memory_governor() {
+            Some(gov) => gov.grant(self.limits.mem_budget),
+            None => MemoryGrant::detached(self.limits.mem_budget),
         };
     }
 
@@ -395,11 +470,65 @@ impl<'a> Executor<'a> {
         Ok(())
     }
 
+    /// One unit of CPU-loop work (a hash build/probe row, a staged
+    /// set-op key). Every 256th unit re-checks the run limits, so
+    /// cancellation and deadlines reach *inside* a huge hash build
+    /// instead of waiting for the operator to finish.
+    fn work_tick(&mut self) -> Result<(), ExecError> {
+        self.worked += 1;
+        if self.worked & 255 == 0 {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Bytes one bound variable slot costs in our simulated accounting.
+    const SLOT_BYTES: u64 = 16;
+    /// Fixed overhead charged per tuple held in a governed structure.
+    const TUPLE_OVERHEAD: u64 = 32;
+    /// Extra bytes charged per hash-table entry over the tuple itself.
+    const HASH_ENTRY_OVERHEAD: u64 = 48;
+
+    /// Approximate resident bytes of one materialized tuple.
+    fn tuple_bytes(&self) -> u64 {
+        self.n_vars() as u64 * Self::SLOT_BYTES + Self::TUPLE_OVERHEAD
+    }
+
+    /// Approximate bytes one build-side row occupies in a hash table.
+    fn hash_entry_bytes(&self) -> u64 {
+        self.tuple_bytes() + Self::HASH_ENTRY_OVERHEAD
+    }
+
+    /// Pages a run of `rows` tuples occupies when spilled.
+    fn spill_pages_for(&self, rows: usize) -> u64 {
+        let page_bytes = u64::from(self.io.disk.params().page_bytes).max(1);
+        (rows as u64 * self.tuple_bytes())
+            .div_ceil(page_bytes)
+            .max(1)
+    }
+
+    /// Charges a spill-partition write: sequential disk time plus the
+    /// governor's byte ledger.
+    fn charge_spill_write(&mut self, pages: u64) {
+        self.io.disk.spill_write(pages);
+        let page_bytes = u64::from(self.io.disk.params().page_bytes);
+        self.grant.note_spill(pages * page_bytes, 0);
+    }
+
+    /// Charges a spill-partition re-read; pairs one-for-one with
+    /// [`Executor::charge_spill_write`] so written == read at quiesce.
+    fn charge_spill_read(&mut self, pages: u64) {
+        self.io.disk.spill_read(pages);
+        let page_bytes = u64::from(self.io.disk.params().page_bytes);
+        self.grant.note_spill(0, pages * page_bytes);
+    }
+
     fn io_mark(&self) -> IoMark {
         IoMark {
             hits: self.hits,
             misses: self.misses,
             io_s: self.io.elapsed_s(),
+            spill_pages: self.io.disk_stats().spill_pages(),
         }
     }
 
@@ -418,6 +547,7 @@ impl<'a> Executor<'a> {
             buffer_hits: self.hits - before.hits,
             buffer_misses: self.misses - before.misses,
             sim_io_s: self.io.elapsed_s() - before.io_s,
+            spill_pages: self.io.disk_stats().spill_pages() - before.spill_pages,
             children,
         }
     }
@@ -558,7 +688,7 @@ impl<'a> Executor<'a> {
             PhysicalOp::HashSetOp { kind } => {
                 let left = self.exec(&plan.children[0])?;
                 let right = self.exec(&plan.children[1])?;
-                Ok(self.set_op(*kind, left, right))
+                self.set_op(*kind, left, right)
             }
 
             PhysicalOp::MergeJoin { pred } => {
@@ -601,6 +731,13 @@ impl<'a> Executor<'a> {
         ))
     }
 
+    /// Maximum partition-recursion depth for a spilling hash join;
+    /// beyond it (skewed keys that never split) the join falls back to
+    /// grant-bounded chunking, which always terminates.
+    const MAX_SPILL_DEPTH: u32 = 4;
+    /// Partition fan-out per spill level.
+    const SPILL_FANOUT: usize = 8;
+
     fn hash_join(
         &mut self,
         pred: oodb_algebra::PredId,
@@ -627,17 +764,113 @@ impl<'a> Executor<'a> {
         } else {
             (&first.right, &first.left)
         };
+        self.hash_join_governed(pred, left_key_op, right_key_op, left, right, 0)
+    }
 
+    /// The true hybrid: build in memory when the grant covers the build
+    /// side; otherwise partition both sides by a depth-salted rehash of
+    /// the join key, spill each partition to simulated disk at
+    /// sequential rates, and recurse — producing exactly the rows the
+    /// in-memory join would.
+    fn hash_join_governed(
+        &mut self,
+        pred: oodb_algebra::PredId,
+        left_key_op: &Operand,
+        right_key_op: &Operand,
+        left: Vec<Tuple>,
+        right: Vec<Tuple>,
+        depth: u32,
+    ) -> Result<Vec<Tuple>, ExecError> {
+        let need = (left.len() as u64 * self.hash_entry_bytes()).max(1);
+        if self.grant.try_reserve(need) {
+            let out = self.hash_join_in_memory(pred, left_key_op, right_key_op, &left, &right);
+            self.grant.release(need);
+            return out;
+        }
+        if depth >= Self::MAX_SPILL_DEPTH {
+            return self.hash_join_chunked(pred, left_key_op, right_key_op, left, right);
+        }
+        // Grant refused: split into FANOUT partition pairs. A key's
+        // partition depends only on (key, depth), so matching rows land
+        // together and partitions join independently.
+        let salt = oodb_fault::splitmix64(0xA55E_B1E0 ^ u64::from(depth));
+        let part_of =
+            |k: u64| (oodb_fault::splitmix64(k ^ salt) % Self::SPILL_FANOUT as u64) as usize;
+        let mut lparts: Vec<Vec<Tuple>> = (0..Self::SPILL_FANOUT).map(|_| Vec::new()).collect();
+        let mut rparts: Vec<Vec<Tuple>> = (0..Self::SPILL_FANOUT).map(|_| Vec::new()).collect();
+        for t in left {
+            self.work_tick()?;
+            self.counts.hash_ops += 1;
+            // Keyless rows can never match — the in-memory build skips
+            // them too.
+            if let Some(k) = eval_operand(self.store, &t, left_key_op).hash_key() {
+                lparts[part_of(k)].push(t);
+            }
+        }
+        for t in right {
+            self.work_tick()?;
+            self.counts.hash_ops += 1;
+            if let Some(k) = eval_operand(self.store, &t, right_key_op).hash_key() {
+                rparts[part_of(k)].push(t);
+            }
+        }
+        // Write every productive partition out, then read each back and
+        // join it. One write pairs with one read, so spill bytes
+        // reconcile at quiesce; partitions that cannot produce rows
+        // (either side empty) are dropped unspilled.
+        let parts: Vec<(Vec<Tuple>, Vec<Tuple>)> = lparts.into_iter().zip(rparts).collect();
+        let mut pages_of = Vec::with_capacity(parts.len());
+        for (lp, rp) in &parts {
+            if lp.is_empty() || rp.is_empty() {
+                pages_of.push(0);
+                continue;
+            }
+            let pages = self.spill_pages_for(lp.len() + rp.len());
+            self.charge_spill_write(pages);
+            self.spilled_partitions += 1;
+            pages_of.push(pages);
+        }
+        let mut out = Vec::new();
+        for ((lp, rp), pages) in parts.into_iter().zip(pages_of) {
+            if pages == 0 {
+                continue;
+            }
+            self.checkpoint()?;
+            self.charge_spill_read(pages);
+            out.extend(self.hash_join_governed(
+                pred,
+                left_key_op,
+                right_key_op,
+                lp,
+                rp,
+                depth + 1,
+            )?);
+        }
+        Ok(out)
+    }
+
+    /// Classic build + probe over the whole build side; callers have
+    /// already reserved the table's bytes.
+    fn hash_join_in_memory(
+        &mut self,
+        pred: oodb_algebra::PredId,
+        left_key_op: &Operand,
+        right_key_op: &Operand,
+        left: &[Tuple],
+        right: &[Tuple],
+    ) -> Result<Vec<Tuple>, ExecError> {
         // Build on the left input ("hash table of the referenced objects").
         let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
         for (i, t) in left.iter().enumerate() {
+            self.work_tick()?;
             self.counts.hash_ops += 1;
             if let Some(k) = eval_operand(self.store, t, left_key_op).hash_key() {
                 table.entry(k).or_default().push(i);
             }
         }
         let mut out = Vec::new();
-        for rt in &right {
+        for rt in right {
+            self.work_tick()?;
             self.counts.hash_ops += 1;
             let Some(k) = eval_operand(self.store, rt, right_key_op).hash_key() else {
                 continue;
@@ -650,10 +883,64 @@ impl<'a> Executor<'a> {
                     let (ok, n) = eval_pred(self.store, self.env, &merged, pred);
                     self.counts.preds += n;
                     if ok {
+                        self.counts.tuples += 1;
                         out.push(merged);
                     }
                 }
             }
+        }
+        Ok(out)
+    }
+
+    /// Last-resort join when partitioning cannot split the keys: build
+    /// over the largest left chunk the grant admits (at least one row)
+    /// and probe the whole right side per chunk, charging each extra
+    /// probe pass as a sequential spool out and back. Fails typed only
+    /// when even a single-row chunk does not fit.
+    fn hash_join_chunked(
+        &mut self,
+        pred: oodb_algebra::PredId,
+        left_key_op: &Operand,
+        right_key_op: &Operand,
+        left: Vec<Tuple>,
+        right: Vec<Tuple>,
+    ) -> Result<Vec<Tuple>, ExecError> {
+        let entry = self.hash_entry_bytes();
+        let probe_pages = self.spill_pages_for(right.len());
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        let mut pass = 0u64;
+        while i < left.len() {
+            self.checkpoint()?;
+            let mut chunk = left.len() - i;
+            let need = loop {
+                let need = (chunk as u64 * entry).max(1);
+                if self.grant.try_reserve(need) {
+                    break need;
+                }
+                if chunk <= 1 {
+                    return Err(ExecError::MemoryExhausted {
+                        requested: need,
+                        budget: self.grant.budget(),
+                    });
+                }
+                chunk /= 2;
+            };
+            if pass > 0 {
+                self.charge_spill_write(probe_pages);
+                self.charge_spill_read(probe_pages);
+            }
+            let joined = self.hash_join_in_memory(
+                pred,
+                left_key_op,
+                right_key_op,
+                &left[i..i + chunk],
+                &right,
+            );
+            self.grant.release(need);
+            out.extend(joined?);
+            i += chunk;
+            pass += 1;
         }
         Ok(out)
     }
@@ -705,9 +992,26 @@ impl<'a> Executor<'a> {
                 "assembly target must have Mat origin".into(),
             ));
         };
-        let window = window.max(1) as usize;
+        // An open reference costs bookkeeping bytes while its window is
+        // in flight; under memory pressure the window shrinks, trading
+        // the elevator's seek discount for staying inside the grant. A
+        // window of one needs no reservation (that is the floor).
+        const OPEN_REF_BYTES: u64 = 48;
+        let mut window = window.max(1) as usize;
+        let mut reserved = 0u64;
+        while window > 1 {
+            let need = window as u64 * OPEN_REF_BYTES;
+            if self.grant.try_reserve(need) {
+                reserved = need;
+                break;
+            }
+            window /= 2;
+        }
         let mut i = 0;
         while i < tuples.len() {
+            // Satellite guarantee: cancellation/deadline reach every
+            // window boundary, not just operator entry/exit.
+            self.checkpoint()?;
             let end = (i + window).min(tuples.len());
             // Open a window of references, fetch its pages in one elevator
             // sweep, resolve, slide on.
@@ -736,6 +1040,9 @@ impl<'a> Executor<'a> {
                 t.bind(target, oid);
             }
             i = end;
+        }
+        if reserved > 0 {
+            self.grant.release(reserved);
         }
         Ok(())
     }
@@ -846,21 +1153,52 @@ impl<'a> Executor<'a> {
         Ok(out)
     }
 
-    fn set_op(&mut self, kind: SetOpKind, left: Vec<Tuple>, right: Vec<Tuple>) -> Vec<Tuple> {
+    /// Extra bytes charged per key held in a set-op hash set.
+    const SET_ENTRY_OVERHEAD: u64 = 48;
+
+    /// Approximate bytes one bound-slot key occupies in a set-op table.
+    fn set_entry_bytes(&self) -> u64 {
+        self.tuple_bytes() + Self::SET_ENTRY_OVERHEAD
+    }
+
+    /// Hash set ops, governed: when the grant covers the key sets, the
+    /// classic hashed variant runs; when refused, a staged variant
+    /// produces the identical output in bounded memory.
+    fn set_op(
+        &mut self,
+        kind: SetOpKind,
+        left: Vec<Tuple>,
+        right: Vec<Tuple>,
+    ) -> Result<Vec<Tuple>, ExecError> {
+        let need = ((left.len() + right.len()) as u64 * self.set_entry_bytes()).max(1);
+        if self.grant.try_reserve(need) {
+            let out = self.set_op_hashed(kind, left, right);
+            self.grant.release(need);
+            return out;
+        }
+        self.set_op_staged(kind, left, right)
+    }
+
+    fn set_op_hashed(
+        &mut self,
+        kind: SetOpKind,
+        left: Vec<Tuple>,
+        right: Vec<Tuple>,
+    ) -> Result<Vec<Tuple>, ExecError> {
         let key = |t: &Tuple| -> Vec<(usize, Oid)> { t.bound().collect() };
-        let right_keys: HashSet<Vec<(usize, Oid)>> = right
-            .iter()
-            .map(|t| {
-                self.counts.hash_ops += 1;
-                key(t)
-            })
-            .collect();
+        let mut right_keys: HashSet<Vec<(usize, Oid)>> = HashSet::with_capacity(right.len());
+        for t in &right {
+            self.work_tick()?;
+            self.counts.hash_ops += 1;
+            right_keys.insert(key(t));
+        }
         self.counts.hash_ops += left.len() as u64;
-        match kind {
+        Ok(match kind {
             SetOpKind::Union => {
                 let mut seen: HashSet<Vec<(usize, Oid)>> = HashSet::new();
                 let mut out = Vec::new();
                 for t in left.into_iter().chain(right) {
+                    self.work_tick()?;
                     if seen.insert(key(&t)) {
                         out.push(t);
                     }
@@ -875,6 +1213,119 @@ impl<'a> Executor<'a> {
                 .into_iter()
                 .filter(|t| !right_keys.contains(&key(t)))
                 .collect(),
+        })
+    }
+
+    /// Memory-bounded set ops producing byte-identical output to
+    /// [`Executor::set_op_hashed`]:
+    ///
+    /// - **Union** sorts an index array over the concatenated inputs by
+    ///   key (stable tie-break on chain position), keeps each key's
+    ///   first chain occurrence, and emits in chain order — one index
+    ///   and one flag per row instead of a hash set of keys.
+    /// - **Intersect/Difference** stage the right side through
+    ///   grant-sized key chunks, marking matched left rows; left order
+    ///   is preserved.
+    fn set_op_staged(
+        &mut self,
+        kind: SetOpKind,
+        left: Vec<Tuple>,
+        right: Vec<Tuple>,
+    ) -> Result<Vec<Tuple>, ExecError> {
+        let key = |t: &Tuple| -> Vec<(usize, Oid)> { t.bound().collect() };
+        match kind {
+            SetOpKind::Union => {
+                let all: Vec<Tuple> = left.into_iter().chain(right).collect();
+                // One u32 index + one flag byte per row.
+                let need = (all.len() as u64 * 5).max(1);
+                if !self.grant.try_reserve(need) {
+                    return Err(ExecError::MemoryExhausted {
+                        requested: need,
+                        budget: self.grant.budget(),
+                    });
+                }
+                self.counts.hash_ops += all.len() as u64; // sort work proxy
+                let mut idx: Vec<u32> = (0..all.len() as u32).collect();
+                idx.sort_by(|&a, &b| {
+                    key(&all[a as usize])
+                        .cmp(&key(&all[b as usize]))
+                        .then(a.cmp(&b))
+                });
+                let mut keep = vec![false; all.len()];
+                let mut g = 0;
+                while g < idx.len() {
+                    self.work_tick()?;
+                    let kg = key(&all[idx[g] as usize]);
+                    let mut end = g + 1;
+                    while end < idx.len() && key(&all[idx[end] as usize]) == kg {
+                        end += 1;
+                    }
+                    // Ascending tie-break means idx[g] is the first chain
+                    // occurrence of this key.
+                    keep[idx[g] as usize] = true;
+                    g = end;
+                }
+                self.grant.release(need);
+                Ok(all
+                    .into_iter()
+                    .zip(keep)
+                    .filter_map(|(t, k)| k.then_some(t))
+                    .collect())
+            }
+            SetOpKind::Intersect | SetOpKind::Difference => {
+                let flags_need = (left.len() as u64).max(1);
+                if !self.grant.try_reserve(flags_need) {
+                    return Err(ExecError::MemoryExhausted {
+                        requested: flags_need,
+                        budget: self.grant.budget(),
+                    });
+                }
+                let mut matched = vec![false; left.len()];
+                let entry = self.set_entry_bytes();
+                let mut j = 0usize;
+                while j < right.len() {
+                    self.checkpoint()?;
+                    let mut chunk = right.len() - j;
+                    let need = loop {
+                        let need = (chunk as u64 * entry).max(1);
+                        if self.grant.try_reserve(need) {
+                            break need;
+                        }
+                        if chunk <= 1 {
+                            self.grant.release(flags_need);
+                            return Err(ExecError::MemoryExhausted {
+                                requested: need,
+                                budget: self.grant.budget(),
+                            });
+                        }
+                        chunk /= 2;
+                    };
+                    let mut keys: HashSet<Vec<(usize, Oid)>> = HashSet::with_capacity(chunk);
+                    for t in &right[j..j + chunk] {
+                        self.work_tick()?;
+                        self.counts.hash_ops += 1;
+                        keys.insert(key(t));
+                    }
+                    for (t, m) in left.iter().zip(matched.iter_mut()) {
+                        if !*m {
+                            self.work_tick()?;
+                            self.counts.hash_ops += 1;
+                            if keys.contains(&key(t)) {
+                                *m = true;
+                            }
+                        }
+                    }
+                    self.grant.release(need);
+                    j += chunk;
+                }
+                self.grant.release(flags_need);
+                let keep_on_match = kind == SetOpKind::Intersect;
+                Ok(left
+                    .into_iter()
+                    .zip(matched)
+                    .filter_map(|(t, m)| (m == keep_on_match).then_some(t))
+                    .collect())
+            }
         }
     }
 }
@@ -1119,6 +1570,272 @@ mod tests {
         assert_eq!(ri.len(), r100.len());
         assert_eq!(rd.len(), rle.len() - r100.len());
         assert_eq!(ru.len(), rle.len());
+    }
+
+    /// The spilling hybrid join must produce exactly the rows the
+    /// in-memory join does — partitioned, recursed, or chunked — while
+    /// charging visible spill I/O and reconciling the governor's ledger.
+    #[test]
+    fn spilling_hash_join_matches_in_memory() {
+        use oodb_mem::MemoryGovernor;
+        let (mut store, m) = generate_paper_db(GenConfig::small());
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (emp, e) = qb.get(m.ids.employees, "e");
+        let (_, d) = qb.mat(emp, e, m.ids.emp_dept, "d");
+        let pred = qb.ref_eq(e, m.ids.emp_dept, d);
+        let env = qb.into_env();
+        let hhj = plan(
+            PhysicalOp::HybridHashJoin { pred },
+            vec![
+                plan(
+                    PhysicalOp::FileScan {
+                        coll: m.ids.employees,
+                        var: e,
+                    },
+                    vec![],
+                ),
+                plan(
+                    PhysicalOp::FileScan {
+                        coll: m.ids.department_extent,
+                        var: d,
+                    },
+                    vec![],
+                ),
+            ],
+        );
+        let (baseline, base_stats) = try_execute(&store, &env, &hhj, RunLimits::default()).unwrap();
+        assert_eq!(base_stats.mem.spill_pages_written, 0, "unconstrained run");
+        let mut base_sorted: Vec<&Tuple> = baseline.tuples().iter().collect();
+        base_sorted.sort_by_key(|t| (t.get(e), t.get(d)));
+
+        // Govern at a fraction of the 500-row build side; every budget
+        // must still produce the identical result multiset.
+        let gov = MemoryGovernor::new(u64::MAX);
+        store.attach_memory_governor(gov.clone());
+        for budget in [8192u64, 1024, 256] {
+            let (res, stats) = try_execute(
+                &store,
+                &env,
+                &hhj,
+                RunLimits {
+                    mem_budget: Some(budget),
+                    ..Default::default()
+                },
+            )
+            .unwrap_or_else(|err| panic!("budget {budget}: {err}"));
+            let mut sorted: Vec<&Tuple> = res.tuples().iter().collect();
+            sorted.sort_by_key(|t| (t.get(e), t.get(d)));
+            assert_eq!(sorted, base_sorted, "budget {budget}");
+            assert!(
+                stats.mem.spilled_partitions > 0 || stats.mem.grant_denials > 0,
+                "budget {budget} should constrain a 500-row build: {:?}",
+                stats.mem
+            );
+            assert_eq!(
+                stats.mem.spill_pages_written, stats.mem.spill_pages_read,
+                "every spilled page is read back exactly once (budget {budget})"
+            );
+            assert!(
+                stats.mem.peak_bytes <= budget,
+                "peak {} exceeds budget {budget}",
+                stats.mem.peak_bytes
+            );
+            assert!(stats.disk.total_s > base_stats.disk.total_s || budget >= 8192);
+        }
+        let gs = gov.stats();
+        assert_eq!(gs.reserved, 0, "quiesce: all grants returned");
+        assert_eq!(gs.reserved_total, gs.released_total);
+        assert_eq!(gs.spill_bytes_written, gs.spill_bytes_read);
+    }
+
+    /// A grant that cannot hold even one hash-table row is a typed
+    /// error, not a panic or a wrong answer.
+    #[test]
+    fn zero_memory_budget_is_a_typed_error() {
+        let (store, m) = generate_paper_db(GenConfig::small());
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (emp, e) = qb.get(m.ids.employees, "e");
+        let (_, d) = qb.mat(emp, e, m.ids.emp_dept, "d");
+        let pred = qb.ref_eq(e, m.ids.emp_dept, d);
+        let env = qb.into_env();
+        let hhj = plan(
+            PhysicalOp::HybridHashJoin { pred },
+            vec![
+                plan(
+                    PhysicalOp::FileScan {
+                        coll: m.ids.department_extent,
+                        var: d,
+                    },
+                    vec![],
+                ),
+                plan(
+                    PhysicalOp::FileScan {
+                        coll: m.ids.employees,
+                        var: e,
+                    },
+                    vec![],
+                ),
+            ],
+        );
+        let err = try_execute(
+            &store,
+            &env,
+            &hhj,
+            RunLimits {
+                mem_budget: Some(0),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ExecError::MemoryExhausted { budget: 0, .. }),
+            "{err}"
+        );
+    }
+
+    /// Staged set-ops under a tight grant emit byte-identical output to
+    /// the hashed variants, in the same order.
+    #[test]
+    fn staged_set_ops_match_hashed_exactly() {
+        let (store, m) = generate_paper_db(GenConfig::small());
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (_, t) = qb.get(m.ids.tasks, "t");
+        let p100 = qb.cmp_const(t, m.ids.task_time, CmpOp::Eq, Value::Int(100));
+        let ple = qb.cmp_const(t, m.ids.task_time, CmpOp::Le, Value::Int(100));
+        let env = qb.into_env();
+        let scan = || {
+            plan(
+                PhysicalOp::FileScan {
+                    coll: m.ids.tasks,
+                    var: t,
+                },
+                vec![],
+            )
+        };
+        let f100 = plan(PhysicalOp::Filter { pred: p100 }, vec![scan()]);
+        let fle = plan(PhysicalOp::Filter { pred: ple }, vec![scan()]);
+        for kind in [
+            SetOpKind::Union,
+            SetOpKind::Intersect,
+            SetOpKind::Difference,
+        ] {
+            let p = plan(
+                PhysicalOp::HashSetOp { kind },
+                vec![fle.clone(), f100.clone()],
+            );
+            let (unconstrained, _) = try_execute(&store, &env, &p, RunLimits::default()).unwrap();
+            let (staged, stats) = try_execute(
+                &store,
+                &env,
+                &p,
+                RunLimits {
+                    // Enough for flags and a small key chunk, far too
+                    // small for the full key sets.
+                    mem_budget: Some(128),
+                    ..Default::default()
+                },
+            )
+            .unwrap_or_else(|err| panic!("{kind:?}: {err}"));
+            assert!(
+                stats.mem.grant_denials > 0,
+                "{kind:?} should have been staged"
+            );
+            assert_eq!(
+                staged.tuples(),
+                unconstrained.tuples(),
+                "{kind:?}: staged output must match hashed output exactly"
+            );
+        }
+    }
+
+    /// A grant-shrunk assembly window binds the same references, paying
+    /// more simulated seeks for the smaller elevator sweep.
+    #[test]
+    fn pressured_assembly_window_shrinks_not_breaks() {
+        let (store, m) = generate_paper_db(GenConfig::small());
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (cities, c) = qb.get(m.ids.cities, "c");
+        let (_, cm) = qb.mat(cities, c, m.ids.city_mayor, "cm");
+        let env = qb.into_env();
+        let p = plan(
+            PhysicalOp::Assembly {
+                targets: vec![cm],
+                window: 8192,
+            },
+            vec![plan(
+                PhysicalOp::FileScan {
+                    coll: m.ids.cities,
+                    var: c,
+                },
+                vec![],
+            )],
+        );
+        let (full, full_stats) = try_execute(&store, &env, &p, RunLimits::default()).unwrap();
+        let (tight, tight_stats) = try_execute(
+            &store,
+            &env,
+            &p,
+            RunLimits {
+                mem_budget: Some(1024), // window shrinks to ~21 refs
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(full.tuples(), tight.tuples(), "bindings are unaffected");
+        assert!(
+            tight_stats.disk.total_s > full_stats.disk.total_s,
+            "smaller window loses elevator discount: {} vs {}",
+            tight_stats.disk.total_s,
+            full_stats.disk.total_s
+        );
+    }
+
+    /// Satellite: the row budget (and with it, cancellation and the
+    /// deadline — they share the checkpoint) interrupts a hash join
+    /// *mid-probe*, not only at the next operator boundary.
+    #[test]
+    fn row_budget_interrupts_hash_join_mid_probe() {
+        let (store, m) = generate_paper_db(GenConfig::small());
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (emp, e) = qb.get(m.ids.employees, "e");
+        let (_, d) = qb.mat(emp, e, m.ids.emp_dept, "d");
+        let pred = qb.ref_eq(e, m.ids.emp_dept, d);
+        let env = qb.into_env();
+        let hhj = plan(
+            PhysicalOp::HybridHashJoin { pred },
+            vec![
+                plan(
+                    PhysicalOp::FileScan {
+                        coll: m.ids.department_extent,
+                        var: d,
+                    },
+                    vec![],
+                ),
+                plan(
+                    PhysicalOp::FileScan {
+                        coll: m.ids.employees,
+                        var: e,
+                    },
+                    vec![],
+                ),
+            ],
+        );
+        // The scans produce 10 + 500 tuples; the probe then emits one
+        // joined tuple per employee. A budget of 600 survives the scans
+        // and expires partway through the probe's 500 emissions.
+        let mut ex = Executor::new(&store, &env);
+        ex.set_limits(RunLimits {
+            row_budget: Some(600),
+            ..Default::default()
+        });
+        let err = ex.try_run(&hhj).unwrap_err();
+        assert_eq!(err, ExecError::RowBudgetExceeded { budget: 600 });
+        let probed = ex.stats().counts.hash_ops;
+        assert!(
+            probed < 510,
+            "the probe loop must stop mid-flight, not at operator exit \
+             (hash ops = {probed}, full join would be 510)"
+        );
     }
 
     #[test]

@@ -28,10 +28,12 @@ pub mod tuple;
 
 pub use engine::{
     execute, execute_traced, try_execute, try_execute_traced, ExecError, ExecResult, ExecStats,
-    Executor, OpCounts,
+    Executor, MemEffort, OpCounts,
 };
 /// Run-limit and fault types, re-exported so executor callers reach the
 /// cancellation and injection machinery without a separate dependency.
 pub use oodb_fault::{CancelToken, Fault, FaultClass, RunLimits};
+/// Memory-governance types, re-exported for the same reason.
+pub use oodb_mem::{MemStats, MemoryGovernor, MemoryGrant, PressureLevel};
 pub use oodb_telemetry::OpTrace;
 pub use tuple::Tuple;

@@ -350,12 +350,20 @@ pub struct RunLimits {
     pub cancel: Option<CancelToken>,
     /// Maximum tuples the run may produce before being cut off.
     pub row_budget: Option<u64>,
+    /// Per-query memory grant budget in bytes. Enforced by the
+    /// executor's memory grant: operators that would exceed it spill or
+    /// stage instead of growing, and fail typed when even the minimum
+    /// working unit does not fit.
+    pub mem_budget: Option<u64>,
 }
 
 impl RunLimits {
     /// True when no limit is set — the common case, kept branch-cheap.
     pub fn is_unlimited(&self) -> bool {
-        self.deadline.is_none() && self.cancel.is_none() && self.row_budget.is_none()
+        self.deadline.is_none()
+            && self.cancel.is_none()
+            && self.row_budget.is_none()
+            && self.mem_budget.is_none()
     }
 }
 
@@ -450,6 +458,11 @@ mod tests {
             ..Default::default()
         };
         assert!(!limited.is_unlimited());
+        let governed = RunLimits {
+            mem_budget: Some(4096),
+            ..Default::default()
+        };
+        assert!(!governed.is_unlimited());
     }
 
     #[test]

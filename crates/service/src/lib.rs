@@ -28,14 +28,36 @@ use oodb_core::plancache::{CacheKey, CachedBody, CachedPlan, PlanCache};
 use oodb_core::{compile_dynamic, BoundedOutcome, CostParams, OpenOodb, OptimizerConfig};
 use oodb_exec::{try_execute, try_execute_traced, ExecError, ExecResult, ExecStats};
 use oodb_fault::{CancelToken, FaultClass, FaultInjector, RunLimits};
-use oodb_storage::Store;
+use oodb_storage::{MemoryGovernor, PressureLevel, Store};
 use oodb_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, OpTrace, StageTimer};
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Why an overloaded service refused a submission without running it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The worker pool's bounded queue was full.
+    QueueFull,
+    /// The circuit breaker is open after repeated resource failures.
+    CircuitOpen,
+    /// The memory governor reported critical pressure at admission.
+    MemoryPressure,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ShedReason::QueueFull => "queue full",
+            ShedReason::CircuitOpen => "circuit breaker open",
+            ShedReason::MemoryPressure => "memory pressure critical",
+        })
+    }
+}
 
 /// Errors a submission can produce.
 #[derive(Clone, Debug, PartialEq)]
@@ -56,6 +78,21 @@ pub enum ServiceError {
     /// [`SubmitOptions::row_budget`] allows.
     RowBudgetExceeded {
         /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// The service refused the submission *before* running it — load
+    /// shedding. Retry later; nothing was executed.
+    Overloaded {
+        /// What tripped the refusal.
+        reason: ShedReason,
+    },
+    /// The execution's memory grant could not cover even its smallest
+    /// working unit: spilling and staging were tried and still did not
+    /// fit. Not retryable under the same budget.
+    MemoryExhausted {
+        /// Bytes the failing reservation asked for.
+        requested: u64,
+        /// The per-query budget in force.
         budget: u64,
     },
     /// A storage fault survived the retry budget (or was permanent).
@@ -87,6 +124,13 @@ impl std::fmt::Display for ServiceError {
             ServiceError::RowBudgetExceeded { budget } => {
                 write!(f, "row budget of {budget} tuples exceeded")
             }
+            ServiceError::Overloaded { reason } => {
+                write!(f, "service overloaded: {reason}")
+            }
+            ServiceError::MemoryExhausted { requested, budget } => write!(
+                f,
+                "memory grant exhausted: {requested} bytes requested, budget {budget}"
+            ),
             ServiceError::StorageFault { transient, retries } => write!(
                 f,
                 "{} storage fault after {retries} retries",
@@ -157,6 +201,57 @@ pub struct SubmitOptions {
     /// exponential backoff) before surfacing as
     /// [`ServiceError::StorageFault`].
     pub retries: u32,
+    /// Per-query memory budget in bytes for the execution's grant. When
+    /// unset and a [`MemoryGovernor`] is attached, the service defaults
+    /// to a quarter of the governor's capacity so four queries can always
+    /// make progress concurrently; operators under the budget spill
+    /// rather than error.
+    pub mem_budget: Option<u64>,
+}
+
+/// Admission-control policy for [`QueryService`]. Everything is disabled
+/// by default — the service behaves exactly as before until an operator
+/// opts in via [`QueryService::set_admission`].
+///
+/// The overload ladder runs *degrade → shed → fail*: under
+/// [`PressureLevel::High`] submissions degrade (greedy plan, halved
+/// grant) before anything is refused; at [`PressureLevel::Critical`]
+/// they shed with [`ServiceError::Overloaded`] so in-flight work can
+/// finish; only an execution whose grant cannot cover its smallest
+/// working unit fails with [`ServiceError::MemoryExhausted`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Maximum concurrently admitted submissions (0 = unlimited). The
+    /// excess is refused with [`ShedReason::QueueFull`].
+    pub max_inflight: usize,
+    /// Consecutive resource failures (memory exhaustion, storage faults
+    /// that survived retries) that trip the circuit breaker
+    /// (0 = breaker disabled).
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker sheds before half-opening to probe.
+    pub breaker_cooldown: Duration,
+    /// Enables the pressure ladder: degrade under
+    /// [`PressureLevel::High`], shed at [`PressureLevel::Critical`].
+    pub degrade_under_pressure: bool,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_inflight: 0,
+            breaker_threshold: 0,
+            breaker_cooldown: Duration::from_millis(100),
+            degrade_under_pressure: false,
+        }
+    }
+}
+
+/// Circuit-breaker state: consecutive resource failures and, when
+/// tripped, the instant shedding stops and a half-open probe is allowed.
+#[derive(Debug, Default)]
+struct Breaker {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
 }
 
 /// Wall-clock nanoseconds each pipeline stage of one submission took.
@@ -219,6 +314,11 @@ pub struct QueryOutput {
     pub degraded: bool,
     /// Transient-fault retries this submission spent before succeeding.
     pub retries: u32,
+    /// High-water mark of bytes the execution's memory grant held.
+    pub mem_peak_bytes: u64,
+    /// Spill pages the execution moved (written + read back); nonzero
+    /// only when the memory grant forced operators to overflow.
+    pub spill_pages: u64,
 }
 
 /// Handles to every metric the service records, registered once at
@@ -250,6 +350,27 @@ struct ServiceMetrics {
     fallback_plans: Counter,
     /// Submissions that panicked and were converted to typed errors.
     submission_panics: Counter,
+    /// Submissions refused at admission, by reason.
+    shed_queue_full: Counter,
+    shed_circuit_open: Counter,
+    shed_memory_pressure: Counter,
+    /// Circuit-breaker trips (closed → open transitions).
+    breaker_trips: Counter,
+    /// 1 while the breaker is open, else 0.
+    breaker_open: Gauge,
+    /// Currently admitted submissions.
+    inflight: Gauge,
+    /// Submissions served degraded because of memory pressure (greedy
+    /// plan, halved grant).
+    pressure_degrades: Counter,
+    /// Spill pages executions wrote / read back (cumulative).
+    exec_spill_written: Counter,
+    exec_spill_read: Counter,
+    /// Memory-grant reservations refused across executions.
+    grant_denials: Counter,
+    /// Mirrors of the memory governor's ledger, refreshed at export time.
+    mem_reserved_bytes: Gauge,
+    mem_capacity_bytes: Gauge,
     /// Mirror of the fault injector's total injected faults (refreshed at
     /// export time, like the cache mirrors).
     injected_faults: Counter,
@@ -260,6 +381,7 @@ struct ServiceMetrics {
     cache_stale_rejects: Counter,
     cache_verify_rejects: Counter,
     cache_entries: Gauge,
+    cache_bytes: Gauge,
 }
 
 impl ServiceMetrics {
@@ -287,6 +409,18 @@ impl ServiceMetrics {
             retries: reg.counter("oodb_retries_total", &[]),
             fallback_plans: reg.counter("oodb_fallback_plans_total", &[]),
             submission_panics: reg.counter("oodb_submission_panics_total", &[]),
+            shed_queue_full: reg.counter("oodb_shed_total", &[("reason", "queue_full")]),
+            shed_circuit_open: reg.counter("oodb_shed_total", &[("reason", "circuit_open")]),
+            shed_memory_pressure: reg.counter("oodb_shed_total", &[("reason", "memory_pressure")]),
+            breaker_trips: reg.counter("oodb_breaker_trips_total", &[]),
+            breaker_open: reg.gauge("oodb_breaker_open", &[]),
+            inflight: reg.gauge("oodb_inflight", &[]),
+            pressure_degrades: reg.counter("oodb_pressure_degrades_total", &[]),
+            exec_spill_written: reg.counter("oodb_exec_spill_pages_written_total", &[]),
+            exec_spill_read: reg.counter("oodb_exec_spill_pages_read_total", &[]),
+            grant_denials: reg.counter("oodb_grant_denials_total", &[]),
+            mem_reserved_bytes: reg.gauge("oodb_mem_reserved_bytes", &[]),
+            mem_capacity_bytes: reg.gauge("oodb_mem_capacity_bytes", &[]),
             injected_faults: reg.counter("oodb_injected_faults_total", &[]),
             cache_hits: reg.counter("oodb_plancache_hits_total", &[]),
             cache_misses: reg.counter("oodb_plancache_misses_total", &[]),
@@ -294,6 +428,7 @@ impl ServiceMetrics {
             cache_stale_rejects: reg.counter("oodb_plancache_stale_rejects_total", &[]),
             cache_verify_rejects: reg.counter("oodb_plancache_verify_rejects_total", &[]),
             cache_entries: reg.gauge("oodb_plancache_entries", &[]),
+            cache_bytes: reg.gauge("oodb_plancache_bytes", &[]),
         }
     }
 
@@ -303,6 +438,31 @@ impl ServiceMetrics {
         self.exec_pages_read.add(stats.disk.pages());
         self.exec_tuples.add(stats.counts.tuples);
         self.exec_sim_io_us.add((stats.disk.total_s * 1e6) as u64);
+        self.exec_spill_written.add(stats.mem.spill_pages_written);
+        self.exec_spill_read.add(stats.mem.spill_pages_read);
+        self.grant_denials.add(stats.mem.grant_denials);
+    }
+
+    fn record_shed(&self, reason: ShedReason) {
+        match reason {
+            ShedReason::QueueFull => self.shed_queue_full.inc(),
+            ShedReason::CircuitOpen => self.shed_circuit_open.inc(),
+            ShedReason::MemoryPressure => self.shed_memory_pressure.inc(),
+        }
+    }
+}
+
+/// Decrements the in-flight ledger when an admitted submission finishes,
+/// on every path out — success, typed error, or panic unwind.
+struct InflightGuard<'a> {
+    counter: &'a AtomicUsize,
+    gauge: &'a Gauge,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::Relaxed);
+        self.gauge.sub(1);
     }
 }
 
@@ -316,6 +476,9 @@ struct Inner {
     cache: Arc<PlanCache>,
     telemetry: Arc<MetricsRegistry>,
     metrics: ServiceMetrics,
+    admission: RwLock<AdmissionConfig>,
+    inflight: AtomicUsize,
+    breaker: Mutex<Breaker>,
 }
 
 /// The query service. Cheap to clone — all clones share state.
@@ -344,6 +507,9 @@ impl QueryService {
                 cache: Arc::new(PlanCache::new(cache_capacity, cache_shards)),
                 telemetry,
                 metrics,
+                admission: RwLock::new(AdmissionConfig::default()),
+                inflight: AtomicUsize::new(0),
+                breaker: Mutex::new(Breaker::default()),
             }),
         }
     }
@@ -371,8 +537,17 @@ impl QueryService {
         m.cache_stale_rejects.store(s.stale_rejects);
         m.cache_verify_rejects.store(s.verify_rejects);
         m.cache_entries.set(s.entries as i64);
-        if let Some(inj) = self.store().fault_injector() {
+        m.cache_bytes.set(s.bytes as i64);
+        let store = self.store();
+        if let Some(inj) = store.fault_injector() {
             m.injected_faults.store(inj.stats().injected);
+        }
+        if let Some(gov) = store.memory_governor() {
+            let gs = gov.stats();
+            m.mem_reserved_bytes
+                .set(gs.reserved.min(i64::MAX as u64) as i64);
+            m.mem_capacity_bytes
+                .set(gs.capacity.min(i64::MAX as u64) as i64);
         }
     }
 
@@ -453,6 +628,40 @@ impl QueryService {
         self.store().fault_injector().cloned()
     }
 
+    /// Routes subsequent executions through a process-wide
+    /// [`MemoryGovernor`] by swapping in a store snapshot that carries
+    /// it. Executions draw byte grants from the governor; operators
+    /// whose grant runs out spill to simulated disk instead of growing.
+    /// No epoch bump: governance changes execution, not plans.
+    pub fn attach_memory_governor(&self, governor: MemoryGovernor) {
+        let mut store = (*self.store()).clone();
+        store.attach_memory_governor(governor);
+        *write_lock(&self.inner.store) = Arc::new(store);
+    }
+
+    /// Removes the memory governor (fresh snapshots execute ungoverned).
+    pub fn detach_memory_governor(&self) {
+        let mut store = (*self.store()).clone();
+        store.detach_memory_governor();
+        *write_lock(&self.inner.store) = Arc::new(store);
+    }
+
+    /// The memory governor on the current store snapshot, if any.
+    pub fn memory_governor(&self) -> Option<MemoryGovernor> {
+        self.store().memory_governor().cloned()
+    }
+
+    /// Replaces the admission-control policy (applies to the next
+    /// submission; in-flight work is never revoked).
+    pub fn set_admission(&self, config: AdmissionConfig) {
+        *write_lock(&self.inner.admission) = config;
+    }
+
+    /// The current admission-control policy.
+    pub fn admission(&self) -> AdmissionConfig {
+        *read_lock(&self.inner.admission)
+    }
+
     /// Compiles, plans (via cache), executes. Equivalent to
     /// [`QueryService::submit_with`] with default options.
     pub fn submit(&self, zql_src: &str) -> Result<QueryOutput, ServiceError> {
@@ -503,6 +712,9 @@ impl QueryService {
         }
     }
 
+    /// Admission control around the pipeline: circuit breaker, in-flight
+    /// cap, and the pressure ladder (degrade at High, shed at Critical),
+    /// all disabled by default ([`AdmissionConfig`]).
     fn submit_inner(
         &self,
         zql_src: &str,
@@ -515,6 +727,99 @@ impl QueryService {
             m.errors.inc();
             return Err(ServiceError::Cancelled);
         }
+        let adm = *read_lock(&self.inner.admission);
+
+        // Circuit breaker: while open, shed without touching the pipeline.
+        // Once the cooldown passes, half-open — let one probe through; a
+        // single failure re-trips (the failure count still sits at the
+        // threshold), a success closes.
+        if adm.breaker_threshold > 0 {
+            let mut breaker = lock_mutex(&self.inner.breaker);
+            if let Some(until) = breaker.open_until {
+                if Instant::now() < until {
+                    drop(breaker);
+                    m.errors.inc();
+                    m.record_shed(ShedReason::CircuitOpen);
+                    return Err(ServiceError::Overloaded {
+                        reason: ShedReason::CircuitOpen,
+                    });
+                }
+                breaker.open_until = None;
+                m.breaker_open.set(0);
+            }
+        }
+
+        // In-flight cap. The guard is armed before the check so a refused
+        // submission's increment is rolled back by the same Drop path.
+        let prev_inflight = self.inner.inflight.fetch_add(1, Ordering::Relaxed);
+        m.inflight.add(1);
+        let _inflight = InflightGuard {
+            counter: &self.inner.inflight,
+            gauge: &m.inflight,
+        };
+        if adm.max_inflight > 0 && prev_inflight >= adm.max_inflight {
+            m.errors.inc();
+            m.record_shed(ShedReason::QueueFull);
+            return Err(ServiceError::Overloaded {
+                reason: ShedReason::QueueFull,
+            });
+        }
+
+        // Pressure ladder: degrade before shedding, shed before failing.
+        let mut pressure_degraded = false;
+        if adm.degrade_under_pressure {
+            if let Some(gov) = self.store().memory_governor() {
+                match gov.pressure() {
+                    PressureLevel::Critical => {
+                        m.errors.inc();
+                        m.record_shed(ShedReason::MemoryPressure);
+                        return Err(ServiceError::Overloaded {
+                            reason: ShedReason::MemoryPressure,
+                        });
+                    }
+                    PressureLevel::High => pressure_degraded = true,
+                    PressureLevel::Nominal | PressureLevel::Elevated => {}
+                }
+            }
+        }
+
+        let result = self.submit_pipeline(zql_src, opts, cancel, pressure_degraded);
+
+        if adm.breaker_threshold > 0 {
+            let mut breaker = lock_mutex(&self.inner.breaker);
+            match &result {
+                Ok(_) => {
+                    breaker.consecutive_failures = 0;
+                    breaker.open_until = None;
+                    m.breaker_open.set(0);
+                }
+                // Only resource failures trip the breaker: a malformed
+                // query or a cancelled token says nothing about capacity.
+                Err(ServiceError::MemoryExhausted { .. })
+                | Err(ServiceError::StorageFault { .. }) => {
+                    breaker.consecutive_failures += 1;
+                    if breaker.consecutive_failures >= adm.breaker_threshold {
+                        breaker.open_until = Some(Instant::now() + adm.breaker_cooldown);
+                        m.breaker_trips.inc();
+                        m.breaker_open.set(1);
+                    }
+                }
+                Err(_) => {}
+            }
+        }
+        result
+    }
+
+    /// Parse → plan (via cache) → execute. `pressure_degraded` selects
+    /// the cheap path: greedy plan, no cache traffic, halved grant.
+    fn submit_pipeline(
+        &self,
+        zql_src: &str,
+        opts: SubmitOptions,
+        cancel: Option<&CancelToken>,
+        pressure_degraded: bool,
+    ) -> Result<QueryOutput, ServiceError> {
+        let m = &self.inner.metrics;
         let deadline = opts.deadline.map(|d| Instant::now() + d);
         let store = self.store();
         let (config, config_fp) = {
@@ -542,14 +847,38 @@ impl QueryService {
         };
         stages.fingerprint_ns = timer.lap_into(&m.stage_fingerprint);
 
-        let probed = self.inner.cache.get(&key, &fp.key);
+        // A pressure-degraded submission bypasses the cache entirely: its
+        // greedy plan is not worth caching, and a hit would be wasted on
+        // a query about to run with half a grant anyway.
+        let probed = if pressure_degraded {
+            None
+        } else {
+            self.inner.cache.get(&key, &fp.key)
+        };
         stages.cache_probe_ns = timer.lap_into(&m.stage_cache_probe);
         let (entry, cache_hit, degraded) = match probed {
             Some(entry) => (entry, true, false),
             None => {
                 m.optimizer_runs.inc();
                 let mut degraded = false;
-                let body = if opts.dynamic {
+                let body = if pressure_degraded {
+                    // Degrade rung of the ladder: skip the Volcano search,
+                    // take the estimator-annotated greedy plan.
+                    m.pressure_degrades.inc();
+                    degraded = true;
+                    let (plan, cost, diagnostics) = oodb_core::greedy_fallback(
+                        &q.env,
+                        self.inner.params,
+                        &q.plan,
+                        q.result_vars,
+                    )
+                    .ok_or_else(|| {
+                        m.errors.inc();
+                        ServiceError::NoPlan
+                    })?;
+                    m.verify_violations.add(diagnostics.len() as u64);
+                    CachedBody::Static { plan, cost }
+                } else if opts.dynamic {
                     CachedBody::Dynamic(compile_dynamic(
                         &q.env,
                         self.inner.params,
@@ -635,12 +964,25 @@ impl QueryService {
         // A degraded plan executes without the deadline: once the search
         // has already timed out, a late best-effort answer beats an error.
         let exec_deadline = if degraded { None } else { deadline };
+        // Memory grant: the caller's budget, else a quarter of governor
+        // capacity so four queries can always progress concurrently. A
+        // pressure-degraded run gets half of either — smaller footprint
+        // now beats optimal hash tables later.
+        let mut mem_budget = opts.mem_budget.or_else(|| {
+            store
+                .memory_governor()
+                .map(|gov| (gov.capacity() / 4).max(1))
+        });
+        if pressure_degraded {
+            mem_budget = mem_budget.map(|b| (b / 2).max(1));
+        }
         let mut retries_used = 0u32;
         let (result, stats, trace) = loop {
             let limits = RunLimits {
                 deadline: exec_deadline,
                 cancel: cancel.cloned(),
                 row_budget: opts.row_budget,
+                mem_budget,
             };
             let attempt = if opts.trace {
                 try_execute_traced(&store, &entry.env, plan, limits)
@@ -681,6 +1023,11 @@ impl QueryService {
                         ExecError::RowBudgetExceeded { budget } => {
                             ServiceError::RowBudgetExceeded { budget }
                         }
+                        // Not retryable: the same budget would exhaust the
+                        // same way. The breaker watches this error.
+                        ExecError::MemoryExhausted { requested, budget } => {
+                            ServiceError::MemoryExhausted { requested, budget }
+                        }
                         other => ServiceError::Exec(other.to_string()),
                     });
                 }
@@ -712,6 +1059,8 @@ impl QueryService {
             trace,
             degraded,
             retries: retries_used,
+            mem_peak_bytes: stats.mem.peak_bytes,
+            spill_pages: stats.mem.spill_pages_written + stats.mem.spill_pages_read,
         })
     }
 }
@@ -792,6 +1141,9 @@ struct PoolShared {
     svc: QueryService,
     reg: Arc<MetricsRegistry>,
     queue_depth: Gauge,
+    /// Jobs enqueued but not yet dequeued — the ledger behind the
+    /// bounded-queue admission check (the gauge is display-only).
+    queued: AtomicUsize,
 }
 
 fn spawn_worker(shared: &Arc<PoolShared>, i: usize) -> thread::JoinHandle<()> {
@@ -812,6 +1164,7 @@ fn spawn_worker(shared: &Arc<PoolShared>, i: usize) -> thread::JoinHandle<()> {
                     Ok(job) => job,
                     Err(_) => break,
                 };
+                shared.queued.fetch_sub(1, Ordering::Relaxed);
                 shared.queue_depth.sub(1);
                 busy.set(1);
                 jobs.inc();
@@ -854,6 +1207,9 @@ pub struct WorkerPool {
     handles: Mutex<Vec<(usize, thread::JoinHandle<()>)>>,
     queue_depth: Gauge,
     respawns: Counter,
+    /// Maximum queued (not yet dequeued) jobs; 0 = unbounded. The excess
+    /// is shed at enqueue with [`ShedReason::QueueFull`].
+    queue_limit: usize,
 }
 
 impl WorkerPool {
@@ -861,8 +1217,22 @@ impl WorkerPool {
     /// shared `oodb_queue_depth` gauge (incremented on enqueue, decremented
     /// on dequeue), an `oodb_worker_respawns_total` counter, plus
     /// per-worker `oodb_worker_busy` gauges and `oodb_worker_jobs_total`
-    /// counters in the service's registry.
+    /// counters in the service's registry. The queue is unbounded; use
+    /// [`WorkerPool::with_queue_limit`] for load shedding.
     pub fn new(service: QueryService, workers: usize) -> Self {
+        WorkerPool::build(service, workers, 0)
+    }
+
+    /// As [`WorkerPool::new`], but the queue holds at most `queue_limit`
+    /// not-yet-dequeued jobs: submissions past the limit resolve
+    /// immediately to [`ServiceError::Overloaded`] with
+    /// [`ShedReason::QueueFull`] instead of queueing without bound —
+    /// bounded staleness beats unbounded latency under saturation.
+    pub fn with_queue_limit(service: QueryService, workers: usize, queue_limit: usize) -> Self {
+        WorkerPool::build(service, workers, queue_limit.max(1))
+    }
+
+    fn build(service: QueryService, workers: usize, queue_limit: usize) -> Self {
         let (tx, rx) = mpsc::channel::<Job>();
         let reg = Arc::clone(service.telemetry());
         let queue_depth = reg.gauge("oodb_queue_depth", &[]);
@@ -872,6 +1242,7 @@ impl WorkerPool {
             svc: service,
             reg,
             queue_depth: queue_depth.clone(),
+            queued: AtomicUsize::new(0),
         });
         let handles = (0..workers.max(1))
             .map(|i| (i, spawn_worker(&shared, i)))
@@ -882,6 +1253,7 @@ impl WorkerPool {
             handles: Mutex::new(handles),
             queue_depth,
             respawns,
+            queue_limit,
         }
     }
 
@@ -907,6 +1279,24 @@ impl WorkerPool {
     ) -> Pending {
         self.reap();
         let (reply, rx) = mpsc::channel();
+        // Bounded-queue shed: resolve the handle immediately instead of
+        // queueing. Poison pills (tests) are exempt — they must always
+        // reach a worker.
+        if !kill
+            && self.queue_limit > 0
+            && self.shared.queued.load(Ordering::Relaxed) >= self.queue_limit
+        {
+            self.shared
+                .svc
+                .inner
+                .metrics
+                .record_shed(ShedReason::QueueFull);
+            let _ = reply.send(Err(ServiceError::Overloaded {
+                reason: ShedReason::QueueFull,
+            }));
+            return Pending { rx };
+        }
+        self.shared.queued.fetch_add(1, Ordering::Relaxed);
         self.queue_depth.add(1);
         if let Some(tx) = self.tx.as_ref() {
             // The receiver lives in PoolShared, so this send cannot fail
@@ -984,6 +1374,32 @@ mod tests {
     }
 
     const Q_TIME: &str = "SELECT t FROM Task t IN Tasks WHERE t.time() == 100";
+
+    /// An explicit equi-join over the two largest extents. Paired with
+    /// [`hash_join_service`], whose config disables the pointer- and
+    /// merge-join implementations, it is guaranteed to execute as a
+    /// hybrid hash join — the memory-hungry operator the governor tests
+    /// need.
+    const Q_JOIN: &str = "SELECT Newobject(e.name(), d.name()) \
+                          FROM Employee e IN Employees, Department d IN Department \
+                          WHERE e.dept() == d";
+
+    fn hash_join_service() -> QueryService {
+        let (store, _model) = generate_paper_db(GenConfig {
+            scale_div: 100,
+            ..Default::default()
+        });
+        QueryService::new(
+            store,
+            CostParams::default(),
+            OptimizerConfig::without(&[
+                oodb_core::config::rule_names::POINTER_JOIN,
+                oodb_core::config::rule_names::MERGE_JOIN,
+            ]),
+            64,
+            4,
+        )
+    }
 
     #[test]
     fn second_submit_hits_the_cache() {
@@ -1187,6 +1603,256 @@ mod tests {
             svc.submit_with(Q_TIME, opts),
             Err(ServiceError::RowBudgetExceeded { budget: 0 })
         );
+    }
+
+    #[test]
+    fn tight_memory_budget_spills_and_still_answers() {
+        let svc = hash_join_service();
+        svc.attach_memory_governor(MemoryGovernor::new(64 << 20));
+        let free = svc
+            .submit_with(
+                Q_JOIN,
+                SubmitOptions {
+                    mem_budget: Some(64 << 20),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(free.spill_pages, 0, "a wide grant must not spill");
+        assert!(free.mem_peak_bytes > 0, "a hash join must reserve memory");
+        let tight = svc
+            .submit_with(
+                Q_JOIN,
+                SubmitOptions {
+                    mem_budget: Some(512),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(tight.rows, free.rows, "spilling must not change answers");
+        assert!(tight.spill_pages > 0, "512 bytes must force a spill");
+        assert!(tight.mem_peak_bytes <= 512, "{}", tight.mem_peak_bytes);
+        let gov = svc.memory_governor().unwrap();
+        assert_eq!(gov.stats().reserved, 0, "grants must drain at quiesce");
+        let text = svc.metrics_prometheus();
+        assert!(
+            text.contains("oodb_exec_spill_pages_written_total"),
+            "{text}"
+        );
+        assert!(text.contains("oodb_mem_capacity_bytes"), "{text}");
+    }
+
+    #[test]
+    fn memory_exhausted_is_typed_and_not_retried() {
+        let svc = hash_join_service();
+        let err = svc
+            .submit_with(
+                Q_JOIN,
+                SubmitOptions {
+                    mem_budget: Some(0),
+                    retries: 8,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, ServiceError::MemoryExhausted { budget: 0, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn inflight_cap_sheds_concurrent_submissions() {
+        let svc = small_service();
+        svc.set_admission(AdmissionConfig {
+            max_inflight: 1,
+            ..Default::default()
+        });
+        // Hold the one slot by submitting from another thread with
+        // realized I/O, then saturate from this one.
+        let bg = svc.clone();
+        let slow = thread::spawn(move || {
+            bg.submit_with(
+                Q_TIME,
+                SubmitOptions {
+                    realize_io_scale: 50.0,
+                    ..Default::default()
+                },
+            )
+        });
+        // Wait until the background submission is admitted.
+        for _ in 0..200 {
+            if svc.inner.inflight.load(Ordering::Relaxed) > 0 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        let shed = svc.submit(Q_TIME).unwrap_err();
+        assert_eq!(
+            shed,
+            ServiceError::Overloaded {
+                reason: ShedReason::QueueFull
+            }
+        );
+        assert!(slow.join().unwrap().is_ok(), "in-flight work must finish");
+        // With the slot free again, submissions are admitted.
+        assert!(svc.submit(Q_TIME).is_ok());
+        let text = svc.metrics_prometheus();
+        assert!(
+            text.contains(r#"oodb_shed_total{reason="queue_full"} 1"#),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn breaker_trips_on_resource_failures_and_half_opens() {
+        let svc = hash_join_service();
+        svc.set_admission(AdmissionConfig {
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_millis(40),
+            ..Default::default()
+        });
+        let exhaust = SubmitOptions {
+            mem_budget: Some(0),
+            ..Default::default()
+        };
+        // Two consecutive memory exhaustions trip the breaker...
+        for _ in 0..2 {
+            assert!(matches!(
+                svc.submit_with(Q_JOIN, exhaust).unwrap_err(),
+                ServiceError::MemoryExhausted { .. }
+            ));
+        }
+        // ...so the next submission sheds without executing, even though
+        // it carries no budget problem of its own.
+        assert_eq!(
+            svc.submit(Q_TIME).unwrap_err(),
+            ServiceError::Overloaded {
+                reason: ShedReason::CircuitOpen
+            }
+        );
+        let text = svc.metrics_prometheus();
+        assert!(text.contains("oodb_breaker_trips_total 1"), "{text}");
+        assert!(text.contains("oodb_breaker_open 1"), "{text}");
+        // After the cooldown the breaker half-opens; a healthy probe
+        // closes it and service resumes.
+        thread::sleep(Duration::from_millis(60));
+        assert!(svc.submit(Q_TIME).is_ok());
+        assert!(svc.submit(Q_TIME).is_ok());
+        let text = svc.metrics_prometheus();
+        assert!(text.contains("oodb_breaker_open 0"), "{text}");
+    }
+
+    #[test]
+    fn half_open_probe_failure_retrips_immediately() {
+        let svc = hash_join_service();
+        svc.set_admission(AdmissionConfig {
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_millis(40),
+            ..Default::default()
+        });
+        let exhaust = SubmitOptions {
+            mem_budget: Some(0),
+            ..Default::default()
+        };
+        let _ = svc.submit_with(Q_JOIN, exhaust); // trips
+        thread::sleep(Duration::from_millis(60));
+        let _ = svc.submit_with(Q_JOIN, exhaust); // half-open probe fails
+        assert_eq!(
+            svc.submit(Q_TIME).unwrap_err(),
+            ServiceError::Overloaded {
+                reason: ShedReason::CircuitOpen
+            }
+        );
+        assert!(svc
+            .metrics_prometheus()
+            .contains("oodb_breaker_trips_total 2"));
+    }
+
+    #[test]
+    fn pressure_ladder_degrades_then_sheds() {
+        let svc = small_service();
+        let gov = MemoryGovernor::new(1000);
+        svc.attach_memory_governor(gov.clone());
+        svc.set_admission(AdmissionConfig {
+            degrade_under_pressure: true,
+            ..Default::default()
+        });
+        // Nominal pressure: full search, not degraded.
+        let calm = svc.submit(Q_TIME).unwrap();
+        assert!(!calm.degraded);
+        // An outside tenant pushes reservation over 90%: critical → shed.
+        let hog = gov.grant(None);
+        assert!(hog.try_reserve(950));
+        assert_eq!(
+            svc.submit(Q_TIME).unwrap_err(),
+            ServiceError::Overloaded {
+                reason: ShedReason::MemoryPressure
+            }
+        );
+        // Down to high (75–90%): degrade — greedy plan, answer still right.
+        hog.release(150);
+        let degraded = svc.submit(Q_TIME).unwrap();
+        assert!(degraded.degraded, "High pressure must degrade");
+        assert_eq!(degraded.rows, calm.rows);
+        assert!(!degraded.cache_hit, "degraded runs bypass the cache");
+        // Released: back to the full search.
+        drop(hog);
+        assert!(!svc.submit(Q_TIME).unwrap().degraded);
+        let text = svc.metrics_prometheus();
+        assert!(
+            text.contains(r#"oodb_shed_total{reason="memory_pressure"} 1"#),
+            "{text}"
+        );
+        assert!(text.contains("oodb_pressure_degrades_total 1"), "{text}");
+    }
+
+    #[test]
+    fn bounded_pool_sheds_when_queue_is_full() {
+        let svc = small_service();
+        let pool = WorkerPool::with_queue_limit(svc.clone(), 1, 1);
+        // One slow job occupies the worker, the next fills the queue;
+        // everything past that sheds instantly with a typed error.
+        let slow_opts = SubmitOptions {
+            realize_io_scale: 50.0,
+            ..Default::default()
+        };
+        let running = pool.submit(Q_TIME, slow_opts);
+        let burst: Vec<Pending> = (0..16)
+            .map(|_| pool.submit(Q_TIME, SubmitOptions::default()))
+            .collect();
+        let (mut served, mut shed) = (0usize, 0usize);
+        for p in burst {
+            match p.wait() {
+                Ok(_) => served += 1,
+                Err(ServiceError::Overloaded {
+                    reason: ShedReason::QueueFull,
+                }) => shed += 1,
+                Err(other) => panic!("unexpected reply: {other:?}"),
+            }
+        }
+        assert!(shed > 0, "a 1-deep queue must shed under a 16-burst");
+        assert!(served > 0, "queued jobs must still be served");
+        assert!(running.wait().is_ok(), "in-flight work must finish");
+        let text = svc.metrics_prometheus();
+        assert!(
+            text.contains(r#"oodb_shed_total{reason="queue_full"}"#),
+            "{text}"
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn plancache_bytes_gauge_exports() {
+        let svc = small_service();
+        svc.submit(Q_TIME).unwrap();
+        let text = svc.metrics_prometheus();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("oodb_plancache_bytes "))
+            .expect("gauge exported");
+        let v: i64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(v > 0, "resident bytes must be positive after an insert");
     }
 
     #[test]

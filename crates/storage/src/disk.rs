@@ -49,14 +49,26 @@ pub struct DiskStats {
     pub rand_reads: u64,
     /// Pages read inside elevator-ordered batches.
     pub elevator_reads: u64,
+    /// Pages written to spill partitions (hash-join overflow), charged
+    /// at the sequential rate.
+    pub spill_writes: u64,
+    /// Pages read back from spill partitions, charged at the sequential
+    /// rate. Over any completed run this equals [`DiskStats::spill_writes`].
+    pub spill_reads: u64,
     /// Total simulated time in seconds.
     pub total_s: f64,
 }
 
 impl DiskStats {
-    /// Total pages read.
+    /// Total pages read from base data (spill traffic excluded — see
+    /// [`DiskStats::spill_pages`]).
     pub fn pages(&self) -> u64 {
         self.seq_reads + self.rand_reads + self.elevator_reads
+    }
+
+    /// Total spill pages moved (writes + re-reads).
+    pub fn spill_pages(&self) -> u64 {
+        self.spill_writes + self.spill_reads
     }
 
     /// Counters accumulated since `base` was captured (for per-run
@@ -66,6 +78,8 @@ impl DiskStats {
             seq_reads: self.seq_reads - base.seq_reads,
             rand_reads: self.rand_reads - base.rand_reads,
             elevator_reads: self.elevator_reads - base.elevator_reads,
+            spill_writes: self.spill_writes - base.spill_writes,
+            spill_reads: self.spill_reads - base.spill_reads,
             total_s: self.total_s - base.total_s,
         }
     }
@@ -147,6 +161,24 @@ impl Disk {
             self.head = Some(last);
         }
     }
+
+    /// Charges `pages` of spill-partition writes at the sequential rate
+    /// (spill files are laid out contiguously) and moves the arm off the
+    /// base data, matching the cost model's `2 · frac · pages · seq_s`
+    /// write-then-reread formula for an overflowing hash join.
+    pub fn spill_write(&mut self, pages: u64) {
+        self.stats.spill_writes += pages;
+        self.stats.total_s += pages as f64 * self.params.seq_s;
+        self.head = None;
+    }
+
+    /// Charges `pages` of spill-partition re-reads at the sequential
+    /// rate; the arm ends off the base data.
+    pub fn spill_read(&mut self, pages: u64) {
+        self.stats.spill_reads += pages;
+        self.stats.total_s += pages as f64 * self.params.seq_s;
+        self.head = None;
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +250,24 @@ mod tests {
         // The batch's first page always pays the elevator rate (we don't
         // model cross-call adjacency).
         assert_eq!(s.elevator_reads, 1);
+    }
+
+    #[test]
+    fn spill_traffic_is_sequential_and_moves_the_arm() {
+        let mut d = disk();
+        d.read(7);
+        d.spill_write(10);
+        d.spill_read(10);
+        let s = d.stats();
+        assert_eq!(s.spill_pages(), 20);
+        assert_eq!(s.pages(), 1, "spill pages are not base-data reads");
+        assert!((s.total_s - (0.020 + 20.0 * 0.002)).abs() < 1e-9);
+        d.read(8);
+        assert_eq!(
+            d.stats().rand_reads,
+            2,
+            "spilling moved the arm; page 8 is no longer sequential"
+        );
     }
 
     #[test]

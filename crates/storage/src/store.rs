@@ -47,6 +47,12 @@ pub struct Store {
     /// [`oodb_fault::FaultInjector`]). Clones share counters and healing
     /// state, mirroring the shared-pool pattern above.
     fault_injector: Option<oodb_fault::FaultInjector>,
+    /// When attached, every executor created against this store draws a
+    /// per-run [`oodb_mem::MemoryGrant`] from this governor; operators
+    /// reserve bytes before building hash tables or opening assembly
+    /// windows, and spill or stage when refused. Clones share the
+    /// ledger, mirroring the fault-injector pattern above.
+    memory_governor: Option<oodb_mem::MemoryGovernor>,
 }
 
 impl Store {
@@ -73,6 +79,7 @@ impl Store {
             next_page: 0,
             shared_pool: None,
             fault_injector: None,
+            memory_governor: None,
         }
     }
 
@@ -107,6 +114,23 @@ impl Store {
     /// The fault injector, when one is attached.
     pub fn fault_injector(&self) -> Option<&oodb_fault::FaultInjector> {
         self.fault_injector.as_ref()
+    }
+
+    /// Attaches a memory governor: executors created against this store
+    /// draw their per-run memory grants from it.
+    pub fn attach_memory_governor(&mut self, governor: oodb_mem::MemoryGovernor) {
+        self.memory_governor = Some(governor);
+    }
+
+    /// Detaches the memory governor; runs go back to detached grants
+    /// (per-query budgets still apply, no process-wide cap).
+    pub fn detach_memory_governor(&mut self) {
+        self.memory_governor = None;
+    }
+
+    /// The memory governor, when one is attached.
+    pub fn memory_governor(&self) -> Option<&oodb_mem::MemoryGovernor> {
+        self.memory_governor.as_ref()
     }
 
     /// The schema.

@@ -24,6 +24,9 @@ pub struct OpTrace {
     pub buffer_misses: u64,
     /// Simulated disk seconds charged while this subtree ran.
     pub sim_io_s: f64,
+    /// Spill pages moved (written + re-read) while this subtree ran —
+    /// nonzero only when a memory grant forced an operator to overflow.
+    pub spill_pages: u64,
     /// Input operators, in plan order.
     pub children: Vec<OpTrace>,
 }
@@ -66,15 +69,20 @@ impl OpTrace {
     }
 
     fn annotation(&self) -> String {
-        format!(
-            "(actual rows={} time={} self={} buf hit/miss={}/{} io={:.4}s)",
+        let mut s = format!(
+            "(actual rows={} time={} self={} buf hit/miss={}/{} io={:.4}s",
             self.actual_rows,
             fmt_ns(self.elapsed_ns),
             fmt_ns(self.self_elapsed_ns()),
             self.buffer_hits,
             self.buffer_misses,
             self.sim_io_s,
-        )
+        );
+        if self.spill_pages > 0 {
+            s.push_str(&format!(" spill={} pages", self.spill_pages));
+        }
+        s.push(')');
+        s
     }
 
     fn render_into(&self, out: &mut String) {
@@ -174,6 +182,22 @@ mod tests {
         let text = t.render();
         assert!(text.contains("|-- L "), "{text}");
         assert!(text.contains("`-- R "), "{text}");
+    }
+
+    #[test]
+    fn spill_pages_render_only_when_present() {
+        let quiet = leaf("Scan", 1, 10);
+        assert!(!quiet.render().contains("spill="), "{}", quiet.render());
+        let spilled = OpTrace {
+            label: "Hybrid Hash Join".into(),
+            spill_pages: 12,
+            ..Default::default()
+        };
+        assert!(
+            spilled.render().contains("spill=12 pages"),
+            "{}",
+            spilled.render()
+        );
     }
 
     #[test]

@@ -17,6 +17,12 @@ cargo test -q --workspace
 echo "==> chaos replay (fixed seed)"
 cargo test -q --test resilience
 
+# Memory-governance smoke: the pressure x faults replay, saturation
+# shedding, and the circuit breaker (the `memory` tests in the chaos
+# suite; CI's `overload` job runs the full memlimit bench on top).
+echo "==> tight-memory smoke (pressure + shedding + breaker)"
+cargo test -q --test resilience memory
+
 # Supply-chain lint: advisories, duplicate versions, license allow-list.
 # cargo-deny is an external binary; skip gracefully where it is not
 # installed (the offline build container) rather than failing the gate.

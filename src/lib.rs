@@ -45,6 +45,7 @@ pub use oodb_algebra as algebra;
 pub use oodb_core as core;
 pub use oodb_exec as exec;
 pub use oodb_fault as fault;
+pub use oodb_mem as mem;
 pub use oodb_object as object;
 pub use oodb_service as service;
 pub use oodb_storage as storage;
@@ -61,6 +62,7 @@ pub mod prelude {
     pub use oodb_core::{greedy_plan, Cost, CostParams, OpenOodb, OptimizerConfig};
     pub use oodb_exec::{execute, execute_traced, try_execute, try_execute_traced, Executor};
     pub use oodb_fault::{CancelToken, FaultConfig, FaultInjector, RunLimits};
+    pub use oodb_mem::{MemoryGovernor, MemoryGrant, PressureLevel};
     pub use oodb_object::paper::{paper_model, paper_model_scaled};
     pub use oodb_object::{Catalog, Schema, Value};
     pub use oodb_service::{QueryService, SubmitOptions, WorkerPool};

@@ -8,8 +8,10 @@
 //! re-run with `OODB_CHAOS_SEED=<seed>` to reproduce.
 
 use oodb_core::{CostParams, OptimizerConfig};
-use oodb_service::{QueryService, ServiceError, SubmitOptions, WorkerPool};
-use oodb_storage::{generate_paper_db, FaultConfig, FaultInjector, GenConfig};
+use oodb_service::{
+    AdmissionConfig, QueryService, ServiceError, ShedReason, SubmitOptions, WorkerPool,
+};
+use oodb_storage::{generate_paper_db, FaultConfig, FaultInjector, GenConfig, MemoryGovernor};
 use open_oodb::fault::CancelToken;
 use std::time::Duration;
 
@@ -312,4 +314,274 @@ fn injector_disabled_overhead_is_negligible() {
          10% here to absorb CI noise)",
         overhead * 100.0
     );
+}
+
+// ---------------------------------------------------------------------------
+// Memory governance under chaos (ISSUE 5 satellite: pressure × faults).
+// `scripts/check.sh` selects these with `--test resilience memory`.
+// ---------------------------------------------------------------------------
+
+/// Q5: an explicit two-extent join. With pointer/merge join disabled the
+/// optimizer must pick the hybrid hash join, the one operator whose
+/// memory overflow takes the *spill* path (assembly and set ops shrink
+/// their windows instead of touching disk).
+const Q_JOIN: &str = "SELECT Newobject(e.name(), d.name()) \
+     FROM Employee e IN Employees, Department d IN Department \
+     WHERE e.dept() == d";
+
+/// A service whose join plans must reserve memory: pointer join and merge
+/// join are disabled, so equi-joins become hybrid hash joins.
+fn governed_service() -> QueryService {
+    let (store, _model) = generate_paper_db(GenConfig {
+        scale_div: 100,
+        ..Default::default()
+    });
+    QueryService::new(
+        store,
+        CostParams::default(),
+        OptimizerConfig::without(&[
+            oodb_core::config::rule_names::POINTER_JOIN,
+            oodb_core::config::rule_names::MERGE_JOIN,
+        ]),
+        128,
+        8,
+    )
+}
+
+/// The tentpole acceptance replay: Q1–Q4 plus an explicit hash join run
+/// at 25% of their measured working set, under transient storage faults
+/// on top. Every answer must match the unconstrained baseline (operators
+/// spill or shrink, they do not error), and when the pool quiesces the
+/// governor's byte ledger must reconcile exactly: nothing still reserved,
+/// reserves equal releases, spilled bytes written equal bytes read back.
+#[test]
+fn memory_pressure_replay_matches_baseline() {
+    let seed = chaos_seed();
+    let svc = governed_service();
+    let queries: Vec<&str> = QUERIES.iter().copied().chain([Q_JOIN]).collect();
+
+    // Unconstrained baseline rows, and per-query working sets measured
+    // under an unlimited governor (peak bytes actually reserved).
+    let governor = MemoryGovernor::unlimited();
+    svc.attach_memory_governor(governor);
+    let mut baseline = Vec::new();
+    let mut peaks = Vec::new();
+    for q in &queries {
+        let out = svc.submit(q).expect("baseline must run clean");
+        let mut rows = out.rows;
+        rows.sort();
+        baseline.push(rows);
+        peaks.push(out.mem_peak_bytes);
+    }
+    let join_peak = *peaks.last().unwrap();
+    assert!(
+        join_peak > 0,
+        "hash join must reserve memory or the pressure replay is vacuous"
+    );
+    let working_set: u64 = peaks.iter().sum();
+
+    // 25% of the aggregate working set for the governor, and 25% of each
+    // query's own working set for its grant, clamped into
+    // [512, capacity/4]: the floor is the budget the service tests prove
+    // forces the join to spill, and the ceiling guarantees four
+    // concurrent grants can always reach their full budgets.
+    let capacity = (working_set / 4).max(16 * 1024);
+    let budgets: Vec<u64> = peaks
+        .iter()
+        .map(|p| (p / 4).clamp(512, capacity / 4))
+        .collect();
+    let governor = MemoryGovernor::new(capacity);
+    svc.attach_memory_governor(governor.clone());
+
+    let mut spill_pages_total = 0u64;
+    for &rate in &[0.0, 0.05, 0.15] {
+        let injector = FaultInjector::new(FaultConfig {
+            read_fault_rate: rate,
+            seed,
+            ..Default::default()
+        });
+        svc.attach_fault_injector(injector);
+
+        let pool = WorkerPool::new(svc.clone(), 4);
+        let pending: Vec<_> = (0..40)
+            .map(|i| {
+                let opts = SubmitOptions {
+                    retries: 64,
+                    mem_budget: Some(budgets[i % queries.len()]),
+                    ..Default::default()
+                };
+                pool.submit(queries[i % queries.len()].to_string(), opts)
+            })
+            .collect();
+        for (i, p) in pending.into_iter().enumerate() {
+            let budget = budgets[i % queries.len()];
+            let out = p.wait().unwrap_or_else(|e| {
+                panic!("seed {seed} rate {rate} budget {budget}: submission {i}: {e}")
+            });
+            assert!(
+                out.mem_peak_bytes <= budget,
+                "grant must cap the peak (seed {seed}, rate {rate}): \
+                 {} > {budget}",
+                out.mem_peak_bytes
+            );
+            spill_pages_total += out.spill_pages;
+            let mut rows = out.rows;
+            rows.sort();
+            assert_eq!(
+                rows,
+                baseline[i % queries.len()],
+                "answers must survive memory pressure + faults \
+                 (seed {seed}, rate {rate}, budget {budget})"
+            );
+        }
+        pool.shutdown();
+        svc.detach_fault_injector();
+    }
+
+    assert!(
+        spill_pages_total > 0,
+        "a {}-byte grant must overflow the join's {join_peak}-byte \
+         working set into spill pages",
+        budgets.last().unwrap()
+    );
+    // Governor ledger reconciliation at quiescence.
+    let stats = governor.stats();
+    assert_eq!(stats.reserved, 0, "grants must release on drop: {stats:?}");
+    assert_eq!(
+        stats.reserved_total, stats.released_total,
+        "byte ledger must balance: {stats:?}"
+    );
+    assert_eq!(
+        stats.spill_bytes_written, stats.spill_bytes_read,
+        "every spilled byte must be read back exactly once: {stats:?}"
+    );
+    assert!(stats.spill_bytes_written > 0, "{stats:?}");
+    let text = svc.metrics_prometheus();
+    assert!(
+        counter(&text, "oodb_exec_spill_pages_written_total") > 0,
+        "{text}"
+    );
+    assert!(text.contains("oodb_mem_capacity_bytes"), "{text}");
+}
+
+/// Saturation replay: a bounded worker pool under a burst sheds with the
+/// typed `Overloaded(QueueFull)` error while every admitted submission
+/// still completes with the right answer — degrade, don't collapse.
+#[test]
+fn memory_saturation_sheds_but_completes_inflight() {
+    let svc = service();
+    let baseline: Vec<Vec<String>> = QUERIES
+        .iter()
+        .map(|q| {
+            let mut rows = svc.submit(q).expect("baseline must run clean").rows;
+            rows.sort();
+            rows
+        })
+        .collect();
+
+    // Two workers, a queue of two, and a burst of 24 slow submissions:
+    // the enqueue side is far faster than execution, so most must shed.
+    let pool = WorkerPool::with_queue_limit(svc.clone(), 2, 2);
+    let opts = SubmitOptions {
+        realize_io_scale: 25.0,
+        ..Default::default()
+    };
+    let pending: Vec<_> = (0..24)
+        .map(|i| pool.submit(QUERIES[i % QUERIES.len()].to_string(), opts))
+        .collect();
+    let (mut served, mut shed) = (0u64, 0u64);
+    for (i, p) in pending.into_iter().enumerate() {
+        match p.wait() {
+            Ok(out) => {
+                let mut rows = out.rows;
+                rows.sort();
+                assert_eq!(rows, baseline[i % QUERIES.len()]);
+                served += 1;
+            }
+            Err(ServiceError::Overloaded {
+                reason: ShedReason::QueueFull,
+            }) => shed += 1,
+            Err(e) => panic!("only QueueFull shedding is acceptable: {e}"),
+        }
+    }
+    assert!(served > 0, "admitted work must complete");
+    assert!(shed > 0, "a 24-burst against queue depth 2 must shed");
+
+    // The pool recovers once the burst drains: a normal submission runs.
+    let after = pool
+        .submit(QUERIES[0].to_string(), SubmitOptions::default())
+        .wait()
+        .expect("pool must recover after the burst");
+    let mut rows = after.rows;
+    rows.sort();
+    assert_eq!(rows, baseline[0]);
+    pool.shutdown();
+
+    let text = svc.metrics_prometheus();
+    assert_eq!(
+        counter(&text, r#"oodb_shed_total{reason="queue_full"}"#),
+        shed,
+        "shed counter must reconcile with refused replies:\n{text}"
+    );
+    assert!(text.contains("oodb_queue_depth 0"), "{text}");
+}
+
+/// Circuit breaker integration: repeated grant exhaustion trips the
+/// breaker, subsequent submissions fast-fail with `CircuitOpen` instead
+/// of burning resources, and after the cooldown a healthy probe closes
+/// it again.
+#[test]
+fn memory_breaker_fastfails_and_heals() {
+    let svc = governed_service();
+    let mut baseline = svc.submit(Q_JOIN).expect("clean run").rows;
+    baseline.sort();
+
+    svc.set_admission(AdmissionConfig {
+        breaker_threshold: 2,
+        breaker_cooldown: Duration::from_millis(60),
+        ..Default::default()
+    });
+
+    // Two impossible grants (budget 0) are consecutive resource failures.
+    for _ in 0..2 {
+        let err = svc
+            .submit_with(
+                Q_JOIN,
+                SubmitOptions {
+                    mem_budget: Some(0),
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, ServiceError::MemoryExhausted { budget: 0, .. }),
+            "a zero grant must exhaust, not loop: {err}"
+        );
+    }
+
+    // Tripped: even a healthy submission fast-fails while the breaker is
+    // open.
+    assert_eq!(
+        svc.submit(Q_JOIN).unwrap_err(),
+        ServiceError::Overloaded {
+            reason: ShedReason::CircuitOpen,
+        },
+        "breaker must fast-fail inside the cooldown window"
+    );
+
+    // After the cooldown the half-open probe succeeds and closes it.
+    std::thread::sleep(Duration::from_millis(90));
+    let mut rows = svc.submit(Q_JOIN).expect("half-open probe heals").rows;
+    rows.sort();
+    assert_eq!(rows, baseline, "healed service must answer correctly");
+    assert!(svc.submit(Q_JOIN).is_ok(), "breaker stays closed");
+
+    let text = svc.metrics_prometheus();
+    assert_eq!(counter(&text, "oodb_breaker_trips_total"), 1, "{text}");
+    assert_eq!(
+        counter(&text, r#"oodb_shed_total{reason="circuit_open"}"#),
+        1,
+        "{text}"
+    );
+    assert!(text.contains("oodb_breaker_open 0"), "{text}");
 }
