@@ -14,8 +14,10 @@
 
 use crate::scope::VarId;
 use oodb_object::{FieldId, Value};
+use oodb_sync::AppendVec;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Mutex, PoisonError};
 
 /// Identifier of an interned predicate.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -208,44 +210,54 @@ impl Pred {
 
 /// Interning arena for predicates.
 ///
-/// Uses interior mutability (`RwLock`) so *transformation rules* — which
-/// see the query environment through a shared reference during search —
-/// can still intern the predicates their rewrites need (conjunct
-/// splitting, the Mat→Join reference equality). A query's optimization is
-/// single-threaded, but the arena is `Send + Sync` so a [`QueryEnv`] can
-/// be captured inside a shared plan-cache entry and executed against from
-/// any worker thread.
+/// Interior mutability lets *transformation rules* — which see the query
+/// environment through a shared reference during search — intern the
+/// predicates their rewrites need (conjunct splitting, the Mat→Join
+/// reference equality). Each parsed query gets its own arena inside its
+/// [`QueryEnv`], so interning is effectively single-writer; but cached
+/// plans capture their env and are executed from many worker threads at
+/// once, which makes *lookup* the hot cross-thread path — it runs once
+/// per tuple during predicate evaluation.
+///
+/// The arena therefore stores predicates in an append-only
+/// [`AppendVec`] whose slots never move: [`PredArena::pred`] is
+/// lock-free (three atomic loads) and returns `&Pred` directly, no lock
+/// and no clone. Writers (interning) serialize on a small mutex that
+/// readers never touch, and the mutex is poison-recovering, so a
+/// panicking rule thread can never wedge or poison the arena for
+/// others.
 ///
 /// [`QueryEnv`]: crate::QueryEnv
 #[derive(Debug, Default)]
 pub struct PredArena {
-    inner: std::sync::RwLock<PredStore>,
+    /// Published predicates, indexed by [`PredId`]; addresses are stable.
+    preds: AppendVec<Pred>,
+    /// Dedup table guarding appends (structure → existing id).
+    interned: Mutex<HashMap<Pred, PredId>>,
 }
 
 impl Clone for PredArena {
     fn clone(&self) -> Self {
+        // Holding the intern lock pins the (map, preds) pair: appends
+        // also run under it, so the clone is a consistent snapshot.
+        let interned = self.interned.lock().unwrap_or_else(PoisonError::into_inner);
         PredArena {
-            inner: std::sync::RwLock::new(self.inner.read().unwrap().clone()),
+            preds: self.preds.clone(),
+            interned: Mutex::new(interned.clone()),
         }
     }
-}
-
-#[derive(Clone, Debug, Default)]
-struct PredStore {
-    preds: Vec<Pred>,
-    interned: HashMap<Pred, PredId>,
 }
 
 impl PredArena {
     /// Interns a predicate, returning the shared id for its structure.
     pub fn intern(&self, p: Pred) -> PredId {
-        let mut s = self.inner.write().unwrap();
-        if let Some(&id) = s.interned.get(&p) {
+        let mut interned = self.interned.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(&id) = interned.get(&p) {
             return id;
         }
-        let id = PredId(s.preds.len() as u32);
-        s.interned.insert(p.clone(), id);
-        s.preds.push(p);
+        let id = PredId(self.preds.len() as u32);
+        interned.insert(p.clone(), id);
+        self.preds.push(p);
         id
     }
 
@@ -254,9 +266,13 @@ impl PredArena {
         self.intern(Pred::term(Term { left, op, right }))
     }
 
-    /// Looks a predicate up (cloned; predicates are small).
-    pub fn pred(&self, id: PredId) -> Pred {
-        self.inner.read().unwrap().preds[id.index()].clone()
+    /// Looks a predicate up. Lock-free; the reference is stable for the
+    /// arena's lifetime (slots never move), so per-tuple evaluation
+    /// pays no lock and no clone.
+    pub fn pred(&self, id: PredId) -> &Pred {
+        self.preds
+            .get(id.index())
+            .expect("PredId out of range for this arena")
     }
 
     /// Variables mentioned anywhere in the predicate.
@@ -286,12 +302,12 @@ impl PredArena {
 
     /// Number of interned predicates.
     pub fn len(&self) -> usize {
-        self.inner.read().unwrap().preds.len()
+        self.preds.len()
     }
 
     /// True when nothing is interned.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().unwrap().preds.is_empty()
+        self.preds.is_empty()
     }
 }
 

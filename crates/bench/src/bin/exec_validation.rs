@@ -21,7 +21,7 @@
 use oodb_bench::{queries, report::render_table};
 use oodb_core::config::rule_names as rn;
 use oodb_core::{OpenOodb, OptimizerConfig};
-use oodb_exec::execute;
+use oodb_exec::{execute, Executor};
 use oodb_object::paper::paper_model_scaled;
 use oodb_storage::{generate_paper_db, GenConfig};
 
@@ -117,12 +117,20 @@ fn main() {
         let mut rows = Vec::new();
         let mut result_sizes = Vec::new();
         let mut ordering_ok = true;
+        let mut morsel_identical = true;
         let mut prev: Option<(f64, f64)> = None; // (estimate, simulated)
         for (label, config) in configs {
             let q = make_query();
             let opt = OpenOodb::with_config(&q.env, config);
             let out = opt.optimize(&q.plan, q.result_vars).expect("plan");
             let (result, stats) = execute(&store, &q.env, &out.plan);
+            // Morsel-parallel replay of the very same plan must be
+            // byte-identical to the serial run — same rows, same order.
+            let mut par = Executor::new(&store, &q.env);
+            par.set_parallelism(4);
+            if par.run(&out.plan) != result {
+                morsel_identical = false;
+            }
             result_sizes.push(result.len());
             if let Some((pe, ps)) = prev {
                 // Ordinal agreement: if estimates increase, simulated I/O
@@ -164,5 +172,14 @@ fn main() {
             "Optimizer preference confirmed by simulated execution: {}",
             if ordering_ok { "YES" } else { "NO  <-- check" }
         );
+        println!(
+            "Morsel-parallel (4 workers) results byte-identical: {}",
+            if morsel_identical {
+                "YES"
+            } else {
+                "NO  <-- BUG"
+            }
+        );
+        assert!(morsel_identical, "{name}: morsel run diverged from serial");
     }
 }

@@ -372,6 +372,20 @@ fn main() {
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    // Per-thread warm optimize means as a first-class series, so scaling
+    // regressions in *optimize* latency (as opposed to throughput) are
+    // one jq expression away for dashboards and the scaling gate.
+    json.push_str("  \"warm_mean_optimize_ns_series\": [");
+    for (i, (threads, cpu, realized, _)) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}{{\"threads\": {threads}, \"cpu_only_ns\": {}, \"realized_io_ns\": {}}}",
+            if i == 0 { "" } else { ", " },
+            cpu.mean_optimize_ns,
+            realized.mean_optimize_ns
+        );
+    }
+    json.push_str("],\n");
     let _ = writeln!(
         json,
         "  \"telemetry_overhead\": {{\"qps_profiling_off\": {qps_profiling_off:.1}, \

@@ -13,7 +13,7 @@
 
 use oodb_core::plancache::{CacheKey, CachedBody, CachedPlan, PlanCache};
 use oodb_core::{greedy_plan, CostParams, OpenOodb, OptimizerConfig};
-use oodb_exec::{try_execute, try_execute_traced, ExecResult, RunLimits};
+use oodb_exec::{try_execute_parallel, try_execute_traced, ExecResult, RunLimits};
 use oodb_object::paper::PaperModel;
 use oodb_object::{Catalog, Value};
 use oodb_storage::{
@@ -30,6 +30,8 @@ struct Shell {
     config: OptimizerConfig,
     cache: PlanCache,
     telemetry: MetricsRegistry,
+    /// Morsel worker threads for plain statement execution (1 = serial).
+    exec_workers: usize,
 }
 
 fn main() {
@@ -51,6 +53,7 @@ fn main() {
         config: OptimizerConfig::all_rules(),
         cache: PlanCache::default(),
         telemetry: MetricsRegistry::new(),
+        exec_workers: 1,
     };
     eprintln!("Open OODB reproduction shell. \\help for commands, \\q to quit.");
 
@@ -112,6 +115,7 @@ impl Shell {
                      \\indexes             index descriptors\n\
                      \\rules [off NAME | on NAME | reset]   rule configuration\n\
                      \\window N            assembly window (1 = no elevator)\n\
+                     \\workers N           morsel worker threads (1 = serial)\n\
                      \\stats               collect histograms for refined selectivity\n\
                      \\cache [stats|clear] plan-cache counters / drop cached plans\n\
                      \\trace QUERY;        show the goal-directed search trace\n\
@@ -220,6 +224,18 @@ impl Shell {
                     println!("assembly window = {n}");
                 } else {
                     println!("assembly window = {}", self.config.assembly_window);
+                }
+            }
+            "\\workers" => {
+                if let Some(n) = parts.next().and_then(|s| s.parse::<usize>().ok()) {
+                    self.exec_workers = n.max(1);
+                    println!("morsel workers = {}", self.exec_workers);
+                } else {
+                    println!(
+                        "morsel workers = {} (machine has {} cores)",
+                        self.exec_workers,
+                        std::thread::available_parallelism().map_or(1, |n| n.get())
+                    );
                 }
             }
             "\\trace" => {
@@ -616,7 +632,13 @@ impl Shell {
             );
             return;
         }
-        let (result, stats) = match try_execute(&self.store, env, plan, RunLimits::default()) {
+        let (result, stats) = match try_execute_parallel(
+            &self.store,
+            env,
+            plan,
+            RunLimits::default(),
+            self.exec_workers,
+        ) {
             Ok(run) => run,
             Err(e) => {
                 println!("execution failed: {e}");

@@ -58,7 +58,7 @@ pub fn greedy_plan(env: &QueryEnv, params: CostParams, plan: &LogicalPlan) -> Op
                 cur = &cur.children[0];
             }
             LogicalOp::Select { pred } => {
-                terms.extend(env.preds.pred(*pred).terms);
+                terms.extend(env.preds.pred(*pred).terms.iter().cloned());
                 cur = &cur.children[0];
             }
             LogicalOp::Mat { out } => {

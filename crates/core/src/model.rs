@@ -286,7 +286,7 @@ impl<'e> OodbModel<'e> {
                 // sort-order extension); an equality uses distinct-key
                 // statistics; range predicates use estimated selectivity
                 // over a B-tree range sweep.
-                let p_terms = self.env.preds.pred(*pred).terms;
+                let p_terms = self.env.preds.pred(*pred).terms.clone();
                 let matches = match p_terms.first() {
                     None => c.cardinality as f64,
                     Some(t) if t.op == CmpOp::Eq => {

@@ -246,8 +246,8 @@ impl<'e> TransformRule<M<'e>> for SelectIntoJoin {
             if used.is_subset(lv) || used.is_subset(rv) {
                 continue;
             }
-            let mut terms = model.env.preds.pred(jp).terms;
-            terms.extend(model.env.preds.pred(pred).terms);
+            let mut terms = model.env.preds.pred(jp).terms.clone();
+            terms.extend(model.env.preds.pred(pred).terms.iter().cloned());
             terms.sort_by_key(|t| t.op != oodb_algebra::CmpOp::Eq);
             let merged = model.env.preds.intern(oodb_algebra::Pred { terms });
             out.push(op(LogicalOp::Join { pred: merged }, vec![grp(l), grp(r)]));

@@ -1,6 +1,7 @@
 //! The executor: physical operators over the simulated store.
 
 use crate::eval::{eval_operand, eval_pred};
+use crate::morsel;
 use crate::tuple::Tuple;
 use oodb_algebra::{Operand, PhysicalOp, PhysicalPlan, QueryEnv, SetOpKind, VarId, VarOrigin};
 use oodb_fault::{Fault, RunLimits};
@@ -226,6 +227,10 @@ pub struct Executor<'a> {
     /// creation; every 256th drives a limits check so a huge build is
     /// interruptible mid-loop, not only at operator boundaries.
     worked: u64,
+    /// Worker threads for morsel-parallel operator segments (filter,
+    /// root projection, in-memory hash-join probe). `1` (the default)
+    /// keeps every operator on the calling thread.
+    parallelism: usize,
 }
 
 impl<'a> Executor<'a> {
@@ -255,7 +260,32 @@ impl<'a> Executor<'a> {
             grant: MemoryGrant::detached(None),
             spilled_partitions: 0,
             worked: 0,
+            parallelism: 1,
         }
+    }
+
+    /// Sets the worker count for morsel-parallel operator segments
+    /// (clamped to at least 1). Only pure-CPU segments parallelize —
+    /// predicate filters, the root projection, and in-memory hash-join
+    /// probes — and their outputs are concatenated in morsel order, so
+    /// results are byte-identical to a serial run. I/O-charging
+    /// operators always stay on the calling thread.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.parallelism = workers.max(1);
+    }
+
+    /// The configured morsel worker count.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Folds counts merged back from a morsel dispatch into this run's
+    /// accounting.
+    fn merge_counts(&mut self, c: OpCounts) {
+        self.counts.tuples += c.tuples;
+        self.counts.preds += c.preds;
+        self.counts.hash_ops += c.hash_ops;
+        self.counts.derefs += c.derefs;
     }
 
     /// Installs cooperative run limits for subsequent `run*` calls. The
@@ -422,6 +452,18 @@ impl<'a> Executor<'a> {
         child: &PhysicalPlan,
     ) -> Result<Vec<Vec<Value>>, ExecError> {
         let input = self.exec(child)?;
+        if self.parallelism > 1 && input.len() >= morsel::MIN_PARALLEL_ROWS {
+            let store = self.store;
+            let (rows, counts) =
+                morsel::dispatch(self.parallelism, &self.limits, input, |t, counts, out| {
+                    counts.tuples += 1;
+                    out.push(items.iter().map(|i| eval_operand(store, &t, i)).collect());
+                    Ok(())
+                })?;
+            self.merge_counts(counts);
+            self.checkpoint()?;
+            return Ok(rows);
+        }
         let rows = input
             .iter()
             .map(|t| {
@@ -622,14 +664,7 @@ impl<'a> Executor<'a> {
 
             PhysicalOp::Filter { pred } => {
                 let input = self.exec(&plan.children[0])?;
-                Ok(input
-                    .into_iter()
-                    .filter(|t| {
-                        let (ok, n) = eval_pred(self.store, self.env, t, *pred);
-                        self.counts.preds += n;
-                        ok
-                    })
-                    .collect())
+                self.filter_tuples(*pred, input)
             }
 
             PhysicalOp::HybridHashJoin { pred } => {
@@ -708,6 +743,41 @@ impl<'a> Executor<'a> {
                 Ok(tuples)
             }
         }
+    }
+
+    /// Applies a filter predicate, in parallel morsels when the input is
+    /// large and a worker set is configured. Both paths preserve input
+    /// order and per-term predicate accounting; the parallel path
+    /// re-checks the row budget against the merged counts right after
+    /// the dispatch.
+    fn filter_tuples(
+        &mut self,
+        pred: oodb_algebra::PredId,
+        input: Vec<Tuple>,
+    ) -> Result<Vec<Tuple>, ExecError> {
+        if self.parallelism <= 1 || input.len() < morsel::MIN_PARALLEL_ROWS {
+            return Ok(input
+                .into_iter()
+                .filter(|t| {
+                    let (ok, n) = eval_pred(self.store, self.env, t, pred);
+                    self.counts.preds += n;
+                    ok
+                })
+                .collect());
+        }
+        let (store, env) = (self.store, self.env);
+        let (out, counts) =
+            morsel::dispatch(self.parallelism, &self.limits, input, |t, counts, out| {
+                let (ok, n) = eval_pred(store, env, &t, pred);
+                counts.preds += n;
+                if ok {
+                    out.push(t);
+                }
+                Ok(())
+            })?;
+        self.merge_counts(counts);
+        self.checkpoint()?;
+        Ok(out)
     }
 
     /// Extracts the comparison operator and constant key of an index-scan
@@ -867,6 +937,39 @@ impl<'a> Executor<'a> {
             if let Some(k) = eval_operand(self.store, t, left_key_op).hash_key() {
                 table.entry(k).or_default().push(i);
             }
+        }
+        // Probe. The build above is serial (it mutates the table and the
+        // grant has already covered its bytes); the probe is a pure
+        // function of (table, left, right) and parallelizes over right
+        // morsels when a worker set is configured, with outputs
+        // concatenated in probe order — byte-identical to the serial
+        // loop below.
+        if self.parallelism > 1 && right.len() >= morsel::MIN_PARALLEL_ROWS {
+            let (store, env) = (self.store, self.env);
+            let table = &table;
+            let probes: Vec<&Tuple> = right.iter().collect();
+            let (out, counts) =
+                morsel::dispatch(self.parallelism, &self.limits, probes, |rt, counts, out| {
+                    counts.hash_ops += 1;
+                    let Some(k) = eval_operand(store, rt, right_key_op).hash_key() else {
+                        return Ok(());
+                    };
+                    if let Some(matches) = table.get(&k) {
+                        for &i in matches {
+                            let merged = left[i].merge(rt);
+                            let (ok, n) = eval_pred(store, env, &merged, pred);
+                            counts.preds += n;
+                            if ok {
+                                counts.tuples += 1;
+                                out.push(merged);
+                            }
+                        }
+                    }
+                    Ok(())
+                })?;
+            self.merge_counts(counts);
+            self.checkpoint()?;
+            return Ok(out);
         }
         let mut out = Vec::new();
         for rt in right {
@@ -1350,6 +1453,24 @@ pub fn try_execute(
 ) -> Result<(ExecResult, ExecStats), ExecError> {
     let mut ex = Executor::new(store, env);
     ex.set_limits(limits);
+    let result = ex.try_run(plan)?;
+    Ok((result, ex.stats()))
+}
+
+/// One-shot fallible execution with a morsel worker set: like
+/// [`try_execute`] but pure-CPU operator segments (filters, root
+/// projection, in-memory hash-join probes) run on up to `workers`
+/// threads. Results are byte-identical to the serial path.
+pub fn try_execute_parallel(
+    store: &Store,
+    env: &QueryEnv,
+    plan: &PhysicalPlan,
+    limits: RunLimits,
+    workers: usize,
+) -> Result<(ExecResult, ExecStats), ExecError> {
+    let mut ex = Executor::new(store, env);
+    ex.set_limits(limits);
+    ex.set_parallelism(workers);
     let result = ex.try_run(plan)?;
     Ok((result, ex.stats()))
 }
@@ -2071,5 +2192,100 @@ mod tests {
             })
             .sum();
         assert_eq!(res.len(), oracle);
+    }
+
+    /// A plan exercising every morsel-parallel segment — filter, root
+    /// projection, and the in-memory hash-join probe — over an input
+    /// large enough to actually dispatch (employees at 1/10 scale =
+    /// 5000 rows > the parallel threshold).
+    fn morsel_heavy_plan(
+        m: &oodb_object::paper::PaperModel,
+        mut qb: QueryBuilder,
+    ) -> (PhysicalPlan, QueryEnv) {
+        let (_, e) = qb.get(m.ids.employees, "e");
+        let (_, d) = qb.get(m.ids.department_extent, "d");
+        let join = qb.ref_eq(e, m.ids.emp_dept, d);
+        let sel = qb.cmp_const(
+            e,
+            m.ids.emp_salary,
+            CmpOp::Ge,
+            Value::Int(0), // keep every row so the probe stays big
+        );
+        let name = Operand::Attr {
+            var: e,
+            field: m.ids.person_name,
+        };
+        let p = plan(
+            PhysicalOp::AlgProject { items: vec![name] },
+            vec![plan(
+                PhysicalOp::HybridHashJoin { pred: join },
+                vec![
+                    plan(
+                        PhysicalOp::FileScan {
+                            coll: m.ids.department_extent,
+                            var: d,
+                        },
+                        vec![],
+                    ),
+                    plan(
+                        PhysicalOp::Filter { pred: sel },
+                        vec![plan(
+                            PhysicalOp::FileScan {
+                                coll: m.ids.employees,
+                                var: e,
+                            },
+                            vec![],
+                        )],
+                    ),
+                ],
+            )],
+        );
+        (p, qb.into_env())
+    }
+
+    #[test]
+    fn morsel_parallel_run_is_byte_identical_to_serial() {
+        let (store, m) = generate_paper_db(GenConfig {
+            scale_div: 10,
+            ..Default::default()
+        });
+        let qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (p, env) = morsel_heavy_plan(&m, qb);
+
+        let mut serial = Executor::new(&store, &env);
+        let base = serial.run(&p);
+        let base_stats = serial.stats();
+
+        for workers in [2, 4, 8] {
+            let mut par = Executor::new(&store, &env);
+            par.set_parallelism(workers);
+            let res = par.run(&p);
+            assert_eq!(res, base, "{workers} workers");
+            let stats = par.stats();
+            // Identical work accounting, not just identical rows.
+            assert_eq!(stats.counts.tuples, base_stats.counts.tuples);
+            assert_eq!(stats.counts.preds, base_stats.counts.preds);
+            assert_eq!(stats.counts.hash_ops, base_stats.counts.hash_ops);
+        }
+    }
+
+    #[test]
+    fn morsel_parallel_run_observes_cancellation() {
+        use oodb_fault::CancelToken;
+        let (store, m) = generate_paper_db(GenConfig {
+            scale_div: 10,
+            ..Default::default()
+        });
+        let qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (p, env) = morsel_heavy_plan(&m, qb);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let mut ex = Executor::new(&store, &env);
+        ex.set_parallelism(4);
+        ex.set_limits(RunLimits {
+            cancel: Some(cancel),
+            ..Default::default()
+        });
+        assert_eq!(ex.try_run(&p).unwrap_err(), ExecError::Cancelled);
     }
 }

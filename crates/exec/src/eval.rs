@@ -1,7 +1,7 @@
 //! Predicate and operand evaluation over tuples.
 
 use crate::tuple::Tuple;
-use oodb_algebra::{Operand, Pred, PredId, QueryEnv};
+use oodb_algebra::{Operand, PredId, QueryEnv};
 use oodb_object::Value;
 use oodb_storage::Store;
 
@@ -19,7 +19,9 @@ pub fn eval_operand(store: &Store, tuple: &Tuple, op: &Operand) -> Value {
 /// Evaluates one interned predicate (a conjunction) against a tuple.
 /// Returns `(result, terms_evaluated)` — the count feeds CPU accounting.
 pub fn eval_pred(store: &Store, env: &QueryEnv, tuple: &Tuple, pred: PredId) -> (bool, u64) {
-    let p: Pred = env.preds.pred(pred);
+    // Lock-free arena lookup: a stable `&Pred`, no lock and no clone on
+    // this once-per-tuple path.
+    let p = env.preds.pred(pred);
     let mut evaluated = 0;
     for t in &p.terms {
         evaluated += 1;

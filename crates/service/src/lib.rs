@@ -26,15 +26,18 @@
 use oodb_algebra::fingerprint::fingerprint;
 use oodb_core::plancache::{CacheKey, CachedBody, CachedPlan, PlanCache};
 use oodb_core::{compile_dynamic, BoundedOutcome, CostParams, OpenOodb, OptimizerConfig};
-use oodb_exec::{try_execute, try_execute_traced, ExecError, ExecResult, ExecStats};
+use oodb_exec::{
+    try_execute, try_execute_parallel, try_execute_traced, ExecError, ExecResult, ExecStats,
+};
 use oodb_fault::{CancelToken, FaultClass, FaultInjector, RunLimits};
 use oodb_storage::{MemoryGovernor, PressureLevel, Store};
+use oodb_sync::Snap;
 use oodb_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, OpTrace, StageTimer};
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -145,20 +148,10 @@ impl std::fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
-/// Recovers a read guard even when a previous holder panicked: the
-/// service's shared state (store snapshot, config + fingerprint) is only
-/// ever replaced wholesale by `Arc` swap, so a guard abandoned mid-panic
-/// cannot leave it half-written and poisoning must not cascade.
-fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
-    lock.read().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Write counterpart of [`read_lock`].
-fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
-    lock.write().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Poison-recovering mutex lock (worker queue receiver).
+/// Poison-recovering mutex lock (worker queue receivers, breaker, pool
+/// handles): a holder that panicked mid-section must not wedge the
+/// service — the state behind each of these mutexes is either replaced
+/// wholesale or trivially re-derivable.
 fn lock_mutex<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
@@ -207,6 +200,11 @@ pub struct SubmitOptions {
     /// make progress concurrently; operators under the budget spill
     /// rather than error.
     pub mem_budget: Option<u64>,
+    /// Morsel worker threads for intra-query parallel execution of
+    /// pure-CPU operator segments (filters, root projection, in-memory
+    /// hash-join probes). `0` or `1` (the default) executes serially;
+    /// results are byte-identical either way.
+    pub exec_workers: usize,
 }
 
 /// Admission-control policy for [`QueryService`]. Everything is disabled
@@ -319,6 +317,13 @@ pub struct QueryOutput {
     /// Spill pages the execution moved (written + read back); nonzero
     /// only when the memory grant forced operators to overflow.
     pub spill_pages: u64,
+    /// `stats_epoch` of the store snapshot this submission ran against.
+    /// Paired with [`QueryOutput::config_fp`], it identifies the ONE
+    /// service snapshot the whole pipeline observed — concurrency tests
+    /// assert the pair always matches a published snapshot (no tearing).
+    pub stats_epoch: u64,
+    /// Fingerprint of the optimizer configuration the submission used.
+    pub config_fp: u64,
 }
 
 /// Handles to every metric the service records, registered once at
@@ -466,17 +471,30 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
-struct Inner {
-    store: RwLock<Arc<Store>>,
+/// Everything a submission reads from the service, published as ONE
+/// epoch snapshot. A submission loads the snapshot once and works from
+/// it for its whole pipeline, so it can never observe a store from one
+/// reconfiguration and a config (or admission policy) from another —
+/// torn reads are impossible by construction, not by locking. Mutators
+/// build a complete replacement and swap it in ([`Snap`]); the read
+/// side is a single atomic load with no shared-cache-line writes.
+#[derive(Clone, Debug)]
+struct ServiceState {
+    store: Arc<Store>,
     /// The configuration plus its precomputed fingerprint — recomputing
     /// the fingerprint (sorting rule names) on every submit would cost
     /// more than the cache probe it keys.
-    config: RwLock<(Arc<OptimizerConfig>, u64)>,
+    config: Arc<OptimizerConfig>,
+    config_fp: u64,
+    admission: AdmissionConfig,
+}
+
+struct Inner {
+    state: Snap<ServiceState>,
     params: CostParams,
     cache: Arc<PlanCache>,
     telemetry: Arc<MetricsRegistry>,
     metrics: ServiceMetrics,
-    admission: RwLock<AdmissionConfig>,
     inflight: AtomicUsize,
     breaker: Mutex<Breaker>,
 }
@@ -501,17 +519,38 @@ impl QueryService {
         let metrics = ServiceMetrics::register(&telemetry);
         QueryService {
             inner: Arc::new(Inner {
-                store: RwLock::new(Arc::new(store)),
-                config: RwLock::new((Arc::new(config), config_fp)),
+                state: Snap::new(ServiceState {
+                    store: Arc::new(store),
+                    config: Arc::new(config),
+                    config_fp,
+                    admission: AdmissionConfig::default(),
+                }),
                 params,
                 cache: Arc::new(PlanCache::new(cache_capacity, cache_shards)),
                 telemetry,
                 metrics,
-                admission: RwLock::new(AdmissionConfig::default()),
                 inflight: AtomicUsize::new(0),
                 breaker: Mutex::new(Breaker::default()),
             }),
         }
+    }
+
+    /// Publishes a new store snapshot derived from the current one,
+    /// leaving config and admission policy untouched. Serialized with
+    /// every other mutator by the snapshot cell's writer lock, so
+    /// concurrent reconfigurations never lose each other's changes.
+    fn swap_store(&self, f: impl FnOnce(&mut Store)) {
+        self.inner.state.update(|s| {
+            let mut store = (*s.store).clone();
+            f(&mut store);
+            (
+                ServiceState {
+                    store: Arc::new(store),
+                    ..s.clone()
+                },
+                (),
+            )
+        });
     }
 
     /// The service's metrics registry (shared with all clones).
@@ -565,7 +604,7 @@ impl QueryService {
 
     /// The current store snapshot.
     pub fn store(&self) -> Arc<Store> {
-        Arc::clone(&read_lock(&self.inner.store))
+        Arc::clone(&self.inner.state.load().store)
     }
 
     /// The plan cache (shared).
@@ -575,7 +614,15 @@ impl QueryService {
 
     /// The current optimizer configuration.
     pub fn config(&self) -> OptimizerConfig {
-        (*read_lock(&self.inner.config).0).clone()
+        (*self.inner.state.load().config).clone()
+    }
+
+    /// The identity of the current snapshot as a consistent
+    /// `(stats_epoch, config_fingerprint)` pair — both fields come from
+    /// ONE atomic snapshot load, never from two reconfigurations.
+    pub fn snapshot_identity(&self) -> (u64, u64) {
+        let s = self.inner.state.load();
+        (s.store.catalog().stats_epoch(), s.config_fp)
     }
 
     /// Replaces the optimizer configuration. Plans cached under the old
@@ -583,44 +630,73 @@ impl QueryService {
     /// config fingerprint is part of every cache key.
     pub fn set_config(&self, config: OptimizerConfig) {
         let fp = config.fingerprint();
-        *write_lock(&self.inner.config) = (Arc::new(config), fp);
+        let config = Arc::new(config);
+        self.inner.state.update(|s| {
+            (
+                ServiceState {
+                    config: Arc::clone(&config),
+                    config_fp: fp,
+                    ..s.clone()
+                },
+                (),
+            )
+        });
     }
 
     /// Collects histograms and swaps in a store whose catalog carries the
     /// refined statistics and a bumped `stats_epoch`.
     pub fn refresh_statistics(&self, buckets: usize) {
-        let mut store = (*self.store()).clone();
-        let catalog = store.collect_statistics(&[], buckets);
-        store.set_catalog(catalog);
-        store.build_indexes();
-        *write_lock(&self.inner.store) = Arc::new(store);
+        self.swap_store(|store| {
+            let catalog = store.collect_statistics(&[], buckets);
+            store.set_catalog(catalog);
+            store.build_indexes();
+        });
+    }
+
+    /// Replaces statistics *and* configuration in one snapshot swap: a
+    /// reader either sees both changes or neither. This is the mutation
+    /// the concurrency proof drives while submissions race it.
+    pub fn refresh_statistics_with_config(&self, buckets: usize, config: OptimizerConfig) {
+        let fp = config.fingerprint();
+        let config = Arc::new(config);
+        self.inner.state.update(|s| {
+            let mut store = (*s.store).clone();
+            let catalog = store.collect_statistics(&[], buckets);
+            store.set_catalog(catalog);
+            store.build_indexes();
+            (
+                ServiceState {
+                    store: Arc::new(store),
+                    config: Arc::clone(&config),
+                    config_fp: fp,
+                    admission: s.admission,
+                },
+                (),
+            )
+        });
     }
 
     /// Drops every index not named in `keep` (physical-design change) and
     /// swaps in the rebuilt store. The epoch bump makes every cached plan
     /// unservable, so a plan relying on a dropped index can never run.
     pub fn restrict_indexes(&self, keep: &[&str]) {
-        let mut store = (*self.store()).clone();
-        let catalog = store.catalog().with_only_indexes(keep);
-        store.set_catalog(catalog);
-        store.build_indexes();
-        *write_lock(&self.inner.store) = Arc::new(store);
+        self.swap_store(|store| {
+            let catalog = store.catalog().with_only_indexes(keep);
+            store.set_catalog(catalog);
+            store.build_indexes();
+        });
     }
 
     /// Routes subsequent executions through a fault injector by swapping
     /// in a store snapshot that carries it. No epoch bump: injected faults
     /// do not invalidate cached plans, only their executions.
     pub fn attach_fault_injector(&self, injector: FaultInjector) {
-        let mut store = (*self.store()).clone();
-        store.attach_fault_injector(injector);
-        *write_lock(&self.inner.store) = Arc::new(store);
+        self.swap_store(|store| store.attach_fault_injector(injector));
     }
 
     /// Removes the fault injector (fresh snapshots execute fault-free).
     pub fn detach_fault_injector(&self) {
-        let mut store = (*self.store()).clone();
-        store.detach_fault_injector();
-        *write_lock(&self.inner.store) = Arc::new(store);
+        self.swap_store(Store::detach_fault_injector);
     }
 
     /// The fault injector on the current store snapshot, if any.
@@ -634,16 +710,12 @@ impl QueryService {
     /// whose grant runs out spill to simulated disk instead of growing.
     /// No epoch bump: governance changes execution, not plans.
     pub fn attach_memory_governor(&self, governor: MemoryGovernor) {
-        let mut store = (*self.store()).clone();
-        store.attach_memory_governor(governor);
-        *write_lock(&self.inner.store) = Arc::new(store);
+        self.swap_store(|store| store.attach_memory_governor(governor));
     }
 
     /// Removes the memory governor (fresh snapshots execute ungoverned).
     pub fn detach_memory_governor(&self) {
-        let mut store = (*self.store()).clone();
-        store.detach_memory_governor();
-        *write_lock(&self.inner.store) = Arc::new(store);
+        self.swap_store(Store::detach_memory_governor);
     }
 
     /// The memory governor on the current store snapshot, if any.
@@ -654,12 +726,20 @@ impl QueryService {
     /// Replaces the admission-control policy (applies to the next
     /// submission; in-flight work is never revoked).
     pub fn set_admission(&self, config: AdmissionConfig) {
-        *write_lock(&self.inner.admission) = config;
+        self.inner.state.update(|s| {
+            (
+                ServiceState {
+                    admission: config,
+                    ..s.clone()
+                },
+                (),
+            )
+        });
     }
 
     /// The current admission-control policy.
     pub fn admission(&self) -> AdmissionConfig {
-        *read_lock(&self.inner.admission)
+        self.inner.state.load().admission
     }
 
     /// Compiles, plans (via cache), executes. Equivalent to
@@ -727,7 +807,10 @@ impl QueryService {
             m.errors.inc();
             return Err(ServiceError::Cancelled);
         }
-        let adm = *read_lock(&self.inner.admission);
+        // ONE snapshot load serves this whole submission: admission
+        // policy, store, and config all come from the same epoch.
+        let state = self.inner.state.load();
+        let adm = state.admission;
 
         // Circuit breaker: while open, shed without touching the pipeline.
         // Once the cooldown passes, half-open — let one probe through; a
@@ -768,7 +851,7 @@ impl QueryService {
         // Pressure ladder: degrade before shedding, shed before failing.
         let mut pressure_degraded = false;
         if adm.degrade_under_pressure {
-            if let Some(gov) = self.store().memory_governor() {
+            if let Some(gov) = state.store.memory_governor() {
                 match gov.pressure() {
                     PressureLevel::Critical => {
                         m.errors.inc();
@@ -783,7 +866,7 @@ impl QueryService {
             }
         }
 
-        let result = self.submit_pipeline(zql_src, opts, cancel, pressure_degraded);
+        let result = self.submit_pipeline(&state, zql_src, opts, cancel, pressure_degraded);
 
         if adm.breaker_threshold > 0 {
             let mut breaker = lock_mutex(&self.inner.breaker);
@@ -812,8 +895,12 @@ impl QueryService {
 
     /// Parse → plan (via cache) → execute. `pressure_degraded` selects
     /// the cheap path: greedy plan, no cache traffic, halved grant.
+    /// `state` is the snapshot its caller loaded — the pipeline never
+    /// re-reads shared state mid-flight, so the (store, config,
+    /// stats_epoch) triple it works from is consistent end to end.
     fn submit_pipeline(
         &self,
+        state: &ServiceState,
         zql_src: &str,
         opts: SubmitOptions,
         cancel: Option<&CancelToken>,
@@ -821,11 +908,8 @@ impl QueryService {
     ) -> Result<QueryOutput, ServiceError> {
         let m = &self.inner.metrics;
         let deadline = opts.deadline.map(|d| Instant::now() + d);
-        let store = self.store();
-        let (config, config_fp) = {
-            let guard = read_lock(&self.inner.config);
-            (Arc::clone(&guard.0), guard.1)
-        };
+        let store = Arc::clone(&state.store);
+        let (config, config_fp) = (Arc::clone(&state.config), state.config_fp);
         let mut stages = StageBreakdown::default();
         let mut timer = StageTimer::start();
         let ast = zql::parser::parse(zql_src).map_err(|e| {
@@ -987,6 +1071,9 @@ impl QueryService {
             let attempt = if opts.trace {
                 try_execute_traced(&store, &entry.env, plan, limits)
                     .map(|(r, s, t)| (r, s, Some(t)))
+            } else if opts.exec_workers > 1 {
+                try_execute_parallel(&store, &entry.env, plan, limits, opts.exec_workers)
+                    .map(|(r, s)| (r, s, None))
             } else {
                 try_execute(&store, &entry.env, plan, limits).map(|(r, s)| (r, s, None))
             };
@@ -1061,6 +1148,8 @@ impl QueryService {
             retries: retries_used,
             mem_peak_bytes: stats.mem.peak_bytes,
             spill_pages: stats.mem.spill_pages_written + stats.mem.spill_pages_read,
+            stats_epoch: epoch,
+            config_fp,
         })
     }
 }
@@ -1135,9 +1224,16 @@ impl Pending {
 }
 
 /// State shared between the pool handle and its worker threads, so a
-/// replacement worker can be spawned from the same queue and registry.
+/// replacement worker can be spawned from the same queues and registry.
+///
+/// Each worker slot owns its own channel: dequeue never serializes
+/// across workers on one shared receiver lock (the old design's
+/// bottleneck at high thread counts). A slot's mutex is only ever taken
+/// by the one worker bound to that slot — it exists so a *respawned*
+/// worker can adopt its dead predecessor's receiver, keeping queued
+/// jobs alive across worker deaths.
 struct PoolShared {
-    rx: Mutex<mpsc::Receiver<Job>>,
+    rxs: Vec<Mutex<mpsc::Receiver<Job>>>,
     svc: QueryService,
     reg: Arc<MetricsRegistry>,
     queue_depth: Gauge,
@@ -1159,8 +1255,8 @@ fn spawn_worker(shared: &Arc<PoolShared>, i: usize) -> thread::JoinHandle<()> {
                 .reg
                 .counter("oodb_worker_jobs_total", &[("worker", &worker)]);
             loop {
-                // Hold the receiver lock only while dequeuing.
-                let job = match lock_mutex(&shared.rx).recv() {
+                // This slot's receiver; uncontended (one worker per slot).
+                let job = match lock_mutex(&shared.rxs[i]).recv() {
                     Ok(job) => job,
                     Err(_) => break,
                 };
@@ -1195,20 +1291,26 @@ fn spawn_worker(shared: &Arc<PoolShared>, i: usize) -> thread::JoinHandle<()> {
         .expect("spawn worker thread")
 }
 
-/// N `std::thread` workers pulling submissions off one queue. Dead
-/// workers (panics, poison pills) are detected and respawned on the next
-/// enqueue; their in-flight jobs surface as [`ServiceError::WorkerLost`]
-/// rather than hanging or panicking the caller.
+/// N `std::thread` workers, each with its own job channel; submissions
+/// are distributed round-robin. Dead workers (panics, poison pills) are
+/// detected and respawned on the next enqueue — a respawn adopts the
+/// dead slot's receiver, so jobs already queued there still run. Jobs a
+/// worker died *holding* surface as [`ServiceError::WorkerLost`] rather
+/// than hanging or panicking the caller.
 pub struct WorkerPool {
-    tx: Option<mpsc::Sender<Job>>,
+    /// Per-slot senders; `None` after shutdown closed the queues.
+    txs: Option<Vec<mpsc::Sender<Job>>>,
     shared: Arc<PoolShared>,
     /// Worker slots: (slot index, live handle). A slot's handle is
     /// replaced when the worker is found dead.
     handles: Mutex<Vec<(usize, thread::JoinHandle<()>)>>,
+    /// Round-robin cursor over the worker slots.
+    next: AtomicUsize,
     queue_depth: Gauge,
     respawns: Counter,
-    /// Maximum queued (not yet dequeued) jobs; 0 = unbounded. The excess
-    /// is shed at enqueue with [`ShedReason::QueueFull`].
+    /// Maximum queued (not yet dequeued) jobs across all slots; 0 =
+    /// unbounded. The excess is shed at enqueue with
+    /// [`ShedReason::QueueFull`].
     queue_limit: usize,
 }
 
@@ -1233,24 +1335,31 @@ impl WorkerPool {
     }
 
     fn build(service: QueryService, workers: usize, queue_limit: usize) -> Self {
-        let (tx, rx) = mpsc::channel::<Job>();
+        let workers = workers.max(1);
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..workers)
+            .map(|_| {
+                let (tx, rx) = mpsc::channel::<Job>();
+                (tx, Mutex::new(rx))
+            })
+            .unzip();
         let reg = Arc::clone(service.telemetry());
         let queue_depth = reg.gauge("oodb_queue_depth", &[]);
         let respawns = reg.counter("oodb_worker_respawns_total", &[]);
         let shared = Arc::new(PoolShared {
-            rx: Mutex::new(rx),
+            rxs,
             svc: service,
             reg,
             queue_depth: queue_depth.clone(),
             queued: AtomicUsize::new(0),
         });
-        let handles = (0..workers.max(1))
+        let handles = (0..workers)
             .map(|i| (i, spawn_worker(&shared, i)))
             .collect();
         WorkerPool {
-            tx: Some(tx),
+            txs: Some(txs),
             shared,
             handles: Mutex::new(handles),
+            next: AtomicUsize::new(0),
             queue_depth,
             respawns,
             queue_limit,
@@ -1298,10 +1407,13 @@ impl WorkerPool {
         }
         self.shared.queued.fetch_add(1, Ordering::Relaxed);
         self.queue_depth.add(1);
-        if let Some(tx) = self.tx.as_ref() {
+        if let Some(txs) = self.txs.as_ref() {
+            // Round-robin over per-worker queues: senders never contend
+            // with each other or with dequeuing workers.
+            let slot = self.next.fetch_add(1, Ordering::Relaxed) % txs.len();
             // The receiver lives in PoolShared, so this send cannot fail
             // while the pool exists; `let _ =` keeps shutdown races benign.
-            let _ = tx.send(Job {
+            let _ = txs[slot].send(Job {
                 zql,
                 opts,
                 cancel,
@@ -1336,9 +1448,9 @@ impl WorkerPool {
         self.enqueue(String::new(), SubmitOptions::default(), None, true)
     }
 
-    /// Drains the queue and joins every worker.
+    /// Drains the queues and joins every worker.
     pub fn shutdown(mut self) {
-        self.tx.take(); // close the queue
+        self.txs.take(); // close every per-worker queue
         for (_, h) in lock_mutex(&self.handles).drain(..) {
             let _ = h.join();
         }
@@ -1347,7 +1459,7 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.tx.take();
+        self.txs.take();
         for (_, h) in lock_mutex(&self.handles).drain(..) {
             let _ = h.join();
         }
@@ -1506,28 +1618,39 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_locks_recover() {
+    fn panicking_mutator_does_not_wedge_snapshot_state() {
         let svc = small_service();
-        // Poison both shared RwLocks: grab each write guard on another
-        // thread-of-control and panic while holding it.
+        // Panic *inside* a snapshot update closure: the writer mutex is
+        // abandoned mid-section, which is exactly the poisoning shape
+        // the old RwLock design had to recover from.
         let s = svc.clone();
         let _ = catch_unwind(AssertUnwindSafe(|| {
-            let _guard = s.inner.config.write().unwrap();
-            panic!("poison the config lock");
+            s.inner.state.update(|_| -> (ServiceState, ()) {
+                panic!("poison the snapshot writer lock");
+            });
         }));
-        assert!(svc.inner.config.is_poisoned());
-        let s = svc.clone();
-        let _ = catch_unwind(AssertUnwindSafe(|| {
-            let _guard = s.inner.store.write().unwrap();
-            panic!("poison the store lock");
-        }));
-        assert!(svc.inner.store.is_poisoned());
-        // The service keeps working: reads recover the guards, and the
-        // state behind them is still the intact pre-panic Arc.
+        // The service keeps working: the published snapshot is still the
+        // intact pre-panic value, and both readers and writers recover.
         assert!(svc.submit(Q_TIME).is_ok());
         svc.set_config(OptimizerConfig::all_rules());
         svc.refresh_statistics(8);
         assert!(svc.submit(Q_TIME).is_ok());
+    }
+
+    #[test]
+    fn combined_swap_is_observed_atomically() {
+        let svc = small_service();
+        let before = svc.snapshot_identity();
+        // A combined statistics+config swap either happened entirely or
+        // not at all from any reader's point of view.
+        svc.refresh_statistics_with_config(
+            8,
+            OptimizerConfig::without(&[oodb_core::config::rule_names::MERGE_JOIN]),
+        );
+        let after = svc.snapshot_identity();
+        assert_ne!(before, after);
+        let out = svc.submit(Q_TIME).unwrap();
+        assert_eq!((out.stats_epoch, out.config_fp), after);
     }
 
     #[test]
@@ -1818,6 +1941,14 @@ mod tests {
             ..Default::default()
         };
         let running = pool.submit(Q_TIME, slow_opts);
+        // Wait until the worker has *dequeued* the slow job; otherwise it
+        // still occupies the 1-deep queue and the whole burst sheds.
+        for _ in 0..400 {
+            if pool.shared.queued.load(Ordering::Relaxed) == 0 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
         let burst: Vec<Pending> = (0..16)
             .map(|_| pool.submit(Q_TIME, SubmitOptions::default()))
             .collect();

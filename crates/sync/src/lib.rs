@@ -1,0 +1,24 @@
+//! # `oodb-sync` — contention-free shared-state primitives
+//!
+//! The multicore scaling work replaced every hot-path `RwLock` in the
+//! system with one of two structures from this crate:
+//!
+//! * [`Snap`] — an epoch-snapshot cell in the spirit of `arc-swap`:
+//!   writers build a complete new value and swap it in under a mutex;
+//!   readers take a consistent `Arc` snapshot with, in the steady state,
+//!   a single atomic *load* (no read-modify-write on shared cache lines)
+//!   thanks to a per-thread version-keyed cache. Built only on `std`.
+//! * [`AppendVec`] — an append-only chunked vector whose `get` is
+//!   lock-free (three atomic loads) and returns a **stable reference**:
+//!   slots never move once published, so `&T` stays valid for the life
+//!   of the vector while concurrent pushes proceed.
+//!
+//! Both structures recover from poisoning (a panicking writer never
+//! wedges readers), matching the panic-tolerance discipline of the
+//! service layer.
+
+pub mod append_vec;
+pub mod snap;
+
+pub use append_vec::AppendVec;
+pub use snap::Snap;

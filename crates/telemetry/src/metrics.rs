@@ -6,17 +6,20 @@
 //! * histogram observation — one relaxed gate load, and when profiling is
 //!   on, a bucket search over a fixed 28-entry table plus three relaxed
 //!   RMWs; when off, the gate load alone;
-//! * registration — one mutex acquisition, paid once per handle, never on
+//! * registration — copy-on-write: a *new* key pays one writer-mutex
+//!   acquisition and a map clone; re-registering an existing key (the
+//!   respawned-worker path) is a lock-free snapshot probe. Neither is on
 //!   the per-query path (callers cache handles).
 //!
 //! Buckets are fixed powers of two in nanoseconds so every process buckets
 //! identically: reports from different runs (or different worker counts)
 //! merge by summing counts, and quantiles are reproducible.
 
+use oodb_sync::Snap;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Number of finite histogram buckets.
@@ -379,11 +382,15 @@ impl Slot {
 
 /// The registry: get-or-create handles by `(name, labels)`, render the
 /// whole population as Prometheus text or JSON. Cheap to share behind an
-/// `Arc`; handle lookups lock a `Mutex`, metric updates never do.
+/// `Arc`. The population lives in a copy-on-write snapshot ([`Snap`]):
+/// looking up an existing handle and rendering are lock-free snapshot
+/// reads; only registering a genuinely *new* key takes the writer mutex
+/// and pays an O(population) map clone — rare, bounded, and never on
+/// the per-query path.
 #[derive(Debug)]
 pub struct MetricsRegistry {
     profiling: Arc<AtomicBool>,
-    metrics: Mutex<BTreeMap<MetricKey, Slot>>,
+    metrics: Snap<BTreeMap<MetricKey, Slot>>,
 }
 
 impl Default for MetricsRegistry {
@@ -399,8 +406,27 @@ impl MetricsRegistry {
     pub fn new() -> Self {
         MetricsRegistry {
             profiling: Arc::new(AtomicBool::new(false)),
-            metrics: Mutex::new(BTreeMap::new()),
+            metrics: Snap::new(BTreeMap::new()),
         }
+    }
+
+    /// Get-or-create machinery shared by the three handle kinds: probe
+    /// the current snapshot lock-free; only on a miss, publish a new
+    /// snapshot with the key inserted (re-checking under the writer
+    /// lock so concurrent registrations of one key agree on a handle).
+    fn slot(&self, key: MetricKey, make: impl FnOnce() -> Slot) -> Slot {
+        if let Some(slot) = self.metrics.load().get(&key) {
+            return slot.clone();
+        }
+        self.metrics.update(|map| {
+            if let Some(slot) = map.get(&key) {
+                return (map.clone(), slot.clone());
+            }
+            let slot = make();
+            let mut next = map.clone();
+            next.insert(key, slot.clone());
+            (next, slot)
+        })
     }
 
     /// Turns histogram observation on or off. Counters and gauges are
@@ -416,26 +442,18 @@ impl MetricsRegistry {
 
     /// Gets or creates a counter. Panics if the key exists as another kind.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
-        let key = MetricKey::new(name, labels);
-        let mut metrics = self.metrics.lock().unwrap();
-        match metrics
-            .entry(key)
-            .or_insert_with(|| Slot::Counter(Counter::new()))
-        {
-            Slot::Counter(c) => c.clone(),
+        match self.slot(MetricKey::new(name, labels), || {
+            Slot::Counter(Counter::new())
+        }) {
+            Slot::Counter(c) => c,
             other => panic!("metric {name} already registered as {}", other.kind()),
         }
     }
 
     /// Gets or creates a gauge. Panics if the key exists as another kind.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
-        let key = MetricKey::new(name, labels);
-        let mut metrics = self.metrics.lock().unwrap();
-        match metrics
-            .entry(key)
-            .or_insert_with(|| Slot::Gauge(Gauge::new()))
-        {
-            Slot::Gauge(g) => g.clone(),
+        match self.slot(MetricKey::new(name, labels), || Slot::Gauge(Gauge::new())) {
+            Slot::Gauge(g) => g,
             other => panic!("metric {name} already registered as {}", other.kind()),
         }
     }
@@ -443,21 +461,18 @@ impl MetricsRegistry {
     /// Gets or creates a histogram (gated by this registry's profiling
     /// flag). Panics if the key exists as another kind.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
-        let key = MetricKey::new(name, labels);
         let gate = Arc::clone(&self.profiling);
-        let mut metrics = self.metrics.lock().unwrap();
-        match metrics
-            .entry(key)
-            .or_insert_with(|| Slot::Histogram(Histogram::with_gate(gate)))
-        {
-            Slot::Histogram(h) => h.clone(),
+        match self.slot(MetricKey::new(name, labels), || {
+            Slot::Histogram(Histogram::with_gate(gate))
+        }) {
+            Slot::Histogram(h) => h,
             other => panic!("metric {name} already registered as {}", other.kind()),
         }
     }
 
     /// Renders every metric in the Prometheus text exposition format.
     pub fn render_prometheus(&self) -> String {
-        let metrics = self.metrics.lock().unwrap();
+        let metrics = self.metrics.load();
         let mut out = String::new();
         let mut last_typed: Option<(String, &'static str)> = None;
         for (key, slot) in metrics.iter() {
@@ -517,7 +532,7 @@ impl MetricsRegistry {
     /// Renders a JSON snapshot: counters and gauges with their values,
     /// histograms with count/sum/mean and interpolated p50/p95/p99.
     pub fn render_json(&self) -> String {
-        let metrics = self.metrics.lock().unwrap();
+        let metrics = self.metrics.load();
         let labels_json = |key: &MetricKey| {
             let pairs: Vec<String> = key
                 .labels

@@ -23,6 +23,12 @@ cargo test -q --test resilience
 echo "==> tight-memory smoke (pressure + shedding + breaker)"
 cargo test -q --test resilience memory
 
+# Concurrency proof: N submitters race combined statistics + config
+# snapshot swaps; no torn (epoch, config) pair may ever be observed and
+# plan-cache accounting must reconcile (CI adds a TSan leg on top).
+echo "==> concurrency proof (torn snapshots + cache reconciliation)"
+cargo test -q --test scaling
+
 # Supply-chain lint: advisories, duplicate versions, license allow-list.
 # cargo-deny is an external binary; skip gracefully where it is not
 # installed (the offline build container) rather than failing the gate.
