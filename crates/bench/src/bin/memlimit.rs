@@ -22,12 +22,13 @@
 //!
 //! Output is JSON in `BENCH_memlimit.json`.
 
+use oodb_bench::workload::{percentile, Zipf};
 use oodb_core::config::rule_names;
 use oodb_core::{CostParams, OptimizerConfig};
 use oodb_service::{QueryService, ServiceError, SubmitOptions, WorkerPool};
 use oodb_storage::{generate_paper_db, GenConfig, MemoryGovernor};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -82,29 +83,6 @@ fn query_pool() -> Vec<String> {
     pool
 }
 
-/// Zipf(s) sampler over `n` ranks via inverse CDF on a cumulative table.
-struct Zipf {
-    cumulative: Vec<f64>,
-}
-
-impl Zipf {
-    fn new(n: usize, s: f64) -> Self {
-        let mut cumulative = Vec::with_capacity(n);
-        let mut total = 0.0;
-        for rank in 1..=n {
-            total += 1.0 / (rank as f64).powf(s);
-            cumulative.push(total);
-        }
-        Zipf { cumulative }
-    }
-
-    fn sample(&self, rng: &mut SmallRng) -> usize {
-        let total = *self.cumulative.last().unwrap();
-        let u = rng.gen_range(0.0..total);
-        self.cumulative.partition_point(|&c| c < u)
-    }
-}
-
 /// A service whose equi-joins must be hybrid hash joins (memory-bound).
 fn hash_join_service(store: &oodb_storage::Store) -> QueryService {
     QueryService::new(
@@ -125,14 +103,6 @@ struct CellStats {
     spill_bytes_written: u64,
     grant_denials: u64,
     max_peak_bytes: u64,
-}
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
 }
 
 /// One measured replay: `stream` Zipf draws through `threads` workers,

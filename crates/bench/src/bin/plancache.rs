@@ -22,12 +22,13 @@
 //!   even on one core. The scale is calibrated so the mean stall is a few
 //!   milliseconds and is recorded in the JSON.
 
+use oodb_bench::workload::{paper_query_pool, percentile, Zipf};
 use oodb_core::{CostParams, OptimizerConfig};
 use oodb_service::{QueryService, SubmitOptions, WorkerPool};
 use oodb_storage::{generate_paper_db, GenConfig};
 use oodb_telemetry::HistogramSnapshot;
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -40,63 +41,7 @@ const TARGET_STALL_S: f64 = 0.003;
 /// The distinct query pool: the paper's four query shapes, each with a
 /// spread of constants drawn from the generator's value pools.
 fn query_pool() -> Vec<String> {
-    let mut pool = Vec::new();
-    // Q1: the Dallas report — path-expression join chain.
-    let mut locations = vec!["Dallas".to_string()];
-    locations.extend((1..10).map(|i| format!("loc{i:05}")));
-    for loc in locations {
-        pool.push(format!(
-            "SELECT Newobject(e.name(), e.job().name(), e.dept().name()) \
-             FROM Employee e IN Employees \
-             WHERE e.dept().plant().location() == \"{loc}\""
-        ));
-    }
-    // Q2: mayor-name selection (collapses to one path-index scan).
-    let mut mayors = vec!["Joe".to_string()];
-    mayors.extend((1..16).map(|i| format!("p{i:05}")));
-    for name in &mayors {
-        pool.push(format!(
-            "SELECT c FROM City c IN Cities WHERE c.mayor().name() == \"{name}\""
-        ));
-    }
-    // Q3: projection needing the mayor in memory (assembly enforcer).
-    for name in &mayors {
-        pool.push(format!(
-            "SELECT Newobject(c.mayor().age(), c.name()) \
-             FROM City c IN Cities WHERE c.mayor().name() == \"{name}\""
-        ));
-    }
-    // Q4: set-valued path with EXISTS (unnest + mat).
-    for t in (1..=16).map(|i| i * 10) {
-        pool.push(format!(
-            "SELECT t FROM Task t IN Tasks WHERE t.time() == {t} \
-             && EXISTS (SELECT m FROM m IN t.team_members() WHERE m.name() == \"Fred\")"
-        ));
-    }
-    pool
-}
-
-/// Zipf(s) sampler over `n` ranks via inverse CDF on a cumulative table.
-struct Zipf {
-    cumulative: Vec<f64>,
-}
-
-impl Zipf {
-    fn new(n: usize, s: f64) -> Self {
-        let mut cumulative = Vec::with_capacity(n);
-        let mut total = 0.0;
-        for rank in 1..=n {
-            total += 1.0 / (rank as f64).powf(s);
-            cumulative.push(total);
-        }
-        Zipf { cumulative }
-    }
-
-    fn sample(&self, rng: &mut SmallRng) -> usize {
-        let total = *self.cumulative.last().unwrap();
-        let u = rng.gen_range(0.0..total);
-        self.cumulative.partition_point(|&c| c < u)
-    }
+    paper_query_pool(10, 16, 16)
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -106,14 +51,6 @@ struct RunStats {
     p99_latency_ns: u64,
     mean_optimize_ns: u64,
     hit_rate: f64,
-}
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
 }
 
 /// One measured replay: `samples` Zipf draws through a pool of `threads`

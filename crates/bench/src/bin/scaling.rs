@@ -30,6 +30,7 @@
 //! the big-query database.
 
 use oodb_algebra::{CmpOp, Operand, PhysicalOp, PhysicalPlan, PlanEst, QueryBuilder, QueryEnv};
+use oodb_bench::workload::{paper_query_pool, percentile, Zipf};
 use oodb_core::{CostParams, OptimizerConfig};
 use oodb_exec::{ExecResult, Executor};
 use oodb_object::paper::PaperModel;
@@ -37,7 +38,7 @@ use oodb_object::Value;
 use oodb_service::{QueryService, SubmitOptions, WorkerPool};
 use oodb_storage::{generate_paper_db, GenConfig, Store};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -63,62 +64,9 @@ fn env_or(name: &str, default: u64) -> u64 {
 }
 
 /// The same distinct query pool the plancache bench replays (the
-/// paper's four shapes with a spread of constants), duplicated here so
-/// the two benches stay independently runnable.
+/// paper's four shapes with a spread of constants).
 fn query_pool() -> Vec<String> {
-    let mut pool = Vec::new();
-    let mut locations = vec!["Dallas".to_string()];
-    locations.extend((1..10).map(|i| format!("loc{i:05}")));
-    for loc in locations {
-        pool.push(format!(
-            "SELECT Newobject(e.name(), e.job().name(), e.dept().name()) \
-             FROM Employee e IN Employees \
-             WHERE e.dept().plant().location() == \"{loc}\""
-        ));
-    }
-    let mut mayors = vec!["Joe".to_string()];
-    mayors.extend((1..16).map(|i| format!("p{i:05}")));
-    for name in &mayors {
-        pool.push(format!(
-            "SELECT c FROM City c IN Cities WHERE c.mayor().name() == \"{name}\""
-        ));
-    }
-    for name in &mayors {
-        pool.push(format!(
-            "SELECT Newobject(c.mayor().age(), c.name()) \
-             FROM City c IN Cities WHERE c.mayor().name() == \"{name}\""
-        ));
-    }
-    for t in (1..=16).map(|i| i * 10) {
-        pool.push(format!(
-            "SELECT t FROM Task t IN Tasks WHERE t.time() == {t} \
-             && EXISTS (SELECT m FROM m IN t.team_members() WHERE m.name() == \"Fred\")"
-        ));
-    }
-    pool
-}
-
-/// Zipf(s) sampler over `n` ranks via inverse CDF on a cumulative table.
-struct Zipf {
-    cumulative: Vec<f64>,
-}
-
-impl Zipf {
-    fn new(n: usize, s: f64) -> Self {
-        let mut cumulative = Vec::with_capacity(n);
-        let mut total = 0.0;
-        for rank in 1..=n {
-            total += 1.0 / (rank as f64).powf(s);
-            cumulative.push(total);
-        }
-        Zipf { cumulative }
-    }
-
-    fn sample(&self, rng: &mut SmallRng) -> usize {
-        let total = *self.cumulative.last().unwrap();
-        let u = rng.gen_range(0.0..total);
-        self.cumulative.partition_point(|&c| c < u)
-    }
+    paper_query_pool(10, 16, 16)
 }
 
 struct ReplayRow {
@@ -128,14 +76,6 @@ struct ReplayRow {
     p50_latency_ns: u64,
     p99_latency_ns: u64,
     hit_rate: f64,
-}
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
 }
 
 /// One warm cpu-only replay of `stream` through `threads` pool workers.

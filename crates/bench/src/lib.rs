@@ -8,3 +8,4 @@
 
 pub mod queries;
 pub mod report;
+pub mod workload;

@@ -32,6 +32,11 @@ struct Shell {
     telemetry: MetricsRegistry,
     /// Morsel worker threads for plain statement execution (1 = serial).
     exec_workers: usize,
+    /// A network server launched from this shell (`\serve`).
+    server: Option<oodb_server::Server>,
+    /// A connection to a running server (`\connect`); while set, plain
+    /// statements execute remotely.
+    remote: Option<oodb_server::Client>,
 }
 
 fn main() {
@@ -54,6 +59,8 @@ fn main() {
         cache: PlanCache::default(),
         telemetry: MetricsRegistry::new(),
         exec_workers: 1,
+        server: None,
+        remote: None,
     };
     eprintln!("Open OODB reproduction shell. \\help for commands, \\q to quit.");
 
@@ -93,6 +100,12 @@ fn main() {
             }
         }
     }
+    // Drain a shell-launched server before exiting so in-flight remote
+    // requests get their responses.
+    if let Some(s) = shell.server.take() {
+        eprintln!("draining server on {}...", s.local_addr());
+        s.shutdown();
+    }
 }
 
 impl Shell {
@@ -121,6 +134,9 @@ impl Shell {
                      \\trace QUERY;        show the goal-directed search trace\n\
                      \\verify QUERY;       statically verify the query's winning plan\n\
                      \\verify search on|off   also lint every memo expression (slow)\n\
+                     \\serve ADDR          serve this database over HTTP (\\serve stop)\n\
+                     \\connect ADDR        run statements against a remote server\n\
+                     \\disconnect          go back to local execution\n\
                      \\metrics             dump all metrics (Prometheus text format)\n\
                      \\profile on|off      latency histogram collection (default off)\n\
                      \\faults on [RATE] [SEED]   inject storage faults (default 0.05)\n\
@@ -298,8 +314,81 @@ impl Shell {
                 Some(other) => println!("unknown subcommand {other:?}; \\cache [stats|clear]"),
             },
             "\\metrics" => {
-                print!("{}", self.telemetry.render_prometheus());
+                // When serving, the service's registry carries the full
+                // picture (server counters included).
+                match &self.server {
+                    Some(s) => print!("{}", s.service().metrics_prometheus()),
+                    None => print!("{}", self.telemetry.render_prometheus()),
+                }
             }
+            "\\serve" => match parts.next() {
+                Some("stop") => match self.server.take() {
+                    Some(s) => {
+                        let addr = s.local_addr();
+                        s.shutdown();
+                        println!("server on {addr} drained and stopped");
+                    }
+                    None => println!("no server running; \\serve ADDR"),
+                },
+                Some(addr) => {
+                    if self.server.is_some() {
+                        println!("a server is already running; \\serve stop first");
+                    } else {
+                        // The server gets its own QueryService over a
+                        // snapshot of this shell's store and rule config;
+                        // later \rules / \stats changes stay local.
+                        let svc = oodb_service::QueryService::new(
+                            self.store.clone(),
+                            CostParams::default(),
+                            self.config.clone(),
+                            256,
+                            8,
+                        );
+                        match oodb_server::Server::start(
+                            svc,
+                            addr,
+                            oodb_server::ServerConfig::default(),
+                        ) {
+                            Ok(s) => {
+                                println!(
+                                    "serving on {} — POST /query, /prepare, \
+                                     /execute/{{id}}; GET /metrics, /healthz, /stats",
+                                    s.local_addr()
+                                );
+                                self.server = Some(s);
+                            }
+                            Err(e) => println!("cannot serve on {addr}: {e}"),
+                        }
+                    }
+                }
+                None => match &self.server {
+                    Some(s) => println!("serving on {}", s.local_addr()),
+                    None => println!("usage: \\serve ADDR (e.g. 127.0.0.1:7070) | \\serve stop"),
+                },
+            },
+            "\\connect" => match parts.next() {
+                Some(addr) => match oodb_server::Client::connect(addr.to_string()) {
+                    Ok(mut c) => match c.healthz() {
+                        Ok(()) => {
+                            println!(
+                                "connected to {addr}; statements now execute remotely \
+                                 (\\disconnect to go local)"
+                            );
+                            self.remote = Some(c);
+                        }
+                        Err(e) => println!("{addr} did not answer /healthz: {e}"),
+                    },
+                    Err(e) => println!("cannot connect to {addr}: {e}"),
+                },
+                None => match &self.remote {
+                    Some(c) => println!("connected to {}", c.host()),
+                    None => println!("usage: \\connect ADDR"),
+                },
+            },
+            "\\disconnect" => match self.remote.take() {
+                Some(c) => println!("disconnected from {}", c.host()),
+                None => println!("not connected"),
+            },
             "\\faults" => match parts.next() {
                 Some("on") => {
                     let rate = parts
@@ -486,8 +575,51 @@ impl Shell {
             .add(stats.disk.pages());
     }
 
+    /// Runs one statement against the connected server; IO failures
+    /// drop the connection back to local mode.
+    fn remote_statement(&mut self, src: &str) {
+        let Some(client) = self.remote.as_mut() else {
+            return;
+        };
+        match client.query(src, Default::default()) {
+            Ok(out) => {
+                for row in out.rows.iter().take(20) {
+                    println!("  {row}");
+                }
+                if out.rows.len() > 20 {
+                    println!("  ... ({} rows total)", out.rows.len());
+                }
+                println!(
+                    "{} rows from {} in {} server-side{}{}",
+                    out.row_count,
+                    client.host(),
+                    fmt_ns(out.stages.execute_ns),
+                    if out.cache_hit {
+                        " [plan cache hit]"
+                    } else {
+                        ""
+                    },
+                    if out.degraded { " [degraded]" } else { "" }
+                );
+            }
+            Err(e @ oodb_server::ClientError::Io(_)) => {
+                println!("{e} — disconnecting; statements are local again");
+                self.remote = None;
+            }
+            Err(e) => println!("{e}"),
+        }
+    }
+
     fn statement(&mut self, stmt: &str) {
         let upper = stmt.to_ascii_uppercase();
+        if self.remote.is_some() {
+            if upper.starts_with("EXPLAIN") {
+                println!("EXPLAIN runs locally (the wire carries results, not plans)");
+            } else {
+                self.remote_statement(stmt.trim_end_matches(';').trim());
+                return;
+            }
+        }
         // EXPLAIN VERIFY statically checks the plan; EXPLAIN ANALYZE runs
         // the plan and annotates it; bare EXPLAIN only shows the search
         // result.

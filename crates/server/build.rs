@@ -1,0 +1,21 @@
+//! Bakes the git commit hash into the binary so the `oodb_build_info`
+//! metric can identify exactly what is serving. Falls back to
+//! `"unknown"` when the build happens outside a git checkout (vendored
+//! tarballs, CI caches without history).
+
+use std::process::Command;
+
+fn main() {
+    let hash = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=OODB_GIT_HASH={hash}");
+    // Re-run when HEAD moves so the hash never goes stale silently.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -1,0 +1,380 @@
+//! A deliberately small HTTP/1.1 subset — exactly what the protocol
+//! needs and nothing more: request-line + headers + `Content-Length`
+//! bodies, keep-alive by default, pipelining for free (requests are
+//! read sequentially off one `BufRead`, responses written in order).
+//! No chunked encoding, no TLS, no multipart — those belong to a real
+//! proxy in front, not to a reproduction's serving layer.
+
+use std::io::{self, BufRead, Write};
+
+/// Hard ceilings on request framing, independent of the configurable
+/// body cap: one header line and the total header block. Oversized
+/// framing is a malformed request, not a negotiation.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+const MAX_HEADERS: usize = 64;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component, query string stripped.
+    pub path: String,
+    /// Header pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// True when the client asked to drop the connection after this
+    /// exchange (`Connection: close`, or HTTP/1.0 without keep-alive).
+    pub close: bool,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why reading a request failed — each class maps to a different
+/// connection outcome.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean EOF before any request byte: the peer is done; close quietly.
+    Eof,
+    /// Socket-level failure (including read-timeout expiry).
+    Io(io::Error),
+    /// Syntactically invalid framing → `400`, then close (the stream
+    /// position is unrecoverable).
+    Malformed(String),
+    /// `Content-Length` above the server's cap → `413`, then close
+    /// (the body was never read).
+    TooLarge {
+        /// The declared length that broke the cap.
+        declared: usize,
+    },
+}
+
+fn read_line(r: &mut impl BufRead) -> Result<String, ReadError> {
+    let mut buf = Vec::with_capacity(128);
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Err(ReadError::Eof);
+                }
+                return Err(ReadError::Malformed("eof mid-line".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    return String::from_utf8(buf)
+                        .map_err(|_| ReadError::Malformed("non-utf8 header line".into()));
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_LINE_BYTES {
+                    return Err(ReadError::Malformed("header line too long".into()));
+                }
+            }
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+}
+
+/// Reads one request off the stream. `max_body` caps the declared
+/// `Content-Length`; an over-cap body is rejected *without* reading it.
+pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, ReadError> {
+    let line = read_line(r)?;
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if parts.next().is_none() => (m, t, v),
+        _ => return Err(ReadError::Malformed(format!("bad request line {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let http10 = version == "HTTP/1.0";
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    if !path.starts_with('/') {
+        return Err(ReadError::Malformed(format!(
+            "bad request target {target:?}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(r) {
+            Ok(l) => l,
+            Err(ReadError::Eof) => return Err(ReadError::Malformed("eof in headers".into())),
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ReadError::Malformed(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        if headers.len() > MAX_HEADERS {
+            return Err(ReadError::Malformed("too many headers".into()));
+        }
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::Malformed(format!("bad content-length {v:?}")))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(ReadError::TooLarge {
+            declared: content_length,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body).map_err(ReadError::Io)?;
+
+    let conn = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let close = match conn.as_deref() {
+        Some("close") => true,
+        Some("keep-alive") => false,
+        _ => http10,
+    };
+
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        headers,
+        body,
+        close,
+    })
+}
+
+/// One response, built by the handler and serialized by the connection
+/// loop.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// When set, emitted as a `Retry-After: <seconds>` header — the
+    /// back-pressure contract for 429/503.
+    pub retry_after_s: Option<u64>,
+    /// Ask the peer to drop the connection after this response.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after_s: None,
+            close: false,
+        }
+    }
+
+    /// A plain-text response (metrics exposition, health probes).
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+            retry_after_s: None,
+            close: false,
+        }
+    }
+
+    /// Serializes onto the wire.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        if let Some(s) = self.retry_after_s {
+            write!(w, "retry-after: {s}\r\n")?;
+        }
+        if self.close {
+            w.write_all(b"connection: close\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// The reason phrase for every status this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        499 => "Client Closed Request",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A client-side parsed response (status + headers + body). Reuses the
+/// same framing reader as the server side.
+#[derive(Debug)]
+pub struct RawResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl RawResponse {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy — diagnostics only on the failure path).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Reads one response off a stream (client side).
+pub fn read_response(r: &mut impl BufRead) -> Result<RawResponse, ReadError> {
+    let line = read_line(r)?;
+    let mut parts = line.splitn(3, ' ');
+    let status = match (parts.next(), parts.next()) {
+        (Some(v), Some(code)) if v.starts_with("HTTP/1.") => code
+            .parse::<u16>()
+            .map_err(|_| ReadError::Malformed(format!("bad status line {line:?}")))?,
+        _ => return Err(ReadError::Malformed(format!("bad status line {line:?}"))),
+    };
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(r) {
+            Ok(l) => l,
+            Err(ReadError::Eof) => return Err(ReadError::Malformed("eof in headers".into())),
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ReadError::Malformed(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let len = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(ReadError::Io)?;
+    Ok(RawResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_pipelined_requests_off_one_stream() {
+        let wire = b"POST /query HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdGET /healthz?x=1 HTTP/1.1\r\n\r\n";
+        let mut r = BufReader::new(&wire[..]);
+        let a = read_request(&mut r, 1024).unwrap();
+        assert_eq!((a.method.as_str(), a.path.as_str()), ("POST", "/query"));
+        assert_eq!(a.body, b"abcd");
+        assert!(!a.close);
+        let b = read_request(&mut r, 1024).unwrap();
+        assert_eq!(b.path, "/healthz", "query string must be stripped");
+        assert!(matches!(read_request(&mut r, 1024), Err(ReadError::Eof)));
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_without_reading_them() {
+        let wire = b"POST /query HTTP/1.1\r\ncontent-length: 999999\r\n\r\n";
+        let mut r = BufReader::new(&wire[..]);
+        match read_request(&mut r, 1024) {
+            Err(ReadError::TooLarge { declared }) => assert_eq!(declared, 999999),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_framing() {
+        for wire in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /x SPDY/3\r\n\r\n",
+            b"GET noslash HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n",
+            b"POST /x HTTP/1.1\r\ncontent-length: many\r\n\r\n",
+        ] {
+            let mut r = BufReader::new(wire);
+            assert!(
+                matches!(read_request(&mut r, 1024), Err(ReadError::Malformed(_))),
+                "accepted {:?}",
+                String::from_utf8_lossy(wire)
+            );
+        }
+    }
+
+    #[test]
+    fn connection_semantics_follow_version_and_header() {
+        let cases: [(&[u8], bool); 3] = [
+            (b"GET / HTTP/1.1\r\n\r\n", false),
+            (b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", true),
+            (b"GET / HTTP/1.0\r\n\r\n", true),
+        ];
+        for (wire, close) in cases {
+            let mut r = BufReader::new(wire);
+            assert_eq!(read_request(&mut r, 0).unwrap().close, close);
+        }
+    }
+
+    #[test]
+    fn response_round_trips_through_client_reader() {
+        let mut resp = Response::json(429, "{\"error\":{}}".into());
+        resp.retry_after_s = Some(2);
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let parsed = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(parsed.status, 429);
+        assert_eq!(parsed.header("retry-after"), Some("2"));
+        assert_eq!(parsed.body, b"{\"error\":{}}");
+    }
+}

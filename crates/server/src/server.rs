@@ -1,0 +1,582 @@
+//! The serving loop: a `std::net` listener, a bounded acceptor, one
+//! thread per connection, and graceful shutdown that drains in-flight
+//! work through the [`WorkerPool`].
+//!
+//! Life of a request: accept → (connection thread) read + parse →
+//! route → tenant admission ([`crate::tenant`]) → worker-pool submit →
+//! settle tenant permit with the outcome → encode → write. Keep-alive
+//! and pipelining fall out of the sequential read loop; read/write
+//! socket deadlines bound a stalled peer, and the shutdown signal is an
+//! `oodb-fault` [`CancelToken`] checked between requests — the same
+//! cooperative-cancellation primitive executions use, applied to
+//! connections.
+
+use crate::http::{read_request, ReadError, Request, Response};
+use crate::json::{self, Json};
+use crate::tenant::{TenantRegistry, TenantShed};
+use oodb_fault::CancelToken;
+use oodb_service::{
+    AdmissionConfig, QueryService, ServiceError, ShedReason, SubmitOptions, WorkerPool,
+};
+use oodb_telemetry::metrics::{Counter, Gauge};
+use std::fmt::Write as _;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs. The defaults are test-friendly; a real
+/// deployment would raise the connection and body caps.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads in the serving [`WorkerPool`].
+    pub pool_workers: usize,
+    /// Bounded pool queue depth (0 = unbounded). Overflow sheds with
+    /// [`ShedReason::QueueFull`] exactly as in-process callers see it.
+    pub queue_limit: usize,
+    /// Concurrent connections the acceptor admits; the excess is
+    /// answered `503` + `Retry-After` and closed without a thread.
+    pub max_connections: usize,
+    /// Request-body ceiling; larger declared bodies get `413`.
+    pub max_body_bytes: usize,
+    /// Socket read/write deadline. Bounds a stalled peer and sets the
+    /// cadence at which idle keep-alive connections notice shutdown.
+    pub io_timeout: Duration,
+    /// Execution deadline applied to requests that do not set their own
+    /// `deadline_ms` (flows into the executor's `RunLimits`). `None`
+    /// leaves them unbounded.
+    pub default_deadline: Option<Duration>,
+    /// Per-tenant admission policy (every tenant without an override).
+    pub tenant_admission: AdmissionConfig,
+    /// Named tenants with their own policy.
+    pub tenant_overrides: Vec<(String, AdmissionConfig)>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            pool_workers: 4,
+            queue_limit: 0,
+            max_connections: 64,
+            max_body_bytes: 1 << 20,
+            io_timeout: Duration::from_secs(5),
+            default_deadline: None,
+            tenant_admission: AdmissionConfig::default(),
+            tenant_overrides: Vec::new(),
+        }
+    }
+}
+
+struct ServerMetrics {
+    requests_query: Counter,
+    requests_prepare: Counter,
+    requests_execute: Counter,
+    requests_other: Counter,
+    responses_2xx: Counter,
+    responses_4xx: Counter,
+    responses_5xx: Counter,
+    executed_ok: Counter,
+    executed_err: Counter,
+    protocol_errors: Counter,
+    accept_rejects: Counter,
+    connections_total: Counter,
+    connections: Gauge,
+}
+
+struct Shared {
+    service: QueryService,
+    pool: WorkerPool,
+    tenants: TenantRegistry,
+    config: ServerConfig,
+    m: ServerMetrics,
+    shutdown: CancelToken,
+    started: Instant,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A running server. Dropping it without [`Server::shutdown`] aborts
+/// connections unceremoniously; call `shutdown` for the drain.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `service`. Registers `oodb_build_info` and the server's
+    /// own counters on the service's metrics registry so one `/metrics`
+    /// scrape covers both layers.
+    pub fn start(service: QueryService, addr: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        crate::register_build_info(service.telemetry());
+        let reg = service.telemetry();
+        let m = ServerMetrics {
+            requests_query: reg.counter("oodb_server_requests_total", &[("endpoint", "query")]),
+            requests_prepare: reg.counter("oodb_server_requests_total", &[("endpoint", "prepare")]),
+            requests_execute: reg.counter("oodb_server_requests_total", &[("endpoint", "execute")]),
+            requests_other: reg.counter("oodb_server_requests_total", &[("endpoint", "other")]),
+            responses_2xx: reg.counter("oodb_server_responses_total", &[("class", "2xx")]),
+            responses_4xx: reg.counter("oodb_server_responses_total", &[("class", "4xx")]),
+            responses_5xx: reg.counter("oodb_server_responses_total", &[("class", "5xx")]),
+            executed_ok: reg.counter("oodb_server_executed_total", &[("outcome", "ok")]),
+            executed_err: reg.counter("oodb_server_executed_total", &[("outcome", "error")]),
+            protocol_errors: reg.counter("oodb_server_protocol_errors_total", &[]),
+            accept_rejects: reg.counter("oodb_server_accept_rejects_total", &[]),
+            connections_total: reg.counter("oodb_server_connections_total", &[]),
+            connections: reg.gauge("oodb_server_connections", &[]),
+        };
+        let tenants = TenantRegistry::new(
+            config.tenant_admission,
+            config.tenant_overrides.clone(),
+            Arc::clone(reg),
+        );
+        let pool = if config.queue_limit > 0 {
+            WorkerPool::with_queue_limit(service.clone(), config.pool_workers, config.queue_limit)
+        } else {
+            WorkerPool::new(service.clone(), config.pool_workers)
+        };
+        let shared = Arc::new(Shared {
+            service,
+            pool,
+            tenants,
+            config,
+            m,
+            shutdown: CancelToken::new(),
+            started: Instant::now(),
+        });
+        let conns: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            thread::Builder::new()
+                .name("oodb-accept".into())
+                .spawn(move || accept_loop(listener, shared, conns))?
+        };
+        Ok(Server {
+            shared,
+            addr: local,
+            acceptor: Some(acceptor),
+            conns,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service being served (for tests and the CLI).
+    pub fn service(&self) -> &QueryService {
+        &self.shared.service
+    }
+
+    /// Graceful shutdown: stop accepting, let every connection finish
+    /// the request it is reading or running (responses are written
+    /// before close), then drain and join the worker pool. Idle
+    /// keep-alive connections notice within one `io_timeout`.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.cancel();
+        // Unblock the acceptor's blocking accept() with a throwaway
+        // connection; it checks the token first thing afterwards.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = lock(&self.conns).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        // All connections are gone, so this Arc is the last owner and
+        // the pool can be drained and joined for real.
+        if let Ok(shared) = Arc::try_unwrap(self.shared) {
+            shared.pool.shutdown();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conns: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.is_cancelled() {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        // Bounded acceptor: over the connection cap we answer with the
+        // back-pressure contract (503 + Retry-After) inline on the
+        // acceptor thread — cheap, and no thread is spawned.
+        let active = shared.m.connections.get();
+        if active >= shared.config.max_connections as i64 {
+            shared.m.accept_rejects.inc();
+            let mut resp = Response::json(
+                503,
+                "{\"error\":{\"kind\":\"overloaded\",\"reason\":\"connections\",\
+                 \"message\":\"connection limit reached\"}}"
+                    .into(),
+            );
+            resp.retry_after_s = Some(1);
+            resp.close = true;
+            let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+            let _ = resp.write_to(&mut BufWriter::new(&stream));
+            continue;
+        }
+        shared.m.connections_total.inc();
+        shared.m.connections.add(1);
+        let shared_conn = Arc::clone(&shared);
+        let handle = thread::Builder::new()
+            .name("oodb-conn".into())
+            .spawn(move || {
+                connection_loop(&stream, &shared_conn);
+                shared_conn.m.connections.sub(1);
+            });
+        match handle {
+            Ok(h) => lock(&conns).push(h),
+            Err(_) => shared.m.connections.sub(1),
+        }
+        // Opportunistically reap finished connection threads so the
+        // handle list does not grow with connection churn.
+        let mut guard = lock(&conns);
+        let done: Vec<_> = {
+            let mut keep = Vec::with_capacity(guard.len());
+            let mut done = Vec::new();
+            for h in guard.drain(..) {
+                if h.is_finished() {
+                    done.push(h);
+                } else {
+                    keep.push(h);
+                }
+            }
+            *guard = keep;
+            done
+        };
+        drop(guard);
+        for h in done {
+            let _ = h.join();
+        }
+    }
+}
+
+fn connection_loop(stream: &TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    loop {
+        // Between requests is the graceful-shutdown point: a request
+        // already being read or executed always gets its response.
+        if shared.shutdown.is_cancelled() {
+            return;
+        }
+        let req = match read_request(&mut reader, shared.config.max_body_bytes) {
+            Ok(r) => r,
+            Err(ReadError::Eof) => return,
+            Err(ReadError::Io(_)) => return, // timeout or peer death
+            Err(ReadError::Malformed(msg)) => {
+                shared.m.protocol_errors.inc();
+                let mut resp = protocol_error_response(400, "bad_request", &msg);
+                resp.close = true;
+                count_response(shared, resp.status);
+                let _ = resp.write_to(&mut writer);
+                return;
+            }
+            Err(ReadError::TooLarge { declared }) => {
+                shared.m.protocol_errors.inc();
+                let mut resp = protocol_error_response(
+                    413,
+                    "payload_too_large",
+                    &format!(
+                        "declared body of {declared} bytes exceeds the {}-byte cap",
+                        shared.config.max_body_bytes
+                    ),
+                );
+                resp.close = true; // the body was never consumed
+                count_response(shared, resp.status);
+                let _ = resp.write_to(&mut writer);
+                return;
+            }
+        };
+        let client_close = req.close;
+        let mut resp = handle_request(shared, &req);
+        // Once shutdown begins, finish this exchange and tell the peer.
+        if shared.shutdown.is_cancelled() || client_close {
+            resp.close = true;
+        }
+        count_response(shared, resp.status);
+        if resp.write_to(&mut writer).is_err() {
+            return;
+        }
+        if resp.close {
+            return;
+        }
+    }
+}
+
+fn count_response(shared: &Shared, status: u16) {
+    match status {
+        200..=299 => shared.m.responses_2xx.inc(),
+        400..=499 => shared.m.responses_4xx.inc(),
+        _ => shared.m.responses_5xx.inc(),
+    }
+}
+
+fn protocol_error_response(status: u16, kind: &str, msg: &str) -> Response {
+    let mut body = String::from("{\"error\":{\"kind\":");
+    json::push_escaped(&mut body, kind);
+    body.push_str(",\"message\":");
+    json::push_escaped(&mut body, msg);
+    body.push_str("}}");
+    Response::json(status, body)
+}
+
+/// Maps a typed [`ServiceError`] to its HTTP status.
+pub fn status_for(e: &ServiceError) -> u16 {
+    match e {
+        ServiceError::Zql(_) | ServiceError::NoPlan => 400,
+        ServiceError::UnknownStatement { .. } => 404,
+        ServiceError::DeadlineExceeded { .. } => 408,
+        ServiceError::RowBudgetExceeded { .. } => 422,
+        ServiceError::Overloaded { reason } => match reason {
+            ShedReason::QueueFull => 429,
+            ShedReason::CircuitOpen | ShedReason::MemoryPressure => 503,
+        },
+        ServiceError::Cancelled => 499,
+        ServiceError::MemoryExhausted { .. }
+        | ServiceError::StorageFault { .. }
+        | ServiceError::Exec(_)
+        | ServiceError::WorkerLost
+        | ServiceError::Panicked(_) => 500,
+    }
+}
+
+fn error_response(e: &ServiceError, retry_after: Option<Duration>) -> Response {
+    let status = status_for(e);
+    let mut resp = Response::json(status, format!("{{\"error\":{}}}", json::encode_error(e)));
+    if matches!(status, 429 | 503) {
+        // Back-pressure contract: every shed carries Retry-After.
+        resp.retry_after_s = Some(retry_after.map_or(1, |d| d.as_secs().max(1)));
+    }
+    resp
+}
+
+/// Extracts [`SubmitOptions`] from a request body object.
+fn submit_options(body: &Json, default_deadline: Option<Duration>) -> SubmitOptions {
+    let u = |k: &str| body.get(k).and_then(Json::as_u64);
+    SubmitOptions {
+        dynamic: body.get("dynamic").and_then(Json::as_bool).unwrap_or(false),
+        realize_io_scale: body
+            .get("realize_io_scale")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+        trace: false,
+        deadline: u("deadline_ms")
+            .map(Duration::from_millis)
+            .or(default_deadline),
+        row_budget: u("row_budget"),
+        retries: u("retries").unwrap_or(0) as u32,
+        mem_budget: u("mem_budget"),
+        exec_workers: u("exec_workers").unwrap_or(0) as usize,
+    }
+}
+
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| protocol_error_response(400, "bad_request", "body is not utf-8"))?;
+    json::parse(text)
+        .map_err(|e| protocol_error_response(400, "bad_request", &format!("invalid json: {e}")))
+}
+
+fn tenant_of(body: &Json) -> Option<String> {
+    body.get("tenant")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+}
+
+fn handle_request(shared: &Shared, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/query") => {
+            shared.m.requests_query.inc();
+            handle_submission(shared, req, None)
+        }
+        ("POST", "/prepare") => {
+            shared.m.requests_prepare.inc();
+            handle_prepare(shared, req)
+        }
+        ("POST", path) if path.starts_with("/execute/") => {
+            shared.m.requests_execute.inc();
+            match json::parse_hex_id(&path["/execute/".len()..]) {
+                Some(id) => handle_submission(shared, req, Some(id)),
+                None => protocol_error_response(
+                    400,
+                    "bad_request",
+                    "statement id must be 16 hex digits",
+                ),
+            }
+        }
+        ("GET", "/metrics") => {
+            shared.m.requests_other.inc();
+            Response::text(200, shared.service.metrics_prometheus())
+        }
+        ("GET", "/healthz") => {
+            shared.m.requests_other.inc();
+            Response::json(200, "{\"status\":\"ok\"}".into())
+        }
+        ("GET", "/stats") => {
+            shared.m.requests_other.inc();
+            Response::json(200, stats_json(shared))
+        }
+        (_, "/query" | "/prepare" | "/metrics" | "/healthz" | "/stats") => {
+            shared.m.requests_other.inc();
+            protocol_error_response(405, "method_not_allowed", "wrong method for this path")
+        }
+        _ => {
+            shared.m.requests_other.inc();
+            protocol_error_response(404, "not_found", "unknown path")
+        }
+    }
+}
+
+/// `/query` (ad-hoc text) and `/execute/{id}` (prepared) share one
+/// path: tenant admission → pool submit → settle → encode.
+fn handle_submission(shared: &Shared, req: &Request, prepared: Option<u64>) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let opts = submit_options(&body, shared.config.default_deadline);
+    let permit = match shared.tenants.admit(tenant_of(&body).as_deref()) {
+        Ok(p) => p,
+        Err(TenantShed {
+            reason,
+            retry_after,
+        }) => {
+            return error_response(&ServiceError::Overloaded { reason }, Some(retry_after));
+        }
+    };
+    let pending = match prepared {
+        Some(id) => shared.pool.submit_prepared(id, opts),
+        None => match body.get("query").and_then(Json::as_str) {
+            Some(zql) => shared.pool.submit(zql, opts),
+            None => {
+                permit.settle(Ok(()));
+                return protocol_error_response(
+                    400,
+                    "bad_request",
+                    "missing required field \"query\"",
+                );
+            }
+        },
+    };
+    match pending.wait() {
+        Ok(out) => {
+            shared.m.executed_ok.inc();
+            permit.settle(Ok(()));
+            Response::json(200, json::encode_output(&out))
+        }
+        Err(e) => {
+            shared.m.executed_err.inc();
+            permit.settle(Err(&e));
+            // Service-side breaker sheds carry the service cooldown as
+            // the hint; queue sheds get the 1s default.
+            let hint = matches!(
+                e,
+                ServiceError::Overloaded {
+                    reason: ShedReason::CircuitOpen
+                }
+            )
+            .then(|| shared.service.admission().breaker_cooldown);
+            error_response(&e, hint)
+        }
+    }
+}
+
+fn handle_prepare(shared: &Shared, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let zql = match body.get("query").and_then(Json::as_str) {
+        Some(q) => q,
+        None => {
+            return protocol_error_response(400, "bad_request", "missing required field \"query\"")
+        }
+    };
+    // Registration is parse + fingerprint — cheap enough to run on the
+    // connection thread; executions are what go through the pool.
+    match shared.service.prepare(zql) {
+        Ok((stmt, created)) => {
+            let mut out = String::from("{\"id\":");
+            json::push_escaped(&mut out, &json::hex_id(stmt.id));
+            let _ = write!(out, ",\"created\":{created},\"key\":");
+            json::push_escaped(&mut out, stmt.structural_key());
+            out.push('}');
+            Response::json(200, out)
+        }
+        Err(e) => error_response(&e, None),
+    }
+}
+
+fn stats_json(shared: &Shared) -> String {
+    let m = &shared.m;
+    let cache = shared.service.cache().stats();
+    let mut out = String::with_capacity(512);
+    let _ = write!(
+        out,
+        "{{\"uptime_ms\":{},\"connections\":{},\"connections_total\":{},\
+         \"accept_rejects\":{},\"protocol_errors\":{},\
+         \"requests\":{{\"query\":{},\"prepare\":{},\"execute\":{},\"other\":{}}},\
+         \"responses\":{{\"2xx\":{},\"4xx\":{},\"5xx\":{}}},\
+         \"executed\":{{\"ok\":{},\"error\":{}}},\
+         \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}},\
+         \"prepared_statements\":{},\"tenants\":[",
+        shared.started.elapsed().as_millis(),
+        m.connections.get(),
+        m.connections_total.get(),
+        m.accept_rejects.get(),
+        m.protocol_errors.get(),
+        m.requests_query.get(),
+        m.requests_prepare.get(),
+        m.requests_execute.get(),
+        m.requests_other.get(),
+        m.responses_2xx.get(),
+        m.responses_4xx.get(),
+        m.responses_5xx.get(),
+        m.executed_ok.get(),
+        m.executed_err.get(),
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        shared.service.prepared_statements().len(),
+    );
+    for (i, t) in shared.tenants.snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (admitted, shed_q, shed_b, failures) = t.counts();
+        out.push_str("{\"name\":");
+        json::push_escaped(&mut out, &t.name);
+        let _ = write!(
+            out,
+            ",\"inflight\":{},\"admitted\":{admitted},\"shed_queue_full\":{shed_q},\
+             \"shed_circuit_open\":{shed_b},\"resource_failures\":{failures}}}",
+            t.inflight(),
+        );
+    }
+    out.push_str("]}");
+    out
+}

@@ -23,7 +23,8 @@
 //! were optimized under, so interned `PredId`/`VarId` values never leak
 //! across parses.
 
-use oodb_algebra::fingerprint::fingerprint;
+use oodb_algebra::fingerprint::{fingerprint, QueryFingerprint};
+use oodb_algebra::{LogicalPlan, QueryEnv, SortSpec, VarSet};
 use oodb_core::plancache::{CacheKey, CachedBody, CachedPlan, PlanCache};
 use oodb_core::{compile_dynamic, BoundedOutcome, CostParams, OpenOodb, OptimizerConfig};
 use oodb_exec::{
@@ -33,7 +34,7 @@ use oodb_fault::{CancelToken, FaultClass, FaultInjector, RunLimits};
 use oodb_storage::{MemoryGovernor, PressureLevel, Store};
 use oodb_sync::Snap;
 use oodb_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, OpTrace, StageTimer};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -69,6 +70,11 @@ pub enum ServiceError {
     Zql(zql::ZqlError),
     /// No feasible plan under the current rule configuration.
     NoPlan,
+    /// A prepared-statement execution named an id that is not registered.
+    UnknownStatement {
+        /// The id the caller presented (a canonical fingerprint hash).
+        id: u64,
+    },
     /// The submission's deadline expired in the named pipeline stage.
     DeadlineExceeded {
         /// Which stage ran out of time (`"execute"` today; optimizer
@@ -119,6 +125,9 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Zql(e) => write!(f, "{e}"),
             ServiceError::NoPlan => {
                 write!(f, "no feasible plan under the current rule configuration")
+            }
+            ServiceError::UnknownStatement { id } => {
+                write!(f, "unknown prepared statement {id:016x}")
             }
             ServiceError::DeadlineExceeded { stage } => {
                 write!(f, "deadline exceeded during {stage}")
@@ -272,6 +281,31 @@ pub struct StageBreakdown {
     pub execute_ns: u64,
 }
 
+/// A registered prepared statement: the compiled query held server-side
+/// so executions by id skip parse + simplify + fingerprint entirely and
+/// go straight to the plan-cache probe. The id IS the canonical
+/// fingerprint hash, so textual variants of one query share a statement
+/// (and its cached plan) automatically.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    /// Statement id: the canonical fingerprint hash of the query.
+    pub id: u64,
+    /// The source text the statement was prepared from (diagnostics).
+    pub zql: String,
+    fp: QueryFingerprint,
+    env: QueryEnv,
+    plan: LogicalPlan,
+    result_vars: VarSet,
+    order: Option<SortSpec>,
+}
+
+impl PreparedQuery {
+    /// The canonical structural key the id hashes (cache-collision guard).
+    pub fn structural_key(&self) -> &str {
+        &self.fp.key
+    }
+}
+
 /// The answer to one submission.
 #[derive(Clone, Debug, PartialEq)]
 pub struct QueryOutput {
@@ -337,6 +371,13 @@ struct ServiceMetrics {
     stage_execute: Histogram,
     submissions: Counter,
     errors: Counter,
+    /// Prepared-statement registrations (`prepare` calls that created a
+    /// new entry; re-preparing an existing statement is not counted).
+    prepares: Counter,
+    /// Executions submitted by prepared-statement id.
+    prepared_executes: Counter,
+    /// Currently registered prepared statements.
+    prepared_statements: Gauge,
     optimizer_runs: Counter,
     transform_firings: Counter,
     plans_costed: Counter,
@@ -401,6 +442,9 @@ impl ServiceMetrics {
             stage_execute: stage("execute"),
             submissions: reg.counter("oodb_submissions_total", &[]),
             errors: reg.counter("oodb_submission_errors_total", &[]),
+            prepares: reg.counter("oodb_prepares_total", &[]),
+            prepared_executes: reg.counter("oodb_prepared_executes_total", &[]),
+            prepared_statements: reg.gauge("oodb_prepared_statements", &[]),
             optimizer_runs: reg.counter("oodb_optimizer_runs_total", &[]),
             transform_firings: reg.counter("oodb_optimizer_transform_firings_total", &[]),
             plans_costed: reg.counter("oodb_optimizer_plans_costed_total", &[]),
@@ -471,6 +515,13 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
+/// What a submission executes: raw ZQL text (parsed per submission) or a
+/// registered prepared statement (parsed once at [`QueryService::prepare`]).
+enum QueryInput<'a> {
+    Text(&'a str),
+    Prepared(&'a PreparedQuery),
+}
+
 /// Everything a submission reads from the service, published as ONE
 /// epoch snapshot. A submission loads the snapshot once and works from
 /// it for its whole pipeline, so it can never observe a store from one
@@ -493,6 +544,10 @@ struct Inner {
     state: Snap<ServiceState>,
     params: CostParams,
     cache: Arc<PlanCache>,
+    /// Prepared-statement registry, keyed by canonical fingerprint hash.
+    /// Reads (the execute hot path) are lock-free snapshot loads; only
+    /// `prepare` of a *new* statement pays the copy-on-write clone.
+    prepared: Snap<BTreeMap<u64, Arc<PreparedQuery>>>,
     telemetry: Arc<MetricsRegistry>,
     metrics: ServiceMetrics,
     inflight: AtomicUsize,
@@ -527,6 +582,7 @@ impl QueryService {
                 }),
                 params,
                 cache: Arc::new(PlanCache::new(cache_capacity, cache_shards)),
+                prepared: Snap::new(BTreeMap::new()),
                 telemetry,
                 metrics,
                 inflight: AtomicUsize::new(0),
@@ -742,6 +798,134 @@ impl QueryService {
         self.inner.state.load().admission
     }
 
+    /// Registers a prepared statement: parses, simplifies, and
+    /// fingerprints `zql_src`, storing the compiled query under its
+    /// canonical fingerprint hash. Returns the statement and whether this
+    /// call created it (`false` = an equivalent statement — possibly a
+    /// textual variant — was already registered; both callers share it).
+    /// Nothing is optimized or executed yet: the first
+    /// [`QueryService::submit_prepared_with`] fills the plan cache, and
+    /// every execution after that hits it by id.
+    pub fn prepare(&self, zql_src: &str) -> Result<(Arc<PreparedQuery>, bool), ServiceError> {
+        let m = &self.inner.metrics;
+        let state = self.inner.state.load();
+        let ast = zql::parser::parse(zql_src).map_err(|e| {
+            m.errors.inc();
+            ServiceError::Zql(e)
+        })?;
+        let q = zql::simplify(&ast, state.store.schema(), state.store.catalog()).map_err(|e| {
+            m.errors.inc();
+            ServiceError::Zql(e)
+        })?;
+        let fp = fingerprint(&q.env, &q.plan, q.result_vars, q.order.as_ref());
+        let id = fp.hash;
+        if let Some(existing) = self.inner.prepared.load().get(&id) {
+            return Ok((Arc::clone(existing), false));
+        }
+        let stmt = Arc::new(PreparedQuery {
+            id,
+            zql: zql_src.to_string(),
+            fp,
+            env: q.env,
+            plan: q.plan,
+            result_vars: q.result_vars,
+            order: q.order,
+        });
+        let (entry, created) = self.inner.prepared.update(|map| {
+            if let Some(existing) = map.get(&id) {
+                // Two racing prepares of one query agree on a statement.
+                return (map.clone(), (Arc::clone(existing), false));
+            }
+            let mut next = map.clone();
+            next.insert(id, Arc::clone(&stmt));
+            (next, (Arc::clone(&stmt), true))
+        });
+        if created {
+            m.prepares.inc();
+            m.prepared_statements
+                .set(self.inner.prepared.load().len() as i64);
+        }
+        Ok((entry, created))
+    }
+
+    /// Looks up a registered prepared statement by id.
+    pub fn prepared(&self, id: u64) -> Option<Arc<PreparedQuery>> {
+        self.inner.prepared.load().get(&id).cloned()
+    }
+
+    /// Every registered prepared statement, in id order.
+    pub fn prepared_statements(&self) -> Vec<Arc<PreparedQuery>> {
+        self.inner.prepared.load().values().cloned().collect()
+    }
+
+    /// Drops a prepared statement. Cached plans stay resident (they are
+    /// keyed by fingerprint, not by registration) but can no longer be
+    /// reached by id. Returns whether the id was registered.
+    pub fn deallocate(&self, id: u64) -> bool {
+        let removed = self.inner.prepared.update(|map| {
+            if !map.contains_key(&id) {
+                return (map.clone(), false);
+            }
+            let mut next = map.clone();
+            next.remove(&id);
+            (next, true)
+        });
+        if removed {
+            self.inner
+                .metrics
+                .prepared_statements
+                .set(self.inner.prepared.load().len() as i64);
+        }
+        removed
+    }
+
+    /// Executes a prepared statement by id: no parse, no simplify, no
+    /// fingerprint — straight to the plan-cache probe. Equivalent to
+    /// [`QueryService::submit_with`] for the statement's query otherwise
+    /// (same admission control, same error surface).
+    pub fn submit_prepared_with(
+        &self,
+        id: u64,
+        opts: SubmitOptions,
+    ) -> Result<QueryOutput, ServiceError> {
+        self.submit_prepared_guarded(id, opts, None)
+    }
+
+    /// [`QueryService::submit_prepared_with`] plus a cooperative
+    /// [`CancelToken`].
+    pub fn submit_prepared_cancellable(
+        &self,
+        id: u64,
+        opts: SubmitOptions,
+        cancel: &CancelToken,
+    ) -> Result<QueryOutput, ServiceError> {
+        self.submit_prepared_guarded(id, opts, Some(cancel))
+    }
+
+    fn submit_prepared_guarded(
+        &self,
+        id: u64,
+        opts: SubmitOptions,
+        cancel: Option<&CancelToken>,
+    ) -> Result<QueryOutput, ServiceError> {
+        let m = &self.inner.metrics;
+        m.prepared_executes.inc();
+        let Some(stmt) = self.prepared(id) else {
+            m.errors.inc();
+            return Err(ServiceError::UnknownStatement { id });
+        };
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.submit_inner(QueryInput::Prepared(&stmt), opts, cancel)
+        })) {
+            Ok(reply) => reply,
+            Err(payload) => {
+                m.errors.inc();
+                m.submission_panics.inc();
+                Err(ServiceError::Panicked(panic_message(payload.as_ref())))
+            }
+        }
+    }
+
     /// Compiles, plans (via cache), executes. Equivalent to
     /// [`QueryService::submit_with`] with default options.
     pub fn submit(&self, zql_src: &str) -> Result<QueryOutput, ServiceError> {
@@ -780,7 +964,7 @@ impl QueryService {
         cancel: Option<&CancelToken>,
     ) -> Result<QueryOutput, ServiceError> {
         match catch_unwind(AssertUnwindSafe(|| {
-            self.submit_inner(zql_src, opts, cancel)
+            self.submit_inner(QueryInput::Text(zql_src), opts, cancel)
         })) {
             Ok(reply) => reply,
             Err(payload) => {
@@ -797,7 +981,7 @@ impl QueryService {
     /// all disabled by default ([`AdmissionConfig`]).
     fn submit_inner(
         &self,
-        zql_src: &str,
+        input: QueryInput<'_>,
         opts: SubmitOptions,
         cancel: Option<&CancelToken>,
     ) -> Result<QueryOutput, ServiceError> {
@@ -866,7 +1050,7 @@ impl QueryService {
             }
         }
 
-        let result = self.submit_pipeline(&state, zql_src, opts, cancel, pressure_degraded);
+        let result = self.submit_pipeline(&state, input, opts, cancel, pressure_degraded);
 
         if adm.breaker_threshold > 0 {
             let mut breaker = lock_mutex(&self.inner.breaker);
@@ -901,7 +1085,7 @@ impl QueryService {
     fn submit_pipeline(
         &self,
         state: &ServiceState,
-        zql_src: &str,
+        input: QueryInput<'_>,
         opts: SubmitOptions,
         cancel: Option<&CancelToken>,
         pressure_degraded: bool,
@@ -912,22 +1096,52 @@ impl QueryService {
         let (config, config_fp) = (Arc::clone(&state.config), state.config_fp);
         let mut stages = StageBreakdown::default();
         let mut timer = StageTimer::start();
-        let ast = zql::parser::parse(zql_src).map_err(|e| {
-            m.errors.inc();
-            ServiceError::Zql(e)
-        })?;
-        stages.parse_ns = timer.lap_into(&m.stage_parse);
-        let q = zql::simplify(&ast, store.schema(), store.catalog()).map_err(|e| {
-            m.errors.inc();
-            ServiceError::Zql(e)
-        })?;
-        stages.simplify_ns = timer.lap_into(&m.stage_simplify);
-        let fp = fingerprint(&q.env, &q.plan, q.result_vars, q.order.as_ref());
+        // Front end: a textual submission pays parse + simplify +
+        // fingerprint here; a prepared execution borrows all three from
+        // its registration and goes straight to the cache probe.
+        let compiled: zql::SimplifiedQuery;
+        let text_fp: QueryFingerprint;
+        let (env, plan, result_vars, order, fp): (
+            &QueryEnv,
+            &LogicalPlan,
+            VarSet,
+            Option<SortSpec>,
+            &QueryFingerprint,
+        ) = match input {
+            QueryInput::Text(zql_src) => {
+                let ast = zql::parser::parse(zql_src).map_err(|e| {
+                    m.errors.inc();
+                    ServiceError::Zql(e)
+                })?;
+                stages.parse_ns = timer.lap_into(&m.stage_parse);
+                let q = zql::simplify(&ast, store.schema(), store.catalog()).map_err(|e| {
+                    m.errors.inc();
+                    ServiceError::Zql(e)
+                })?;
+                stages.simplify_ns = timer.lap_into(&m.stage_simplify);
+                text_fp = fingerprint(&q.env, &q.plan, q.result_vars, q.order.as_ref());
+                compiled = q;
+                (
+                    &compiled.env,
+                    &compiled.plan,
+                    compiled.result_vars,
+                    compiled.order,
+                    &text_fp,
+                )
+            }
+            QueryInput::Prepared(stmt) => (
+                &stmt.env,
+                &stmt.plan,
+                stmt.result_vars,
+                stmt.order,
+                &stmt.fp,
+            ),
+        };
         let epoch = store.catalog().stats_epoch();
         let key = if opts.dynamic {
-            CacheKey::dynamic_family(&fp, config_fp, epoch)
+            CacheKey::dynamic_family(fp, config_fp, epoch)
         } else {
-            CacheKey::static_plan(&fp, config_fp, epoch, store.catalog().index_set_hash())
+            CacheKey::static_plan(fp, config_fp, epoch, store.catalog().index_set_hash())
         };
         stages.fingerprint_ns = timer.lap_into(&m.stage_fingerprint);
 
@@ -950,29 +1164,25 @@ impl QueryService {
                     // take the estimator-annotated greedy plan.
                     m.pressure_degrades.inc();
                     degraded = true;
-                    let (plan, cost, diagnostics) = oodb_core::greedy_fallback(
-                        &q.env,
-                        self.inner.params,
-                        &q.plan,
-                        q.result_vars,
-                    )
-                    .ok_or_else(|| {
-                        m.errors.inc();
-                        ServiceError::NoPlan
-                    })?;
+                    let (plan, cost, diagnostics) =
+                        oodb_core::greedy_fallback(env, self.inner.params, plan, result_vars)
+                            .ok_or_else(|| {
+                                m.errors.inc();
+                                ServiceError::NoPlan
+                            })?;
                     m.verify_violations.add(diagnostics.len() as u64);
                     CachedBody::Static { plan, cost }
                 } else if opts.dynamic {
                     CachedBody::Dynamic(compile_dynamic(
-                        &q.env,
+                        env,
                         self.inner.params,
                         &config,
-                        &q.plan,
-                        q.result_vars,
+                        plan,
+                        result_vars,
                     ))
                 } else {
-                    let optimizer = OpenOodb::new(&q.env, self.inner.params, (*config).clone());
-                    match optimizer.optimize_within(&q.plan, q.result_vars, q.order, deadline) {
+                    let optimizer = OpenOodb::new(env, self.inner.params, (*config).clone());
+                    match optimizer.optimize_within(plan, result_vars, order, deadline) {
                         BoundedOutcome::Complete(out) => {
                             m.transform_firings.add(out.stats.transform_firings);
                             m.plans_costed.add(out.stats.plans_costed);
@@ -989,10 +1199,10 @@ impl QueryService {
                             m.fallback_plans.inc();
                             degraded = true;
                             let (plan, cost, diagnostics) = oodb_core::greedy_fallback(
-                                &q.env,
+                                env,
                                 self.inner.params,
-                                &q.plan,
-                                q.result_vars,
+                                plan,
+                                result_vars,
                             )
                             .ok_or_else(|| {
                                 m.errors.inc();
@@ -1007,10 +1217,14 @@ impl QueryService {
                         }
                     }
                 };
+                // Misses pay one env clone for the cache entry (prepared
+                // statements keep their compiled env registered; textual
+                // submissions could move theirs, but a clone beside the
+                // full Volcano search is noise and keeps one code path).
                 let entry = Arc::new(CachedPlan {
                     structural: fp.key.clone(),
-                    env: q.env,
-                    result_vars: q.result_vars,
+                    env: env.clone(),
+                    result_vars,
                     body,
                 });
                 // Re-read the *current* epoch before inserting: if
@@ -1188,13 +1402,21 @@ fn render_rows(
 
 type Reply = Result<QueryOutput, ServiceError>;
 
-struct Job {
-    zql: String,
-    opts: SubmitOptions,
-    cancel: Option<CancelToken>,
+/// What one pool job executes.
+enum JobKind {
+    /// Raw ZQL text, parsed by the serving worker.
+    Text(String),
+    /// A prepared-statement id (no parsing on the worker).
+    Prepared(u64),
     /// Test hook: a poison pill that makes the receiving worker retire
     /// without replying, simulating a worker death mid-job.
-    kill: bool,
+    Kill,
+}
+
+struct Job {
+    kind: JobKind,
+    opts: SubmitOptions,
+    cancel: Option<CancelToken>,
     reply: mpsc::Sender<Reply>,
 }
 
@@ -1264,7 +1486,7 @@ fn spawn_worker(shared: &Arc<PoolShared>, i: usize) -> thread::JoinHandle<()> {
                 shared.queue_depth.sub(1);
                 busy.set(1);
                 jobs.inc();
-                if job.kill {
+                if matches!(job.kind, JobKind::Kill) {
                     // Retire without replying: the dropped reply sender
                     // surfaces as WorkerLost and the next enqueue respawns.
                     busy.set(0);
@@ -1274,10 +1496,18 @@ fn spawn_worker(shared: &Arc<PoolShared>, i: usize) -> thread::JoinHandle<()> {
                 // typed errors; this outer boundary covers everything
                 // else (reply plumbing, metrics). A worker that panics
                 // anyway retires silently and is respawned.
-                let out = catch_unwind(AssertUnwindSafe(|| {
-                    shared
-                        .svc
-                        .submit_guarded(&job.zql, job.opts, job.cancel.as_ref())
+                let out = catch_unwind(AssertUnwindSafe(|| match &job.kind {
+                    JobKind::Text(zql) => {
+                        shared
+                            .svc
+                            .submit_guarded(zql, job.opts, job.cancel.as_ref())
+                    }
+                    JobKind::Prepared(id) => {
+                        shared
+                            .svc
+                            .submit_prepared_guarded(*id, job.opts, job.cancel.as_ref())
+                    }
+                    JobKind::Kill => unreachable!("kill handled above"),
                 }));
                 busy.set(0);
                 match out {
@@ -1379,19 +1609,13 @@ impl WorkerPool {
         }
     }
 
-    fn enqueue(
-        &self,
-        zql: String,
-        opts: SubmitOptions,
-        cancel: Option<CancelToken>,
-        kill: bool,
-    ) -> Pending {
+    fn enqueue(&self, kind: JobKind, opts: SubmitOptions, cancel: Option<CancelToken>) -> Pending {
         self.reap();
         let (reply, rx) = mpsc::channel();
         // Bounded-queue shed: resolve the handle immediately instead of
         // queueing. Poison pills (tests) are exempt — they must always
         // reach a worker.
-        if !kill
+        if !matches!(kind, JobKind::Kill)
             && self.queue_limit > 0
             && self.shared.queued.load(Ordering::Relaxed) >= self.queue_limit
         {
@@ -1414,10 +1638,9 @@ impl WorkerPool {
             // The receiver lives in PoolShared, so this send cannot fail
             // while the pool exists; `let _ =` keeps shutdown races benign.
             let _ = txs[slot].send(Job {
-                zql,
+                kind,
                 opts,
                 cancel,
-                kill,
                 reply,
             });
         }
@@ -1426,7 +1649,13 @@ impl WorkerPool {
 
     /// Enqueues a query; the returned handle yields the result.
     pub fn submit(&self, zql: impl Into<String>, opts: SubmitOptions) -> Pending {
-        self.enqueue(zql.into(), opts, None, false)
+        self.enqueue(JobKind::Text(zql.into()), opts, None)
+    }
+
+    /// Enqueues a prepared-statement execution by id; the serving worker
+    /// skips parsing entirely.
+    pub fn submit_prepared(&self, id: u64, opts: SubmitOptions) -> Pending {
+        self.enqueue(JobKind::Prepared(id), opts, None)
     }
 
     /// Enqueues a query with a [`CancelToken`] the caller can trip from
@@ -1437,7 +1666,17 @@ impl WorkerPool {
         opts: SubmitOptions,
         cancel: &CancelToken,
     ) -> Pending {
-        self.enqueue(zql.into(), opts, Some(cancel.clone()), false)
+        self.enqueue(JobKind::Text(zql.into()), opts, Some(cancel.clone()))
+    }
+
+    /// As [`WorkerPool::submit_prepared`], with a [`CancelToken`].
+    pub fn submit_prepared_cancellable(
+        &self,
+        id: u64,
+        opts: SubmitOptions,
+        cancel: &CancelToken,
+    ) -> Pending {
+        self.enqueue(JobKind::Prepared(id), opts, Some(cancel.clone()))
     }
 
     /// Test hook: enqueues a poison pill that kills the worker that
@@ -1445,7 +1684,7 @@ impl WorkerPool {
     /// [`ServiceError::WorkerLost`]; the next enqueue respawns the worker.
     #[doc(hidden)]
     pub fn kill_worker_for_test(&self) -> Pending {
-        self.enqueue(String::new(), SubmitOptions::default(), None, true)
+        self.enqueue(JobKind::Kill, SubmitOptions::default(), None)
     }
 
     /// Drains the queues and joins every worker.
@@ -1601,6 +1840,94 @@ mod tests {
         let _ = svc.submit("SELECT FROM WHERE");
         let text = svc.metrics_prometheus();
         assert!(text.contains("oodb_submission_errors_total 1"));
+    }
+
+    #[test]
+    fn prepared_statements_share_ids_and_hit_the_cache() {
+        let svc = small_service();
+        let (stmt, created) = svc.prepare(Q_TIME).unwrap();
+        assert!(created);
+        // A textual variant (renamed var, flipped Eq) collides on the
+        // canonical fingerprint: same statement, not a new registration.
+        let (variant, created2) = svc
+            .prepare("SELECT zz FROM Task zz IN Tasks WHERE 100 == zz.time()")
+            .unwrap();
+        assert!(!created2);
+        assert_eq!(stmt.id, variant.id);
+        // First execute fills the plan cache; the second hits by id.
+        let a = svc
+            .submit_prepared_with(stmt.id, SubmitOptions::default())
+            .unwrap();
+        assert!(!a.cache_hit);
+        let b = svc
+            .submit_prepared_with(stmt.id, SubmitOptions::default())
+            .unwrap();
+        assert!(b.cache_hit, "prepared execute must hit by id");
+        assert_eq!(a.rows, b.rows);
+        // Ad-hoc text of the same query shares the cached plan too.
+        assert!(svc.submit(Q_TIME).unwrap().cache_hit);
+        assert_eq!(
+            (a.stages.parse_ns, a.stages.simplify_ns),
+            (0, 0),
+            "prepared executions never parse"
+        );
+        let text = svc.metrics_prometheus();
+        assert!(text.contains("oodb_prepares_total 1"), "{text}");
+        assert!(text.contains("oodb_prepared_statements 1"), "{text}");
+        assert!(text.contains("oodb_prepared_executes_total 2"), "{text}");
+    }
+
+    #[test]
+    fn unknown_statement_is_typed_and_deallocate_unregisters() {
+        let svc = small_service();
+        assert_eq!(
+            svc.submit_prepared_with(42, SubmitOptions::default()),
+            Err(ServiceError::UnknownStatement { id: 42 })
+        );
+        let (stmt, _) = svc.prepare(Q_TIME).unwrap();
+        assert!(svc.prepared(stmt.id).is_some());
+        assert!(svc.deallocate(stmt.id));
+        assert!(!svc.deallocate(stmt.id), "second deallocate is a no-op");
+        assert_eq!(
+            svc.submit_prepared_with(stmt.id, SubmitOptions::default()),
+            Err(ServiceError::UnknownStatement { id: stmt.id })
+        );
+    }
+
+    #[test]
+    fn prepared_execution_survives_stats_epoch_bumps() {
+        let svc = small_service();
+        let (stmt, _) = svc.prepare(Q_TIME).unwrap();
+        let before = svc
+            .submit_prepared_with(stmt.id, SubmitOptions::default())
+            .unwrap();
+        // A statistics refresh bumps the epoch: the next execute misses
+        // the cache (stale key) but still answers, re-optimizing from the
+        // registered compiled query.
+        svc.refresh_statistics(8);
+        let after = svc
+            .submit_prepared_with(stmt.id, SubmitOptions::default())
+            .unwrap();
+        assert!(!after.cache_hit, "epoch bump must invalidate by key");
+        assert_eq!(before.rows, after.rows);
+        assert!(after.stats_epoch > before.stats_epoch);
+    }
+
+    #[test]
+    fn pool_serves_prepared_executions() {
+        let svc = small_service();
+        let (stmt, _) = svc.prepare(Q_TIME).unwrap();
+        let expect = svc.submit(Q_TIME).unwrap();
+        let pool = WorkerPool::new(svc, 2);
+        let pending: Vec<Pending> = (0..8)
+            .map(|_| pool.submit_prepared(stmt.id, SubmitOptions::default()))
+            .collect();
+        for p in pending {
+            let out = p.wait().unwrap();
+            assert!(out.cache_hit);
+            assert_eq!(out.rows, expect.rows);
+        }
+        pool.shutdown();
     }
 
     #[test]

@@ -29,6 +29,14 @@ cargo test -q --test resilience memory
 echo "==> concurrency proof (torn snapshots + cache reconciliation)"
 cargo test -q --test scaling
 
+# Serving gate: the wire protocol end to end over loopback — pipelined
+# prepared replay reconciling server counters against plan-cache stats,
+# malformed/oversized rejection, graceful-shutdown drain, and the
+# per-tenant QoS paths (429 queue-full, 503 circuit-open). CI's
+# `server` job runs the loopback bench on top.
+echo "==> serving gate (wire protocol + tenant QoS + drain)"
+cargo test -q --test server
+
 # Supply-chain lint: advisories, duplicate versions, license allow-list.
 # cargo-deny is an external binary; skip gracefully where it is not
 # installed (the offline build container) rather than failing the gate.

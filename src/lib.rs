@@ -47,6 +47,7 @@ pub use oodb_exec as exec;
 pub use oodb_fault as fault;
 pub use oodb_mem as mem;
 pub use oodb_object as object;
+pub use oodb_server as server;
 pub use oodb_service as service;
 pub use oodb_storage as storage;
 pub use oodb_telemetry as telemetry;
