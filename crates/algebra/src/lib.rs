@@ -22,9 +22,12 @@
 //! * **Plan trees and display** ([`plan`], [`display`]): standalone
 //!   input/output trees rendered in the paper's figure notation.
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod display;
 pub mod fingerprint;
+pub mod interval;
 pub mod ops;
 pub mod plan;
 pub mod pred;
@@ -33,6 +36,7 @@ pub mod scope;
 
 pub use builder::QueryBuilder;
 pub use fingerprint::{fingerprint, QueryFingerprint};
+pub use interval::{CardInterval, INTERVAL_SLACK};
 pub use ops::{LogicalOp, PhysicalOp, SetOpKind};
 pub use plan::{LogicalPlan, PhysicalPlan, PlanEst};
 pub use pred::{CmpOp, Operand, Pred, PredArena, PredId, Term};

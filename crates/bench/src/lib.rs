@@ -6,6 +6,8 @@
 //! `exec_validation`) regenerate every table and figure of the paper's §4,
 //! and the Criterion benches measure optimization time itself.
 
+#![forbid(unsafe_code)]
+
 pub mod queries;
 pub mod report;
 pub mod workload;

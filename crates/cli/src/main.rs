@@ -11,8 +11,10 @@
 //! oodb> \help
 //! ```
 
+#![forbid(unsafe_code)]
+
 use oodb_core::plancache::{CacheKey, CachedBody, CachedPlan, PlanCache};
-use oodb_core::{greedy_plan, CostParams, OpenOodb, OptimizerConfig};
+use oodb_core::{greedy_plan, CostParams, EnumLimits, OpenOodb, OptimizerConfig};
 use oodb_exec::{try_execute_parallel, try_execute_traced, ExecResult, RunLimits};
 use oodb_object::paper::PaperModel;
 use oodb_object::{Catalog, Value};
@@ -22,6 +24,23 @@ use oodb_storage::{
 use oodb_telemetry::{fmt_ns, MetricsRegistry, StageTimer};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
+
+/// Renders one verifier diagnostic the same way everywhere — check name,
+/// operator path ([`Diagnostic::path_string`]), operator, then the
+/// expected/actual pair — whether it came from the logical linter, the
+/// winning-plan verifier, or the plan-space auditor.
+///
+/// [`Diagnostic::path_string`]: oodb_core::verify::Diagnostic::path_string
+fn print_diag(d: &oodb_core::verify::Diagnostic) {
+    println!(
+        "  [{}] at {} ({})\n      expected {}\n      got      {}",
+        d.check,
+        d.path_string(),
+        d.op,
+        d.expected,
+        d.actual
+    );
+}
 
 struct Shell {
     store: Store,
@@ -119,9 +138,11 @@ impl Shell {
                     "Statements: any ZQL query ending in ';' — executed and printed.\n\
                      Prefix with EXPLAIN to see the optimal (and greedy) plan instead,\n\
                      EXPLAIN ANALYZE to run it and annotate each operator with\n\
-                     actual rows, wall time, and buffer I/O, or EXPLAIN VERIFY to\n\
+                     actual rows, wall time, and buffer I/O, EXPLAIN VERIFY to\n\
                      statically check the winning plan (and, with verify-search on,\n\
-                     every expression the transformation rules generated).\n\
+                     every expression the transformation rules generated), or\n\
+                     EXPLAIN AUDIT to enumerate the full plan space and prove the\n\
+                     winner cost-minimal over it.\n\
                      Commands:\n\
                      \\schema              types and fields\n\
                      \\catalog             collections and cardinalities\n\
@@ -134,6 +155,7 @@ impl Shell {
                      \\trace QUERY;        show the goal-directed search trace\n\
                      \\verify QUERY;       statically verify the query's winning plan\n\
                      \\verify search on|off   also lint every memo expression (slow)\n\
+                     \\audit QUERY;        enumeration oracle + interval + rule-graph audit\n\
                      \\serve ADDR          serve this database over HTTP (\\serve stop)\n\
                      \\connect ADDR        run statements against a remote server\n\
                      \\disconnect          go back to local execution\n\
@@ -259,6 +281,13 @@ impl Shell {
                 match rest.get(1) {
                     Some(src) => self.trace(src.trim_end_matches(';')),
                     None => println!("usage: \\trace SELECT ... ;"),
+                }
+            }
+            "\\audit" => {
+                let rest: Vec<&str> = line.splitn(2, ' ').collect();
+                match rest.get(1) {
+                    Some(src) => self.audit_stmt(src.trim_end_matches(';')),
+                    None => println!("usage: \\audit SELECT ... ;"),
                 }
             }
             "\\verify" => {
@@ -523,7 +552,7 @@ impl Shell {
             .counter("oodb_verify_violations_total", &[])
             .add(diags.len() as u64);
         for d in &diags {
-            println!("verify violation: {d}");
+            print_diag(d);
         }
         if let Some((stats, cost)) = searched {
             if diags.is_empty() {
@@ -535,6 +564,65 @@ impl Shell {
                 );
             } else {
                 println!("verify: {} diagnostic(s)", diags.len());
+            }
+        }
+    }
+
+    /// `EXPLAIN AUDIT` / `\audit`: the plan-space auditor on one query —
+    /// rule-graph termination proof, exhaustive enumeration with the
+    /// winner checked for cost-minimality over the whole space, and the
+    /// interval cardinality audit across every enumerated plan.
+    fn audit_stmt(&mut self, src: &str) {
+        let q = match zql::compile(src, &self.model.schema, &self.catalog) {
+            Ok(q) => q,
+            Err(e) => {
+                println!("{e}");
+                return;
+            }
+        };
+        let optimizer = OpenOodb::with_config(&q.env, self.config.clone());
+        match optimizer.prove_rules_terminate() {
+            Ok(p) => println!(
+                "rule graph: {} rules, {} enablement edges, {} in memo-cut \
+                 cycles — termination proven",
+                p.rules, p.edges, p.cyclic_rules
+            ),
+            Err(w) => println!("rule graph: TERMINATION UNPROVEN — {w}"),
+        }
+        let report = optimizer.audit(&q.plan, q.result_vars, q.order, EnumLimits::default());
+        let Some(report) = report else {
+            println!("no feasible plan under the current rule configuration");
+            return;
+        };
+        println!(
+            "enumerated {} plan(s){}; winner estimated {:.6} s, space minimum {:.6} s",
+            report.plans_enumerated(),
+            if report.truncated {
+                " (TRUNCATED at the enumeration limits — verdict void)"
+            } else {
+                ""
+            },
+            report.winner_cost,
+            report.best_cost
+        );
+        println!(
+            "{}",
+            oodb_algebra::display::render_physical(&q.env, &report.winner)
+        );
+        if report.cost_minimal {
+            println!("audit: winner is cost-minimal over the enumerated space");
+        } else {
+            println!("audit: WINNER NOT PROVEN MINIMAL over the enumerated space");
+        }
+        if report.interval_diags.is_empty() {
+            println!("intervals: every estimate inside its sound [lo, hi] bounds");
+        } else {
+            println!(
+                "intervals: {} estimate(s) escaped their bounds",
+                report.interval_diags.len()
+            );
+            for d in &report.interval_diags {
+                print_diag(d);
             }
         }
     }
@@ -626,6 +714,11 @@ impl Shell {
         if upper.starts_with("EXPLAIN VERIFY") {
             let src = stmt["EXPLAIN VERIFY".len()..].trim();
             self.verify_stmt(src.trim_end_matches(';'));
+            return;
+        }
+        if upper.starts_with("EXPLAIN AUDIT") {
+            let src = stmt["EXPLAIN AUDIT".len()..].trim();
+            self.audit_stmt(src.trim_end_matches(';'));
             return;
         }
         let (explain, analyze, src) = if upper.starts_with("EXPLAIN ANALYZE") {

@@ -33,6 +33,9 @@
 //! rules exactly as the paper does ("simulated by disabling various rules
 //! in our optimizer").
 
+#![forbid(unsafe_code)]
+
+pub mod audit;
 pub mod config;
 pub mod cost;
 pub mod dynamic;
@@ -42,6 +45,10 @@ pub mod optimizer;
 pub mod plancache;
 pub mod rules;
 
+pub use audit::{
+    check_confluence, AuditReport, ConfluenceReport, ConfluenceRun, CycleWitness, EnumLimits,
+    TerminationProof,
+};
 pub use config::OptimizerConfig;
 pub use cost::{Cost, CostParams};
 pub use dynamic::{compile_dynamic, DynamicAlternative, DynamicPlan};

@@ -46,8 +46,8 @@ pub enum BoundedOutcome {
 
 /// The Open OODB optimizer: environment + parameters + configuration.
 pub struct OpenOodb<'e> {
-    model: OodbModel<'e>,
-    rules: RuleSet<OodbModel<'e>>,
+    pub(crate) model: OodbModel<'e>,
+    pub(crate) rules: RuleSet<OodbModel<'e>>,
 }
 
 impl<'e> OpenOodb<'e> {
@@ -262,7 +262,7 @@ impl<'e> OpenOodb<'e> {
 
     /// Converts a search-engine plan into an annotated [`PhysicalPlan`],
     /// recomputing per-node cardinalities through the shared estimator.
-    fn annotate(&self, node: &PlanNode<OodbModel<'e>>) -> PhysicalPlan {
+    pub(crate) fn annotate(&self, node: &PlanNode<OodbModel<'e>>) -> PhysicalPlan {
         let (plan, _) = self.annotate_rec(node);
         plan
     }

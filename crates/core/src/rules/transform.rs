@@ -12,9 +12,20 @@
 //! memo; the engine re-fires rules when child groups grow, so exploration
 //! is exhaustive.
 
+//! ## Rule signatures
+//!
+//! Every rule declares a [`RuleSignature`] — the operator shapes it
+//! consumes and produces — feeding the rule-graph termination analysis
+//! ([`volcano::rulegraph`]). All twelve rules are *non-generative*: the
+//! predicates they intern (split conjuncts, merged join predicates, the
+//! Mat→Join reference equality) are drawn from the finite closure of the
+//! query's own terms — subsets and unions of the original conjuncts, or
+//! one canonical equality per materialized variable — so the memo's
+//! duplicate elimination bounds every rewrite cycle they can form.
+
 use crate::model::OodbModel;
 use oodb_algebra::{LogicalOp, Operand, Pred, VarOrigin};
-use volcano::{Expr, Memo, Rewrite, TransformRule};
+use volcano::{Expr, Memo, Rewrite, RuleSignature, TransformRule};
 
 type M<'e> = OodbModel<'e>;
 type Rw = Rewrite<LogicalOp>;
@@ -35,6 +46,14 @@ pub struct SelectSplit;
 impl<'e> TransformRule<M<'e>> for SelectSplit {
     fn name(&self) -> &'static str {
         crate::config::rule_names::SELECT_SPLIT
+    }
+    fn signature(&self) -> RuleSignature {
+        // Split predicates are subsets of the original conjuncts.
+        RuleSignature {
+            consumes: &["Select"],
+            produces: &["Select"],
+            generative: false,
+        }
     }
     fn apply(&self, model: &M<'e>, _memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
         let LogicalOp::Select { pred } = &expr.op else {
@@ -74,6 +93,13 @@ pub struct SelectMatSwap;
 impl<'e> TransformRule<M<'e>> for SelectMatSwap {
     fn name(&self) -> &'static str {
         crate::config::rule_names::SELECT_MAT_SWAP
+    }
+    fn signature(&self) -> RuleSignature {
+        RuleSignature {
+            consumes: &["Select", "Mat"],
+            produces: &["Select", "Mat"],
+            generative: false,
+        }
     }
     fn apply(&self, model: &M<'e>, memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
         let mut out = Vec::new();
@@ -123,6 +149,13 @@ impl<'e> TransformRule<M<'e>> for SelectUnnestSwap {
     fn name(&self) -> &'static str {
         crate::config::rule_names::SELECT_UNNEST_SWAP
     }
+    fn signature(&self) -> RuleSignature {
+        RuleSignature {
+            consumes: &["Select", "Unnest"],
+            produces: &["Select", "Unnest"],
+            generative: false,
+        }
+    }
     fn apply(&self, model: &M<'e>, memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
         let mut out = Vec::new();
         match &expr.op {
@@ -170,6 +203,13 @@ pub struct SelectJoinPush;
 impl<'e> TransformRule<M<'e>> for SelectJoinPush {
     fn name(&self) -> &'static str {
         crate::config::rule_names::SELECT_JOIN_PUSH
+    }
+    fn signature(&self) -> RuleSignature {
+        RuleSignature {
+            consumes: &["Select", "Join"],
+            produces: &["Select", "Join"],
+            generative: false,
+        }
     }
     fn apply(&self, model: &M<'e>, memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
         let mut out = Vec::new();
@@ -227,6 +267,15 @@ impl<'e> TransformRule<M<'e>> for SelectIntoJoin {
     fn name(&self) -> &'static str {
         crate::config::rule_names::SELECT_INTO_JOIN
     }
+    fn signature(&self) -> RuleSignature {
+        // The merged predicate is a union of existing term sets — still
+        // inside the finite closure of the query's conjuncts.
+        RuleSignature {
+            consumes: &["Select"],
+            produces: &["Join"],
+            generative: false,
+        }
+    }
     fn apply(&self, model: &M<'e>, memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
         let LogicalOp::Select { pred } = expr.op else {
             return vec![];
@@ -267,6 +316,15 @@ pub struct MatToJoin;
 impl<'e> TransformRule<M<'e>> for MatToJoin {
     fn name(&self) -> &'static str {
         crate::config::rule_names::MAT_TO_JOIN
+    }
+    fn signature(&self) -> RuleSignature {
+        // Interns one canonical reference equality per materialized
+        // variable: finitely many, so not generative.
+        RuleSignature {
+            consumes: &["Mat"],
+            produces: &["Join", "Get"],
+            generative: false,
+        }
     }
     fn apply(&self, model: &M<'e>, _memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
         let LogicalOp::Mat { out: mat_out } = expr.op else {
@@ -309,6 +367,13 @@ impl<'e> TransformRule<M<'e>> for JoinCommute {
     fn name(&self) -> &'static str {
         crate::config::rule_names::JOIN_COMMUTE
     }
+    fn signature(&self) -> RuleSignature {
+        RuleSignature {
+            consumes: &["Join"],
+            produces: &["Join"],
+            generative: false,
+        }
+    }
     fn apply(&self, _model: &M<'e>, _memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
         let LogicalOp::Join { pred } = expr.op else {
             return vec![];
@@ -329,6 +394,13 @@ pub struct JoinAssoc;
 impl<'e> TransformRule<M<'e>> for JoinAssoc {
     fn name(&self) -> &'static str {
         crate::config::rule_names::JOIN_ASSOC
+    }
+    fn signature(&self) -> RuleSignature {
+        RuleSignature {
+            consumes: &["Join"],
+            produces: &["Join"],
+            generative: false,
+        }
     }
     fn apply(&self, model: &M<'e>, memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
         let LogicalOp::Join { pred: p2 } = expr.op else {
@@ -366,6 +438,13 @@ impl<'e> TransformRule<M<'e>> for MatMatSwap {
     fn name(&self) -> &'static str {
         crate::config::rule_names::MAT_MAT_SWAP
     }
+    fn signature(&self) -> RuleSignature {
+        RuleSignature {
+            consumes: &["Mat"],
+            produces: &["Mat"],
+            generative: false,
+        }
+    }
     fn apply(&self, model: &M<'e>, memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
         let LogicalOp::Mat { out: o1 } = expr.op else {
             return vec![];
@@ -401,6 +480,13 @@ pub struct SelectSetOpPush;
 impl<'e> TransformRule<M<'e>> for SelectSetOpPush {
     fn name(&self) -> &'static str {
         crate::config::rule_names::SELECT_SETOP_PUSH
+    }
+    fn signature(&self) -> RuleSignature {
+        RuleSignature {
+            consumes: &["Select"],
+            produces: &["SetOp", "Select"],
+            generative: false,
+        }
     }
     fn apply(&self, _model: &M<'e>, memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
         let LogicalOp::Select { pred } = expr.op else {
@@ -445,6 +531,13 @@ impl<'e> TransformRule<M<'e>> for MatSetOpPush {
     fn name(&self) -> &'static str {
         crate::config::rule_names::MAT_SETOP_PUSH
     }
+    fn signature(&self) -> RuleSignature {
+        RuleSignature {
+            consumes: &["Mat"],
+            produces: &["SetOp", "Mat"],
+            generative: false,
+        }
+    }
     fn apply(&self, _model: &M<'e>, memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
         let LogicalOp::Mat { out: o } = expr.op else {
             return vec![];
@@ -472,6 +565,13 @@ pub struct MatJoinPush;
 impl<'e> TransformRule<M<'e>> for MatJoinPush {
     fn name(&self) -> &'static str {
         crate::config::rule_names::MAT_JOIN_PUSH
+    }
+    fn signature(&self) -> RuleSignature {
+        RuleSignature {
+            consumes: &["Mat", "Join"],
+            produces: &["Join", "Mat"],
+            generative: false,
+        }
     }
     fn apply(&self, model: &M<'e>, memo: &Memo<M<'e>>, expr: &Expr<M<'e>>) -> Vec<Rw> {
         let mut out = Vec::new();

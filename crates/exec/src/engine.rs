@@ -1121,15 +1121,22 @@ impl<'a> Executor<'a> {
             let mut refs = Vec::with_capacity(end - i);
             for t in &tuples[i..end] {
                 self.counts.derefs += 1;
-                let oid = match field {
-                    Some(f) => self
-                        .store
-                        .read_field(t.get(src), f)
-                        .as_ref_oid()
-                        .ok_or_else(|| {
-                            ExecError::MalformedPlan("Mat field must hold a reference".into())
-                        })?,
-                    None => t.get(src),
+                // A plan may assemble a component the input already binds
+                // (an extent scan of the component's collection); the
+                // binding IS the reference, so resolve through the source
+                // only when the target is still open.
+                let oid = match t.try_get(target) {
+                    Some(o) => o,
+                    None => match field {
+                        Some(f) => self
+                            .store
+                            .read_field(t.get(src), f)
+                            .as_ref_oid()
+                            .ok_or_else(|| {
+                                ExecError::MalformedPlan("Mat field must hold a reference".into())
+                            })?,
+                        None => t.get(src),
+                    },
                 };
                 refs.push(oid);
             }
@@ -1173,15 +1180,20 @@ impl<'a> Executor<'a> {
         let mut out = Vec::with_capacity(tuples.len());
         for t in tuples {
             self.counts.derefs += 1;
-            let oid = match field {
-                Some(f) => self
-                    .store
-                    .read_field(t.get(src), f)
-                    .as_ref_oid()
-                    .ok_or_else(|| {
-                        ExecError::MalformedPlan("Mat field must hold a reference".into())
-                    })?,
-                None => t.get(src),
+            // As in [`Executor::assemble`]: an already-bound target is its
+            // own reference.
+            let oid = match t.try_get(target) {
+                Some(o) => o,
+                None => match field {
+                    Some(f) => self
+                        .store
+                        .read_field(t.get(src), f)
+                        .as_ref_oid()
+                        .ok_or_else(|| {
+                            ExecError::MalformedPlan("Mat field must hold a reference".into())
+                        })?,
+                    None => t.get(src),
+                },
             };
             // The referenced page is (almost certainly) resident now;
             // touching it records the buffer hit honestly.

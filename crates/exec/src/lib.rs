@@ -22,6 +22,8 @@
 //! disk); CPU-ish work is reported as operation counts ([`OpCounts`]) so
 //! callers can convert with whatever cost constants they calibrate.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod eval;
 pub mod morsel;

@@ -22,6 +22,8 @@
 //! overhead of compiling the injector in but leaving it disabled is
 //! measured in EXPERIMENTS.md (< 1% gate).
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};

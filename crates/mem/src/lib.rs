@@ -24,6 +24,8 @@
 //!   budget with no governor behind it, so `RunLimits::mem_budget` works
 //!   even when no process-wide cap is attached.
 
+#![forbid(unsafe_code)]
+
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 

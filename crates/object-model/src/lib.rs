@@ -20,6 +20,8 @@
 //! Everything downstream — storage, algebra, optimizer, executor, and the
 //! ZQL front end — consumes this crate.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod oid;
 pub mod paper;

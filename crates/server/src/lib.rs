@@ -25,6 +25,8 @@
 //! accepting, answers every accepted in-flight request, and drains the
 //! worker pool.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod http;
 pub mod json;

@@ -23,6 +23,8 @@
 //! were optimized under, so interned `PredId`/`VarId` values never leak
 //! across parses.
 
+#![forbid(unsafe_code)]
+
 use oodb_algebra::fingerprint::{fingerprint, QueryFingerprint};
 use oodb_algebra::{LogicalPlan, QueryEnv, SortSpec, VarSet};
 use oodb_core::plancache::{CacheKey, CachedBody, CachedPlan, PlanCache};
@@ -388,6 +390,12 @@ struct ServiceMetrics {
     exec_sim_io_us: Counter,
     /// Static-verifier findings on winning plans (0 on a sound optimizer).
     verify_violations: Counter,
+    /// Subset of `verify_violations`: cost-model estimates that escaped
+    /// their sound `[lo, hi]` cardinality intervals (a cost-model bug).
+    interval_violations: Counter,
+    /// Traced executions whose measured row counts escaped the intervals
+    /// derived from the catalog — the stale-statistics detector.
+    actual_card_violations: Counter,
     /// Submissions that ran out of deadline during execution.
     timeouts: Counter,
     /// Transient-storage-fault retries across all submissions.
@@ -454,6 +462,8 @@ impl ServiceMetrics {
             exec_tuples: reg.counter("oodb_exec_tuples_total", &[]),
             exec_sim_io_us: reg.counter("oodb_exec_sim_io_microseconds_total", &[]),
             verify_violations: reg.counter("oodb_verify_violations_total", &[]),
+            interval_violations: reg.counter("oodb_interval_violations_total", &[]),
+            actual_card_violations: reg.counter("oodb_actual_card_violations_total", &[]),
             timeouts: reg.counter("oodb_timeouts_total", &[]),
             retries: reg.counter("oodb_retries_total", &[]),
             fallback_plans: reg.counter("oodb_fallback_plans_total", &[]),
@@ -1171,6 +1181,8 @@ impl QueryService {
                                 ServiceError::NoPlan
                             })?;
                     m.verify_violations.add(diagnostics.len() as u64);
+                    m.interval_violations
+                        .add(count_interval_diags(&diagnostics));
                     CachedBody::Static { plan, cost }
                 } else if opts.dynamic {
                     CachedBody::Dynamic(compile_dynamic(
@@ -1187,6 +1199,8 @@ impl QueryService {
                             m.transform_firings.add(out.stats.transform_firings);
                             m.plans_costed.add(out.stats.plans_costed);
                             m.verify_violations.add(out.diagnostics.len() as u64);
+                            m.interval_violations
+                                .add(count_interval_diags(&out.diagnostics));
                             CachedBody::Static {
                                 plan: out.plan,
                                 cost: out.cost,
@@ -1209,6 +1223,8 @@ impl QueryService {
                                 ServiceError::NoPlan
                             })?;
                             m.verify_violations.add(diagnostics.len() as u64);
+                            m.interval_violations
+                                .add(count_interval_diags(&diagnostics));
                             CachedBody::Static { plan, cost }
                         }
                         BoundedOutcome::Infeasible => {
@@ -1336,6 +1352,13 @@ impl QueryService {
         };
         stages.execute_ns = timer.lap_into(&m.stage_execute);
         m.record_exec(&stats);
+        // Execute-time half of the interval audit: measured row counts
+        // against the catalog-derived bounds. An escape here with a clean
+        // verify pass means the statistics are stale, not the cost model.
+        if let Some(t) = &trace {
+            let actual_diags = oodb_core::verify::check_actual_cards(&entry.env, plan, t);
+            m.actual_card_violations.add(actual_diags.len() as u64);
+        }
         let sim_io_s = stats.disk.total_s;
         if opts.realize_io_scale > 0.0 {
             thread::sleep(Duration::from_secs_f64(sim_io_s * opts.realize_io_scale));
@@ -1366,6 +1389,15 @@ impl QueryService {
             config_fp,
         })
     }
+}
+
+/// Counts the interval-cardinality findings in a verifier report (the
+/// `card/interval` check), for the dedicated telemetry counter.
+fn count_interval_diags(diags: &[oodb_core::verify::Diagnostic]) -> u64 {
+    diags
+        .iter()
+        .filter(|d| d.check == oodb_core::verify::checks::CARD_INTERVAL)
+        .count() as u64
 }
 
 /// Renders result rows deterministically. Tuple results project only the

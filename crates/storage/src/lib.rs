@@ -21,6 +21,8 @@
 //! * [`datagen`] — synthetic database generator reproducing the paper's
 //!   Table 1 population (with a scale-down knob for fast tests).
 
+#![forbid(unsafe_code)]
+
 pub mod buffer;
 pub mod codec;
 pub mod datagen;

@@ -17,6 +17,8 @@
 //! wedges readers), matching the panic-tolerance discipline of the
 //! service layer.
 
+#![forbid(unsafe_code)]
+
 pub mod append_vec;
 pub mod snap;
 

@@ -26,6 +26,8 @@
 //! [`MetricsRegistry::render_json`] (a snapshot the bench harness embeds
 //! in `BENCH_*.json`).
 
+#![forbid(unsafe_code)]
+
 pub mod metrics;
 pub mod trace;
 

@@ -24,14 +24,24 @@
 //! * **Cost/estimate sanity** ([`check_costs`]) — non-negative, finite,
 //!   monotone-non-decreasing cumulative cost up the tree, and cardinality
 //!   estimates within bounds derivable from the operator semantics.
+//! * **Interval cardinality audit** ([`check_card_intervals`],
+//!   [`check_actual_cards`]) — propagates sound `[lo, hi]` row-count
+//!   intervals ([`oodb_algebra::CardInterval`]) bottom-up through logical
+//!   and physical plans (exact scans, predicate relaxation, reference
+//!   equi-join containment, set-op bounds), flagging any *estimate*
+//!   outside its interval at verify time and any *measured*
+//!   [`OpTrace`] row count outside it at execute time.
 //!
-//! [`verify_physical`] composes all three for a winning plan.
+//! [`verify_physical`] composes the plan-level passes for a winning plan.
+
+#![forbid(unsafe_code)]
 
 use oodb_algebra::{
-    LogicalOp, LogicalPlan, Operand, PhysProps, PhysicalOp, PhysicalPlan, PredId, QueryEnv,
-    SortSpec, VarId, VarOrigin, VarSet,
+    CardInterval, LogicalOp, LogicalPlan, Operand, PhysProps, PhysicalOp, PhysicalPlan, PredId,
+    QueryEnv, SortSpec, VarId, VarOrigin, VarSet,
 };
 use oodb_object::{FieldId, FieldKind, TypeId};
+use oodb_telemetry::OpTrace;
 use std::fmt;
 
 /// Stable names of the invariants the verifier checks. Diagnostics carry
@@ -96,6 +106,12 @@ pub mod checks {
     pub const CARD_NEGATIVE: &str = "card/negative";
     /// A cardinality estimate exceeds its derivable bound.
     pub const CARD_BOUND: &str = "card/bound";
+    /// A cardinality estimate escapes its derivable `[lo, hi]` interval —
+    /// the cost model produced an infeasible estimate.
+    pub const CARD_INTERVAL: &str = "card/interval";
+    /// A measured operator row count escapes its derivable interval —
+    /// catalog statistics are stale (or an operator is miscounting).
+    pub const ACTUAL_CARD: &str = "card/actual";
 }
 
 /// One verifier finding: which invariant fired, where in the plan, and
@@ -197,6 +213,43 @@ pub fn check_costs(env: &QueryEnv, plan: &PhysicalPlan) -> Vec<Diagnostic> {
     cx.diags
 }
 
+/// Interval cardinality audit of an annotated physical plan: propagates
+/// `[lo, hi]` row-count bounds bottom-up and flags every node whose
+/// *estimate* escapes its interval ([`checks::CARD_INTERVAL`]). An
+/// estimate inside its interval is *feasible*; one outside it cannot be
+/// right whatever the data looks like.
+pub fn check_card_intervals(env: &QueryEnv, plan: &PhysicalPlan) -> Vec<Diagnostic> {
+    let mut cx = Cx::new(env);
+    cx.walk_interval(plan);
+    cx.diags
+}
+
+/// Audits *measured* row counts against derivable intervals: walks the
+/// plan and its [`OpTrace`] in lockstep (the executor's trace tree mirrors
+/// the plan, except for children it never runs, e.g. a pointer join's
+/// target scan) and flags every operator whose `actual_rows` escapes the
+/// interval derived from its children's measured counts
+/// ([`checks::ACTUAL_CARD`]). With fresh catalog statistics this is
+/// violation-free; a scan outside its interval means the statistics are
+/// stale — the static half of feedback-driven re-optimization.
+pub fn check_actual_cards(env: &QueryEnv, plan: &PhysicalPlan, trace: &OpTrace) -> Vec<Diagnostic> {
+    let mut cx = Cx::new(env);
+    cx.walk_actual(plan, trace);
+    cx.diags
+}
+
+/// The derivable `[lo, hi]` row-count interval of a physical plan's root.
+pub fn interval_physical(env: &QueryEnv, plan: &PhysicalPlan) -> CardInterval {
+    Cx::new(env).walk_interval(plan)
+}
+
+/// The derivable `[lo, hi]` row-count interval of a logical expression's
+/// root. Any correct execution of any physical plan for this expression
+/// produces a row count inside this interval.
+pub fn interval_logical(env: &QueryEnv, plan: &LogicalPlan) -> CardInterval {
+    Cx::new(env).logical_interval(plan)
+}
+
 /// Full static verification of a winning plan: linter + property checker
 /// + cost sanity, with `required` the root goal's physical properties.
 pub fn verify_physical(
@@ -207,6 +260,7 @@ pub fn verify_physical(
     let mut d = lint_physical(env, plan);
     d.extend(check_physical_props(env, plan, required));
     d.extend(check_costs(env, plan));
+    d.extend(check_card_intervals(env, plan));
     d
 }
 
@@ -1381,6 +1435,283 @@ impl<'e> Cx<'e> {
             }
         }
     }
+
+    /// Bottom-up interval propagation over a physical plan, checking each
+    /// node's *estimate* against its interval. Returns the root interval.
+    fn walk_interval(&mut self, plan: &PhysicalPlan) -> CardInterval {
+        let mut kids = Vec::with_capacity(plan.children.len());
+        for (i, c) in plan.children.iter().enumerate() {
+            self.path.push(i);
+            kids.push(self.walk_interval(c));
+            self.path.pop();
+        }
+        let iv = self.phys_interval(plan, &kids);
+        let out = plan.est.out_card;
+        // Non-finite/negative estimates are COST_NON_FINITE/CARD_NEGATIVE.
+        if out.is_finite() && out >= 0.0 && !iv.contains(out) {
+            self.emit(
+                checks::CARD_INTERVAL,
+                plan.op.name(),
+                format!("out_card within {iv}"),
+                format!("{out}"),
+            );
+        }
+        iv
+    }
+
+    /// Walks plan and trace in lockstep, checking each operator's measured
+    /// row count against the interval derived from its children's measured
+    /// counts. Plan children without a trace node (the executor never ran
+    /// them — a pointer join's target scan) keep a vacuous interval.
+    fn walk_actual(&mut self, plan: &PhysicalPlan, trace: &OpTrace) -> CardInterval {
+        let mut kids = Vec::with_capacity(plan.children.len());
+        for (i, (pc, tc)) in plan.children.iter().zip(trace.children.iter()).enumerate() {
+            self.path.push(i);
+            kids.push(self.walk_actual(pc, tc));
+            self.path.pop();
+        }
+        kids.resize(plan.children.len(), CardInterval::UNBOUNDED);
+        let iv = self.phys_interval(plan, &kids);
+        let actual = trace.actual_rows as f64;
+        if !iv.contains(actual) {
+            self.emit(
+                checks::ACTUAL_CARD,
+                plan.op.name(),
+                format!("actual rows within {iv}"),
+                format!("{}", trace.actual_rows),
+            );
+        }
+        // Parents bound themselves by what this operator *measurably*
+        // produced, not by what it could have.
+        CardInterval::exact(actual)
+    }
+
+    /// The `[lo, hi]` row-count interval of one physical operator given
+    /// its children's intervals. Sound w.r.t. executor semantics: scans
+    /// are pinned to catalog cardinality, predicates drop the lower bound,
+    /// count-preserving operators (assembly, sort, pointer join in its
+    /// well-formed single-reference-equality shape) pass intervals
+    /// through, and a reference equi-join against a side that is provably
+    /// distinct in the target variable emits at most one row per row of
+    /// the other side (containment).
+    fn phys_interval(&self, plan: &PhysicalPlan, kids: &[CardInterval]) -> CardInterval {
+        let kid = |i: usize| kids.get(i).copied().unwrap_or(CardInterval::UNBOUNDED);
+        match &plan.op {
+            PhysicalOp::FileScan { coll, .. } => {
+                CardInterval::exact(self.env.catalog.collection(*coll).cardinality as f64)
+            }
+            PhysicalOp::IndexScan { index, pred, .. } => {
+                if !self.index_ok(*index) {
+                    return CardInterval::UNBOUNDED;
+                }
+                let c = self.env.catalog.index(*index).collection;
+                let n = self.env.catalog.collection(c).cardinality as f64;
+                if self.pred_empty(*pred) {
+                    // Empty predicate = full ordered sweep: every member.
+                    CardInterval::exact(n)
+                } else {
+                    CardInterval::at_most(n)
+                }
+            }
+            PhysicalOp::Filter { pred } => {
+                if self.pred_empty(*pred) {
+                    kid(0)
+                } else {
+                    kid(0).relax_lo()
+                }
+            }
+            PhysicalOp::PointerJoin { pred } => {
+                if self.single_ref_eq(*pred) {
+                    kid(0)
+                } else {
+                    kid(0).relax_lo()
+                }
+            }
+            PhysicalOp::Assembly { .. }
+            | PhysicalOp::WarmAssembly { .. }
+            | PhysicalOp::Sort { .. }
+            | PhysicalOp::AlgProject { .. } => kid(0),
+            PhysicalOp::AlgUnnest { .. } => CardInterval::UNBOUNDED,
+            PhysicalOp::HybridHashJoin { pred } | PhysicalOp::MergeJoin { pred } => {
+                self.join_interval(*pred, &plan.children, kid(0), kid(1))
+            }
+            PhysicalOp::HashSetOp { kind } => match kind {
+                oodb_algebra::SetOpKind::Union => kid(0).sum(kid(1)).relax_lo(),
+                oodb_algebra::SetOpKind::Intersect => {
+                    CardInterval::at_most(kid(0).hi.min(kid(1).hi))
+                }
+                oodb_algebra::SetOpKind::Difference => CardInterval::at_most(kid(0).hi),
+            },
+        }
+    }
+
+    /// Join interval: cross product, lower bound dropped when a predicate
+    /// can eliminate rows, upper bound tightened by reference-equality
+    /// containment when the side binding the target variable is provably
+    /// distinct in it (each row of the other side then matches at most one
+    /// row).
+    fn join_interval(
+        &self,
+        pred: PredId,
+        children: &[PhysicalPlan],
+        l: CardInterval,
+        r: CardInterval,
+    ) -> CardInterval {
+        let mut iv = if self.pred_empty(pred) {
+            l.cross(r)
+        } else {
+            l.cross(r).relax_lo()
+        };
+        if !self.pred_ok(pred) || children.len() != 2 {
+            return iv;
+        }
+        for t in &self.env.preds.pred(pred).terms {
+            if let Some(tv) = term_ref_eq(t) {
+                if phys_binds(&children[0], tv) {
+                    if phys_distinct_in(&children[0], tv) {
+                        iv = iv.cap(r.hi);
+                    }
+                } else if phys_binds(&children[1], tv) && phys_distinct_in(&children[1], tv) {
+                    iv = iv.cap(l.hi);
+                }
+            }
+        }
+        iv
+    }
+
+    /// Interval propagation over a logical expression — the physical
+    /// table's operator-semantics half, without estimates to check.
+    fn logical_interval(&self, plan: &LogicalPlan) -> CardInterval {
+        let kids: Vec<CardInterval> = plan
+            .children
+            .iter()
+            .map(|c| self.logical_interval(c))
+            .collect();
+        let kid = |i: usize| kids.get(i).copied().unwrap_or(CardInterval::UNBOUNDED);
+        match &plan.op {
+            LogicalOp::Get { coll, .. } => {
+                CardInterval::exact(self.env.catalog.collection(*coll).cardinality as f64)
+            }
+            LogicalOp::Select { pred } => {
+                if self.pred_empty(*pred) {
+                    kid(0)
+                } else {
+                    kid(0).relax_lo()
+                }
+            }
+            LogicalOp::Project { .. } | LogicalOp::Mat { .. } => kid(0),
+            LogicalOp::Unnest { .. } => CardInterval::UNBOUNDED,
+            LogicalOp::Join { pred } => {
+                let mut iv = if self.pred_empty(*pred) {
+                    kid(0).cross(kid(1))
+                } else {
+                    kid(0).cross(kid(1)).relax_lo()
+                };
+                if self.pred_ok(*pred) && plan.children.len() == 2 {
+                    for t in &self.env.preds.pred(*pred).terms {
+                        if let Some(tv) = term_ref_eq(t) {
+                            if logical_binds(&plan.children[0], tv) {
+                                if logical_distinct_in(&plan.children[0], tv) {
+                                    iv = iv.cap(kid(1).hi);
+                                }
+                            } else if logical_binds(&plan.children[1], tv)
+                                && logical_distinct_in(&plan.children[1], tv)
+                            {
+                                iv = iv.cap(kid(0).hi);
+                            }
+                        }
+                    }
+                }
+                iv
+            }
+            LogicalOp::SetOp { kind } => match kind {
+                oodb_algebra::SetOpKind::Union => kid(0).sum(kid(1)).relax_lo(),
+                oodb_algebra::SetOpKind::Intersect => {
+                    CardInterval::at_most(kid(0).hi.min(kid(1).hi))
+                }
+                oodb_algebra::SetOpKind::Difference => CardInterval::at_most(kid(0).hi),
+            },
+        }
+    }
+
+    /// True when the predicate resolves and has no terms (always-true).
+    fn pred_empty(&self, p: PredId) -> bool {
+        self.pred_ok(p) && self.env.preds.pred(p).terms.is_empty()
+    }
+
+    /// True when the predicate is a single reference equality — the shape
+    /// in which a pointer join is count-preserving.
+    fn single_ref_eq(&self, p: PredId) -> bool {
+        self.pred_ok(p) && {
+            let terms = &self.env.preds.pred(p).terms;
+            terms.len() == 1 && terms[0].as_ref_eq().is_some()
+        }
+    }
+}
+
+/// Whether a physical subtree binds `v` in its output tuples.
+fn phys_binds(plan: &PhysicalPlan, v: VarId) -> bool {
+    let here = match &plan.op {
+        PhysicalOp::FileScan { var, .. } | PhysicalOp::IndexScan { var, .. } => *var == v,
+        PhysicalOp::Assembly { targets, .. } => targets.contains(&v),
+        PhysicalOp::WarmAssembly { target } => *target == v,
+        PhysicalOp::AlgUnnest { out } => *out == v,
+        _ => false,
+    };
+    here || plan.children.iter().any(|c| phys_binds(c, v))
+}
+
+/// Whether every output row of a physical subtree carries a *distinct*
+/// object for `v`. Conservative: `false` whenever distinctness cannot be
+/// proven (joins, unnests, unions, variables the operator introduces by
+/// dereference).
+fn phys_distinct_in(plan: &PhysicalPlan, v: VarId) -> bool {
+    let kid0 = |p: &PhysicalPlan| p.children.first().is_some_and(|c| phys_distinct_in(c, v));
+    match &plan.op {
+        PhysicalOp::FileScan { var, .. } | PhysicalOp::IndexScan { var, .. } => *var == v,
+        PhysicalOp::Filter { .. }
+        | PhysicalOp::Sort { .. }
+        | PhysicalOp::AlgProject { .. }
+        | PhysicalOp::PointerJoin { .. } => kid0(plan),
+        PhysicalOp::Assembly { targets, .. } => !targets.contains(&v) && kid0(plan),
+        PhysicalOp::WarmAssembly { target } => *target != v && kid0(plan),
+        PhysicalOp::AlgUnnest { .. }
+        | PhysicalOp::HybridHashJoin { .. }
+        | PhysicalOp::MergeJoin { .. } => false,
+        PhysicalOp::HashSetOp { kind } => match kind {
+            oodb_algebra::SetOpKind::Union => false,
+            oodb_algebra::SetOpKind::Intersect | oodb_algebra::SetOpKind::Difference => kid0(plan),
+        },
+    }
+}
+
+/// Whether a logical subtree binds `v` in its output scope.
+fn logical_binds(plan: &LogicalPlan, v: VarId) -> bool {
+    let here = match &plan.op {
+        LogicalOp::Get { var, .. } => *var == v,
+        LogicalOp::Mat { out } | LogicalOp::Unnest { out } => *out == v,
+        _ => false,
+    };
+    here || plan.children.iter().any(|c| logical_binds(c, v))
+}
+
+/// Logical analog of [`phys_distinct_in`].
+fn logical_distinct_in(plan: &LogicalPlan, v: VarId) -> bool {
+    let kid0 = |p: &LogicalPlan| {
+        p.children
+            .first()
+            .is_some_and(|c| logical_distinct_in(c, v))
+    };
+    match &plan.op {
+        LogicalOp::Get { var, .. } => *var == v,
+        LogicalOp::Select { .. } | LogicalOp::Project { .. } => kid0(plan),
+        LogicalOp::Mat { out } => *out != v && kid0(plan),
+        LogicalOp::Unnest { .. } | LogicalOp::Join { .. } => false,
+        LogicalOp::SetOp { kind } => match kind {
+            oodb_algebra::SetOpKind::Union => false,
+            oodb_algebra::SetOpKind::Intersect | oodb_algebra::SetOpKind::Difference => kid0(plan),
+        },
+    }
 }
 
 /// The ref-eq target of a term, free-function form for use in closures.
@@ -1552,6 +1883,171 @@ mod tests {
         ] {
             assert!(diags.iter().any(|d| d.check == check), "{check}: {diags:?}");
         }
+    }
+
+    /// Filter-over-scan with parameterized estimates, for interval tests.
+    fn scan_filter_plan(
+        m: &oodb_object::paper::PaperModel,
+        pred: PredId,
+        c: VarId,
+        scan_card: f64,
+        filter_card: f64,
+    ) -> PhysicalPlan {
+        PhysicalPlan {
+            op: PhysicalOp::Filter { pred },
+            children: vec![PhysicalPlan {
+                op: PhysicalOp::FileScan {
+                    coll: m.ids.cities,
+                    var: c,
+                },
+                children: vec![],
+                est: oodb_algebra::PlanEst {
+                    out_card: scan_card,
+                    io_s: 1.0,
+                    cpu_s: 0.0,
+                },
+            }],
+            est: oodb_algebra::PlanEst {
+                out_card: filter_card,
+                io_s: 0.0,
+                cpu_s: 0.1,
+            },
+        }
+    }
+
+    fn trace(rows: u64, children: Vec<OpTrace>) -> OpTrace {
+        OpTrace {
+            label: String::new(),
+            actual_rows: rows,
+            elapsed_ns: 0,
+            buffer_hits: 0,
+            buffer_misses: 0,
+            sim_io_s: 0.0,
+            spill_pages: 0,
+            children,
+        }
+    }
+
+    #[test]
+    fn interval_audit_accepts_feasible_estimates_and_flags_escapes() {
+        let m = paper_model();
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (_, c) = qb.get(m.ids.cities, "c");
+        let pred = qb.eq_const(c, m.ids.city_name, Value::str("Lima"));
+        let env = qb.into_env();
+        let n = m.catalog.collection(m.ids.cities).cardinality as f64;
+        assert!(n > 2.0, "paper model cities must be non-trivial");
+        // Scan pinned to catalog cardinality, filter below it: feasible.
+        let good = scan_filter_plan(&m, pred, c, n, n / 2.0);
+        assert_eq!(check_card_intervals(&env, &good), vec![]);
+        assert_eq!(interval_physical(&env, &good), CardInterval::at_most(n));
+        // A scan estimating *below* collection cardinality is infeasible —
+        // the lower-bound violation CARD_BOUND cannot see.
+        let low = scan_filter_plan(&m, pred, c, n / 2.0, n / 4.0);
+        let diags = check_card_intervals(&env, &low);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.check == checks::CARD_INTERVAL && d.path == vec![0]),
+            "{diags:?}"
+        );
+        // A filter estimating above its input escapes upward.
+        let high = scan_filter_plan(&m, pred, c, n, n * 2.0);
+        let diags = check_card_intervals(&env, &high);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.check == checks::CARD_INTERVAL && d.path.is_empty()),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn actual_rows_outside_interval_detected() {
+        let m = paper_model();
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (_, c) = qb.get(m.ids.cities, "c");
+        let pred = qb.eq_const(c, m.ids.city_name, Value::str("Lima"));
+        let env = qb.into_env();
+        let n = m.catalog.collection(m.ids.cities).cardinality;
+        let plan = scan_filter_plan(&m, pred, c, n as f64, 1.0);
+        // Fresh statistics: scan sees exactly n, filter keeps a subset.
+        let ok = trace(1, vec![trace(n, vec![])]);
+        assert_eq!(check_actual_cards(&env, &plan, &ok), vec![]);
+        // Stale statistics: the scan no longer matches the catalog.
+        let stale = trace(1, vec![trace(n - 2, vec![])]);
+        let diags = check_actual_cards(&env, &plan, &stale);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.check == checks::ACTUAL_CARD && d.path == vec![0]),
+            "{diags:?}"
+        );
+        // A filter emitting more rows than its input is miscounting.
+        let grew = trace(n + 5, vec![trace(n, vec![])]);
+        let diags = check_actual_cards(&env, &plan, &grew);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.check == checks::ACTUAL_CARD && d.path.is_empty()),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn logical_interval_of_select_mat_get() {
+        let (env, plan, ..) = q2();
+        let iv = interval_logical(&env, &plan);
+        // Select drops the lower bound; Mat preserves the count.
+        assert_eq!(iv.lo, 0.0);
+        let get_iv = interval_logical(&env, &plan.children[0].children[0]);
+        assert_eq!(get_iv.lo, get_iv.hi, "Get is exact");
+        assert_eq!(iv.hi, get_iv.hi);
+    }
+
+    #[test]
+    fn ref_eq_join_containment_tightens_the_bound() {
+        let m = paper_model();
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (people, p) = qb.get(m.ids.person_extent, "p");
+        let (cities, c) = qb.get(m.ids.cities, "c");
+        let pred = qb.ref_eq(c, m.ids.city_mayor, p);
+        let join = qb.join(people, cities, pred);
+        let env = qb.into_env();
+        let n_c = m.catalog.collection(m.ids.cities).cardinality as f64;
+        let n_p = m.catalog.collection(m.ids.person_extent).cardinality as f64;
+        assert!(n_p > n_c, "containment must be visible");
+        // Each city references one mayor; the mayor side is distinct in p,
+        // so the join emits at most one row per city — not n_c × n_p.
+        let iv = interval_logical(&env, &join);
+        assert_eq!(iv, CardInterval::at_most(n_c), "logical containment");
+        let phys = PhysicalPlan {
+            op: PhysicalOp::HybridHashJoin { pred },
+            children: vec![
+                PhysicalPlan {
+                    op: PhysicalOp::FileScan {
+                        coll: m.ids.person_extent,
+                        var: p,
+                    },
+                    children: vec![],
+                    est: Default::default(),
+                },
+                PhysicalPlan {
+                    op: PhysicalOp::FileScan {
+                        coll: m.ids.cities,
+                        var: c,
+                    },
+                    children: vec![],
+                    est: Default::default(),
+                },
+            ],
+            est: Default::default(),
+        };
+        assert_eq!(
+            interval_physical(&env, &phys),
+            CardInterval::at_most(n_c),
+            "physical containment"
+        );
     }
 
     #[test]

@@ -31,15 +31,22 @@
 //! The [`toy`] module contains a minimal complete model used by the unit
 //! tests and as a template for new optimizers.
 
+#![forbid(unsafe_code)]
+
+pub mod enumerate;
 pub mod memo;
 pub mod model;
+pub mod rulegraph;
 pub mod search;
 pub mod stats;
 pub mod toy;
 
+pub use enumerate::{EnumLimits, Enumeration};
 pub use memo::{Expr, ExprId, GroupId, Memo, Rewrite};
 pub use model::{
-    Candidate, CostValue, EnforceCandidate, Enforcer, ImplRule, OptModel, RuleSet, TransformRule,
+    Candidate, CostValue, EnforceCandidate, Enforcer, ImplRule, OptModel, RuleSet, RuleSignature,
+    TransformRule,
 };
+pub use rulegraph::{prove_termination, CycleWitness, RuleGraph, TerminationProof};
 pub use search::{Optimizer, PlanNode, SearchConfig, TraceEvent, Winner};
 pub use stats::SearchStats;

@@ -60,6 +60,42 @@ pub trait OptModel: Sized {
     fn satisfies(&self, required: &Self::PProps, delivered: &Self::PProps) -> bool;
 }
 
+/// Static metadata describing a transformation rule's rewrite shape, used
+/// by [`crate::rulegraph`] to prove the rule set terminates. The shapes
+/// are operator *tags* (display-level names like `"Join"`), not full
+/// patterns: what matters for termination is which rules can feed which,
+/// not the exact bindings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuleSignature {
+    /// Operator tags at the root of patterns this rule matches.
+    pub consumes: &'static [&'static str],
+    /// Operator tags at the root of expressions this rule can produce.
+    pub produces: &'static [&'static str],
+    /// Whether a firing can introduce arguments (predicates, operator
+    /// parameters) outside the finite closure of the query's existing
+    /// sub-terms. Non-generative rules only rearrange existing material,
+    /// so the memo's duplicate elimination bounds any rewrite cycle they
+    /// form; a *generative* rule inside a produce/consume cycle can mint
+    /// fresh expressions forever.
+    pub generative: bool,
+}
+
+impl RuleSignature {
+    /// The signature of a rule that declared none: unknown shapes, assumed
+    /// generative. Rule-graph analysis treats this as a failure — every
+    /// rule must describe itself before termination can be proven.
+    pub const UNSIGNED: RuleSignature = RuleSignature {
+        consumes: &[],
+        produces: &[],
+        generative: true,
+    };
+
+    /// Whether the rule declared any shape information.
+    pub fn is_signed(&self) -> bool {
+        !self.consumes.is_empty() || !self.produces.is_empty()
+    }
+}
+
 /// A logical-to-logical transformation rule.
 ///
 /// Rules receive one expression plus read access to the memo, so
@@ -73,6 +109,12 @@ pub trait TransformRule<M: OptModel> {
     /// Applies the rule, returning zero or more equivalent expressions as
     /// [`Rewrite`] templates over existing groups.
     fn apply(&self, model: &M, memo: &Memo<M>, expr: &Expr<M>) -> Vec<Rewrite<M::LOp>>;
+    /// Static rewrite-shape metadata for rule-graph termination analysis.
+    /// The default is [`RuleSignature::UNSIGNED`], which that analysis
+    /// rejects — implementors are expected to describe every rule.
+    fn signature(&self) -> RuleSignature {
+        RuleSignature::UNSIGNED
+    }
 }
 
 /// One physical alternative produced by an implementation rule.

@@ -175,12 +175,18 @@ impl<'a, M: OptModel> Optimizer<'a, M> {
         }
     }
 
-    /// The model.
-    pub fn model(&self) -> &M {
+    /// The model. Returned at the optimizer's own lifetime so holding it
+    /// does not freeze `self`.
+    pub fn model(&self) -> &'a M {
         self.model
     }
 
-    fn goal_key(group: GroupId, props: &M::PProps) -> (GroupId, u64) {
+    /// The rule set, at the optimizer's own lifetime.
+    pub fn rules(&self) -> &'a RuleSet<M> {
+        self.rules
+    }
+
+    pub(crate) fn goal_key(group: GroupId, props: &M::PProps) -> (GroupId, u64) {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         props.hash(&mut h);

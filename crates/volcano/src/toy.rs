@@ -12,7 +12,8 @@
 
 use crate::memo::{Expr, GroupId, Memo, Rewrite};
 use crate::model::{
-    Candidate, EnforceCandidate, Enforcer, ImplRule, OptModel, RuleSet, TransformRule,
+    Candidate, EnforceCandidate, Enforcer, ImplRule, OptModel, RuleSet, RuleSignature,
+    TransformRule,
 };
 
 /// Toy logical operators.
@@ -112,6 +113,13 @@ impl TransformRule<Toy> for Commute {
             ],
         )]
     }
+    fn signature(&self) -> RuleSignature {
+        RuleSignature {
+            consumes: &["Join"],
+            produces: &["Join"],
+            generative: false,
+        }
+    }
 }
 
 /// Left-to-right join associativity — a two-level rule that enumerates the
@@ -147,6 +155,13 @@ impl TransformRule<Toy> for Assoc {
             }
         }
         out
+    }
+    fn signature(&self) -> RuleSignature {
+        RuleSignature {
+            consumes: &["Join"],
+            produces: &["Join"],
+            generative: false,
+        }
     }
 }
 

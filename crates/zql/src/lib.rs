@@ -34,6 +34,8 @@
 //! assert!(text.contains("Mat c.mayor"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod lexer;
 pub mod parser;

@@ -37,6 +37,14 @@ cargo test -q --test scaling
 echo "==> serving gate (wire protocol + tenant QoS + drain)"
 cargo test -q --test server
 
+# Plan-space audit: the enumeration oracle over Q1-Q4 in quick mode —
+# every plan the memo encodes executes to identical canonical bytes and
+# the winner is cost-minimal over the whole space. Rule-graph
+# termination and confluence run inside oodb-core's unit tests above;
+# this is the executable half (CI's `audit` job runs the same corpus).
+echo "==> plan-space audit (enumeration oracle, quick corpus)"
+OODB_AUDIT_QUICK=1 cargo test -q --test audit
+
 # Supply-chain lint: advisories, duplicate versions, license allow-list.
 # cargo-deny is an external binary; skip gracefully where it is not
 # installed (the offline build container) rather than failing the gate.

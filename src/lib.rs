@@ -41,6 +41,8 @@
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! binaries regenerating every table and figure of the paper.
 
+#![forbid(unsafe_code)]
+
 pub use oodb_algebra as algebra;
 pub use oodb_core as core;
 pub use oodb_exec as exec;

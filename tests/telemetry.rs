@@ -149,6 +149,31 @@ fn cache_counters_balance_across_concurrent_replay() {
     assert!(text.contains("oodb_queue_depth 0"), "{text}");
 }
 
+/// The interval-audit counters export, and stay at zero on the seed
+/// corpus: the catalog describes the generated store correctly, so
+/// neither the estimate-side nor the actual-rows-side check may fire.
+#[test]
+fn interval_audit_counters_are_zero_on_seed_corpus() {
+    let svc = service();
+    let opts = SubmitOptions {
+        trace: true,
+        ..Default::default()
+    };
+    for q in QUERIES {
+        svc.submit_with(q, opts).unwrap();
+    }
+    let text = svc.metrics_prometheus();
+    assert!(
+        text.contains("oodb_interval_violations_total 0"),
+        "estimate escaped its sound interval:\n{text}"
+    );
+    assert!(
+        text.contains("oodb_actual_card_violations_total 0"),
+        "actual rows escaped the catalog-derived interval:\n{text}"
+    );
+    assert!(text.contains("oodb_verify_violations_total 0"), "{text}");
+}
+
 #[test]
 fn traced_and_untraced_runs_agree() {
     let svc = service();
