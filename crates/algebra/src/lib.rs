@@ -29,6 +29,7 @@ pub mod display;
 pub mod fingerprint;
 pub mod interval;
 pub mod ops;
+pub mod overlay;
 pub mod plan;
 pub mod pred;
 pub mod props;
@@ -38,6 +39,7 @@ pub use builder::QueryBuilder;
 pub use fingerprint::{fingerprint, QueryFingerprint};
 pub use interval::{CardInterval, INTERVAL_SLACK};
 pub use ops::{LogicalOp, PhysicalOp, SetOpKind};
+pub use overlay::StatsOverlay;
 pub use plan::{LogicalPlan, PhysicalPlan, PlanEst};
 pub use pred::{CmpOp, Operand, Pred, PredArena, PredId, Term};
 pub use props::{LogicalProps, PhysProps, SortSpec, VarSet};

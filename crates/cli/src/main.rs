@@ -14,7 +14,10 @@
 #![forbid(unsafe_code)]
 
 use oodb_core::plancache::{CacheKey, CachedBody, CachedPlan, PlanCache};
-use oodb_core::{greedy_plan, CostParams, EnumLimits, OpenOodb, OptimizerConfig};
+use oodb_core::{
+    drift_ratio, greedy_plan, CostParams, EnumLimits, FeedbackStore, Observation, OodbModel,
+    OpenOodb, OptimizerConfig,
+};
 use oodb_exec::{try_execute_parallel, try_execute_traced, ExecResult, RunLimits};
 use oodb_object::paper::PaperModel;
 use oodb_object::{Catalog, Value};
@@ -24,6 +27,19 @@ use oodb_storage::{
 use oodb_telemetry::{fmt_ns, MetricsRegistry, StageTimer};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
+
+/// Collects every predicate id in a logical plan (selects and joins), in
+/// plan order, for the `EXPLAIN FEEDBACK` per-predicate listing.
+fn collect_preds(plan: &oodb_algebra::LogicalPlan, out: &mut Vec<oodb_algebra::PredId>) {
+    if let oodb_algebra::LogicalOp::Select { pred } | oodb_algebra::LogicalOp::Join { pred } =
+        &plan.op
+    {
+        out.push(*pred);
+    }
+    for c in &plan.children {
+        collect_preds(c, out);
+    }
+}
 
 /// Renders one verifier diagnostic the same way everywhere — check name,
 /// operator path ([`Diagnostic::path_string`]), operator, then the
@@ -48,6 +64,10 @@ struct Shell {
     catalog: Catalog,
     config: OptimizerConfig,
     cache: PlanCache,
+    /// Actual-vs-estimated feedback for this shell's executions. Plain
+    /// statements feed the root sample; `EXPLAIN ANALYZE` additionally
+    /// records per-predicate selectivity overrides from its trace.
+    feedback: FeedbackStore,
     telemetry: MetricsRegistry,
     /// Morsel worker threads for plain statement execution (1 = serial).
     exec_workers: usize,
@@ -64,9 +84,18 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(10);
+    // `--hot-names F` skews the Employees set so a fraction F share one
+    // name while the catalog still assumes uniformity — a ready-made
+    // estimate-drift fixture for exercising the feedback loop.
+    let hot_names: f64 = std::env::args()
+        .skip_while(|a| a != "--hot-names")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.0);
     eprintln!("Generating the Table 1 database at scale 1/{scale}...");
     let (store, model) = generate_paper_db(GenConfig {
         scale_div: scale,
+        hot_employee_name_fraction: hot_names,
         ..Default::default()
     });
     let catalog = model.catalog.clone();
@@ -76,6 +105,7 @@ fn main() {
         catalog,
         config: OptimizerConfig::all_rules(),
         cache: PlanCache::default(),
+        feedback: FeedbackStore::default(),
         telemetry: MetricsRegistry::new(),
         exec_workers: 1,
         server: None,
@@ -142,7 +172,8 @@ impl Shell {
                      statically check the winning plan (and, with verify-search on,\n\
                      every expression the transformation rules generated), or\n\
                      EXPLAIN AUDIT to enumerate the full plan space and prove the\n\
-                     winner cost-minimal over it.\n\
+                     winner cost-minimal over it, or EXPLAIN FEEDBACK to compare\n\
+                     catalog selectivities against feedback-derived overrides.\n\
                      Commands:\n\
                      \\schema              types and fields\n\
                      \\catalog             collections and cardinalities\n\
@@ -152,6 +183,7 @@ impl Shell {
                      \\workers N           morsel worker threads (1 = serial)\n\
                      \\stats               collect histograms for refined selectivity\n\
                      \\cache [stats|clear] plan-cache counters / drop cached plans\n\
+                     \\feedback [stats|clear] actual-vs-estimated drift per query\n\
                      \\trace QUERY;        show the goal-directed search trace\n\
                      \\verify QUERY;       statically verify the query's winning plan\n\
                      \\verify search on|off   also lint every memo expression (slow)\n\
@@ -315,6 +347,9 @@ impl Shell {
             }
             "\\stats" => {
                 self.catalog = self.store.collect_statistics(&[], 32);
+                // Feedback gathered under the old statistics described a
+                // distribution the refreshed catalog supersedes.
+                self.feedback.retire_older_than(self.catalog.stats_epoch());
                 println!(
                     "collected {} histograms; selectivity estimation refined \
                      (stats epoch {} — cached plans will re-optimize)",
@@ -341,6 +376,46 @@ impl Shell {
                     );
                 }
                 Some(other) => println!("unknown subcommand {other:?}; \\cache [stats|clear]"),
+            },
+            "\\feedback" => match parts.next() {
+                Some("clear") => {
+                    self.feedback.clear();
+                    println!("feedback cleared");
+                }
+                None | Some("stats") => {
+                    let s = self.feedback.stats();
+                    println!(
+                        "feedback: {} fingerprints tracked, {} suspect, {} with \
+                         overrides ({} overrides total); worst drift {:.1}x \
+                         (threshold {:.0}x)",
+                        s.tracked,
+                        s.suspect,
+                        s.overridden,
+                        s.overrides,
+                        s.worst_drift,
+                        self.feedback.threshold()
+                    );
+                    for e in self.feedback.snapshot() {
+                        println!(
+                            "  {:016x}  execs {:>4}  est {:>10.1}  actual {:>8}  \
+                             drift {:>7.1}x{}{}",
+                            e.fingerprint,
+                            e.execs,
+                            e.last_est,
+                            e.last_actual,
+                            e.worst_drift,
+                            if e.suspect { "  SUSPECT" } else { "" },
+                            if e.overrides > 0 {
+                                format!("  {} override(s)", e.overrides)
+                            } else {
+                                String::new()
+                            }
+                        );
+                    }
+                }
+                Some(other) => {
+                    println!("unknown subcommand {other:?}; \\feedback [stats|clear]")
+                }
             },
             "\\metrics" => {
                 // When serving, the service's registry carries the full
@@ -627,6 +702,94 @@ impl Shell {
         }
     }
 
+    /// `EXPLAIN FEEDBACK`: what the drift detector knows about one query —
+    /// each predicate's catalog selectivity next to any feedback override,
+    /// then the accumulated actual-vs-estimated record.
+    fn feedback_stmt(&mut self, src: &str) {
+        let q = match zql::compile(src, &self.model.schema, &self.catalog) {
+            Ok(q) => q,
+            Err(e) => {
+                println!("{e}");
+                return;
+            }
+        };
+        let fp = oodb_algebra::fingerprint(&q.env, &q.plan, q.result_vars, q.order.as_ref());
+        let overlay = self
+            .feedback
+            .overlay_for(fp.hash, self.catalog.stats_epoch());
+        let model = OodbModel::new(&q.env, CostParams::default(), self.config.clone());
+        let mut preds = Vec::new();
+        collect_preds(&q.plan, &mut preds);
+        if preds.is_empty() {
+            println!("no predicates: nothing for the feedback loop to correct");
+        }
+        for pid in preds {
+            let key = oodb_algebra::overlay::pred_key(&q.env, q.env.preds.pred(pid));
+            let catalog_sel = model.selectivity(pid);
+            match overlay.as_ref().and_then(|o| o.get(&key)) {
+                Some(corrected) => {
+                    println!("  {key}: catalog {catalog_sel:.6} -> corrected {corrected:.6}")
+                }
+                None => println!("  {key}: catalog {catalog_sel:.6}"),
+            }
+        }
+        match self
+            .feedback
+            .snapshot()
+            .into_iter()
+            .find(|e| e.fingerprint == fp.hash)
+        {
+            Some(e) => println!(
+                "feedback: {} execution(s), last estimated {:.0} vs actual {}, \
+                 worst drift {:.1}x{}{}",
+                e.execs,
+                e.last_est,
+                e.last_actual,
+                e.worst_drift,
+                if e.suspect { ", SUSPECT" } else { "" },
+                if e.overrides > 0 {
+                    format!(", {} override(s) active", e.overrides)
+                } else {
+                    String::new()
+                }
+            ),
+            None => println!("feedback: no executions recorded for this query"),
+        }
+    }
+
+    /// Folds one execution's root row count into the drift detector and
+    /// tells the user when the estimate drifted past the threshold. A
+    /// newly suspect query loses its cached plan so the next run probes
+    /// and re-optimizes.
+    fn note_drift(
+        &self,
+        key: &CacheKey,
+        fp: u64,
+        epoch: u64,
+        est: f64,
+        actual: u64,
+        corrected: bool,
+    ) {
+        match self
+            .feedback
+            .observe_root(fp, epoch, est, actual, corrected)
+        {
+            Observation::InBounds => {}
+            obs => {
+                if obs == Observation::NewlySuspect {
+                    self.cache.remove(key);
+                }
+                println!(
+                    "note: estimate drift {:.1}x (estimated {:.0} rows, observed \
+                     {actual}); run the query again to re-optimize with corrected \
+                     selectivities",
+                    drift_ratio(est, actual),
+                    est.max(0.0),
+                );
+            }
+        }
+    }
+
     /// Shows the goal-level search trace for a query (the paper's
     /// Figure 11 view, live).
     fn trace(&mut self, src: &str) {
@@ -721,6 +884,11 @@ impl Shell {
             self.audit_stmt(src.trim_end_matches(';'));
             return;
         }
+        if upper.starts_with("EXPLAIN FEEDBACK") {
+            let src = stmt["EXPLAIN FEEDBACK".len()..].trim();
+            self.feedback_stmt(src.trim_end_matches(';'));
+            return;
+        }
         let (explain, analyze, src) = if upper.starts_with("EXPLAIN ANALYZE") {
             (false, true, stmt["EXPLAIN ANALYZE".len()..].trim())
         } else if upper.starts_with("EXPLAIN") {
@@ -771,25 +939,30 @@ impl Shell {
             return;
         }
         // Plan via the cache: key on canonical fingerprint + rule config +
-        // statistics epoch + index set, so \stats or \rules changes can
-        // never serve a stale plan.
+        // statistics epoch + index set + feedback-overlay fingerprint, so
+        // \stats, \rules, or \feedback changes can never serve a stale plan.
         let fp = oodb_algebra::fingerprint(&q.env, &q.plan, q.result_vars, q.order.as_ref());
+        let epoch = self.catalog.stats_epoch();
+        let overlay = self.feedback.overlay_for(fp.hash, epoch);
         let key = CacheKey::static_plan(
             &fp,
             self.config.fingerprint(),
-            self.catalog.stats_epoch(),
+            epoch,
             self.catalog.index_set_hash(),
+            overlay.as_ref().map_or(0, |o| o.fingerprint()),
         );
         let (entry, hit) = match self.cache.get(&key, &fp.key) {
             Some(entry) => (entry, true),
             None => {
                 // Scope the optimizer so its borrow of `q.env` ends
                 // before the env moves into the cache entry.
-                let out = OpenOodb::with_config(&q.env, self.config.clone()).optimize_ordered(
-                    &q.plan,
-                    q.result_vars,
-                    q.order,
-                );
+                let out = {
+                    let mut optimizer = OpenOodb::with_config(&q.env, self.config.clone());
+                    if let Some(ov) = overlay.as_ref() {
+                        optimizer = optimizer.with_overlay(Arc::clone(ov));
+                    }
+                    optimizer.optimize_ordered(&q.plan, q.result_vars, q.order)
+                };
                 let Some(out) = out else {
                     println!("no feasible plan under the current rule configuration");
                     return;
@@ -832,6 +1005,25 @@ impl Shell {
                     .histogram("oodb_stage_latency_ns", &[("stage", "execute")]),
             );
             self.record_exec(&stats);
+            self.note_drift(
+                &key,
+                fp.hash,
+                epoch,
+                plan.est.out_card,
+                stats.root_rows,
+                overlay.is_some(),
+            );
+            // The analyzed trace doubles as the feedback probe: record
+            // per-predicate overrides so the next run of a drifting query
+            // re-optimizes under corrected selectivities.
+            if self
+                .feedback
+                .observe_trace(fp.hash, epoch, env, plan, &trace)
+                > 0
+                && overlay.is_none()
+            {
+                self.cache.remove(&key);
+            }
             println!("Physical plan (analyzed):");
             print!("{}", trace.render());
             let spilled = stats.disk.spill_pages();
@@ -857,17 +1049,41 @@ impl Shell {
             );
             return;
         }
-        let (result, stats) = match try_execute_parallel(
-            &self.store,
-            env,
-            plan,
-            RunLimits::default(),
-            self.exec_workers,
-        ) {
-            Ok(run) => run,
-            Err(e) => {
-                println!("execution failed: {e}");
-                return;
+        // A suspect plan's next run is probed — internally traced, like
+        // the service's hot path — so the per-predicate actuals needed
+        // for re-optimization are gathered without the user having to
+        // ask for EXPLAIN ANALYZE.
+        let (result, stats) = if self.feedback.wants_probe(fp.hash) {
+            match try_execute_traced(&self.store, env, plan, RunLimits::default()) {
+                Ok((result, stats, trace)) => {
+                    if self
+                        .feedback
+                        .observe_trace(fp.hash, epoch, env, plan, &trace)
+                        > 0
+                        && overlay.is_none()
+                    {
+                        self.cache.remove(&key);
+                    }
+                    (result, stats)
+                }
+                Err(e) => {
+                    println!("execution failed: {e}");
+                    return;
+                }
+            }
+        } else {
+            match try_execute_parallel(
+                &self.store,
+                env,
+                plan,
+                RunLimits::default(),
+                self.exec_workers,
+            ) {
+                Ok(run) => run,
+                Err(e) => {
+                    println!("execution failed: {e}");
+                    return;
+                }
             }
         };
         timer.lap_into(
@@ -876,6 +1092,14 @@ impl Shell {
                 .histogram("oodb_stage_latency_ns", &[("stage", "execute")]),
         );
         self.record_exec(&stats);
+        self.note_drift(
+            &key,
+            fp.hash,
+            epoch,
+            plan.est.out_card,
+            stats.root_rows,
+            overlay.is_some(),
+        );
         match &result {
             ExecResult::Rows(rows) => {
                 for row in rows.iter().take(20) {

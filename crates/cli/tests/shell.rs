@@ -5,8 +5,12 @@ use std::io::Write;
 use std::process::{Command, Stdio};
 
 fn run_shell(input: &str) -> String {
+    run_shell_with(&["--scale", "100"], input)
+}
+
+fn run_shell_with(args: &[&str], input: &str) -> String {
     let mut child = Command::new(env!("CARGO_BIN_EXE_oodb"))
-        .args(["--scale", "100"])
+        .args(args)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -212,6 +216,46 @@ SELECT t FROM Task t IN Tasks WHERE t.time() == 100;
         "query should succeed once off:\n{out}"
     );
     assert!(out.contains("no fault injector attached"), "{out}");
+}
+
+#[test]
+fn feedback_ladder_runs_end_to_end_in_the_shell() {
+    // `--hot-names 0.5` skews Employees so half share one name while the
+    // catalog still claims ~1% — the hot-key query drifts ~50x. Four
+    // plain executions walk the full ladder: detect → evict → probe →
+    // re-optimize, with no EXPLAIN ANALYZE anywhere.
+    let out = run_shell_with(
+        &["--scale", "100", "--hot-names", "0.5"],
+        r#"SELECT e FROM Employee e IN Employees WHERE e.name() == "Fred";
+SELECT e FROM Employee e IN Employees WHERE e.name() == "Fred";
+SELECT e FROM Employee e IN Employees WHERE e.name() == "Fred";
+SELECT e FROM Employee e IN Employees WHERE e.name() == "Fred";
+\feedback stats
+EXPLAIN FEEDBACK SELECT e FROM Employee e IN Employees WHERE e.name() == "Fred";
+\feedback clear
+\feedback stats
+\q
+"#,
+    );
+    assert!(
+        out.contains("note: estimate drift"),
+        "untraced drift note expected:\n{out}"
+    );
+    assert!(out.contains("SUSPECT"), "suspect marker expected:\n{out}");
+    assert!(
+        out.contains("override(s)"),
+        "probe should have recorded overrides:\n{out}"
+    );
+    assert!(
+        out.contains("-> corrected"),
+        "EXPLAIN FEEDBACK should show corrected selectivities:\n{out}"
+    );
+    assert!(out.contains("feedback cleared"), "{out}");
+    // After the clear, the stats line reports an empty store.
+    assert!(
+        out.rfind("0 fingerprints tracked").is_some(),
+        "cleared store expected:\n{out}"
+    );
 }
 
 #[test]

@@ -39,6 +39,7 @@ pub mod audit;
 pub mod config;
 pub mod cost;
 pub mod dynamic;
+pub mod feedback;
 pub mod greedy;
 pub mod model;
 pub mod optimizer;
@@ -52,6 +53,10 @@ pub use audit::{
 pub use config::OptimizerConfig;
 pub use cost::{Cost, CostParams};
 pub use dynamic::{compile_dynamic, DynamicAlternative, DynamicPlan};
+pub use feedback::{
+    drift_ratio, FeedbackEntry, FeedbackStats, FeedbackStore, Observation, DEFAULT_DRIFT_THRESHOLD,
+    MAX_DRIFT,
+};
 pub use greedy::greedy_plan;
 pub use model::OodbModel;
 /// The static plan verifier, re-exported so downstream crates reach the

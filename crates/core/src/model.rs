@@ -19,6 +19,10 @@ pub struct OodbModel<'e> {
     pub params: CostParams,
     /// Optimizer configuration (disabled rules, assembly window).
     pub config: OptimizerConfig,
+    /// Observed-selectivity overrides from the execution feedback loop.
+    /// `None` (the default) keeps costing catalog-only with zero
+    /// overhead — no predicate keys are ever rendered.
+    overlay: Option<std::sync::Arc<oodb_algebra::StatsOverlay>>,
 }
 
 impl<'e> OodbModel<'e> {
@@ -28,7 +32,36 @@ impl<'e> OodbModel<'e> {
             env,
             params,
             config,
+            overlay: None,
         }
+    }
+
+    /// Attaches an observed-selectivity overlay: predicates whose
+    /// canonical key ([`oodb_algebra::overlay::pred_key`]) carries an
+    /// override are estimated from the observed fraction instead of
+    /// catalog statistics. The catalog itself is never touched.
+    pub fn with_overlay(mut self, overlay: std::sync::Arc<oodb_algebra::StatsOverlay>) -> Self {
+        self.overlay = if overlay.is_empty() {
+            None
+        } else {
+            Some(overlay)
+        };
+        self
+    }
+
+    /// The overlay override for a predicate, if one is attached and
+    /// matches. Key rendering is only paid when an overlay is present.
+    fn overlay_sel(&self, pred: PredId) -> Option<f64> {
+        let ov = self.overlay.as_ref()?;
+        ov.get(&oodb_algebra::overlay::pred_key(
+            self.env,
+            self.env.preds.pred(pred),
+        ))
+    }
+
+    /// The attached overlay, if any (for EXPLAIN rendering).
+    pub fn overlay(&self) -> Option<&oodb_algebra::StatsOverlay> {
+        self.overlay.as_deref()
     }
 
     // ----- variable helpers -------------------------------------------------
@@ -189,8 +222,13 @@ impl<'e> OodbModel<'e> {
         }
     }
 
-    /// Selectivity of a conjunction (product of independent terms).
+    /// Selectivity of a conjunction (product of independent terms), unless
+    /// the feedback overlay carries an observed fraction for the whole
+    /// conjunction — observed beats modeled.
     pub fn selectivity(&self, pred: PredId) -> f64 {
+        if let Some(s) = self.overlay_sel(pred) {
+            return s;
+        }
         self.env
             .preds
             .pred(pred)
@@ -205,6 +243,11 @@ impl<'e> OodbModel<'e> {
     /// present on the target side; value joins use a conservative
     /// 1/max-input estimate.
     pub fn join_card(&self, pred: PredId, l: &LogicalProps, r: &LogicalProps) -> f64 {
+        // Feedback override: observed selectivity relative to the cross
+        // product of the inputs.
+        if let Some(s) = self.overlay_sel(pred) {
+            return (l.card * r.card * s).max(1e-6);
+        }
         let p = self.env.preds.pred(pred);
         let mut card = None;
         let mut extra = 1.0;
@@ -289,9 +332,13 @@ impl<'e> OodbModel<'e> {
                 let p_terms = self.env.preds.pred(*pred).terms.clone();
                 let matches = match p_terms.first() {
                     None => c.cardinality as f64,
-                    Some(t) if t.op == CmpOp::Eq => {
-                        self.index_matches(idx.collection, idx.distinct_keys)
-                    }
+                    // An overlay override beats distinct-key statistics:
+                    // the distinct-key path is exactly where a skewed key
+                    // makes the uniform 1/d estimate fiction.
+                    Some(t) if t.op == CmpOp::Eq => match self.overlay_sel(*pred) {
+                        Some(s) => (c.cardinality as f64 * s).max(1.0),
+                        None => self.index_matches(idx.collection, idx.distinct_keys),
+                    },
                     Some(_) => (c.cardinality as f64 * self.selectivity(*pred)).max(1.0),
                 };
                 let coll_pages = p.pages(c.cardinality as f64, c.obj_bytes as f64);

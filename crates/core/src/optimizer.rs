@@ -81,6 +81,15 @@ impl<'e> OpenOodb<'e> {
         }
     }
 
+    /// Attaches an observed-selectivity overlay from the feedback loop:
+    /// every estimate for an overridden predicate comes from the observed
+    /// fraction instead of catalog statistics. The catalog (and the epoch
+    /// snapshot it came from) is never mutated.
+    pub fn with_overlay(mut self, overlay: std::sync::Arc<oodb_algebra::StatsOverlay>) -> Self {
+        self.model = self.model.with_overlay(overlay);
+        self
+    }
+
     /// The model (for estimate inspection).
     pub fn model(&self) -> &OodbModel<'e> {
         &self.model

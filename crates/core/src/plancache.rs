@@ -51,34 +51,51 @@ pub struct CacheKey {
     /// The catalog's index-set hash — zero for dynamic entries, whose
     /// plan family covers every index subset by construction.
     pub index_set: u64,
+    /// Fingerprint of the [`oodb_algebra::StatsOverlay`] the plan was
+    /// optimized under — zero for catalog-only plans. Without this, a
+    /// plan re-optimized with feedback overrides would be served to the
+    /// un-overlayed world after `\feedback clear` (and vice versa): the
+    /// stats epoch alone cannot see overlay changes, which happen without
+    /// touching the catalog.
+    pub overlay: u64,
     /// Distinguishes static plans from dynamic plan families.
     pub dynamic: bool,
 }
 
 impl CacheKey {
-    /// Key for a single statically chosen plan.
+    /// Key for a single statically chosen plan. `overlay` is the
+    /// fingerprint of the selectivity overlay in force (0 = none).
     pub fn static_plan(
         fp: &QueryFingerprint,
         config: u64,
         stats_epoch: u64,
         index_set: u64,
+        overlay: u64,
     ) -> Self {
         CacheKey {
             fingerprint: fp.hash,
             config,
             stats_epoch,
             index_set,
+            overlay,
             dynamic: false,
         }
     }
 
-    /// Key for a dynamic plan family (index-set independent).
-    pub fn dynamic_family(fp: &QueryFingerprint, config: u64, stats_epoch: u64) -> Self {
+    /// Key for a dynamic plan family (index-set independent). `overlay`
+    /// is the fingerprint of the selectivity overlay in force (0 = none).
+    pub fn dynamic_family(
+        fp: &QueryFingerprint,
+        config: u64,
+        stats_epoch: u64,
+        overlay: u64,
+    ) -> Self {
         CacheKey {
             fingerprint: fp.hash,
             config,
             stats_epoch,
             index_set: 0,
+            overlay,
             dynamic: true,
         }
     }
@@ -359,6 +376,20 @@ impl PlanCache {
         true
     }
 
+    /// Removes one entry — the feedback ladder's *suspect eviction*: a
+    /// plan whose estimates drifted past the threshold must stop being
+    /// served immediately, not age out of the LRU. Returns `true` when an
+    /// entry was resident under the key.
+    pub fn remove(&self, key: &CacheKey) -> bool {
+        let mut shard = self.shard(key).lock().unwrap();
+        if let Some(gone) = shard.map.remove(key) {
+            shard.bytes -= gone.bytes;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Drops every entry (counters are preserved).
     pub fn clear(&self) {
         for shard in &self.shards {
@@ -481,6 +512,7 @@ mod tests {
             config: 1,
             stats_epoch: epoch,
             index_set: 2,
+            overlay: 0,
             dynamic: false,
         }
     }
@@ -496,6 +528,55 @@ mod tests {
         assert!(cache.get(&k, "другой").is_none());
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 2, 1));
+    }
+
+    #[test]
+    fn overlay_fingerprint_partitions_the_key_space() {
+        // A plan optimized under a feedback overlay must never be served
+        // to a lookup without it (or with a different one), and clearing
+        // feedback (overlay back to 0) must not resurrect the overlayed
+        // plan — same fingerprint, config, epoch, and index set.
+        let cache = PlanCache::new(16, 4);
+        let overlayed = CacheKey {
+            overlay: 0xfeed,
+            ..key(21, 3)
+        };
+        cache.insert(overlayed, dummy_entry("q"));
+        assert!(cache.get(&overlayed, "q").is_some());
+        assert!(
+            cache.get(&key(21, 3), "q").is_none(),
+            "catalog-only lookup must miss the overlayed entry"
+        );
+        assert!(
+            cache
+                .get(
+                    &CacheKey {
+                        overlay: 0xbeef,
+                        ..key(21, 3)
+                    },
+                    "q"
+                )
+                .is_none(),
+            "a different overlay must miss too"
+        );
+        // Both worlds can be resident side by side.
+        cache.insert(key(21, 3), dummy_entry("q"));
+        assert!(cache.get(&key(21, 3), "q").is_some());
+        assert!(cache.get(&overlayed, "q").is_some());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn remove_evicts_one_entry_immediately() {
+        let cache = PlanCache::new(16, 4);
+        cache.insert(key(5, 0), dummy_entry("a"));
+        cache.insert(key(6, 0), dummy_entry("b"));
+        let bytes_before = cache.resident_bytes();
+        assert!(cache.remove(&key(5, 0)));
+        assert!(!cache.remove(&key(5, 0)), "second remove finds nothing");
+        assert!(cache.get(&key(5, 0), "a").is_none());
+        assert!(cache.get(&key(6, 0), "b").is_some());
+        assert!(cache.resident_bytes() < bytes_before);
     }
 
     #[test]

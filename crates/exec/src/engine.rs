@@ -126,6 +126,14 @@ pub struct ExecStats {
     pub buffer_misses: u64,
     /// Memory-grant accounting (peak bytes, spill traffic, denials).
     pub mem: MemEffort,
+    /// Rows delivered at the plan root — the always-on cardinality sample
+    /// the feedback loop compares against the root estimate, live even on
+    /// the untraced hot path. Filled by the one-shot helpers
+    /// ([`execute`], [`try_execute`], …) from the result itself.
+    pub root_rows: u64,
+    /// Rows produced by leaf scans (file + index) this run — the
+    /// denominator for untraced selectivity attribution.
+    pub leaf_rows: u64,
 }
 
 /// Result rows: raw tuples, or projected values when the plan root is a
@@ -172,6 +180,7 @@ struct RunBase {
     hits: u64,
     misses: u64,
     spilled_partitions: u64,
+    leaf_rows: u64,
 }
 
 /// I/O counters at one instant, for per-operator trace deltas.
@@ -223,6 +232,9 @@ pub struct Executor<'a> {
     grant: MemoryGrant,
     /// Hash-join partitions spilled to simulated disk, cumulative.
     spilled_partitions: u64,
+    /// Rows produced by leaf scans (file + index), cumulative; reported
+    /// per run via [`RunBase`] deltas like every other counter.
+    leaf_rows: u64,
     /// CPU-loop iterations (hash build/probe, set-op staging) since
     /// creation; every 256th drives a limits check so a huge build is
     /// interruptible mid-loop, not only at operator boundaries.
@@ -259,6 +271,7 @@ impl<'a> Executor<'a> {
             touched: 0,
             grant: MemoryGrant::detached(None),
             spilled_partitions: 0,
+            leaf_rows: 0,
             worked: 0,
             parallelism: 1,
         }
@@ -334,6 +347,8 @@ impl<'a> Executor<'a> {
                 spilled_partitions: self.spilled_partitions - self.run_base.spilled_partitions,
                 grant_denials: self.grant.denials(),
             },
+            root_rows: 0,
+            leaf_rows: self.leaf_rows - self.run_base.leaf_rows,
         }
     }
 
@@ -352,6 +367,8 @@ impl<'a> Executor<'a> {
                 spilled_partitions: self.spilled_partitions,
                 grant_denials: self.grant.denials(),
             },
+            root_rows: 0,
+            leaf_rows: self.leaf_rows,
         }
     }
 
@@ -367,6 +384,7 @@ impl<'a> Executor<'a> {
             hits: self.hits,
             misses: self.misses,
             spilled_partitions: self.spilled_partitions,
+            leaf_rows: self.leaf_rows,
         };
         self.grant = match self.store.memory_governor() {
             Some(gov) => gov.grant(self.limits.mem_budget),
@@ -631,6 +649,7 @@ impl<'a> Executor<'a> {
                     self.counts.tuples += 1;
                     out.push(Tuple::single(self.n_vars(), *var, oid));
                 }
+                self.leaf_rows += out.len() as u64;
                 Ok(out)
             }
 
@@ -656,6 +675,7 @@ impl<'a> Executor<'a> {
                     self.touch(self.store.page_of(*oid))?;
                 }
                 self.counts.tuples += matches.len() as u64;
+                self.leaf_rows += matches.len() as u64;
                 Ok(matches
                     .into_iter()
                     .map(|oid| Tuple::single(self.n_vars(), *var, oid))
@@ -1451,7 +1471,9 @@ impl<'a> Executor<'a> {
 pub fn execute(store: &Store, env: &QueryEnv, plan: &PhysicalPlan) -> (ExecResult, ExecStats) {
     let mut ex = Executor::new(store, env);
     let result = ex.run(plan);
-    (result, ex.stats())
+    let mut stats = ex.stats();
+    stats.root_rows = result.len() as u64;
+    (result, stats)
 }
 
 /// One-shot fallible execution under cooperative [`RunLimits`]: fresh
@@ -1466,7 +1488,9 @@ pub fn try_execute(
     let mut ex = Executor::new(store, env);
     ex.set_limits(limits);
     let result = ex.try_run(plan)?;
-    Ok((result, ex.stats()))
+    let mut stats = ex.stats();
+    stats.root_rows = result.len() as u64;
+    Ok((result, stats))
 }
 
 /// One-shot fallible execution with a morsel worker set: like
@@ -1484,7 +1508,9 @@ pub fn try_execute_parallel(
     ex.set_limits(limits);
     ex.set_parallelism(workers);
     let result = ex.try_run(plan)?;
-    Ok((result, ex.stats()))
+    let mut stats = ex.stats();
+    stats.root_rows = result.len() as u64;
+    Ok((result, stats))
 }
 
 /// One-shot `EXPLAIN ANALYZE`: fresh executor, traced run, return result,
@@ -1497,7 +1523,9 @@ pub fn execute_traced(
 ) -> (ExecResult, ExecStats, OpTrace) {
     let mut ex = Executor::new(store, env);
     let (result, trace) = ex.run_traced(plan);
-    (result, ex.stats(), trace)
+    let mut stats = ex.stats();
+    stats.root_rows = result.len() as u64;
+    (result, stats, trace)
 }
 
 /// Fallible [`execute_traced`] under cooperative [`RunLimits`].
@@ -1510,7 +1538,9 @@ pub fn try_execute_traced(
     let mut ex = Executor::new(store, env);
     ex.set_limits(limits);
     let (result, trace) = ex.try_run_traced(plan)?;
-    Ok((result, ex.stats(), trace))
+    let mut stats = ex.stats();
+    stats.root_rows = result.len() as u64;
+    Ok((result, stats, trace))
 }
 
 #[cfg(test)]

@@ -577,6 +577,12 @@ fn stats_json(shared: &Shared) -> String {
             t.inflight(),
         );
     }
-    out.push_str("]}");
+    let fb = shared.service.feedback_stats();
+    let _ = write!(
+        out,
+        "],\"feedback\":{{\"tracked\":{},\"suspect\":{},\"overridden\":{},\
+         \"overrides\":{},\"worst_drift\":{:.3}}}}}",
+        fb.tracked, fb.suspect, fb.overridden, fb.overrides, fb.worst_drift,
+    );
     out
 }

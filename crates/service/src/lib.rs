@@ -28,7 +28,10 @@
 use oodb_algebra::fingerprint::{fingerprint, QueryFingerprint};
 use oodb_algebra::{LogicalPlan, QueryEnv, SortSpec, VarSet};
 use oodb_core::plancache::{CacheKey, CachedBody, CachedPlan, PlanCache};
-use oodb_core::{compile_dynamic, BoundedOutcome, CostParams, OpenOodb, OptimizerConfig};
+use oodb_core::{
+    compile_dynamic, BoundedOutcome, CostParams, FeedbackEntry, FeedbackStats, FeedbackStore,
+    Observation, OpenOodb, OptimizerConfig,
+};
 use oodb_exec::{
     try_execute, try_execute_parallel, try_execute_traced, ExecError, ExecResult, ExecStats,
 };
@@ -393,9 +396,19 @@ struct ServiceMetrics {
     /// Subset of `verify_violations`: cost-model estimates that escaped
     /// their sound `[lo, hi]` cardinality intervals (a cost-model bug).
     interval_violations: Counter,
-    /// Traced executions whose measured row counts escaped the intervals
-    /// derived from the catalog — the stale-statistics detector.
+    /// Executions whose measured row counts escaped their estimates — the
+    /// stale-statistics detector. Traced runs check every operator against
+    /// its catalog-derived interval; untraced runs check the root row
+    /// count against the drift threshold, so the counter is live in
+    /// production mode too.
     actual_card_violations: Counter,
+    /// Feedback-driven re-optimizations: cache misses whose search ran
+    /// under corrective selectivity overrides after drift marked the
+    /// fingerprint suspect.
+    reopt: Counter,
+    /// Selectivity overrides currently active across all feedback entries
+    /// (refreshed at export time, like the cache mirrors).
+    feedback_overrides: Gauge,
     /// Submissions that ran out of deadline during execution.
     timeouts: Counter,
     /// Transient-storage-fault retries across all submissions.
@@ -464,6 +477,8 @@ impl ServiceMetrics {
             verify_violations: reg.counter("oodb_verify_violations_total", &[]),
             interval_violations: reg.counter("oodb_interval_violations_total", &[]),
             actual_card_violations: reg.counter("oodb_actual_card_violations_total", &[]),
+            reopt: reg.counter("oodb_reopt_total", &[]),
+            feedback_overrides: reg.gauge("oodb_feedback_overrides_active", &[]),
             timeouts: reg.counter("oodb_timeouts_total", &[]),
             retries: reg.counter("oodb_retries_total", &[]),
             fallback_plans: reg.counter("oodb_fallback_plans_total", &[]),
@@ -562,6 +577,11 @@ struct Inner {
     metrics: ServiceMetrics,
     inflight: AtomicUsize,
     breaker: Mutex<Breaker>,
+    /// Actual-vs-estimated cardinality feedback, keyed by canonical
+    /// fingerprint hash. Fed by every static submission (traced or not);
+    /// read back as corrective [`oodb_algebra::StatsOverlay`]s at the
+    /// cache probe.
+    feedback: Arc<FeedbackStore>,
 }
 
 /// The query service. Cheap to clone — all clones share state.
@@ -597,6 +617,7 @@ impl QueryService {
                 metrics,
                 inflight: AtomicUsize::new(0),
                 breaker: Mutex::new(Breaker::default()),
+                feedback: Arc::new(FeedbackStore::default()),
             }),
         }
     }
@@ -617,6 +638,13 @@ impl QueryService {
                 (),
             )
         });
+        // Feedback recorded under an older stats epoch described a
+        // distribution that no longer exists; retire it (and its suspect
+        // markers) the moment the epoch moves. A no-op for swaps that do
+        // not bump the epoch (fault injectors, governors).
+        self.inner
+            .feedback
+            .retire_older_than(self.inner.state.load().store.catalog().stats_epoch());
     }
 
     /// The service's metrics registry (shared with all clones).
@@ -643,6 +671,8 @@ impl QueryService {
         m.cache_verify_rejects.store(s.verify_rejects);
         m.cache_entries.set(s.entries as i64);
         m.cache_bytes.set(s.bytes as i64);
+        m.feedback_overrides
+            .set(self.inner.feedback.stats().overrides.min(i64::MAX as u64) as i64);
         let store = self.store();
         if let Some(inj) = store.fault_injector() {
             m.injected_faults.store(inj.stats().injected);
@@ -676,6 +706,23 @@ impl QueryService {
     /// The plan cache (shared).
     pub fn cache(&self) -> &PlanCache {
         &self.inner.cache
+    }
+
+    /// The feedback store accumulating actual-vs-estimated root
+    /// cardinalities per query fingerprint (shared with all clones).
+    pub fn feedback(&self) -> &Arc<FeedbackStore> {
+        &self.inner.feedback
+    }
+
+    /// Aggregate feedback counters, for the server's `/stats` endpoint
+    /// and the CLI's `\feedback stats`.
+    pub fn feedback_stats(&self) -> FeedbackStats {
+        self.inner.feedback.stats()
+    }
+
+    /// Per-fingerprint feedback entries, worst drift first.
+    pub fn feedback_snapshot(&self) -> Vec<FeedbackEntry> {
+        self.inner.feedback.snapshot()
     }
 
     /// The current optimizer configuration.
@@ -740,6 +787,9 @@ impl QueryService {
                 (),
             )
         });
+        self.inner
+            .feedback
+            .retire_older_than(self.inner.state.load().store.catalog().stats_epoch());
     }
 
     /// Drops every index not named in `keep` (physical-design change) and
@@ -1148,10 +1198,26 @@ impl QueryService {
             ),
         };
         let epoch = store.catalog().stats_epoch();
-        let key = if opts.dynamic {
-            CacheKey::dynamic_family(fp, config_fp, epoch)
+        // Corrective selectivity overrides recorded for this fingerprint
+        // under the current epoch, if drift feedback produced any. The
+        // overlay fingerprint is part of the cache key, so the corrected
+        // and catalog-only worlds can never serve each other's plans.
+        let overlay = if opts.dynamic {
+            None
         } else {
-            CacheKey::static_plan(fp, config_fp, epoch, store.catalog().index_set_hash())
+            self.inner.feedback.overlay_for(fp.hash, epoch)
+        };
+        let overlay_fp = overlay.as_ref().map_or(0, |o| o.fingerprint());
+        let key = if opts.dynamic {
+            CacheKey::dynamic_family(fp, config_fp, epoch, 0)
+        } else {
+            CacheKey::static_plan(
+                fp,
+                config_fp,
+                epoch,
+                store.catalog().index_set_hash(),
+                overlay_fp,
+            )
         };
         stages.fingerprint_ns = timer.lap_into(&m.stage_fingerprint);
 
@@ -1193,7 +1259,15 @@ impl QueryService {
                         result_vars,
                     ))
                 } else {
-                    let optimizer = OpenOodb::new(env, self.inner.params, (*config).clone());
+                    let mut optimizer = OpenOodb::new(env, self.inner.params, (*config).clone());
+                    if let Some(ov) = overlay.as_ref() {
+                        // Feedback-driven re-optimization: the search runs
+                        // under corrected selectivities layered over the
+                        // epoch snapshot — the catalog itself is never
+                        // mutated.
+                        m.reopt.inc();
+                        optimizer = optimizer.with_overlay(Arc::clone(ov));
+                    }
                     match optimizer.optimize_within(plan, result_vars, order, deadline) {
                         BoundedOutcome::Complete(out) => {
                             m.transform_firings.add(out.stats.transform_firings);
@@ -1290,6 +1364,12 @@ impl QueryService {
         if pressure_degraded {
             mem_budget = mem_budget.map(|b| (b / 2).max(1));
         }
+        // A suspect fingerprint with no recorded overrides yet gets one
+        // traced probe execution: only the per-operator trace can
+        // attribute root-level drift to individual predicates.
+        let probe =
+            !opts.trace && !opts.dynamic && !degraded && self.inner.feedback.wants_probe(fp.hash);
+        let want_trace = opts.trace || probe;
         let mut retries_used = 0u32;
         let (result, stats, trace) = loop {
             let limits = RunLimits {
@@ -1298,7 +1378,7 @@ impl QueryService {
                 row_budget: opts.row_budget,
                 mem_budget,
             };
-            let attempt = if opts.trace {
+            let attempt = if want_trace {
                 try_execute_traced(&store, &entry.env, plan, limits)
                     .map(|(r, s, t)| (r, s, Some(t)))
             } else if opts.exec_workers > 1 {
@@ -1359,6 +1439,40 @@ impl QueryService {
             let actual_diags = oodb_core::verify::check_actual_cards(&entry.env, plan, t);
             m.actual_card_violations.add(actual_diags.len() as u64);
         }
+        // Close the feedback loop on BOTH paths. The traced branch above
+        // only fires under EXPLAIN ANALYZE; production executions feed
+        // the drift detector through the root row-count sample the
+        // executor returns for free, so stale estimates are caught even
+        // with profiling off.
+        if !opts.dynamic && !degraded {
+            let fb = &self.inner.feedback;
+            let obs = fb.observe_root(
+                fp.hash,
+                epoch,
+                plan.est.out_card,
+                stats.root_rows,
+                overlay.is_some(),
+            );
+            if trace.is_none() && obs != Observation::InBounds {
+                // Untraced counterpart of `check_actual_cards`: the root
+                // estimate drifted past the threshold.
+                m.actual_card_violations.inc();
+            }
+            if obs == Observation::NewlySuspect {
+                // The cached plan was chosen from estimates we now know
+                // to be wrong; evict it so the next submission re-plans
+                // (and, once probed, re-optimizes under the overlay).
+                self.inner.cache.remove(&key);
+            }
+            if let Some(t) = &trace {
+                if fb.observe_trace(fp.hash, epoch, &entry.env, plan, t) > 0 && overlay.is_none() {
+                    // Per-predicate overrides are now recorded: retire the
+                    // catalog-only plan — the next probe keys on the
+                    // overlay fingerprint and re-optimizes.
+                    self.inner.cache.remove(&key);
+                }
+            }
+        }
         let sim_io_s = stats.disk.total_s;
         if opts.realize_io_scale > 0.0 {
             thread::sleep(Duration::from_secs_f64(sim_io_s * opts.realize_io_scale));
@@ -1380,7 +1494,9 @@ impl QueryService {
             stages,
             buffer_hits: stats.buffer_hits,
             buffer_misses: stats.buffer_misses,
-            trace,
+            // A probe trace is feedback-internal; callers only see traces
+            // they asked for.
+            trace: if opts.trace { trace } else { None },
             degraded,
             retries: retries_used,
             mem_peak_bytes: stats.mem.peak_bytes,
@@ -1782,6 +1898,98 @@ mod tests {
             64,
             4,
         )
+    }
+
+    /// A database whose `Employees` set is half Freds while the catalog
+    /// still claims ≈1% — the estimate-drift fixture.
+    fn skewed_service() -> QueryService {
+        let (store, _model) = generate_paper_db(GenConfig {
+            scale_div: 100,
+            hot_employee_name_fraction: 0.5,
+            ..Default::default()
+        });
+        QueryService::new(
+            store,
+            CostParams::default(),
+            OptimizerConfig::all_rules(),
+            64,
+            4,
+        )
+    }
+
+    const Q_FRED: &str = "SELECT e FROM Employee e IN Employees WHERE e.name() == \"Fred\"";
+
+    /// Regression test for the headline bug: drift detection used to run
+    /// only under `EXPLAIN ANALYZE` (`opts.trace`), so production
+    /// executions never moved `oodb_actual_card_violations_total` and the
+    /// feedback loop was silently disabled on the hot path.
+    #[test]
+    fn untraced_executions_feed_the_drift_detector() {
+        let svc = skewed_service();
+        let out = svc.submit(Q_FRED).unwrap();
+        assert!(out.trace.is_none(), "no trace was requested");
+        let text = svc.metrics_prometheus();
+        assert!(
+            text.contains("oodb_actual_card_violations_total 1"),
+            "untraced drift must move the violation counter: {text}"
+        );
+        let stats = svc.feedback_stats();
+        assert_eq!(stats.suspect, 1, "{stats:?}");
+        assert!(stats.worst_drift >= 10.0, "{stats:?}");
+    }
+
+    #[test]
+    fn drift_ladder_probes_then_reoptimizes_under_an_overlay() {
+        let svc = skewed_service();
+        // 1: miss → catalog-only plan; root sample trips the threshold,
+        //    the cached plan is evicted.
+        let first = svc.submit(Q_FRED).unwrap();
+        assert!(!first.cache_hit);
+        // 2: suspect with no overrides yet → internally-traced probe;
+        //    per-operator actuals become selectivity overrides. The probe
+        //    trace is not surfaced to the caller.
+        let second = svc.submit(Q_FRED).unwrap();
+        assert!(second.trace.is_none(), "probe traces are internal");
+        assert!(
+            svc.feedback_stats().overrides > 0,
+            "probe must record overrides"
+        );
+        // 3: overlay-keyed cache miss → re-optimization under corrected
+        //    selectivities.
+        let third = svc.submit(Q_FRED).unwrap();
+        assert!(!third.cache_hit, "overlay key must force a re-plan");
+        assert_eq!(first.rows, third.rows, "plans must agree on the answer");
+        let text = svc.metrics_prometheus();
+        assert!(text.contains("oodb_reopt_total 1"), "{text}");
+        // 4: the corrected plan is cached under the overlay key and the
+        //    corrected execution does not re-trip the ladder.
+        let fourth = svc.submit(Q_FRED).unwrap();
+        assert!(fourth.cache_hit, "corrected plan must be served from cache");
+        let text = svc.metrics_prometheus();
+        assert!(
+            text.contains("oodb_reopt_total 1"),
+            "no re-opt loop: {text}"
+        );
+        assert!(
+            text.contains("oodb_feedback_overrides_active"),
+            "gauge must export: {text}"
+        );
+    }
+
+    #[test]
+    fn stats_refresh_retires_suspect_markers() {
+        let svc = skewed_service();
+        svc.submit(Q_FRED).unwrap();
+        assert_eq!(svc.feedback_stats().suspect, 1);
+        // Refreshing statistics bumps the epoch; feedback gathered under
+        // the old distribution (including suspect markers) is retired.
+        svc.refresh_statistics(8);
+        let stats = svc.feedback_stats();
+        assert_eq!(
+            (stats.tracked, stats.suspect),
+            (0, 0),
+            "stale feedback must not survive an epoch bump: {stats:?}"
+        );
     }
 
     #[test]

@@ -31,6 +31,13 @@ pub struct GenConfig {
     pub scale_div: u64,
     /// RNG seed; generation is fully deterministic per seed.
     pub seed: u64,
+    /// Fraction of `Employees`-set members whose name is forced to the
+    /// hot key `"Fred"` (0.0 = off, the honest default). The catalog's
+    /// per-index distinct-key statistics are *not* adjusted, so any
+    /// positive fraction beyond ≈1% makes the optimizer's uniformity
+    /// assumption deliberately wrong — the lever behind the
+    /// estimate-drift / re-optimization experiments.
+    pub hot_employee_name_fraction: f64,
 }
 
 impl Default for GenConfig {
@@ -38,6 +45,7 @@ impl Default for GenConfig {
         GenConfig {
             scale_div: 1,
             seed: 0x00DB_1993,
+            hot_employee_name_fraction: 0.0,
         }
     }
 }
@@ -220,8 +228,18 @@ pub fn generate_paper_db(cfg: GenConfig) -> (Store, PaperModel) {
     let n_emp_set = card(ids.employees);
     let emps: Vec<Object> = (0..n_emp_extent)
         .map(|i| {
+            // The hot-key draw only happens when the knob is on, so the
+            // default configuration's RNG stream (and thus every
+            // deterministic fixture built on it) is bit-identical to
+            // before the knob existed.
             let name = if i < n_emp_set {
-                pick(&mut rng, &employee_names)
+                if cfg.hot_employee_name_fraction > 0.0
+                    && rng.gen_bool(cfg.hot_employee_name_fraction.clamp(0.0, 1.0))
+                {
+                    Value::Str(employee_names[0].clone())
+                } else {
+                    pick(&mut rng, &employee_names)
+                }
             } else {
                 pick(&mut rng, &person_names)
             };
@@ -345,6 +363,25 @@ mod tests {
             freds / total > 0.002 && freds / total < 0.05,
             "{freds}/{total}"
         );
+    }
+
+    #[test]
+    fn hot_name_knob_skews_the_employee_set() {
+        let (store, model) = generate_paper_db(GenConfig {
+            scale_div: 100,
+            hot_employee_name_fraction: 0.5,
+            ..Default::default()
+        });
+        let ids = &model.ids;
+        let freds = store
+            .index(ids.idx_employees_name)
+            .lookup_eq(&Value::str("Fred"))
+            .len() as f64;
+        let total = store.members(ids.employees).len() as f64;
+        // ≈50% forced + ≈1% from the uniform pool; the catalog's
+        // distinct-keys statistic still claims ≈1%, which is the point.
+        assert!(freds / total > 0.4, "{freds}/{total}");
+        assert!(freds / total < 0.65, "{freds}/{total}");
     }
 
     #[test]

@@ -45,6 +45,13 @@ cargo test -q --test server
 echo "==> plan-space audit (enumeration oracle, quick corpus)"
 OODB_AUDIT_QUICK=1 cargo test -q --test audit
 
+# Feedback-loop gate: the suspect -> probe -> re-optimize ladder must
+# converge on the skewed fixture, the untraced hot path must feed the
+# drift detector, and feedback must retire cleanly across epoch bumps
+# and cache clears (CI's `reopt` job replays the bench gates on top).
+echo "==> feedback gate (drift ladder + re-optimization)"
+cargo test -q --test feedback
+
 # Supply-chain lint: advisories, duplicate versions, license allow-list.
 # cargo-deny is an external binary; skip gracefully where it is not
 # installed (the offline build container) rather than failing the gate.

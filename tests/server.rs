@@ -95,6 +95,15 @@ fn smoke_every_endpoint() {
     );
     assert_eq!(stats.get("prepared_statements").unwrap().as_u64(), Some(1));
 
+    // The feedback section reflects the drift detector: these queries run
+    // against honest statistics, so they are tracked but never suspect.
+    let fb = stats.get("feedback").unwrap();
+    assert!(
+        fb.get("tracked").unwrap().as_u64().unwrap() >= 1,
+        "{stats:?}"
+    );
+    assert_eq!(fb.get("suspect").unwrap().as_u64(), Some(0));
+
     // Unknown path and wrong method.
     assert_eq!(c.request("GET", "/nope", None).unwrap().status, 404);
     assert_eq!(c.request("PUT", "/query", None).unwrap().status, 405);
