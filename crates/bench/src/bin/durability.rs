@@ -1,0 +1,234 @@
+//! `durability` — WAL logging overhead, recovery time, and checkpoint
+//! compaction, reported as JSON in `BENCH_durability.json`.
+//!
+//! Three experiments:
+//!
+//! * **Logging overhead.** A statistics-refresh mutation workload replayed
+//!   with durability off, with batched flushing (`Batch(32)`), and with
+//!   `EveryRecord` syncing, alternated to cancel thermal drift. The bench
+//!   **gates** on the batched policy costing under 5% over the in-memory
+//!   baseline — the paper-grade argument that durability is affordable.
+//!   `EveryRecord` is report-only: it pays a sync per mutation by design.
+//!
+//! * **Recovery time vs. log length.** A checkpointed store plus logs of
+//!   increasing record counts, each recovered from disk with a timed
+//!   [`oodb_wal::recover`]. Reported per log length, with the replayed
+//!   record count asserted exact.
+//!
+//! * **Checkpoint compaction.** After the longest log, a checkpoint folds
+//!   the log into the snapshot; the bench reports the log bytes reclaimed
+//!   and the records compacted.
+//!
+//! `OODB_DURABILITY_QUICK=1` shrinks the replay for local smoke runs;
+//! correctness assertions still apply, the overhead gate is report-only
+//! (short runs are too noisy to fail over). CI runs the full, gated
+//! mode.
+
+use oodb_core::{CostParams, OptimizerConfig};
+use oodb_service::QueryService;
+use oodb_storage::{generate_paper_db, GenConfig, Store};
+use oodb_wal::{
+    apply_to, recover, store_digest, FlushPolicy, ScratchDir, WalRecord, WalSession, WAL_FILE,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SCALE_DIV: u64 = 100;
+const OVERHEAD_GATE_PCT: f64 = 5.0;
+
+fn quick() -> bool {
+    std::env::var("OODB_DURABILITY_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn fresh_store() -> Store {
+    generate_paper_db(GenConfig {
+        scale_div: SCALE_DIV,
+        ..Default::default()
+    })
+    .0
+}
+
+fn service(store: Store) -> QueryService {
+    QueryService::new(
+        store,
+        CostParams::default(),
+        OptimizerConfig::all_rules(),
+        64,
+        4,
+    )
+}
+
+/// Runs `rounds` statistics refreshes (the service's logged mutation) and
+/// returns mutations/second.
+fn mutation_rate(svc: &QueryService, rounds: usize) -> f64 {
+    let wall = Instant::now();
+    for i in 0..rounds {
+        svc.refresh_statistics(16 + (i % 4) * 8);
+    }
+    rounds as f64 / wall.elapsed().as_secs_f64()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let quick = quick();
+    let (rounds, pairs) = if quick { (4, 3) } else { (12, 5) };
+
+    // --- Logging overhead. ----------------------------------------------
+    eprintln!("generating the paper database (scale 1/{SCALE_DIV})...");
+    let svc = service(fresh_store());
+    let dir = ScratchDir::new("bench-overhead").expect("scratch dir");
+    let batch_dir = dir.path().join("batch");
+    let sync_dir = dir.path().join("sync");
+
+    let mut off_runs = Vec::new();
+    let mut batch_runs = Vec::new();
+    let mut sync_runs = Vec::new();
+    mutation_rate(&svc, rounds); // warm-up
+    for _ in 0..pairs {
+        assert!(!svc.durability_enabled());
+        off_runs.push(mutation_rate(&svc, rounds));
+        svc.enable_durability(&batch_dir, FlushPolicy::Batch(32))
+            .expect("batch durability on");
+        batch_runs.push(mutation_rate(&svc, rounds));
+        svc.disable_durability();
+        svc.enable_durability(&sync_dir, FlushPolicy::EveryRecord)
+            .expect("sync durability on");
+        sync_runs.push(mutation_rate(&svc, rounds));
+        svc.disable_durability();
+    }
+    let rate_off = median(off_runs);
+    let rate_batch = median(batch_runs);
+    let rate_sync = median(sync_runs);
+    let batch_overhead_pct = ((1.0 - rate_batch / rate_off) * 100.0).max(0.0);
+    let sync_overhead_pct = ((1.0 - rate_sync / rate_off) * 100.0).max(0.0);
+    eprintln!(
+        "logging overhead: {rate_off:.1} mut/s off, {rate_batch:.1} batched \
+         ({batch_overhead_pct:.2}%), {rate_sync:.1} every-record ({sync_overhead_pct:.2}%)"
+    );
+    if !quick {
+        assert!(
+            batch_overhead_pct < OVERHEAD_GATE_PCT,
+            "batched logging overhead {batch_overhead_pct:.2}% (gate: {OVERHEAD_GATE_PCT}%)"
+        );
+    }
+
+    // --- Recovery time vs. log length. ----------------------------------
+    // Cheap membership rewrites dominate the log; a stats refresh every
+    // 16th record keeps replay exercising the expensive path too.
+    let store = fresh_store();
+    let (coll, members) = store
+        .catalog()
+        .collections()
+        .map(|(c, _)| (c, store.members(c).to_vec()))
+        .max_by_key(|(_, m)| m.len())
+        .expect("populated collection");
+    let log_lengths: &[usize] = if quick {
+        &[0, 8, 32]
+    } else {
+        &[0, 16, 64, 256]
+    };
+    let mut recovery_rows = Vec::new();
+    let mut last_dir: Option<ScratchDir> = None;
+    let mut last_store = None;
+    for &len in log_lengths {
+        let rdir = ScratchDir::new("bench-recovery").expect("scratch dir");
+        let mut s = store.clone();
+        let mut session = WalSession::create(rdir.path(), &s, FlushPolicy::Batch(32), None)
+            .expect("session creates");
+        for i in 0..len {
+            let rec = if i % 16 == 15 {
+                WalRecord::StatsRefresh { buckets: 16 }
+            } else {
+                WalRecord::SetMembers {
+                    coll,
+                    oids: members.clone(),
+                }
+            };
+            session.append(&rec).expect("append");
+            apply_to(&mut s, &rec).expect("apply");
+        }
+        session.flush().expect("flush");
+        let log_bytes = std::fs::metadata(rdir.path().join(WAL_FILE))
+            .expect("log metadata")
+            .len();
+        let wall = Instant::now();
+        let (recovered, report) = recover(rdir.path()).expect("recovery succeeds");
+        let recover_ms = wall.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(report.replayed_records as usize, len);
+        assert_eq!(store_digest(&recovered), store_digest(&s));
+        eprintln!("recovery: {len} records ({log_bytes} log bytes) in {recover_ms:.1} ms");
+        recovery_rows.push((len, log_bytes, recover_ms));
+        last_dir = Some(rdir);
+        last_store = Some((session, s));
+    }
+
+    // --- Checkpoint compaction. ------------------------------------------
+    let rdir = last_dir.expect("at least one log");
+    let (mut session, s) = last_store.expect("at least one log");
+    let pre_log_bytes = session.wal_stats().bytes;
+    let ckpt = session.checkpoint(&s).expect("checkpoint succeeds");
+    let post_log_bytes = std::fs::metadata(rdir.path().join(WAL_FILE))
+        .expect("log metadata")
+        .len();
+    let compacted = session.compacted_records();
+    let compaction_ratio = if ckpt.bytes > 0 {
+        (pre_log_bytes + ckpt.bytes) as f64 / (post_log_bytes + ckpt.bytes) as f64
+    } else {
+        1.0
+    };
+    eprintln!(
+        "compaction: {compacted} records ({pre_log_bytes} log bytes) folded into a \
+         {}-record / {}-byte checkpoint (ratio {compaction_ratio:.2}x)",
+        ckpt.records, ckpt.bytes
+    );
+    assert_eq!(compacted as usize, *log_lengths.last().expect("nonempty"));
+    let (recovered, report) = recover(rdir.path()).expect("post-compaction recovery");
+    assert_eq!(report.replayed_records, 0);
+    assert_eq!(store_digest(&recovered), store_digest(&s));
+
+    // --- JSON report. ----------------------------------------------------
+    let mut json = String::from("{\n");
+    let _ = write!(
+        json,
+        "  \"bench\": \"durability\",\n  \"quick\": {quick},\n  \
+         \"scale_div\": {SCALE_DIV},\n  \
+         \"overhead\": {{\"mutations_per_s_off\": {rate_off:.1}, \
+         \"mutations_per_s_batch\": {rate_batch:.1}, \
+         \"mutations_per_s_every_record\": {rate_sync:.1}, \
+         \"batch_overhead_pct\": {batch_overhead_pct:.2}, \
+         \"every_record_overhead_pct\": {sync_overhead_pct:.2}, \
+         \"gate_pct\": {OVERHEAD_GATE_PCT}, \"gated\": {}}},\n  \
+         \"recovery\": [\n",
+        !quick
+    );
+    for (i, (len, bytes, ms)) in recovery_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"log_records\": {len}, \"log_bytes\": {bytes}, \"recover_ms\": {ms:.2}}}"
+        );
+        json.push_str(if i + 1 < recovery_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = writeln!(
+        json,
+        "  ],\n  \"compaction\": {{\"compacted_records\": {compacted}, \
+         \"pre_log_bytes\": {pre_log_bytes}, \"post_log_bytes\": {post_log_bytes}, \
+         \"checkpoint_records\": {}, \"checkpoint_bytes\": {}, \
+         \"compaction_ratio\": {compaction_ratio:.2}}}",
+        ckpt.records, ckpt.bytes
+    );
+    json.push('}');
+    json.push('\n');
+
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_durability.json");
+    std::fs::write(out_path, &json).expect("write BENCH_durability.json");
+    eprintln!("wrote {out_path}");
+    println!("{json}");
+}

@@ -25,6 +25,7 @@ use oodb_storage::{
     generate_paper_db, FaultConfig, FaultInjector, GenConfig, MemoryGovernor, Store,
 };
 use oodb_telemetry::{fmt_ns, MetricsRegistry, StageTimer};
+use oodb_wal::{FlushPolicy, WalRecord, WalSession};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
@@ -76,6 +77,9 @@ struct Shell {
     /// A connection to a running server (`\connect`); while set, plain
     /// statements execute remotely.
     remote: Option<oodb_server::Client>,
+    /// Active WAL session (`\durability on DIR`); while set, `\stats`
+    /// is logged before it is applied to the store.
+    wal: Option<WalSession>,
 }
 
 fn main() {
@@ -110,6 +114,7 @@ fn main() {
         exec_workers: 1,
         server: None,
         remote: None,
+        wal: None,
     };
     eprintln!("Open OODB reproduction shell. \\help for commands, \\q to quit.");
 
@@ -200,6 +205,13 @@ impl Shell {
                      \\                    hash joins and set ops spill when over\n\
                      \\mem off             detach the memory governor\n\
                      \\mem stats           governor ledger and pressure level\n\
+                     \\durability on DIR [batch N | manual]   write-ahead-log \\stats\n\
+                     \\                    mutations into DIR (checkpoint + log)\n\
+                     \\durability off      stop logging (flushes first)\n\
+                     \\wal [stats]         log counters and checkpoint sizes\n\
+                     \\wal checkpoint      compact the log into a fresh checkpoint\n\
+                     \\save PATH           snapshot the database to a checkpoint file\n\
+                     \\open PATH           load a snapshot or recover a durability dir\n\
                      \\q                   quit"
                 );
             }
@@ -346,7 +358,21 @@ impl Shell {
                 }
             }
             "\\stats" => {
-                self.catalog = self.store.collect_statistics(&[], 32);
+                if let Some(session) = self.wal.as_mut() {
+                    // Log-then-apply: the refresh reaches the WAL before
+                    // the store, and replay re-runs the same composite.
+                    let rec = WalRecord::StatsRefresh { buckets: 32 };
+                    if let Err(e) = session.append(&rec) {
+                        println!("wal append failed ({e}); durability degraded");
+                    }
+                    if let Err(e) = oodb_wal::apply_to(&mut self.store, &rec) {
+                        println!("statistics refresh failed: {e}");
+                        return true;
+                    }
+                    self.catalog = self.store.catalog().clone();
+                } else {
+                    self.catalog = self.store.collect_statistics(&[], 32);
+                }
                 // Feedback gathered under the old statistics described a
                 // distribution the refreshed catalog supersedes.
                 self.feedback.retire_older_than(self.catalog.stats_epoch());
@@ -574,6 +600,150 @@ impl Shell {
                 Some(other) => {
                     println!("unknown subcommand {other:?}; \\mem on|off|stats")
                 }
+            },
+            "\\durability" => match parts.next() {
+                Some("on") => match parts.next() {
+                    Some(dir) => {
+                        let policy = match (parts.next(), parts.next()) {
+                            (Some("batch"), Some(n)) => FlushPolicy::Batch(n.parse().unwrap_or(8)),
+                            (Some("manual"), _) => FlushPolicy::Manual,
+                            _ => FlushPolicy::EveryRecord,
+                        };
+                        match WalSession::create(
+                            std::path::Path::new(dir),
+                            &self.store,
+                            policy,
+                            None,
+                        ) {
+                            Ok(s) => {
+                                println!(
+                                    "durability on: checkpointed {} records into {dir} \
+                                     ({:?} flushes)",
+                                    s.last_checkpoint().records,
+                                    policy
+                                );
+                                self.wal = Some(s);
+                            }
+                            Err(e) => println!("cannot start durability: {e}"),
+                        }
+                    }
+                    None => println!("\\durability on DIR [batch N | manual]"),
+                },
+                Some("off") => match self.wal.take() {
+                    Some(mut s) => {
+                        let _ = s.flush();
+                        println!("durability off (log flushed)");
+                    }
+                    None => println!("durability is already off"),
+                },
+                _ => println!(
+                    "durability is {}; \\durability on DIR [batch N | manual] | off",
+                    match &self.wal {
+                        Some(s) => format!("on ({})", s.dir().display()),
+                        None => "off".into(),
+                    }
+                ),
+            },
+            "\\wal" => match parts.next() {
+                Some("checkpoint") => match self.wal.as_mut() {
+                    Some(s) => match s.checkpoint(&self.store) {
+                        Ok(ck) => println!(
+                            "checkpoint: {} records, {} bytes; log reset at seq {}",
+                            ck.records,
+                            ck.bytes,
+                            s.next_seq()
+                        ),
+                        Err(e) => println!("checkpoint failed: {e}"),
+                    },
+                    None => println!("durability is off; \\durability on DIR first"),
+                },
+                None | Some("stats") => match &self.wal {
+                    Some(s) => {
+                        let ws = s.wal_stats();
+                        let ck = s.last_checkpoint();
+                        println!(
+                            "wal: {} records ({} bytes), {} flushes, {} syncs, \
+                             {} buffered, next seq {}{}\n\
+                             checkpoint: {} records ({} bytes); {} log records \
+                             compacted this session",
+                            ws.records,
+                            ws.bytes,
+                            ws.flushes,
+                            ws.syncs,
+                            s.buffered_records(),
+                            s.next_seq(),
+                            if s.poisoned() { "  POISONED" } else { "" },
+                            ck.records,
+                            ck.bytes,
+                            s.compacted_records(),
+                        );
+                    }
+                    None => println!("durability is off; \\durability on DIR first"),
+                },
+                Some(other) => println!("unknown subcommand {other:?}; \\wal [stats|checkpoint]"),
+            },
+            "\\save" => match parts.next() {
+                Some(path) => {
+                    let recs = oodb_wal::checkpoint_records(&self.store);
+                    match oodb_wal::write_checkpoint(std::path::Path::new(path), 0, &recs) {
+                        Ok(ck) => println!(
+                            "saved {} records ({} bytes) to {path}",
+                            ck.records, ck.bytes
+                        ),
+                        Err(e) => println!("save failed: {e}"),
+                    }
+                }
+                None => println!("\\save PATH — snapshot the database to a checkpoint file"),
+            },
+            "\\open" => match parts.next() {
+                Some(path) => {
+                    let p = std::path::Path::new(path);
+                    // A directory is a durability dir (checkpoint + log);
+                    // a file is a bare \save snapshot.
+                    let recovered = if p.is_dir() {
+                        oodb_wal::recover(p)
+                            .map(|(store, report)| {
+                                if let Some(stop) = &report.stopped {
+                                    println!("replay stopped early: {stop}");
+                                }
+                                println!(
+                                    "recovered: {} checkpoint + {} log records \
+                                     ({} torn tail bytes discarded)",
+                                    report.checkpoint_records,
+                                    report.replayed_records,
+                                    report.torn_tail_bytes
+                                );
+                                store
+                            })
+                            .map_err(|e| e.to_string())
+                    } else {
+                        oodb_wal::load_checkpoint(p)
+                            .map_err(|e| e.to_string())
+                            .and_then(|(_, recs)| {
+                                let mut slot = None;
+                                for rec in &recs {
+                                    oodb_wal::apply_record(&mut slot, rec)
+                                        .map_err(|e| e.to_string())?;
+                                }
+                                slot.ok_or_else(|| "empty checkpoint".into())
+                            })
+                    };
+                    match recovered {
+                        Ok(store) => {
+                            self.catalog = store.catalog().clone();
+                            self.store = store;
+                            self.cache.clear();
+                            self.feedback.clear();
+                            println!(
+                                "opened {path} (stats epoch {}; plan cache and \
+                                 feedback cleared)",
+                                self.catalog.stats_epoch()
+                            );
+                        }
+                        Err(e) => println!("open failed: {e}"),
+                    }
+                }
+                None => println!("\\open PATH — load a \\save snapshot or durability dir"),
             },
             "\\profile" => match parts.next() {
                 Some("on") => {

@@ -45,6 +45,11 @@ pub enum ExecError {
     MalformedPlan(String),
     /// Trace-tree bookkeeping broke during a traced run.
     MalformedTrace(String),
+    /// An object dereference hit inconsistent store state (dangling OID,
+    /// missing region). Reachable on partially recovered databases; the
+    /// engine reports it instead of panicking so recovery-time probes and
+    /// replay validation stay total.
+    Corrupt(oodb_storage::StoreError),
 }
 
 impl fmt::Display for ExecError {
@@ -64,6 +69,7 @@ impl fmt::Display for ExecError {
             }
             ExecError::MalformedPlan(msg) => write!(f, "malformed plan: {msg}"),
             ExecError::MalformedTrace(msg) => write!(f, "malformed trace: {msg}"),
+            ExecError::Corrupt(e) => write!(f, "corrupt store state: {e}"),
         }
     }
 }
@@ -475,23 +481,28 @@ impl<'a> Executor<'a> {
             let (rows, counts) =
                 morsel::dispatch(self.parallelism, &self.limits, input, |t, counts, out| {
                     counts.tuples += 1;
-                    out.push(items.iter().map(|i| eval_operand(store, &t, i)).collect());
+                    let row = items
+                        .iter()
+                        .map(|i| eval_operand(store, &t, i))
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(ExecError::Corrupt)?;
+                    out.push(row);
                     Ok(())
                 })?;
             self.merge_counts(counts);
             self.checkpoint()?;
             return Ok(rows);
         }
-        let rows = input
-            .iter()
-            .map(|t| {
-                self.counts.tuples += 1;
-                items
-                    .iter()
-                    .map(|i| eval_operand(self.store, t, i))
-                    .collect()
-            })
-            .collect();
+        let mut rows = Vec::with_capacity(input.len());
+        for t in &input {
+            self.counts.tuples += 1;
+            let row = items
+                .iter()
+                .map(|i| eval_operand(self.store, t, i))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(ExecError::Corrupt)?;
+            rows.push(row);
+        }
         self.checkpoint()?;
         Ok(rows)
     }
@@ -645,7 +656,8 @@ impl<'a> Executor<'a> {
                 let members = self.store.members(*coll).to_vec();
                 let mut out = Vec::with_capacity(members.len());
                 for oid in members {
-                    self.touch(self.store.page_of(oid))?;
+                    let page = self.store.try_page_of(oid).map_err(ExecError::Corrupt)?;
+                    self.touch(page)?;
                     self.counts.tuples += 1;
                     out.push(Tuple::single(self.n_vars(), *var, oid));
                 }
@@ -672,7 +684,8 @@ impl<'a> Executor<'a> {
                     self.touch(p)?;
                 }
                 for oid in &matches {
-                    self.touch(self.store.page_of(*oid))?;
+                    let page = self.store.try_page_of(*oid).map_err(ExecError::Corrupt)?;
+                    self.touch(page)?;
                 }
                 self.counts.tuples += matches.len() as u64;
                 self.leaf_rows += matches.len() as u64;
@@ -722,7 +735,8 @@ impl<'a> Executor<'a> {
                 for t in input {
                     let set = self
                         .store
-                        .read_field(t.get(src), field)
+                        .try_read_field(t.get(src), field)
+                        .map_err(ExecError::Corrupt)?
                         .as_ref_set()
                         .ok_or_else(|| {
                             ExecError::MalformedPlan("unnest field must be set-valued".into())
@@ -753,14 +767,24 @@ impl<'a> Executor<'a> {
             }
 
             PhysicalOp::Sort { key } => {
-                let mut tuples = self.exec(&plan.children[0])?;
+                let tuples = self.exec(&plan.children[0])?;
                 self.counts.hash_ops += tuples.len() as u64; // sort work proxy
-                tuples.sort_by(|a, b| {
-                    let va = self.store.read_field(a.get(key.var), key.field);
-                    let vb = self.store.read_field(b.get(key.var), key.field);
-                    va.partial_cmp_val(vb).unwrap_or(std::cmp::Ordering::Equal)
+                                                             // Extract keys up front so corruption surfaces as an error
+                                                             // (a comparator closure cannot propagate one).
+                let mut keyed = Vec::with_capacity(tuples.len());
+                for t in tuples {
+                    let k = self
+                        .store
+                        .try_read_field(t.get(key.var), key.field)
+                        .map_err(ExecError::Corrupt)?
+                        .clone();
+                    keyed.push((k, t));
+                }
+                keyed.sort_by(|a, b| {
+                    a.0.partial_cmp_val(&b.0)
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 });
-                Ok(tuples)
+                Ok(keyed.into_iter().map(|(_, t)| t).collect())
             }
         }
     }
@@ -776,19 +800,21 @@ impl<'a> Executor<'a> {
         input: Vec<Tuple>,
     ) -> Result<Vec<Tuple>, ExecError> {
         if self.parallelism <= 1 || input.len() < morsel::MIN_PARALLEL_ROWS {
-            return Ok(input
-                .into_iter()
-                .filter(|t| {
-                    let (ok, n) = eval_pred(self.store, self.env, t, pred);
-                    self.counts.preds += n;
-                    ok
-                })
-                .collect());
+            let mut out = Vec::with_capacity(input.len());
+            for t in input {
+                let (ok, n) =
+                    eval_pred(self.store, self.env, &t, pred).map_err(ExecError::Corrupt)?;
+                self.counts.preds += n;
+                if ok {
+                    out.push(t);
+                }
+            }
+            return Ok(out);
         }
         let (store, env) = (self.store, self.env);
         let (out, counts) =
             morsel::dispatch(self.parallelism, &self.limits, input, |t, counts, out| {
-                let (ok, n) = eval_pred(store, env, &t, pred);
+                let (ok, n) = eval_pred(store, env, &t, pred).map_err(ExecError::Corrupt)?;
                 counts.preds += n;
                 if ok {
                     out.push(t);
@@ -893,14 +919,20 @@ impl<'a> Executor<'a> {
             self.counts.hash_ops += 1;
             // Keyless rows can never match — the in-memory build skips
             // them too.
-            if let Some(k) = eval_operand(self.store, &t, left_key_op).hash_key() {
+            if let Some(k) = eval_operand(self.store, &t, left_key_op)
+                .map_err(ExecError::Corrupt)?
+                .hash_key()
+            {
                 lparts[part_of(k)].push(t);
             }
         }
         for t in right {
             self.work_tick()?;
             self.counts.hash_ops += 1;
-            if let Some(k) = eval_operand(self.store, &t, right_key_op).hash_key() {
+            if let Some(k) = eval_operand(self.store, &t, right_key_op)
+                .map_err(ExecError::Corrupt)?
+                .hash_key()
+            {
                 rparts[part_of(k)].push(t);
             }
         }
@@ -954,7 +986,10 @@ impl<'a> Executor<'a> {
         for (i, t) in left.iter().enumerate() {
             self.work_tick()?;
             self.counts.hash_ops += 1;
-            if let Some(k) = eval_operand(self.store, t, left_key_op).hash_key() {
+            if let Some(k) = eval_operand(self.store, t, left_key_op)
+                .map_err(ExecError::Corrupt)?
+                .hash_key()
+            {
                 table.entry(k).or_default().push(i);
             }
         }
@@ -971,13 +1006,17 @@ impl<'a> Executor<'a> {
             let (out, counts) =
                 morsel::dispatch(self.parallelism, &self.limits, probes, |rt, counts, out| {
                     counts.hash_ops += 1;
-                    let Some(k) = eval_operand(store, rt, right_key_op).hash_key() else {
+                    let Some(k) = eval_operand(store, rt, right_key_op)
+                        .map_err(ExecError::Corrupt)?
+                        .hash_key()
+                    else {
                         return Ok(());
                     };
                     if let Some(matches) = table.get(&k) {
                         for &i in matches {
                             let merged = left[i].merge(rt);
-                            let (ok, n) = eval_pred(store, env, &merged, pred);
+                            let (ok, n) =
+                                eval_pred(store, env, &merged, pred).map_err(ExecError::Corrupt)?;
                             counts.preds += n;
                             if ok {
                                 counts.tuples += 1;
@@ -995,7 +1034,10 @@ impl<'a> Executor<'a> {
         for rt in right {
             self.work_tick()?;
             self.counts.hash_ops += 1;
-            let Some(k) = eval_operand(self.store, rt, right_key_op).hash_key() else {
+            let Some(k) = eval_operand(self.store, rt, right_key_op)
+                .map_err(ExecError::Corrupt)?
+                .hash_key()
+            else {
                 continue;
             };
             if let Some(matches) = table.get(&k) {
@@ -1003,7 +1045,8 @@ impl<'a> Executor<'a> {
                     let merged = left[i].merge(rt);
                     // Verify the full predicate (hash collisions + residual
                     // conjuncts).
-                    let (ok, n) = eval_pred(self.store, self.env, &merged, pred);
+                    let (ok, n) = eval_pred(self.store, self.env, &merged, pred)
+                        .map_err(ExecError::Corrupt)?;
                     self.counts.preds += n;
                     if ok {
                         self.counts.tuples += 1;
@@ -1089,13 +1132,17 @@ impl<'a> Executor<'a> {
         for t in &left {
             self.counts.derefs += 1;
             let oid = eval_operand(self.store, t, ref_op)
+                .map_err(ExecError::Corrupt)?
                 .as_ref_oid()
                 .ok_or_else(|| {
                     ExecError::MalformedPlan("reference operand must yield a reference".into())
                 })?;
             refs.push(oid);
         }
-        let pages: Vec<PageId> = refs.iter().map(|&o| self.store.page_of(o)).collect();
+        let pages: Vec<PageId> = refs
+            .iter()
+            .map(|&o| self.store.try_page_of(o).map_err(ExecError::Corrupt))
+            .collect::<Result<_, _>>()?;
         self.touch_elevator(&pages)?;
         Ok(left
             .into_iter()
@@ -1150,7 +1197,8 @@ impl<'a> Executor<'a> {
                     None => match field {
                         Some(f) => self
                             .store
-                            .read_field(t.get(src), f)
+                            .try_read_field(t.get(src), f)
+                            .map_err(ExecError::Corrupt)?
                             .as_ref_oid()
                             .ok_or_else(|| {
                                 ExecError::MalformedPlan("Mat field must hold a reference".into())
@@ -1160,7 +1208,10 @@ impl<'a> Executor<'a> {
                 };
                 refs.push(oid);
             }
-            let pages: Vec<PageId> = refs.iter().map(|&o| self.store.page_of(o)).collect();
+            let pages: Vec<PageId> = refs
+                .iter()
+                .map(|&o| self.store.try_page_of(o).map_err(ExecError::Corrupt))
+                .collect::<Result<_, _>>()?;
             if window == 1 {
                 self.touch(pages[0])?;
             } else {
@@ -1207,7 +1258,8 @@ impl<'a> Executor<'a> {
                 None => match field {
                     Some(f) => self
                         .store
-                        .read_field(t.get(src), f)
+                        .try_read_field(t.get(src), f)
+                        .map_err(ExecError::Corrupt)?
                         .as_ref_oid()
                         .ok_or_else(|| {
                             ExecError::MalformedPlan("Mat field must hold a reference".into())
@@ -1217,7 +1269,8 @@ impl<'a> Executor<'a> {
             };
             // The referenced page is (almost certainly) resident now;
             // touching it records the buffer hit honestly.
-            self.touch(self.store.page_of(oid))?;
+            let page = self.store.try_page_of(oid).map_err(ExecError::Corrupt)?;
+            self.touch(page)?;
             out.push(t.with(target, oid));
         }
         Ok(out)
@@ -1248,32 +1301,42 @@ impl<'a> Executor<'a> {
                 (&eq.right, &eq.left)
             }
         };
-        let key = |t: &Tuple, op: &Operand| eval_operand(self.store, t, op);
+        // Extract both key columns up front (totalizes corruption; the
+        // run-gathering below then needs no fallible closure).
+        let lkeys: Vec<Value> = left
+            .iter()
+            .map(|t| eval_operand(self.store, t, l_op).map_err(ExecError::Corrupt))
+            .collect::<Result<_, _>>()?;
+        let rkeys: Vec<Value> = right
+            .iter()
+            .map(|t| eval_operand(self.store, t, r_op).map_err(ExecError::Corrupt))
+            .collect::<Result<_, _>>()?;
         let mut out = Vec::new();
         let (mut i, mut j) = (0usize, 0usize);
         while i < left.len() && j < right.len() {
             self.counts.tuples += 1;
-            let kl = key(&left[i], l_op);
-            let kr = key(&right[j], r_op);
-            match kl.total_cmp_val(&kr) {
+            let kl = &lkeys[i];
+            let kr = &rkeys[j];
+            match kl.total_cmp_val(kr) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
                     // Gather both equal-key runs and cross them.
                     let i_end = (i..left.len())
-                        .take_while(|&x| key(&left[x], l_op) == kl)
+                        .take_while(|&x| &lkeys[x] == kl)
                         .last()
                         .unwrap()
                         + 1;
                     let j_end = (j..right.len())
-                        .take_while(|&y| key(&right[y], r_op) == kr)
+                        .take_while(|&y| &rkeys[y] == kr)
                         .last()
                         .unwrap()
                         + 1;
                     for l in &left[i..i_end] {
                         for r in &right[j..j_end] {
                             let merged = l.merge(r);
-                            let (ok, n) = eval_pred(self.store, self.env, &merged, pred);
+                            let (ok, n) = eval_pred(self.store, self.env, &merged, pred)
+                                .map_err(ExecError::Corrupt)?;
                             self.counts.preds += n;
                             if ok {
                                 out.push(merged);

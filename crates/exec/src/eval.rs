@@ -1,41 +1,52 @@
 //! Predicate and operand evaluation over tuples.
+//!
+//! Both evaluators are *total*: a dangling reference or unknown field
+//! surfaces as a [`StoreError`] instead of a panic, so the executor can
+//! run queries against partially recovered databases (the durability
+//! crash harness does exactly that) and report corruption as a typed
+//! failure.
 
 use crate::tuple::Tuple;
 use oodb_algebra::{Operand, PredId, QueryEnv};
 use oodb_object::Value;
-use oodb_storage::Store;
+use oodb_storage::{Store, StoreError};
 
 /// Evaluates an operand against a tuple.
-pub fn eval_operand(store: &Store, tuple: &Tuple, op: &Operand) -> Value {
-    match op {
+pub fn eval_operand(store: &Store, tuple: &Tuple, op: &Operand) -> Result<Value, StoreError> {
+    Ok(match op {
         Operand::Const(v) => v.clone(),
-        Operand::Attr { var, field } => store.read_field(tuple.get(*var), *field).clone(),
+        Operand::Attr { var, field } => store.try_read_field(tuple.get(*var), *field)?.clone(),
         Operand::VarOid(v) => Value::Ref(tuple.get(*v)),
-        Operand::RefField { var, field } => store.read_field(tuple.get(*var), *field).clone(),
+        Operand::RefField { var, field } => store.try_read_field(tuple.get(*var), *field)?.clone(),
         Operand::VarRef(v) => Value::Ref(tuple.get(*v)),
-    }
+    })
 }
 
 /// Evaluates one interned predicate (a conjunction) against a tuple.
 /// Returns `(result, terms_evaluated)` — the count feeds CPU accounting.
-pub fn eval_pred(store: &Store, env: &QueryEnv, tuple: &Tuple, pred: PredId) -> (bool, u64) {
+pub fn eval_pred(
+    store: &Store,
+    env: &QueryEnv,
+    tuple: &Tuple,
+    pred: PredId,
+) -> Result<(bool, u64), StoreError> {
     // Lock-free arena lookup: a stable `&Pred`, no lock and no clone on
     // this once-per-tuple path.
     let p = env.preds.pred(pred);
     let mut evaluated = 0;
     for t in &p.terms {
         evaluated += 1;
-        let l = eval_operand(store, tuple, &t.left);
-        let r = eval_operand(store, tuple, &t.right);
+        let l = eval_operand(store, tuple, &t.left)?;
+        let r = eval_operand(store, tuple, &t.right)?;
         let holds = match l.partial_cmp_val(&r) {
             Some(ord) => t.op.test(ord),
             None => false, // incomparable (NULL-ish) ⇒ predicate fails
         };
         if !holds {
-            return (false, evaluated);
+            return Ok((false, evaluated));
         }
     }
-    (true, evaluated)
+    Ok((true, evaluated))
 }
 
 #[cfg(test)]
@@ -83,7 +94,7 @@ mod tests {
             CmpOp::Eq,
             Operand::VarOid(cm),
         );
-        let (ok, n) = eval_pred(&store, &env, &t, pred);
+        let (ok, n) = eval_pred(&store, &env, &t, pred).unwrap();
         assert!(ok);
         assert_eq!(n, 1);
 
@@ -95,7 +106,33 @@ mod tests {
                 var: cm,
                 field: m.ids.person_name,
             },
-        );
+        )
+        .unwrap();
         assert_eq!(&name, store.read_field(mayor, m.ids.person_name));
+    }
+
+    #[test]
+    fn dangling_reference_is_a_typed_error() {
+        let (store, m) = generate_paper_db(GenConfig::small());
+        let mut qb = QueryBuilder::new(m.schema.clone(), m.catalog.clone());
+        let (_, c) = qb.get(m.ids.cities, "c");
+        let env = qb.into_env();
+
+        // Fabricate an OID one past the city population: same type, no
+        // backing object — exactly what a partially replayed log yields.
+        let city_count = store.members(m.ids.cities).len() as u32;
+        let ghost = oodb_object::Oid::new(m.ids.city, city_count + 7);
+        let mut t = Tuple::empty(env.scopes.len());
+        t.bind(c, ghost);
+
+        let res = eval_operand(
+            &store,
+            &t,
+            &Operand::Attr {
+                var: c,
+                field: m.ids.city_name,
+            },
+        );
+        assert!(matches!(res, Err(StoreError::UnknownOid(_))));
     }
 }

@@ -1,6 +1,6 @@
 //! # `oodb-fault` — deterministic fault injection and run limits
 //!
-//! The resilience substrate for the query service. Three small,
+//! The resilience substrate for the query service. Four small,
 //! dependency-free pieces:
 //!
 //! * [`FaultInjector`] — a seedable fault model for the storage read path.
@@ -13,6 +13,13 @@
 //!   on every access forever. The injector can also add per-access latency
 //!   and inject outright panics ([`FaultConfig::panic_rate`]) to exercise
 //!   `catch_unwind` isolation above it.
+//! * [`WriteFaultInjector`] — the write-path mirror, consumed by the
+//!   write-ahead log: torn writes (only a prefix of a record reaches the
+//!   file before the simulated crash), partial flushes (a batched flush
+//!   persists only some of its buffered records), and sync failures
+//!   (`fsync` reports an error after the data may or may not be stable).
+//!   Classification is a pure function of `(seed, operation index)`, so
+//!   a crash schedule replays bit-for-bit.
 //! * [`CancelToken`] — a cooperative cancellation flag shared between a
 //!   submitter and the executor, checked at operator batch boundaries.
 //! * [`RunLimits`] — the per-run admission envelope (deadline, cancel
@@ -320,6 +327,203 @@ fn unit(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
+// ---- write-path faults ------------------------------------------------------
+
+/// How a write-path fault manifests. All three model a storage stack that
+/// lies in a different place: the OS crashing mid-`write`, a drive cache
+/// dropping un-synced sectors, and `fsync` itself failing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The process "crashed" mid-append: only the first `kept` bytes of
+    /// the record reached the file. The log's tail is now garbage.
+    TornWrite {
+        /// Bytes of the record that were persisted before the cut.
+        kept: usize,
+    },
+    /// A batched flush persisted only a prefix of its buffered records;
+    /// the rest evaporated with the volatile cache.
+    PartialFlush {
+        /// Buffered records that actually reached the file.
+        kept_records: usize,
+    },
+    /// The durability barrier itself failed: `fsync` returned an error,
+    /// so nothing written since the last successful sync may be trusted.
+    SyncFailure,
+}
+
+impl std::fmt::Display for WriteFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteFault::TornWrite { kept } => {
+                write!(f, "torn write: only {kept} bytes persisted")
+            }
+            WriteFault::PartialFlush { kept_records } => {
+                write!(f, "partial flush: only {kept_records} records persisted")
+            }
+            WriteFault::SyncFailure => write!(f, "sync failure"),
+        }
+    }
+}
+
+impl std::error::Error for WriteFault {}
+
+/// Write-path fault-model parameters. Immutable once the injector is
+/// built, like [`FaultConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct WriteFaultConfig {
+    /// Fraction of appends that are torn, in `[0, 1]`. Which appends tear
+    /// — and how many bytes survive — is a pure function of
+    /// `(seed, append index)`.
+    pub torn_write_rate: f64,
+    /// Fraction of flushes that persist only a prefix of their batch.
+    pub partial_flush_rate: f64,
+    /// Fraction of syncs that report failure.
+    pub sync_failure_rate: f64,
+    /// Seed for the operation-classification hash.
+    pub seed: u64,
+}
+
+impl Default for WriteFaultConfig {
+    fn default() -> Self {
+        WriteFaultConfig {
+            torn_write_rate: 0.0,
+            partial_flush_rate: 0.0,
+            sync_failure_rate: 0.0,
+            seed: 0x0DD_BA11,
+        }
+    }
+}
+
+/// Counters the write injector accumulates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WriteFaultStats {
+    /// Torn writes injected.
+    pub torn_writes: u64,
+    /// Partial flushes injected.
+    pub partial_flushes: u64,
+    /// Sync failures injected.
+    pub sync_failures: u64,
+}
+
+struct WriteInjectorInner {
+    config: WriteFaultConfig,
+    enabled: AtomicBool,
+    torn_writes: AtomicU64,
+    partial_flushes: AtomicU64,
+    sync_failures: AtomicU64,
+}
+
+/// Deterministic write-path fault injector for the WAL. Cheap to clone —
+/// clones share counters. The log consults it at each append (`op` = the
+/// record's sequence number), flush, and sync.
+#[derive(Clone)]
+pub struct WriteFaultInjector {
+    inner: Arc<WriteInjectorInner>,
+}
+
+impl std::fmt::Debug for WriteFaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteFaultInjector")
+            .field("config", &self.inner.config)
+            .field("enabled", &self.enabled())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl WriteFaultInjector {
+    /// Builds an enabled injector with the given configuration.
+    pub fn new(config: WriteFaultConfig) -> Self {
+        WriteFaultInjector {
+            inner: Arc::new(WriteInjectorInner {
+                config,
+                enabled: AtomicBool::new(true),
+                torn_writes: AtomicU64::new(0),
+                partial_flushes: AtomicU64::new(0),
+                sync_failures: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The injector's (immutable) configuration.
+    pub fn config(&self) -> WriteFaultConfig {
+        self.inner.config
+    }
+
+    /// Whether injection is active.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns injection on or off without losing counters.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the injection counters.
+    pub fn stats(&self) -> WriteFaultStats {
+        let i = &self.inner;
+        WriteFaultStats {
+            torn_writes: i.torn_writes.load(Ordering::Relaxed),
+            partial_flushes: i.partial_flushes.load(Ordering::Relaxed),
+            sync_failures: i.sync_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Append hook: for a torn append, returns the fault carrying how many
+    /// of the record's `len` bytes the log must persist before "crashing"
+    /// (always a strict prefix, possibly zero). `op` is the record's
+    /// sequence number, so the tear schedule is replay-stable.
+    pub fn check_append(&self, op: u64, len: usize) -> Result<(), WriteFault> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        let cfg = &self.inner.config;
+        let h = splitmix64(cfg.seed ^ splitmix64(op ^ 0x7047_0047));
+        if unit(h) >= cfg.torn_write_rate {
+            return Ok(());
+        }
+        self.inner.torn_writes.fetch_add(1, Ordering::Relaxed);
+        let kept = if len == 0 {
+            0
+        } else {
+            (splitmix64(h) as usize) % len
+        };
+        Err(WriteFault::TornWrite { kept })
+    }
+
+    /// Flush hook: for a partial flush of `buffered` records, returns the
+    /// fault carrying how many buffered records survive (a strict prefix).
+    pub fn check_flush(&self, op: u64, buffered: usize) -> Result<(), WriteFault> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        let cfg = &self.inner.config;
+        let h = splitmix64(cfg.seed.rotate_left(21) ^ splitmix64(op ^ 0xF1A5_0F1A));
+        if unit(h) >= cfg.partial_flush_rate || buffered == 0 {
+            return Ok(());
+        }
+        self.inner.partial_flushes.fetch_add(1, Ordering::Relaxed);
+        Err(WriteFault::PartialFlush {
+            kept_records: (splitmix64(h) as usize) % buffered,
+        })
+    }
+
+    /// Sync hook: decides whether this durability barrier fails.
+    pub fn check_sync(&self, op: u64) -> Result<(), WriteFault> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        let cfg = &self.inner.config;
+        let h = splitmix64(cfg.seed.rotate_left(42) ^ splitmix64(op ^ 0x5A5A_11FE));
+        if unit(h) >= cfg.sync_failure_rate {
+            return Ok(());
+        }
+        self.inner.sync_failures.fetch_add(1, Ordering::Relaxed);
+        Err(WriteFault::SyncFailure)
+    }
+}
+
 /// A cooperative cancellation flag. Cheap to clone; all clones observe the
 /// same flag. The executor polls it at operator batch boundaries.
 #[derive(Clone, Debug, Default)]
@@ -465,6 +669,75 @@ mod tests {
             ..Default::default()
         };
         assert!(!governed.is_unlimited());
+    }
+
+    #[test]
+    fn write_faults_are_deterministic_per_seed() {
+        let cfg = WriteFaultConfig {
+            torn_write_rate: 0.3,
+            partial_flush_rate: 0.3,
+            sync_failure_rate: 0.3,
+            seed: 99,
+        };
+        let a = WriteFaultInjector::new(cfg);
+        let b = WriteFaultInjector::new(cfg);
+        for op in 0..256 {
+            assert_eq!(a.check_append(op, 100), b.check_append(op, 100));
+            assert_eq!(a.check_flush(op, 8), b.check_flush(op, 8));
+            assert_eq!(a.check_sync(op), b.check_sync(op));
+        }
+        // The three streams are independent: some op must tear without
+        // failing sync (and vice versa) at these rates.
+        let disagree = (0..256).any(|op| {
+            let torn = a.check_append(op, 100).is_err();
+            let sync = a.check_sync(op).is_err();
+            torn != sync
+        });
+        assert!(disagree, "append and sync streams must be independent");
+    }
+
+    #[test]
+    fn torn_write_keeps_a_strict_prefix() {
+        let inj = WriteFaultInjector::new(WriteFaultConfig {
+            torn_write_rate: 1.0,
+            ..Default::default()
+        });
+        for op in 0..64 {
+            match inj.check_append(op, 40) {
+                Err(WriteFault::TornWrite { kept }) => assert!(kept < 40),
+                other => panic!("expected torn write, got {other:?}"),
+            }
+        }
+        assert_eq!(inj.stats().torn_writes, 64);
+    }
+
+    #[test]
+    fn partial_flush_keeps_a_strict_prefix_of_records() {
+        let inj = WriteFaultInjector::new(WriteFaultConfig {
+            partial_flush_rate: 1.0,
+            ..Default::default()
+        });
+        match inj.check_flush(0, 5) {
+            Err(WriteFault::PartialFlush { kept_records }) => assert!(kept_records < 5),
+            other => panic!("expected partial flush, got {other:?}"),
+        }
+        // An empty batch cannot partially flush.
+        assert!(inj.check_flush(1, 0).is_ok());
+    }
+
+    #[test]
+    fn disabled_write_injector_is_transparent() {
+        let inj = WriteFaultInjector::new(WriteFaultConfig {
+            torn_write_rate: 1.0,
+            partial_flush_rate: 1.0,
+            sync_failure_rate: 1.0,
+            ..Default::default()
+        });
+        inj.set_enabled(false);
+        assert!(inj.check_append(0, 10).is_ok());
+        assert!(inj.check_flush(0, 10).is_ok());
+        assert!(inj.check_sync(0).is_ok());
+        assert_eq!(inj.stats(), WriteFaultStats::default());
     }
 
     #[test]

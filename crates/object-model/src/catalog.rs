@@ -317,6 +317,34 @@ impl Catalog {
         self.histograms.len()
     }
 
+    /// Every collected histogram with its `(collection, path, key)` key.
+    /// Iteration order is unspecified (serializers must sort). Exposed for
+    /// the durability checkpoint codec.
+    pub fn histograms(
+        &self,
+    ) -> impl Iterator<
+        Item = (
+            (CollectionId, &[FieldId], FieldId),
+            &crate::stats::Histogram,
+        ),
+    > {
+        self.histograms
+            .iter()
+            .map(|((c, p, k), h)| ((*c, p.as_slice(), *k), h))
+    }
+
+    /// Every declared referent-domain constraint. Iteration order is
+    /// unspecified (serializers must sort).
+    pub fn ref_domains(&self) -> impl Iterator<Item = (FieldId, CollectionId)> + '_ {
+        self.ref_domains.iter().map(|(&f, &c)| (f, c))
+    }
+
+    /// Every recorded set-valued fan-out. Iteration order is unspecified
+    /// (serializers must sort).
+    pub fn fanouts(&self) -> impl Iterator<Item = (FieldId, f64)> + '_ {
+        self.fanouts.iter().map(|(&f, &v)| (f, v))
+    }
+
     /// Returns a copy of this catalog with only the named indexes retained —
     /// the index-availability sweep of Table 3.
     pub fn with_only_indexes(&self, keep: &[&str]) -> Catalog {

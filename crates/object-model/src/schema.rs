@@ -165,6 +165,13 @@ impl Schema {
         &self.fields[id.index()]
     }
 
+    /// Number of fields across all types. `FieldId`s are dense in
+    /// `0..field_count()`, in declaration order — the invariant the
+    /// durability schema codec round-trips on.
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+
     /// Looks a type up by name.
     pub fn type_by_name(&self, name: &str) -> Option<TypeId> {
         self.type_by_name.get(name).copied()

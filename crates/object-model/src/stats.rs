@@ -58,6 +58,27 @@ impl Histogram {
         self.total
     }
 
+    /// The bucket boundary values (`buckets + 1` entries, min..max).
+    /// Exposed for serialization (the durability checkpoint codec).
+    pub fn bounds(&self) -> &[Value] {
+        &self.bounds
+    }
+
+    /// Reassembles a histogram from serialized parts. Returns `None` when
+    /// the parts cannot be a [`Histogram::build`] product: fewer than two
+    /// boundaries, an empty population, or more distinct values than
+    /// total values.
+    pub fn from_parts(bounds: Vec<Value>, total: u64, distinct: u64) -> Option<Histogram> {
+        if bounds.len() < 2 || total == 0 || distinct == 0 || distinct > total {
+            return None;
+        }
+        Some(Histogram {
+            bounds,
+            total,
+            distinct,
+        })
+    }
+
     /// Exact distinct count.
     pub fn distinct(&self) -> u64 {
         self.distinct

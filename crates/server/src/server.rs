@@ -581,8 +581,36 @@ fn stats_json(shared: &Shared) -> String {
     let _ = write!(
         out,
         "],\"feedback\":{{\"tracked\":{},\"suspect\":{},\"overridden\":{},\
-         \"overrides\":{},\"worst_drift\":{:.3}}}}}",
+         \"overrides\":{},\"worst_drift\":{:.3}}}",
         fb.tracked, fb.suspect, fb.overridden, fb.overrides, fb.worst_drift,
     );
+    match shared.service.durability_stats() {
+        Some(d) => {
+            out.push_str(",\"durability\":{\"enabled\":true,\"dir\":");
+            json::push_escaped(&mut out, &d.dir);
+            out.push_str(",\"policy\":");
+            json::push_escaped(&mut out, &d.policy);
+            let _ = write!(
+                out,
+                ",\"records\":{},\"bytes\":{},\"flushes\":{},\"syncs\":{},\
+                 \"faults\":{},\"buffered_records\":{},\"next_seq\":{},\
+                 \"checkpoint_records\":{},\"checkpoint_bytes\":{},\
+                 \"compacted_records\":{},\"poisoned\":{}}}",
+                d.records,
+                d.bytes,
+                d.flushes,
+                d.syncs,
+                d.faults,
+                d.buffered_records,
+                d.next_seq,
+                d.checkpoint_records,
+                d.checkpoint_bytes,
+                d.compacted_records,
+                d.poisoned,
+            );
+        }
+        None => out.push_str(",\"durability\":{\"enabled\":false}"),
+    }
+    out.push('}');
     out
 }

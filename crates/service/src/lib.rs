@@ -39,8 +39,13 @@ use oodb_fault::{CancelToken, FaultClass, FaultInjector, RunLimits};
 use oodb_storage::{MemoryGovernor, PressureLevel, Store};
 use oodb_sync::Snap;
 use oodb_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, OpTrace, StageTimer};
+use oodb_wal::WalSession;
+pub use oodb_wal::{
+    CheckpointStats, FlushPolicy, RecoverError, RecoveryReport, SessionError, WalRecord,
+};
 use std::collections::{BTreeMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -365,6 +370,39 @@ pub struct QueryOutput {
     pub config_fp: u64,
 }
 
+/// Counters of the active WAL session, for the server's `/stats`
+/// `durability` object and the CLI's `\wal stats`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DurabilityStats {
+    /// Durability directory (checkpoint + log).
+    pub dir: String,
+    /// Flush policy, rendered (`EveryRecord`, `Batch(8)`, `Manual`).
+    pub policy: String,
+    /// Records accepted by the log this session.
+    pub records: u64,
+    /// Frame bytes accepted this session.
+    pub bytes: u64,
+    /// Flushes that reached the file.
+    pub flushes: u64,
+    /// Syncs that completed.
+    pub syncs: u64,
+    /// Injected write faults.
+    pub faults: u64,
+    /// Records appended but not yet flushed (the crash window).
+    pub buffered_records: u64,
+    /// Sequence number the next record will carry.
+    pub next_seq: u64,
+    /// Records in the most recent checkpoint.
+    pub checkpoint_records: u64,
+    /// Bytes in the most recent checkpoint.
+    pub checkpoint_bytes: u64,
+    /// Log records folded into checkpoints over this session.
+    pub compacted_records: u64,
+    /// Whether a write fault poisoned the session (mutations continue
+    /// in memory but are no longer acknowledged durable).
+    pub poisoned: bool,
+}
+
 /// Handles to every metric the service records, registered once at
 /// construction so the per-submission path never takes the registry lock.
 struct ServiceMetrics {
@@ -449,6 +487,12 @@ struct ServiceMetrics {
     cache_verify_rejects: Counter,
     cache_entries: Gauge,
     cache_bytes: Gauge,
+    // Durability mirrors (refreshed at export time from the WAL session)
+    // and recovery counters (bumped once by [`QueryService::recover`]).
+    wal_records: Counter,
+    wal_bytes: Counter,
+    recovery_replayed: Counter,
+    wal_torn_tails: Counter,
 }
 
 impl ServiceMetrics {
@@ -503,6 +547,10 @@ impl ServiceMetrics {
             cache_verify_rejects: reg.counter("oodb_plancache_verify_rejects_total", &[]),
             cache_entries: reg.gauge("oodb_plancache_entries", &[]),
             cache_bytes: reg.gauge("oodb_plancache_bytes", &[]),
+            wal_records: reg.counter("oodb_wal_records_total", &[]),
+            wal_bytes: reg.counter("oodb_wal_bytes_total", &[]),
+            recovery_replayed: reg.counter("oodb_recovery_replayed_total", &[]),
+            wal_torn_tails: reg.counter("oodb_wal_torn_tails_total", &[]),
         }
     }
 
@@ -582,6 +630,10 @@ struct Inner {
     /// read back as corrective [`oodb_algebra::StatsOverlay`]s at the
     /// cache probe.
     feedback: Arc<FeedbackStore>,
+    /// Active write-ahead-log session, if durability is on. Logging
+    /// mutators hold this lock across append *and* snapshot swap so the
+    /// log order always matches the apply order.
+    durability: Mutex<Option<WalSession>>,
 }
 
 /// The query service. Cheap to clone — all clones share state.
@@ -618,8 +670,35 @@ impl QueryService {
                 inflight: AtomicUsize::new(0),
                 breaker: Mutex::new(Breaker::default()),
                 feedback: Arc::new(FeedbackStore::default()),
+                durability: Mutex::new(None),
             }),
         }
+    }
+
+    /// Rebuilds a service from a durability directory — checkpoint, then
+    /// the longest valid log prefix — and resumes logging into it (the
+    /// recovered state is folded into a fresh checkpoint, so the log
+    /// restarts empty). Returns the service plus what recovery found.
+    pub fn recover(
+        dir: &Path,
+        params: CostParams,
+        config: OptimizerConfig,
+        cache_capacity: usize,
+        cache_shards: usize,
+        policy: FlushPolicy,
+    ) -> Result<(QueryService, RecoveryReport), RecoverError> {
+        let (store, report) = oodb_wal::recover(dir)?;
+        let svc = QueryService::new(store, params, config, cache_capacity, cache_shards);
+        svc.inner
+            .metrics
+            .recovery_replayed
+            .add(report.replayed_records);
+        if report.torn_tail_bytes > 0 {
+            svc.inner.metrics.wal_torn_tails.inc();
+        }
+        svc.enable_durability(dir, policy)
+            .map_err(|e| RecoverError::Io(std::io::Error::other(e.to_string())))?;
+        Ok((svc, report))
     }
 
     /// Publishes a new store snapshot derived from the current one,
@@ -683,6 +762,11 @@ impl QueryService {
                 .set(gs.reserved.min(i64::MAX as u64) as i64);
             m.mem_capacity_bytes
                 .set(gs.capacity.min(i64::MAX as u64) as i64);
+        }
+        if let Some(session) = self.durability_lock().as_ref() {
+            let ws = session.wal_stats();
+            m.wal_records.store(ws.records);
+            m.wal_bytes.store(ws.bytes);
         }
     }
 
@@ -757,8 +841,18 @@ impl QueryService {
     }
 
     /// Collects histograms and swaps in a store whose catalog carries the
-    /// refined statistics and a bumped `stats_epoch`.
+    /// refined statistics and a bumped `stats_epoch`. With durability on,
+    /// the refresh is logged before it is applied (log-then-apply); WAL
+    /// replay re-runs the identical collect + set-catalog + rebuild
+    /// composite, so the recovered catalog matches bucket for bucket.
     pub fn refresh_statistics(&self, buckets: usize) {
+        let mut dur = self.durability_lock();
+        self.log_mutation(
+            &mut dur,
+            &WalRecord::StatsRefresh {
+                buckets: buckets as u32,
+            },
+        );
         self.swap_store(|store| {
             let catalog = store.collect_statistics(&[], buckets);
             store.set_catalog(catalog);
@@ -770,6 +864,13 @@ impl QueryService {
     /// reader either sees both changes or neither. This is the mutation
     /// the concurrency proof drives while submissions race it.
     pub fn refresh_statistics_with_config(&self, buckets: usize, config: OptimizerConfig) {
+        let mut dur = self.durability_lock();
+        self.log_mutation(
+            &mut dur,
+            &WalRecord::StatsRefresh {
+                buckets: buckets as u32,
+            },
+        );
         let fp = config.fingerprint();
         let config = Arc::new(config);
         self.inner.state.update(|s| {
@@ -796,11 +897,109 @@ impl QueryService {
     /// swaps in the rebuilt store. The epoch bump makes every cached plan
     /// unservable, so a plan relying on a dropped index can never run.
     pub fn restrict_indexes(&self, keep: &[&str]) {
-        self.swap_store(|store| {
-            let catalog = store.catalog().with_only_indexes(keep);
+        let mut dur = self.durability_lock();
+        let catalog = self.store().catalog().with_only_indexes(keep);
+        self.log_mutation(
+            &mut dur,
+            &WalRecord::SetCatalog {
+                catalog: catalog.clone(),
+            },
+        );
+        self.log_mutation(&mut dur, &WalRecord::BuildIndexes { bump_epoch: true });
+        self.swap_store(move |store| {
             store.set_catalog(catalog);
             store.build_indexes();
         });
+    }
+
+    fn durability_lock(&self) -> std::sync::MutexGuard<'_, Option<WalSession>> {
+        self.inner
+            .durability
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Appends one record to the WAL session, if durability is on. An
+    /// append failure (injected write fault, full disk) poisons the
+    /// session rather than blocking the mutation: the in-memory state
+    /// moves on, the mutation is simply not acknowledged durable, and
+    /// [`DurabilityStats::poisoned`] reports the degradation.
+    fn log_mutation(&self, dur: &mut Option<WalSession>, rec: &WalRecord) {
+        if let Some(session) = dur.as_mut() {
+            let _ = session.append(rec);
+        }
+    }
+
+    /// Switches durability on: checkpoints the current store into `dir`
+    /// and opens a fresh log there. Subsequent statistics and
+    /// physical-design mutations are logged before they are applied.
+    /// Idempotent per directory — re-enabling replaces the session (the
+    /// old one flushes on drop via its final checkpoint already on disk).
+    pub fn enable_durability(&self, dir: &Path, policy: FlushPolicy) -> Result<(), SessionError> {
+        let mut dur = self.durability_lock();
+        let session = WalSession::create(dir, &self.store(), policy, None)?;
+        *dur = Some(session);
+        Ok(())
+    }
+
+    /// Switches durability off, flushing buffered records first. Returns
+    /// whether a session was active.
+    pub fn disable_durability(&self) -> bool {
+        let mut dur = self.durability_lock();
+        match dur.take() {
+            Some(mut session) => {
+                let _ = session.flush();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether a WAL session is active.
+    pub fn durability_enabled(&self) -> bool {
+        self.durability_lock().is_some()
+    }
+
+    /// Forces buffered WAL records to disk (`FlushPolicy::Batch`/`Manual`
+    /// sessions; a no-op under `EveryRecord`).
+    pub fn flush_wal(&self) -> Option<Result<(), String>> {
+        let mut dur = self.durability_lock();
+        dur.as_mut().map(|s| s.flush().map_err(|e| e.to_string()))
+    }
+
+    /// Compacts the log into a fresh checkpoint of the current store.
+    /// Mutators are blocked for the duration, so the checkpoint can never
+    /// miss a logged-but-unapplied record.
+    pub fn checkpoint_wal(&self) -> Option<Result<CheckpointStats, String>> {
+        let mut dur = self.durability_lock();
+        let store = self.store();
+        dur.as_mut()
+            .map(|s| s.checkpoint(&store).map_err(|e| e.to_string()))
+    }
+
+    /// A snapshot of the WAL session's counters, or `None` with
+    /// durability off.
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        let dur = self.durability_lock();
+        dur.as_ref().map(|s| {
+            let ws = s.wal_stats();
+            let ck = s.last_checkpoint();
+            DurabilityStats {
+                dir: s.dir().display().to_string(),
+                policy: format!("{:?}", s.policy()),
+                records: ws.records,
+                bytes: ws.bytes,
+                flushes: ws.flushes,
+                syncs: ws.syncs,
+                faults: ws.faults,
+                buffered_records: s.buffered_records() as u64,
+                next_seq: s.next_seq(),
+                checkpoint_records: ck.records,
+                checkpoint_bytes: ck.bytes,
+                compacted_records: s.compacted_records(),
+                poisoned: s.poisoned(),
+            }
+        })
     }
 
     /// Routes subsequent executions through a fault injector by swapping
@@ -2576,5 +2775,46 @@ mod tests {
             text.contains(&format!("oodb_retries_total {}", out.retries)),
             "{text}"
         );
+    }
+
+    #[test]
+    fn durable_mutations_recover_to_identical_query_results() {
+        let dir = oodb_wal::ScratchDir::new("svc-durable").unwrap();
+        let svc = small_service();
+        svc.enable_durability(dir.path(), FlushPolicy::EveryRecord)
+            .unwrap();
+        // A logged mutation: bumps the epoch and refines the catalog.
+        svc.refresh_statistics(24);
+        let live = svc.submit(Q_TIME).expect("live query");
+        let stats = svc.durability_stats().expect("durability on");
+        assert_eq!(stats.records, 1);
+        assert!(!stats.poisoned);
+        let text = svc.metrics_prometheus();
+        assert!(text.contains("oodb_wal_records_total 1"), "{text}");
+
+        let (back, report) = QueryService::recover(
+            dir.path(),
+            CostParams::default(),
+            OptimizerConfig::all_rules(),
+            64,
+            4,
+            FlushPolicy::EveryRecord,
+        )
+        .expect("recovery");
+        assert_eq!(report.replayed_records, 1);
+        assert!(report.stopped.is_none());
+        assert_eq!(
+            oodb_wal::store_digest(&svc.store()),
+            oodb_wal::store_digest(&back.store()),
+            "recovered store must match the live one bit for bit"
+        );
+        let replayed = back.submit(Q_TIME).expect("recovered query");
+        assert_eq!(live.rows, replayed.rows);
+        assert_eq!(live.stats_epoch, replayed.stats_epoch);
+        // The recovered service resumed logging: its session starts at
+        // the recovered sequence with an empty, freshly compacted log.
+        assert!(back.durability_enabled());
+        let rtext = back.metrics_prometheus();
+        assert!(rtext.contains("oodb_recovery_replayed_total 1"), "{rtext}");
     }
 }

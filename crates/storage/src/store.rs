@@ -19,7 +19,58 @@ use std::collections::HashMap;
 struct Region {
     first_page: PageId,
     objs_per_page: u32,
+    /// The per-object byte size the region was packed at, kept so a
+    /// durability checkpoint can replay the original `insert_objects`
+    /// call and land on identical page geometry.
+    obj_bytes: u32,
 }
+
+/// Typed errors for store reads that previously panicked. The executor's
+/// recovery-sensitive paths and WAL replay go through the `try_` accessors
+/// so a corrupt log record degrades to a query error, never a process
+/// abort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// An OID referenced an object the store does not hold (dangling
+    /// reference — out-of-range type or sequence).
+    UnknownOid(Oid),
+    /// The OID's type has no storage region (never populated).
+    NoRegion(TypeId),
+    /// The field is not part of the type's layout.
+    UnknownField {
+        /// The type whose layout was consulted.
+        ty: TypeId,
+        /// The field that is not on it.
+        field: FieldId,
+    },
+    /// A path link held a non-reference value (schema/data mismatch).
+    NotARef {
+        /// The object whose link field was read.
+        oid: Oid,
+        /// The link field.
+        field: FieldId,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::UnknownOid(oid) => write!(f, "dangling reference: {oid:?}"),
+            StoreError::NoRegion(ty) => write!(f, "type {ty:?} has no storage region"),
+            StoreError::UnknownField { ty, field } => {
+                write!(f, "field {field:?} not on type {ty:?}")
+            }
+            StoreError::NotARef { oid, field } => {
+                write!(
+                    f,
+                    "path link {field:?} on {oid:?} is not a single-valued reference"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
 
 /// The in-memory database: schema + catalog + objects + indexes.
 #[derive(Clone, Debug)]
@@ -171,9 +222,35 @@ impl Store {
         self.regions[ty.index()] = Some(Region {
             first_page: self.next_page,
             objs_per_page: per_page,
+            obj_bytes,
         });
         self.next_page += pages.max(1);
         self.objects[ty.index()] = objs;
+    }
+
+    /// Whether a type already owns a storage region (a second
+    /// [`Store::insert_objects`] for it would panic).
+    pub fn has_region(&self, ty: TypeId) -> bool {
+        ty.index() < self.regions.len() && self.regions[ty.index()].is_some()
+    }
+
+    /// The per-object byte size a type's region was packed at, when the
+    /// type is populated. Checkpoints record it so replaying the insert
+    /// reproduces identical page geometry.
+    pub fn region_obj_bytes(&self, ty: TypeId) -> Option<u32> {
+        self.regions.get(ty.index())?.map(|r| r.obj_bytes)
+    }
+
+    /// The first page of a type's region (checkpoints sort regions by it
+    /// so replayed inserts allocate pages in the original order).
+    pub fn region_first_page(&self, ty: TypeId) -> Option<PageId> {
+        self.regions.get(ty.index())?.map(|r| r.first_page)
+    }
+
+    /// All stored instances of a type, in OID order. Empty for
+    /// unpopulated types.
+    pub fn objects_of(&self, ty: TypeId) -> &[Object] {
+        &self.objects[ty.index()]
     }
 
     /// Sets a collection's membership (storage order).
@@ -187,9 +264,20 @@ impl Store {
     }
 
     /// Dereferences an OID. Panics on dangling references — the generator
-    /// never produces them, and the executor treats them as corruption.
+    /// never produces them; recovery-sensitive callers use
+    /// [`Store::try_object`] instead.
     pub fn object(&self, oid: Oid) -> &Object {
-        &self.objects[oid.type_id().index()][oid.seq() as usize]
+        self.try_object(oid)
+            .unwrap_or_else(|e| panic!("{e} (dangling reference)"))
+    }
+
+    /// Dereferences an OID, reporting dangling references as a typed
+    /// error instead of panicking.
+    pub fn try_object(&self, oid: Oid) -> Result<&Object, StoreError> {
+        self.objects
+            .get(oid.type_id().index())
+            .and_then(|objs| objs.get(oid.seq() as usize))
+            .ok_or(StoreError::UnknownOid(oid))
     }
 
     /// Number of stored instances of a type.
@@ -197,18 +285,39 @@ impl Store {
         self.objects[ty.index()].len()
     }
 
-    /// The page an object lives on.
+    /// The page an object lives on. Panics when the type was never
+    /// populated; recovery-sensitive callers use [`Store::try_page_of`].
     pub fn page_of(&self, oid: Oid) -> PageId {
-        let r = self.regions[oid.type_id().index()].expect("type has no storage region");
-        r.first_page + (oid.seq() / r.objs_per_page) as u64
+        self.try_page_of(oid)
+            .unwrap_or_else(|e| panic!("type has no storage region ({e})"))
+    }
+
+    /// The page an object lives on, reporting a missing region as a typed
+    /// error instead of panicking.
+    pub fn try_page_of(&self, oid: Oid) -> Result<PageId, StoreError> {
+        let ty = oid.type_id();
+        let r = self
+            .regions
+            .get(ty.index())
+            .copied()
+            .flatten()
+            .ok_or(StoreError::NoRegion(ty))?;
+        Ok(r.first_page + (oid.seq() / r.objs_per_page) as u64)
     }
 
     /// Slot index of `field` on objects of exact type `ty`.
     pub fn slot(&self, ty: TypeId, field: FieldId) -> usize {
-        *self
-            .slots
+        self.try_slot(ty, field)
+            .unwrap_or_else(|_| panic!("field not on type {}", self.schema.ty(ty).name))
+    }
+
+    /// Slot index of `field` on `ty`, reporting a layout mismatch as a
+    /// typed error instead of panicking.
+    pub fn try_slot(&self, ty: TypeId, field: FieldId) -> Result<usize, StoreError> {
+        self.slots
             .get(&(ty, field))
-            .unwrap_or_else(|| panic!("field not on type {}", self.schema.ty(ty).name))
+            .copied()
+            .ok_or(StoreError::UnknownField { ty, field })
     }
 
     /// Reads a field of an object (by the object's exact type layout).
@@ -217,40 +326,96 @@ impl Store {
         obj.slot(self.slot(oid.type_id(), field))
     }
 
+    /// Reads a field of an object, reporting dangling OIDs and layout
+    /// mismatches as typed errors instead of panicking. Recovery-sensitive
+    /// executor paths and WAL replay route through this.
+    pub fn try_read_field(&self, oid: Oid, field: FieldId) -> Result<&Value, StoreError> {
+        let obj = self.try_object(oid)?;
+        let slot = self.try_slot(oid.type_id(), field)?;
+        obj.slots.get(slot).ok_or(StoreError::UnknownField {
+            ty: oid.type_id(),
+            field,
+        })
+    }
+
     /// Follows a reference path from `oid` (all links single-valued) and
     /// reads the terminal attribute. Used to build path indexes and as the
-    /// semantic oracle in tests.
+    /// semantic oracle in tests. Panics on malformed data; recovery paths
+    /// use [`Store::try_eval_path`].
     pub fn eval_path(&self, oid: Oid, path: &[FieldId], key: FieldId) -> Value {
+        self.try_eval_path(oid, path, key)
+            .unwrap_or_else(|e| panic!("path link is not a single-valued reference: {e}"))
+    }
+
+    /// Follows a reference path, reporting dangling references and
+    /// non-reference links as typed errors — malformed recovered data
+    /// degrades to a query error, not a crash.
+    pub fn try_eval_path(
+        &self,
+        oid: Oid,
+        path: &[FieldId],
+        key: FieldId,
+    ) -> Result<Value, StoreError> {
         let mut cur = oid;
         for &link in path {
-            match self.read_field(cur, link) {
+            match self.try_read_field(cur, link)? {
                 Value::Ref(next) => cur = *next,
-                v => panic!("path link is not a single-valued reference: {v:?}"),
+                _ => {
+                    return Err(StoreError::NotARef {
+                        oid: cur,
+                        field: link,
+                    })
+                }
             }
         }
-        self.read_field(cur, key).clone()
+        Ok(self.try_read_field(cur, key)?.clone())
     }
 
     /// Builds every index declared in the catalog. Bumps the catalog's
     /// statistics epoch: the physical design just (re)materialized, so
     /// previously cached plans must re-optimize.
     pub fn build_indexes(&mut self) {
-        self.catalog.bump_stats_epoch();
-        self.indexes.clear();
-        // Collect first (immutable borrow), then assign page regions.
+        self.try_rebuild_indexes(true)
+            .unwrap_or_else(|e| panic!("index build over corrupt data: {e}"))
+    }
+
+    /// Index build with typed errors and a controllable epoch bump.
+    /// WAL replay uses `bump_epoch = false` when re-materializing a
+    /// checkpoint whose catalog already carries the final epoch, and the
+    /// typed error path means a corrupt log record surfaces as a recovery
+    /// error instead of aborting the process. All-or-nothing: on error the
+    /// store is unchanged.
+    pub fn try_rebuild_indexes(&mut self, bump_epoch: bool) -> Result<(), StoreError> {
+        // Evaluate every index's pairs *before* mutating anything so a
+        // dangling reference cannot leave a half-built index vector.
         let defs: Vec<_> = self.catalog.indexes().map(|(_, d)| d.clone()).collect();
-        for def in defs {
-            let members = self.members[def.collection.index()].clone();
-            let pairs: Vec<(Value, Oid)> = members
-                .iter()
-                .map(|&oid| (self.eval_path(oid, &def.path, def.key), oid))
-                .collect();
+        let mut built = Vec::with_capacity(defs.len());
+        for def in &defs {
+            let members = &self.members[def.collection.index()];
+            let mut pairs: Vec<(Value, Oid)> = Vec::with_capacity(members.len());
+            for &oid in members {
+                pairs.push((self.try_eval_path(oid, &def.path, def.key)?, oid));
+            }
+            built.push(pairs);
+        }
+        if bump_epoch {
+            self.catalog.bump_stats_epoch();
+        }
+        self.indexes.clear();
+        for pairs in built {
             // Reserve internal + leaf pages after everything else on disk.
             let leaf_first = self.next_page + 4;
             let leaves = (pairs.len() as u64).div_ceil(crate::index::INDEX_FANOUT);
             self.next_page = leaf_first + leaves.max(1);
             self.indexes.push(BuiltIndex::build(pairs, leaf_first));
         }
+        Ok(())
+    }
+
+    /// Whether [`Store::build_indexes`] has materialized the catalog's
+    /// indexes (checkpoints record this so recovery rebuilds them).
+    pub fn indexes_built(&self) -> bool {
+        !self.indexes.is_empty()
     }
 
     /// A built index by catalog id. Panics if [`Store::build_indexes`] has
@@ -277,6 +442,17 @@ impl Store {
         extra: &[(CollectionId, Vec<FieldId>, FieldId)],
         buckets: usize,
     ) -> Catalog {
+        self.try_collect_statistics(extra, buckets)
+            .unwrap_or_else(|e| panic!("statistics over corrupt data: {e}"))
+    }
+
+    /// Statistics collection with typed errors, for WAL replay: a corrupt
+    /// log record surfaces as a recovery error, never a process abort.
+    pub fn try_collect_statistics(
+        &self,
+        extra: &[(CollectionId, Vec<FieldId>, FieldId)],
+        buckets: usize,
+    ) -> Result<Catalog, StoreError> {
         let mut catalog = self.catalog.clone();
         let mut targets: Vec<(CollectionId, Vec<FieldId>, FieldId)> = self
             .catalog
@@ -287,17 +463,16 @@ impl Store {
         targets.sort();
         targets.dedup();
         for (coll, path, key) in targets {
-            let values: Vec<Value> = self
-                .members(coll)
-                .iter()
-                .map(|&oid| self.eval_path(oid, &path, key))
-                .collect();
+            let mut values: Vec<Value> = Vec::new();
+            for &oid in self.members(coll) {
+                values.push(self.try_eval_path(oid, &path, key)?);
+            }
             if let Some(h) = oodb_object::Histogram::build(values, buckets) {
                 catalog.set_histogram(coll, path, key, h);
             }
         }
         catalog.bump_stats_epoch();
-        catalog
+        Ok(catalog)
     }
 
     /// Pages covering members `[0, n)` of a collection — the dense-prefix

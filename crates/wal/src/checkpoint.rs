@@ -1,0 +1,163 @@
+//! Checkpoint snapshots: a compacted record log written atomically.
+//!
+//! A checkpoint is not a special page dump — it is the *same* framed
+//! record stream the WAL carries, reduced to the minimal sequence that
+//! rebuilds the store: one `Genesis` (schema + catalog at its exact
+//! statistics epoch), one `InsertObjects` per populated type in original
+//! page-allocation order, one `SetMembers` per non-empty collection, and
+//! a final `BuildIndexes { bump_epoch: false }` when the live store had
+//! materialized indexes. Replaying it through the ordinary apply path
+//! (see [`crate::durable::apply_record`]) reproduces page geometry and
+//! epoch exactly.
+//!
+//! File layout: `[magic "OODBCKP1"][base_seq: u64]` + frames (payload =
+//! record bytes, no per-record sequence — the file is atomic). `base_seq`
+//! is the WAL sequence the snapshot covers up to: the companion log's
+//! records below it are already folded in. Writes go to a `.tmp` sibling
+//! and rename into place, so a crash leaves either the old checkpoint or
+//! the new one, never a torn hybrid.
+
+use crate::frame::{read_frame, write_frame};
+use crate::record::WalRecord;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Checkpoint file magic (8 bytes).
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"OODBCKP1";
+
+/// What `write_checkpoint` produced.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Compacted records written.
+    pub records: u64,
+    /// Total file bytes (header + frames).
+    pub bytes: u64,
+}
+
+/// Why a checkpoint failed to load. Unlike WAL tails, a checkpoint has no
+/// benign torn state — it is written atomically, so any inconsistency is
+/// a hard error.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Missing magic or truncated header.
+    BadHeader,
+    /// A frame or record inside the file failed validation.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o: {e}"),
+            CheckpointError::BadHeader => write!(f, "not a checkpoint file (bad header)"),
+            CheckpointError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes `records` as a checkpoint covering WAL sequences below
+/// `base_seq`, atomically (tmp + rename + dir-independent sync).
+pub fn write_checkpoint(
+    path: &Path,
+    base_seq: u64,
+    records: &[WalRecord],
+) -> Result<CheckpointStats, CheckpointError> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(CHECKPOINT_MAGIC);
+    buf.extend_from_slice(&base_seq.to_le_bytes());
+    for rec in records {
+        write_frame(&mut buf, &rec.encode());
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(&buf)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(CheckpointStats {
+        records: records.len() as u64,
+        bytes: buf.len() as u64,
+    })
+}
+
+/// Loads a checkpoint: `(base_seq, records)`. Total — corrupt inputs are
+/// typed errors, never panics.
+pub fn load_checkpoint(path: &Path) -> Result<(u64, Vec<WalRecord>), CheckpointError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < 16 || &bytes[..8] != CHECKPOINT_MAGIC {
+        return Err(CheckpointError::BadHeader);
+    }
+    let base_seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let mut records = Vec::new();
+    let mut pos = 16;
+    loop {
+        match read_frame(&bytes, &mut pos) {
+            Ok(None) => break,
+            Ok(Some(payload)) => {
+                let rec = WalRecord::decode(payload)
+                    .map_err(|e| CheckpointError::Corrupt(format!("record: {e}")))?;
+                records.push(rec);
+            }
+            Err(e) => return Err(CheckpointError::Corrupt(format!("frame: {e}"))),
+        }
+    }
+    Ok((base_seq, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::ScratchDir;
+
+    #[test]
+    fn roundtrip_and_atomic_replace() {
+        let dir = ScratchDir::new("ckpt").unwrap();
+        let path = dir.path().join("checkpoint.oodb");
+        let recs = vec![
+            WalRecord::BuildIndexes { bump_epoch: false },
+            WalRecord::StatsRefresh { buckets: 64 },
+        ];
+        let stats = write_checkpoint(&path, 17, &recs).unwrap();
+        assert_eq!(stats.records, 2);
+        let (base, back) = load_checkpoint(&path).unwrap();
+        assert_eq!(base, 17);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].encode(), recs[0].encode());
+        // Overwrite with a new generation; the old one fully disappears.
+        write_checkpoint(&path, 99, &recs[..1]).unwrap();
+        let (base2, back2) = load_checkpoint(&path).unwrap();
+        assert_eq!((base2, back2.len()), (99, 1));
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error() {
+        let dir = ScratchDir::new("ckpt-corrupt").unwrap();
+        let path = dir.path().join("checkpoint.oodb");
+        write_checkpoint(&path, 0, &[WalRecord::StatsRefresh { buckets: 8 }]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_checkpoint(&path),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+}

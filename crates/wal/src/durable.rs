@@ -1,0 +1,648 @@
+//! Replay, checkpointing of live stores, and the durable session.
+//!
+//! The single most load-bearing function here is [`apply_record`]: the
+//! live write path appends a record and then applies it through this
+//! function; recovery replays the persisted records through the *same*
+//! function. Replayed state therefore matches applied state by
+//! construction — there is no second interpretation of a record to drift.
+//!
+//! Recovery semantics (redo-only): load the checkpoint if present, then
+//! replay the longest valid prefix of the WAL. A torn tail, a corrupt
+//! frame, a record that fails to decode, or a record that cannot apply
+//! all end the prefix — everything before it is kept, everything after
+//! is reported and discarded. Recovery never panics and never applies a
+//! record it cannot prove whole.
+
+use crate::checkpoint::{load_checkpoint, write_checkpoint, CheckpointError, CheckpointStats};
+use crate::frame::FrameError;
+use crate::log::{FlushPolicy, Wal, WalError, WalLogStats};
+use crate::record::WalRecord;
+use oodb_fault::WriteFaultInjector;
+use oodb_object::TypeId;
+use oodb_storage::{Store, StoreError};
+use std::path::{Path, PathBuf};
+
+/// WAL file name inside a durability directory.
+pub const WAL_FILE: &str = "wal.oodb";
+/// Checkpoint file name inside a durability directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.oodb";
+
+/// Why a record could not be applied to the store it arrived at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApplyError {
+    /// A non-`Genesis` record arrived before any `Genesis`.
+    MissingGenesis,
+    /// A `Genesis` arrived for an already-initialized store.
+    UnexpectedGenesis,
+    /// `InsertObjects` named a type outside the schema.
+    UnknownType(TypeId),
+    /// `InsertObjects` for a type that already owns a region.
+    TypeAlreadyPopulated(TypeId),
+    /// `InsertObjects` payload was not dense in OID order.
+    NotDense,
+    /// `SetMembers` named a collection outside the catalog.
+    UnknownCollection(u32),
+    /// `SetCatalog` changed the collection count (the store's membership
+    /// arrays are sized at birth; a reshaping catalog cannot replay).
+    CatalogShape {
+        /// Collections in the store's current catalog.
+        have: usize,
+        /// Collections in the arriving catalog.
+        got: usize,
+    },
+    /// The store rejected the mutation (dangling reference during index
+    /// rebuild or statistics collection over inconsistent data).
+    Store(StoreError),
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::MissingGenesis => write!(f, "record precedes genesis"),
+            ApplyError::UnexpectedGenesis => write!(f, "second genesis record"),
+            ApplyError::UnknownType(t) => write!(f, "insert for unknown type {t:?}"),
+            ApplyError::TypeAlreadyPopulated(t) => write!(f, "type {t:?} already populated"),
+            ApplyError::NotDense => write!(f, "insert payload not dense in oid order"),
+            ApplyError::UnknownCollection(c) => write!(f, "unknown collection index {c}"),
+            ApplyError::CatalogShape { have, got } => {
+                write!(f, "catalog reshapes collections ({have} -> {got})")
+            }
+            ApplyError::Store(e) => write!(f, "store rejected replay: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+impl From<StoreError> for ApplyError {
+    fn from(e: StoreError) -> Self {
+        ApplyError::Store(e)
+    }
+}
+
+/// Applies one record to an optional store slot (`None` until `Genesis`).
+/// Every precondition the underlying `Store` would assert is checked here
+/// first and surfaced as a typed error — corrupt or out-of-order records
+/// must not abort the process.
+pub fn apply_record(slot: &mut Option<Store>, rec: &WalRecord) -> Result<(), ApplyError> {
+    match rec {
+        WalRecord::Genesis { schema, catalog } => {
+            if slot.is_some() {
+                return Err(ApplyError::UnexpectedGenesis);
+            }
+            *slot = Some(Store::new(schema.clone(), catalog.clone()));
+            Ok(())
+        }
+        other => {
+            let store = slot.as_mut().ok_or(ApplyError::MissingGenesis)?;
+            apply_to(store, other)
+        }
+    }
+}
+
+/// Applies a non-`Genesis` record to a live store. The service's durable
+/// write path calls this after logging; replay calls it via
+/// [`apply_record`].
+pub fn apply_to(store: &mut Store, rec: &WalRecord) -> Result<(), ApplyError> {
+    match rec {
+        WalRecord::Genesis { .. } => Err(ApplyError::UnexpectedGenesis),
+        WalRecord::InsertObjects {
+            ty,
+            obj_bytes,
+            objects,
+        } => {
+            if ty.index() >= store.schema().type_count() {
+                return Err(ApplyError::UnknownType(*ty));
+            }
+            if store.has_region(*ty) {
+                return Err(ApplyError::TypeAlreadyPopulated(*ty));
+            }
+            for (i, o) in objects.iter().enumerate() {
+                if o.oid != oodb_object::Oid::new(*ty, i as u32) {
+                    return Err(ApplyError::NotDense);
+                }
+            }
+            store.insert_objects(*ty, objects.clone(), *obj_bytes);
+            Ok(())
+        }
+        WalRecord::SetMembers { coll, oids } => {
+            if coll.index() >= store.catalog().collections().count() {
+                return Err(ApplyError::UnknownCollection(coll.index() as u32));
+            }
+            store.set_members(*coll, oids.clone());
+            Ok(())
+        }
+        WalRecord::SetCatalog { catalog } => {
+            let have = store.catalog().collections().count();
+            let got = catalog.collections().count();
+            if have != got {
+                return Err(ApplyError::CatalogShape { have, got });
+            }
+            store.set_catalog(catalog.clone());
+            Ok(())
+        }
+        WalRecord::BuildIndexes { bump_epoch } => {
+            store.try_rebuild_indexes(*bump_epoch)?;
+            Ok(())
+        }
+        WalRecord::StatsRefresh { buckets } => {
+            let cat = store.try_collect_statistics(&[], *buckets as usize)?;
+            store.set_catalog(cat);
+            store.try_rebuild_indexes(true)?;
+            Ok(())
+        }
+    }
+}
+
+/// The compacted record stream that rebuilds `store` exactly: genesis at
+/// the current catalog (and epoch), per-type inserts in original
+/// page-allocation order, memberships, and an epoch-preserving index
+/// materialization.
+pub fn checkpoint_records(store: &Store) -> Vec<WalRecord> {
+    let mut recs = vec![WalRecord::Genesis {
+        schema: store.schema().clone(),
+        catalog: store.catalog().clone(),
+    }];
+    let mut populated: Vec<TypeId> = store
+        .schema()
+        .types()
+        .map(|(id, _)| id)
+        .filter(|&t| store.has_region(t))
+        .collect();
+    populated.sort_by_key(|&t| store.region_first_page(t).expect("has_region"));
+    for ty in populated {
+        recs.push(WalRecord::InsertObjects {
+            ty,
+            obj_bytes: store.region_obj_bytes(ty).expect("has_region"),
+            objects: store.objects_of(ty).to_vec(),
+        });
+    }
+    for (coll, _) in store.catalog().collections() {
+        let members = store.members(coll);
+        if !members.is_empty() {
+            recs.push(WalRecord::SetMembers {
+                coll,
+                oids: members.to_vec(),
+            });
+        }
+    }
+    if store.indexes_built() {
+        recs.push(WalRecord::BuildIndexes { bump_epoch: false });
+    }
+    recs
+}
+
+/// A content fingerprint of the store's logical state: objects, members,
+/// catalog epoch, and whether indexes are materialized. Page numbers and
+/// buffer-pool state are deliberately excluded — two stores with equal
+/// digests answer every query identically.
+pub fn store_digest(store: &Store) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    let mut scratch = Vec::new();
+    for (ty, _) in store.schema().types() {
+        eat(&(store.population(ty) as u64).to_le_bytes());
+        for obj in store.objects_of(ty) {
+            scratch.clear();
+            oodb_storage::codec::encode_object(obj, &mut scratch);
+            eat(&scratch);
+        }
+    }
+    for (coll, _) in store.catalog().collections() {
+        eat(&(store.members(coll).len() as u64).to_le_bytes());
+        for o in store.members(coll) {
+            eat(&o.as_u64().to_le_bytes());
+        }
+    }
+    eat(&store.catalog().stats_epoch().to_le_bytes());
+    eat(&store.catalog().index_set_hash().to_le_bytes());
+    eat(&[store.indexes_built() as u8]);
+    h
+}
+
+/// Errors establishing or operating a durable session (distinct from
+/// recovery, which degrades instead of failing where it can).
+#[derive(Debug)]
+pub enum SessionError {
+    /// Checkpoint write/load failed.
+    Checkpoint(CheckpointError),
+    /// Log append/flush/create failed.
+    Wal(WalError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Checkpoint(e) => write!(f, "{e}"),
+            SessionError::Wal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<CheckpointError> for SessionError {
+    fn from(e: CheckpointError) -> Self {
+        SessionError::Checkpoint(e)
+    }
+}
+
+impl From<WalError> for SessionError {
+    fn from(e: WalError) -> Self {
+        SessionError::Wal(e)
+    }
+}
+
+/// An active durability session: a checkpoint on disk plus an appendable
+/// log. Owned by whoever mutates the store (the query service); queries
+/// never touch it.
+#[derive(Debug)]
+pub struct WalSession {
+    dir: PathBuf,
+    wal: Wal,
+    policy: FlushPolicy,
+    injector: Option<WriteFaultInjector>,
+    /// Stats of the most recent checkpoint written by this session.
+    last_checkpoint: CheckpointStats,
+    /// Log records folded into checkpoints over this session's lifetime
+    /// (compaction effectiveness).
+    compacted_records: u64,
+}
+
+impl WalSession {
+    /// Starts durability for `store` in `dir`: writes a full checkpoint
+    /// and opens a fresh log at its base sequence.
+    pub fn create(
+        dir: &Path,
+        store: &Store,
+        policy: FlushPolicy,
+        injector: Option<WriteFaultInjector>,
+    ) -> Result<WalSession, SessionError> {
+        std::fs::create_dir_all(dir).map_err(WalError::Io)?;
+        let recs = checkpoint_records(store);
+        let last_checkpoint = write_checkpoint(&dir.join(CHECKPOINT_FILE), 0, &recs)?;
+        let wal = Wal::create(&dir.join(WAL_FILE), 0, policy, injector.clone())?;
+        Ok(WalSession {
+            dir: dir.to_path_buf(),
+            wal,
+            policy,
+            injector,
+            last_checkpoint,
+            compacted_records: 0,
+        })
+    }
+
+    /// Resumes a durability session over an existing directory (after
+    /// [`recover`]), truncating any torn log tail. Returns the session
+    /// and the number of tail bytes discarded.
+    pub fn resume(
+        dir: &Path,
+        policy: FlushPolicy,
+        injector: Option<WriteFaultInjector>,
+    ) -> Result<(WalSession, u64), SessionError> {
+        let (wal, scan) = Wal::open_append(&dir.join(WAL_FILE), policy, injector.clone())?;
+        Ok((
+            WalSession {
+                dir: dir.to_path_buf(),
+                wal,
+                policy,
+                injector,
+                last_checkpoint: CheckpointStats::default(),
+                compacted_records: 0,
+            },
+            scan.torn_bytes,
+        ))
+    }
+
+    /// The session directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The flush policy appends are acknowledged under.
+    pub fn policy(&self) -> FlushPolicy {
+        self.policy
+    }
+
+    /// Appends one record; returns its sequence number. The caller
+    /// applies the record to its store only after this returns `Ok` —
+    /// log-then-apply.
+    pub fn append(&mut self, rec: &WalRecord) -> Result<u64, WalError> {
+        self.wal.append(&rec.encode())
+    }
+
+    /// Forces buffered records to disk (used by `FlushPolicy::Manual`
+    /// and at clean shutdown).
+    pub fn flush(&mut self) -> Result<(), WalError> {
+        self.wal.flush()
+    }
+
+    /// Compacts: writes a fresh checkpoint of `store` and truncates the
+    /// log to empty at the new base sequence. `store` must reflect every
+    /// acknowledged record (it does, under log-then-apply).
+    pub fn checkpoint(&mut self, store: &Store) -> Result<CheckpointStats, SessionError> {
+        self.wal.flush()?;
+        let base = self.wal.next_seq();
+        let folded = self.wal.stats().records;
+        let recs = checkpoint_records(store);
+        let stats = write_checkpoint(&self.dir.join(CHECKPOINT_FILE), base, &recs)?;
+        // A crash between the rename above and the create below is safe:
+        // recovery skips log records below the checkpoint's base.
+        self.wal = Wal::create(
+            &self.dir.join(WAL_FILE),
+            base,
+            self.policy,
+            self.injector.clone(),
+        )?;
+        self.last_checkpoint = stats;
+        self.compacted_records += folded;
+        Ok(stats)
+    }
+
+    /// Log counters.
+    pub fn wal_stats(&self) -> WalLogStats {
+        self.wal.stats()
+    }
+
+    /// Stats of the most recent checkpoint this session wrote.
+    pub fn last_checkpoint(&self) -> CheckpointStats {
+        self.last_checkpoint
+    }
+
+    /// Records folded into checkpoints over this session's lifetime.
+    pub fn compacted_records(&self) -> u64 {
+        self.compacted_records
+    }
+
+    /// Records appended but not yet flushed.
+    pub fn buffered_records(&self) -> usize {
+        self.wal.buffered_records()
+    }
+
+    /// The next sequence number the log will assign.
+    pub fn next_seq(&self) -> u64 {
+        self.wal.next_seq()
+    }
+
+    /// Whether an injected write fault poisoned the log handle.
+    pub fn poisoned(&self) -> bool {
+        self.wal.poisoned()
+    }
+}
+
+/// What recovery found and did.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Records replayed from the checkpoint.
+    pub checkpoint_records: u64,
+    /// Log records replayed after the checkpoint.
+    pub replayed_records: u64,
+    /// Log records skipped because the checkpoint already covered them
+    /// (crash between checkpoint rename and log reset).
+    pub skipped_records: u64,
+    /// Torn/corrupt tail bytes discarded from the log.
+    pub torn_tail_bytes: u64,
+    /// The sequence number the next appended record should carry.
+    pub next_seq: u64,
+    /// Why replay stopped before the log's clean end, if it did
+    /// (frame corruption, record decode failure, or apply failure).
+    pub stopped: Option<String>,
+}
+
+/// Recovery failures. Only states that cannot yield *any* consistent
+/// store error out; torn tails and trailing garbage degrade into the
+/// [`RecoveryReport`] instead.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// Filesystem error reading the directory.
+    Io(std::io::Error),
+    /// The checkpoint file exists but is corrupt (it is written
+    /// atomically, so this indicates external damage, not a crash).
+    Checkpoint(CheckpointError),
+    /// The log's base sequence is ahead of the checkpoint's — the pair
+    /// cannot be from the same history.
+    Generations {
+        /// Checkpoint base sequence.
+        checkpoint: u64,
+        /// Log base sequence.
+        wal: u64,
+    },
+    /// Neither a checkpoint nor a log `Genesis` was found; there is no
+    /// state to recover.
+    NoState,
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "recovery i/o: {e}"),
+            RecoverError::Checkpoint(e) => write!(f, "{e}"),
+            RecoverError::Generations { checkpoint, wal } => write!(
+                f,
+                "log generation mismatch: checkpoint base {checkpoint}, wal base {wal}"
+            ),
+            RecoverError::NoState => write!(f, "no durable state in directory"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// Rebuilds a store from a durability directory: checkpoint first, then
+/// the longest valid prefix of the log. See the module docs for the
+/// exact degradation rules.
+pub fn recover(dir: &Path) -> Result<(Store, RecoveryReport), RecoverError> {
+    let mut report = RecoveryReport::default();
+    let mut slot: Option<Store> = None;
+    let ckpt_path = dir.join(CHECKPOINT_FILE);
+    let mut base = 0u64;
+    if ckpt_path.exists() {
+        let (ckpt_base, records) = load_checkpoint(&ckpt_path).map_err(RecoverError::Checkpoint)?;
+        for rec in &records {
+            apply_record(&mut slot, rec)
+                .map_err(|e| RecoverError::Checkpoint(CheckpointError::Corrupt(e.to_string())))?;
+        }
+        report.checkpoint_records = records.len() as u64;
+        base = ckpt_base;
+    }
+    report.next_seq = base;
+    let wal_path = dir.join(WAL_FILE);
+    if wal_path.exists() {
+        let scan = Wal::scan(&wal_path).map_err(|e| match e {
+            WalError::Io(io) => RecoverError::Io(io),
+            // Bad magic on the log: treat the whole file as a torn tail
+            // of zero valid records — the checkpoint still stands.
+            _ => RecoverError::Io(std::io::Error::other("unreadable wal")),
+        });
+        let scan = match scan {
+            Ok(s) => s,
+            Err(e) => {
+                if ckpt_path.exists() {
+                    report.stopped = Some(format!("wal unreadable: {e}"));
+                    let store = slot.ok_or(RecoverError::NoState)?;
+                    return Ok((store, report));
+                }
+                return Err(e);
+            }
+        };
+        if scan.base_seq > base {
+            return Err(RecoverError::Generations {
+                checkpoint: base,
+                wal: scan.base_seq,
+            });
+        }
+        report.torn_tail_bytes = scan.torn_bytes;
+        match scan.stop {
+            // A truncated final frame is the expected crash signature —
+            // accounted by `torn_tail_bytes`, not reported as corruption.
+            None | Some(FrameError::Truncated) => {}
+            Some(stop) => report.stopped = Some(format!("frame: {stop}")),
+        }
+        for (seq, rec_bytes) in &scan.records {
+            if *seq < base {
+                report.skipped_records += 1;
+                continue;
+            }
+            let rec = match WalRecord::decode(rec_bytes) {
+                Ok(r) => r,
+                Err(e) => {
+                    report.stopped = Some(format!("decode (seq {seq}): {e}"));
+                    break;
+                }
+            };
+            if let Err(e) = apply_record(&mut slot, &rec) {
+                report.stopped = Some(format!("apply (seq {seq}, {}): {e}", rec.kind()));
+                break;
+            }
+            report.replayed_records += 1;
+            report.next_seq = seq + 1;
+        }
+    }
+    let store = slot.ok_or(RecoverError::NoState)?;
+    Ok((store, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::ScratchDir;
+    use oodb_storage::{generate_paper_db, GenConfig};
+
+    fn small_store() -> Store {
+        let (mut store, _) = generate_paper_db(GenConfig {
+            scale_div: 200,
+            ..GenConfig::small()
+        });
+        store.build_indexes();
+        store
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_digest_exact() {
+        let store = small_store();
+        let recs = checkpoint_records(&store);
+        let mut slot = None;
+        for r in &recs {
+            apply_record(&mut slot, r).unwrap();
+        }
+        let rebuilt = slot.unwrap();
+        assert_eq!(store_digest(&store), store_digest(&rebuilt));
+        assert_eq!(
+            store.catalog().stats_epoch(),
+            rebuilt.catalog().stats_epoch(),
+            "epoch must replay exactly"
+        );
+        // Index pages may sit at different page numbers (the original
+        // store can have rebuilt indexes more than once), but every data
+        // region must land exactly where it was.
+        for (ty, _) in store.schema().types() {
+            assert_eq!(store.region_first_page(ty), rebuilt.region_first_page(ty));
+        }
+        assert_eq!(store.indexes_built(), rebuilt.indexes_built());
+    }
+
+    #[test]
+    fn session_logs_and_recovers_mutations() {
+        let dir = ScratchDir::new("session").unwrap();
+        let mut store = small_store();
+        let mut session =
+            WalSession::create(dir.path(), &store, FlushPolicy::EveryRecord, None).unwrap();
+        // Log-then-apply a statistics refresh.
+        let rec = WalRecord::StatsRefresh { buckets: 16 };
+        session.append(&rec).unwrap();
+        apply_to(&mut store, &rec).unwrap();
+
+        let (recovered, report) = recover(dir.path()).unwrap();
+        assert_eq!(report.replayed_records, 1);
+        assert!(report.stopped.is_none());
+        assert_eq!(store_digest(&store), store_digest(&recovered));
+    }
+
+    #[test]
+    fn compaction_folds_log_into_checkpoint() {
+        let dir = ScratchDir::new("compact").unwrap();
+        let mut store = small_store();
+        let mut session =
+            WalSession::create(dir.path(), &store, FlushPolicy::EveryRecord, None).unwrap();
+        for buckets in [8u32, 16, 32] {
+            let rec = WalRecord::StatsRefresh { buckets };
+            session.append(&rec).unwrap();
+            apply_to(&mut store, &rec).unwrap();
+        }
+        session.checkpoint(&store).unwrap();
+        assert_eq!(session.compacted_records(), 3);
+        let (recovered, report) = recover(dir.path()).unwrap();
+        assert_eq!(report.replayed_records, 0, "log was compacted away");
+        assert_eq!(report.next_seq, 3);
+        assert_eq!(store_digest(&store), store_digest(&recovered));
+    }
+
+    #[test]
+    fn apply_precondition_violations_are_typed() {
+        let store = small_store();
+        let recs = checkpoint_records(&store);
+        let mut slot = None;
+        // Non-genesis first.
+        assert_eq!(
+            apply_record(&mut slot, &WalRecord::BuildIndexes { bump_epoch: true }).unwrap_err(),
+            ApplyError::MissingGenesis
+        );
+        apply_record(&mut slot, &recs[0]).unwrap();
+        // Second genesis.
+        assert_eq!(
+            apply_record(&mut slot, &recs[0]).unwrap_err(),
+            ApplyError::UnexpectedGenesis
+        );
+        // Double insert is an error, not a panic.
+        apply_record(&mut slot, &recs[1]).unwrap();
+        assert!(matches!(
+            apply_record(&mut slot, &recs[1]).unwrap_err(),
+            ApplyError::TypeAlreadyPopulated(_)
+        ));
+    }
+
+    #[test]
+    fn recovery_skips_pre_checkpoint_records() {
+        // Simulate a crash between checkpoint rename and log reset: the
+        // old log still holds records the new checkpoint already covers.
+        let dir = ScratchDir::new("ckpt-race").unwrap();
+        let mut store = small_store();
+        let mut session =
+            WalSession::create(dir.path(), &store, FlushPolicy::EveryRecord, None).unwrap();
+        let rec = WalRecord::StatsRefresh { buckets: 16 };
+        session.append(&rec).unwrap();
+        apply_to(&mut store, &rec).unwrap();
+        // Write the new checkpoint directly, leaving the old log behind.
+        let recs = checkpoint_records(&store);
+        write_checkpoint(&dir.path().join(CHECKPOINT_FILE), session.next_seq(), &recs).unwrap();
+        let (recovered, report) = recover(dir.path()).unwrap();
+        assert_eq!(report.skipped_records, 1);
+        assert_eq!(report.replayed_records, 0);
+        assert_eq!(store_digest(&store), store_digest(&recovered));
+    }
+}

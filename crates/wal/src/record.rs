@@ -1,0 +1,748 @@
+//! Typed log records and their binary codec.
+//!
+//! One [`WalRecord`] per store mutation. The codec is *canonical*: map-
+//! backed catalog state (ref domains, fan-outs, histograms) serializes in
+//! sorted key order, so `encode(decode(bytes)) == bytes` for every valid
+//! encoding — the property the proptest suite round-trips on (neither
+//! [`oodb_object::Schema`] nor [`oodb_object::Catalog`] implements
+//! `PartialEq`, so re-encoding *is* the equality check).
+//!
+//! Object payloads reuse the storage crate's page codec: an
+//! `InsertObjects` record carries the collection packed through
+//! [`oodb_storage::pack_collection`] as raw 4 KB page images, restored on
+//! decode via [`Page::from_bytes`] + [`oodb_storage::unpack_pages`] — the
+//! exact bytes a paged store would persist.
+//!
+//! Decoding is total and allocation-bounded: every length is checked
+//! against the remaining input before use, unknown tags and inconsistent
+//! structures (duplicate names, dangling ids, malformed histograms) are
+//! typed errors, and nothing panics on arbitrary input.
+
+use oodb_object::{
+    AttrType, Catalog, CollectionDef, CollectionId, CollectionKind, FieldId, FieldKind, Histogram,
+    IndexDef, Object, Oid, Schema, TypeId, Value,
+};
+use oodb_storage::codec::{decode_value, encode_value};
+use oodb_storage::{pack_collection, unpack_pages, CodecError, Page, PAGE_BYTES};
+
+/// Why a record failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the structure was complete.
+    UnexpectedEof,
+    /// Unknown record or enum tag.
+    BadTag(u8),
+    /// A length prefix exceeds the remaining input (corrupt, possibly
+    /// adversarial — rejected before allocating).
+    BadLength,
+    /// A string payload was not UTF-8.
+    BadUtf8,
+    /// An id referenced a type/collection/field that the same record's
+    /// context does not define.
+    DanglingId,
+    /// A schema or catalog carried duplicate names (would panic the
+    /// builders if replayed).
+    Duplicate,
+    /// Histogram parts violate `Histogram::from_parts` invariants.
+    BadHistogram,
+    /// Trailing bytes after a complete record.
+    TrailingBytes,
+    /// The embedded object-page codec rejected a page.
+    Page(CodecError),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "record truncated"),
+            DecodeError::BadTag(t) => write!(f, "unknown tag {t:#x}"),
+            DecodeError::BadLength => write!(f, "length prefix exceeds input"),
+            DecodeError::BadUtf8 => write!(f, "invalid utf-8 in name"),
+            DecodeError::DanglingId => write!(f, "id references an undefined entity"),
+            DecodeError::Duplicate => write!(f, "duplicate name in schema/catalog"),
+            DecodeError::BadHistogram => write!(f, "histogram parts violate invariants"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after record"),
+            DecodeError::Page(e) => write!(f, "object page codec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<CodecError> for DecodeError {
+    fn from(e: CodecError) -> Self {
+        DecodeError::Page(e)
+    }
+}
+
+/// One logged store mutation. The live write path appends these *before*
+/// applying them; recovery replays the same records through the same
+/// apply function (`crate::durable::apply_record`), so replayed state
+/// matches applied state by construction.
+#[derive(Clone, Debug)]
+pub enum WalRecord {
+    /// Database birth (or checkpoint base): schema + catalog, including
+    /// the catalog's exact statistics epoch.
+    Genesis {
+        /// The schema (types and fields, reconstructed id-exact).
+        schema: Schema,
+        /// The catalog, carrying collections, indexes, statistics, and
+        /// the statistics epoch at logging time.
+        catalog: Catalog,
+    },
+    /// Bulk population of one type's page region
+    /// ([`oodb_storage::Store::insert_objects`]).
+    InsertObjects {
+        /// The populated type.
+        ty: TypeId,
+        /// Per-object byte size the region is packed at (page-geometry
+        /// fidelity on replay).
+        obj_bytes: u32,
+        /// The instances, dense in OID order.
+        objects: Vec<Object>,
+    },
+    /// Collection membership assignment
+    /// ([`oodb_storage::Store::set_members`]).
+    SetMembers {
+        /// The collection.
+        coll: CollectionId,
+        /// Members in storage order.
+        oids: Vec<Oid>,
+    },
+    /// Catalog replacement ([`oodb_storage::Store::set_catalog`] — index
+    /// availability sweeps).
+    SetCatalog {
+        /// The replacement catalog.
+        catalog: Catalog,
+    },
+    /// Index (re)materialization
+    /// ([`oodb_storage::Store::try_rebuild_indexes`]). Checkpoints log it
+    /// with `bump_epoch = false` so replay lands on the checkpointed
+    /// epoch exactly; live rebuilds log `true`.
+    BuildIndexes {
+        /// Whether the statistics epoch advances.
+        bump_epoch: bool,
+    },
+    /// Statistics refresh (histogram collection + catalog swap + index
+    /// rebuild, the `QueryService::refresh_statistics` composite).
+    StatsRefresh {
+        /// Equi-depth bucket count.
+        buckets: u32,
+    },
+}
+
+const TAG_GENESIS: u8 = 0x01;
+const TAG_INSERT_OBJECTS: u8 = 0x02;
+const TAG_SET_MEMBERS: u8 = 0x03;
+const TAG_SET_CATALOG: u8 = 0x04;
+const TAG_BUILD_INDEXES: u8 = 0x05;
+const TAG_STATS_REFRESH: u8 = 0x06;
+
+// ---- primitive readers ----------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::UnexpectedEof)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// A count prefix that the remaining input must be able to satisfy at
+    /// `min_item_bytes` each — rejects corrupt lengths before `Vec`
+    /// allocation can amplify them.
+    fn count(&mut self, min_item_bytes: usize) -> Result<usize, DecodeError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_item_bytes.max(1)) > self.buf.len() - self.pos {
+            return Err(DecodeError::BadLength);
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() - self.pos {
+            return Err(DecodeError::BadLength);
+        }
+        let bytes = self.take(n)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_string)
+            .map_err(|_| DecodeError::BadUtf8)
+    }
+
+    fn value(&mut self) -> Result<Value, DecodeError> {
+        decode_value(self.buf, &mut self.pos).map_err(|e| match e {
+            CodecError::UnexpectedEof => DecodeError::UnexpectedEof,
+            CodecError::BadTag(t) => DecodeError::BadTag(t),
+            CodecError::BadUtf8 => DecodeError::BadUtf8,
+            other => DecodeError::Page(other),
+        })
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes)
+        }
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---- schema codec ---------------------------------------------------------
+
+fn encode_schema(schema: &Schema, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(schema.type_count() as u32).to_le_bytes());
+    for (_, t) in schema.types() {
+        put_str(out, &t.name);
+        match t.supertype {
+            None => out.push(0),
+            Some(s) => {
+                out.push(1);
+                out.extend_from_slice(&(s.index() as u32).to_le_bytes());
+            }
+        }
+    }
+    out.extend_from_slice(&(schema.field_count() as u32).to_le_bytes());
+    for i in 0..schema.field_count() {
+        let f = schema.field(FieldId::from_index(i));
+        out.extend_from_slice(&(f.owner.index() as u32).to_le_bytes());
+        put_str(out, &f.name);
+        match f.kind {
+            FieldKind::Attr(a) => {
+                out.push(0);
+                out.push(match a {
+                    AttrType::Int => 0,
+                    AttrType::Float => 1,
+                    AttrType::Str => 2,
+                    AttrType::Bool => 3,
+                    AttrType::Date => 4,
+                });
+            }
+            FieldKind::Ref(t) => {
+                out.push(1);
+                out.extend_from_slice(&(t.index() as u32).to_le_bytes());
+            }
+            FieldKind::RefSet(t) => {
+                out.push(2);
+                out.extend_from_slice(&(t.index() as u32).to_le_bytes());
+            }
+        }
+    }
+}
+
+fn decode_schema(r: &mut Reader<'_>) -> Result<Schema, DecodeError> {
+    let n_types = r.count(5)?;
+    let mut types: Vec<(String, Option<TypeId>)> = Vec::with_capacity(n_types);
+    for _ in 0..n_types {
+        let name = r.str()?;
+        let supertype = match r.u8()? {
+            0 => None,
+            1 => {
+                let raw = r.u32()? as usize;
+                if raw >= n_types {
+                    return Err(DecodeError::DanglingId);
+                }
+                Some(TypeId::from_index(raw))
+            }
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        if types.iter().any(|(n, _)| n == &name) {
+            return Err(DecodeError::Duplicate);
+        }
+        types.push((name, supertype));
+    }
+    let n_fields = r.count(10)?;
+    let mut fields: Vec<(TypeId, String, FieldKind)> = Vec::with_capacity(n_fields);
+    for _ in 0..n_fields {
+        let owner_raw = r.u32()? as usize;
+        if owner_raw >= n_types {
+            return Err(DecodeError::DanglingId);
+        }
+        let owner = TypeId::from_index(owner_raw);
+        let name = r.str()?;
+        let kind = match r.u8()? {
+            0 => FieldKind::Attr(match r.u8()? {
+                0 => AttrType::Int,
+                1 => AttrType::Float,
+                2 => AttrType::Str,
+                3 => AttrType::Bool,
+                4 => AttrType::Date,
+                t => return Err(DecodeError::BadTag(t)),
+            }),
+            tag @ (1 | 2) => {
+                let raw = r.u32()? as usize;
+                if raw >= n_types {
+                    return Err(DecodeError::DanglingId);
+                }
+                let t = TypeId::from_index(raw);
+                if tag == 1 {
+                    FieldKind::Ref(t)
+                } else {
+                    FieldKind::RefSet(t)
+                }
+            }
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        if fields.iter().any(|(o, n, _)| *o == owner && n == &name) {
+            return Err(DecodeError::Duplicate);
+        }
+        fields.push((owner, name, kind));
+    }
+    // Replay through the builder in declaration order: ids come out dense
+    // and identical to the encoded schema's (the `field_count` invariant).
+    let mut b = Schema::builder();
+    for (name, supertype) in &types {
+        b.add_type(name, *supertype);
+    }
+    for (owner, name, kind) in &fields {
+        b.add_field(*owner, name, *kind);
+    }
+    Ok(b.build())
+}
+
+// ---- catalog codec --------------------------------------------------------
+
+fn encode_catalog(catalog: &Catalog, out: &mut Vec<u8>) {
+    out.extend_from_slice(&catalog.stats_epoch().to_le_bytes());
+
+    let colls: Vec<_> = catalog.collections().collect();
+    out.extend_from_slice(&(colls.len() as u32).to_le_bytes());
+    for (_, c) in &colls {
+        put_str(out, &c.name);
+        out.extend_from_slice(&(c.elem_type.index() as u32).to_le_bytes());
+        out.push(match c.kind {
+            CollectionKind::UserSet => 0,
+            CollectionKind::Extent => 1,
+        });
+        out.extend_from_slice(&c.cardinality.to_le_bytes());
+        out.extend_from_slice(&c.obj_bytes.to_le_bytes());
+    }
+
+    let idxs: Vec<_> = catalog.indexes().collect();
+    out.extend_from_slice(&(idxs.len() as u32).to_le_bytes());
+    for (_, d) in &idxs {
+        put_str(out, &d.name);
+        out.extend_from_slice(&(d.collection.index() as u32).to_le_bytes());
+        out.extend_from_slice(&(d.path.len() as u32).to_le_bytes());
+        for f in &d.path {
+            out.extend_from_slice(&(f.index() as u32).to_le_bytes());
+        }
+        out.extend_from_slice(&(d.key.index() as u32).to_le_bytes());
+        out.extend_from_slice(&d.distinct_keys.to_le_bytes());
+        out.push(d.clustered as u8);
+    }
+
+    // Map-backed state in sorted key order (canonical form).
+    let mut domains: Vec<_> = catalog.ref_domains().collect();
+    domains.sort();
+    out.extend_from_slice(&(domains.len() as u32).to_le_bytes());
+    for (f, c) in domains {
+        out.extend_from_slice(&(f.index() as u32).to_le_bytes());
+        out.extend_from_slice(&(c.index() as u32).to_le_bytes());
+    }
+
+    let mut fanouts: Vec<_> = catalog.fanouts().collect();
+    fanouts.sort_by_key(|(f, _)| *f);
+    out.extend_from_slice(&(fanouts.len() as u32).to_le_bytes());
+    for (f, v) in fanouts {
+        out.extend_from_slice(&(f.index() as u32).to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    let mut hists: Vec<_> = catalog.histograms().collect();
+    hists.sort_by_key(|((c, p, k), _)| (*c, p.to_vec(), *k));
+    out.extend_from_slice(&(hists.len() as u32).to_le_bytes());
+    for ((c, p, k), h) in hists {
+        out.extend_from_slice(&(c.index() as u32).to_le_bytes());
+        out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        for f in p {
+            out.extend_from_slice(&(f.index() as u32).to_le_bytes());
+        }
+        out.extend_from_slice(&(k.index() as u32).to_le_bytes());
+        out.extend_from_slice(&(h.bounds().len() as u32).to_le_bytes());
+        for v in h.bounds() {
+            encode_value(v, out);
+        }
+        out.extend_from_slice(&h.total().to_le_bytes());
+        out.extend_from_slice(&h.distinct().to_le_bytes());
+    }
+}
+
+fn decode_catalog(r: &mut Reader<'_>) -> Result<Catalog, DecodeError> {
+    let epoch = r.u64()?;
+    let mut catalog = Catalog::new();
+
+    let n_colls = r.count(18)?;
+    let mut extent_types = Vec::new();
+    let mut coll_names = Vec::with_capacity(n_colls);
+    for _ in 0..n_colls {
+        let name = r.str()?;
+        let elem_type = TypeId::from_index(r.u32()? as usize);
+        let kind = match r.u8()? {
+            0 => CollectionKind::UserSet,
+            1 => CollectionKind::Extent,
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        let cardinality = r.u64()?;
+        let obj_bytes = r.u32()?;
+        if coll_names.contains(&name) {
+            return Err(DecodeError::Duplicate);
+        }
+        if kind == CollectionKind::Extent {
+            if extent_types.contains(&elem_type) {
+                return Err(DecodeError::Duplicate);
+            }
+            extent_types.push(elem_type);
+        }
+        coll_names.push(name.clone());
+        catalog.add_collection(CollectionDef {
+            name,
+            elem_type,
+            kind,
+            cardinality,
+            obj_bytes,
+        });
+    }
+
+    let n_idxs = r.count(22)?;
+    let mut idx_names = Vec::with_capacity(n_idxs);
+    for _ in 0..n_idxs {
+        let name = r.str()?;
+        let coll_raw = r.u32()? as usize;
+        if coll_raw >= n_colls {
+            return Err(DecodeError::DanglingId);
+        }
+        let path_len = r.count(4)?;
+        let mut path = Vec::with_capacity(path_len);
+        for _ in 0..path_len {
+            path.push(FieldId::from_index(r.u32()? as usize));
+        }
+        let key = FieldId::from_index(r.u32()? as usize);
+        let distinct_keys = r.u64()?;
+        let clustered = match r.u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        if idx_names.contains(&name) {
+            return Err(DecodeError::Duplicate);
+        }
+        idx_names.push(name.clone());
+        catalog.add_index(IndexDef {
+            name,
+            collection: CollectionId::from_index(coll_raw),
+            path,
+            key,
+            distinct_keys,
+            clustered,
+        });
+    }
+
+    let n_domains = r.count(8)?;
+    for _ in 0..n_domains {
+        let f = FieldId::from_index(r.u32()? as usize);
+        let c_raw = r.u32()? as usize;
+        if c_raw >= n_colls {
+            return Err(DecodeError::DanglingId);
+        }
+        catalog.set_ref_domain(f, CollectionId::from_index(c_raw));
+    }
+
+    let n_fanouts = r.count(12)?;
+    for _ in 0..n_fanouts {
+        let f = FieldId::from_index(r.u32()? as usize);
+        let v = r.f64()?;
+        catalog.set_fanout(f, v);
+    }
+
+    let n_hists = r.count(28)?;
+    for _ in 0..n_hists {
+        let c_raw = r.u32()? as usize;
+        if c_raw >= n_colls {
+            return Err(DecodeError::DanglingId);
+        }
+        let path_len = r.count(4)?;
+        let mut path = Vec::with_capacity(path_len);
+        for _ in 0..path_len {
+            path.push(FieldId::from_index(r.u32()? as usize));
+        }
+        let key = FieldId::from_index(r.u32()? as usize);
+        let n_bounds = r.count(1)?;
+        let mut bounds = Vec::with_capacity(n_bounds);
+        for _ in 0..n_bounds {
+            bounds.push(r.value()?);
+        }
+        let total = r.u64()?;
+        let distinct = r.u64()?;
+        let h = Histogram::from_parts(bounds, total, distinct).ok_or(DecodeError::BadHistogram)?;
+        catalog.set_histogram(CollectionId::from_index(c_raw), path, key, h);
+    }
+
+    catalog.raise_stats_epoch_to(epoch);
+    Ok(catalog)
+}
+
+// ---- record codec ---------------------------------------------------------
+
+impl WalRecord {
+    /// Encodes the record to its canonical byte form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalRecord::Genesis { schema, catalog } => {
+                out.push(TAG_GENESIS);
+                encode_schema(schema, &mut out);
+                encode_catalog(catalog, &mut out);
+            }
+            WalRecord::InsertObjects {
+                ty,
+                obj_bytes,
+                objects,
+            } => {
+                out.push(TAG_INSERT_OBJECTS);
+                out.extend_from_slice(&(ty.index() as u32).to_le_bytes());
+                out.extend_from_slice(&obj_bytes.to_le_bytes());
+                out.extend_from_slice(&(objects.len() as u64).to_le_bytes());
+                // Pack through the store's own page codec: the record
+                // carries the byte-exact page images a paged store would
+                // write for this collection.
+                let pages = pack_collection(objects.iter())
+                    .expect("objects originating from a store fit its pages");
+                out.extend_from_slice(&(pages.len() as u32).to_le_bytes());
+                for p in &pages {
+                    out.extend_from_slice(p.bytes());
+                }
+            }
+            WalRecord::SetMembers { coll, oids } => {
+                out.push(TAG_SET_MEMBERS);
+                out.extend_from_slice(&(coll.index() as u32).to_le_bytes());
+                out.extend_from_slice(&(oids.len() as u64).to_le_bytes());
+                for o in oids {
+                    out.extend_from_slice(&o.as_u64().to_le_bytes());
+                }
+            }
+            WalRecord::SetCatalog { catalog } => {
+                out.push(TAG_SET_CATALOG);
+                encode_catalog(catalog, &mut out);
+            }
+            WalRecord::BuildIndexes { bump_epoch } => {
+                out.push(TAG_BUILD_INDEXES);
+                out.push(*bump_epoch as u8);
+            }
+            WalRecord::StatsRefresh { buckets } => {
+                out.push(TAG_STATS_REFRESH);
+                out.extend_from_slice(&buckets.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a record from its byte form. Total: arbitrary input yields
+    /// a typed error, never a panic, and trailing bytes are rejected.
+    pub fn decode(buf: &[u8]) -> Result<WalRecord, DecodeError> {
+        let mut r = Reader::new(buf);
+        let rec = match r.u8()? {
+            TAG_GENESIS => {
+                let schema = decode_schema(&mut r)?;
+                let catalog = decode_catalog(&mut r)?;
+                WalRecord::Genesis { schema, catalog }
+            }
+            TAG_INSERT_OBJECTS => {
+                let ty = TypeId::from_index(r.u32()? as usize);
+                let obj_bytes = r.u32()?;
+                let n_objects = r.u64()?;
+                let n_pages = r.count(PAGE_BYTES)?;
+                let mut pages = Vec::with_capacity(n_pages);
+                for _ in 0..n_pages {
+                    let raw: [u8; PAGE_BYTES] =
+                        r.take(PAGE_BYTES)?.try_into().expect("PAGE_BYTES slice");
+                    pages.push(Page::from_bytes(raw));
+                }
+                let objects = unpack_pages(&pages)?;
+                if objects.len() as u64 != n_objects {
+                    return Err(DecodeError::BadLength);
+                }
+                WalRecord::InsertObjects {
+                    ty,
+                    obj_bytes,
+                    objects,
+                }
+            }
+            TAG_SET_MEMBERS => {
+                let coll = CollectionId::from_index(r.u32()? as usize);
+                let n = r.u64()?;
+                if n.saturating_mul(8) > (buf.len() - r.pos) as u64 {
+                    return Err(DecodeError::BadLength);
+                }
+                let mut oids = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    oids.push(Oid::from_u64(r.u64()?));
+                }
+                WalRecord::SetMembers { coll, oids }
+            }
+            TAG_SET_CATALOG => WalRecord::SetCatalog {
+                catalog: decode_catalog(&mut r)?,
+            },
+            TAG_BUILD_INDEXES => WalRecord::BuildIndexes {
+                bump_epoch: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(DecodeError::BadTag(t)),
+                },
+            },
+            TAG_STATS_REFRESH => WalRecord::StatsRefresh { buckets: r.u32()? },
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(rec)
+    }
+
+    /// Short kind name for logs and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WalRecord::Genesis { .. } => "genesis",
+            WalRecord::InsertObjects { .. } => "insert-objects",
+            WalRecord::SetMembers { .. } => "set-members",
+            WalRecord::SetCatalog { .. } => "set-catalog",
+            WalRecord::BuildIndexes { .. } => "build-indexes",
+            WalRecord::StatsRefresh { .. } => "stats-refresh",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_object::paper::paper_model;
+
+    fn sample_records() -> Vec<WalRecord> {
+        let m = paper_model();
+        let objects: Vec<Object> = (0..40)
+            .map(|i| {
+                Object::new(
+                    Oid::new(m.ids.job, i),
+                    vec![Value::str(&format!("job-{i}")), Value::Int(i as i64)],
+                )
+            })
+            .collect();
+        vec![
+            WalRecord::Genesis {
+                schema: m.schema.clone(),
+                catalog: m.catalog.clone(),
+            },
+            WalRecord::InsertObjects {
+                ty: m.ids.job,
+                obj_bytes: 50,
+                objects,
+            },
+            WalRecord::SetMembers {
+                coll: m.ids.job_extent,
+                oids: (0..40).map(|i| Oid::new(m.ids.job, i)).collect(),
+            },
+            WalRecord::SetCatalog {
+                catalog: m.catalog.clone(),
+            },
+            WalRecord::BuildIndexes { bump_epoch: true },
+            WalRecord::BuildIndexes { bump_epoch: false },
+            WalRecord::StatsRefresh { buckets: 32 },
+        ]
+    }
+
+    #[test]
+    fn canonical_roundtrip() {
+        for rec in sample_records() {
+            let bytes = rec.encode();
+            let back = WalRecord::decode(&bytes).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(back.encode(), bytes, "{} not canonical", rec.kind());
+        }
+    }
+
+    #[test]
+    fn histogram_catalog_roundtrips() {
+        let m = paper_model();
+        let mut cat = m.catalog.clone();
+        let h = Histogram::build((0..500).map(Value::Int).collect(), 16).unwrap();
+        cat.set_histogram(m.ids.cities, vec![m.ids.city_mayor], m.ids.person_name, h);
+        cat.set_fanout(m.ids.task_team_members, 12.5);
+        cat.bump_stats_epoch();
+        let rec = WalRecord::SetCatalog { catalog: cat };
+        let bytes = rec.encode();
+        let back = WalRecord::decode(&bytes).unwrap();
+        let WalRecord::SetCatalog { catalog } = &back else {
+            panic!("wrong variant");
+        };
+        assert!(catalog
+            .histogram(m.ids.cities, &[m.ids.city_mayor], m.ids.person_name)
+            .is_some());
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        for rec in sample_records() {
+            let bytes = rec.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    WalRecord::decode(&bytes[..cut]).is_err(),
+                    "{} prefix of {cut} bytes decoded",
+                    rec.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = WalRecord::StatsRefresh { buckets: 8 }.encode();
+        bytes.push(0);
+        assert_eq!(
+            WalRecord::decode(&bytes).unwrap_err(),
+            DecodeError::TrailingBytes
+        );
+    }
+
+    #[test]
+    fn hostile_lengths_do_not_allocate() {
+        // SetMembers claiming u64::MAX members over a 4-byte body.
+        let mut bytes = vec![TAG_SET_MEMBERS];
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            WalRecord::decode(&bytes).unwrap_err(),
+            DecodeError::BadLength
+        );
+    }
+}

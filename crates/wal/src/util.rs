@@ -1,0 +1,38 @@
+//! Small filesystem helpers (no `tempfile` dependency in the offline
+//! container).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SCRATCH_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A process-unique scratch directory under the OS temp dir, removed on
+/// drop (best effort). Used by the durability tests and bench.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    /// Creates `<tmp>/oodb-wal-<tag>-<pid>-<n>`.
+    pub fn new(tag: &str) -> std::io::Result<ScratchDir> {
+        let n = SCRATCH_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "oodb-wal-{tag}-{pid}-{n}",
+            pid = std::process::id()
+        ));
+        std::fs::create_dir_all(&path)?;
+        Ok(ScratchDir { path })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

@@ -45,6 +45,14 @@ cargo test -q --test server
 echo "==> plan-space audit (enumeration oracle, quick corpus)"
 OODB_AUDIT_QUICK=1 cargo test -q --test audit
 
+# Durability gate: the deterministic crash harness — the WAL killed at
+# every record boundary plus hundreds of seeded mid-record offsets and
+# bit flips, write faults injected on the append/flush/sync paths, and
+# the service round-trip recovering Q1-Q4 byte-identically (CI's
+# `durability` job adds a randomized-seed leg and the overhead bench).
+echo "==> durability gate (crash harness, fixed seed)"
+cargo test -q --test durability
+
 # Feedback-loop gate: the suspect -> probe -> re-optimize ladder must
 # converge on the skewed fixture, the untraced hot path must feed the
 # drift detector, and feedback must retire cleanly across epoch bumps

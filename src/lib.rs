@@ -53,6 +53,7 @@ pub use oodb_server as server;
 pub use oodb_service as service;
 pub use oodb_storage as storage;
 pub use oodb_telemetry as telemetry;
+pub use oodb_wal as wal;
 pub use volcano;
 pub use zql;
 
@@ -71,4 +72,5 @@ pub mod prelude {
     pub use oodb_service::{QueryService, SubmitOptions, WorkerPool};
     pub use oodb_storage::{generate_paper_db, GenConfig, Store};
     pub use oodb_telemetry::{MetricsRegistry, OpTrace};
+    pub use oodb_wal::{recover, FlushPolicy, WalSession};
 }

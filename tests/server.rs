@@ -104,6 +104,10 @@ fn smoke_every_endpoint() {
     );
     assert_eq!(fb.get("suspect").unwrap().as_u64(), Some(0));
 
+    // Durability is off by default, and /stats says so explicitly.
+    let dur = stats.get("durability").unwrap();
+    assert_eq!(dur.get("enabled").unwrap().as_bool(), Some(false));
+
     // Unknown path and wrong method.
     assert_eq!(c.request("GET", "/nope", None).unwrap().status, 404);
     assert_eq!(c.request("PUT", "/query", None).unwrap().status, 405);
