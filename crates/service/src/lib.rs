@@ -898,15 +898,24 @@ impl QueryService {
     /// unservable, so a plan relying on a dropped index can never run.
     pub fn restrict_indexes(&self, keep: &[&str]) {
         let mut dur = self.durability_lock();
-        let catalog = self.store().catalog().with_only_indexes(keep);
+        // The logged copy can come from the current snapshot — catalog-
+        // changing mutators are serialized by the durability lock, so it
+        // matches what the swap below produces. The swap itself must not
+        // reuse it: mutators that skip this lock (fault injectors,
+        // memory governors) may publish a newer snapshot in between, and
+        // writing a catalog derived from the stale store would clobber
+        // theirs. Derive it from the store actually being mutated.
         self.log_mutation(
             &mut dur,
             &WalRecord::SetCatalog {
-                catalog: catalog.clone(),
+                catalog: self.store().catalog().with_only_indexes(keep),
             },
         );
         self.log_mutation(&mut dur, &WalRecord::BuildIndexes { bump_epoch: true });
+        let keep: Vec<String> = keep.iter().map(|s| s.to_string()).collect();
         self.swap_store(move |store| {
+            let keep: Vec<&str> = keep.iter().map(String::as_str).collect();
+            let catalog = store.catalog().with_only_indexes(&keep);
             store.set_catalog(catalog);
             store.build_indexes();
         });

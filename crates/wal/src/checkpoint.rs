@@ -19,6 +19,7 @@
 
 use crate::frame::{read_frame, write_frame};
 use crate::record::WalRecord;
+use crate::util::sync_parent_dir;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::Path;
@@ -67,7 +68,10 @@ impl From<std::io::Error> for CheckpointError {
 }
 
 /// Writes `records` as a checkpoint covering WAL sequences below
-/// `base_seq`, atomically (tmp + rename + dir-independent sync).
+/// `base_seq`, atomically: tmp file, content fsync, rename, then a
+/// parent-directory fsync so the rename itself survives power loss —
+/// without that last sync the new checkpoint's directory entry can
+/// vanish even though its contents were synced.
 pub fn write_checkpoint(
     path: &Path,
     base_seq: u64,
@@ -90,6 +94,7 @@ pub fn write_checkpoint(
         f.sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)?;
     Ok(CheckpointStats {
         records: records.len() as u64,
         bytes: buf.len() as u64,

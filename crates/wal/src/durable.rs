@@ -277,6 +277,16 @@ pub struct WalSession {
 impl WalSession {
     /// Starts durability for `store` in `dir`: writes a full checkpoint
     /// and opens a fresh log at its base sequence.
+    ///
+    /// A prior log in the directory (the recover-then-re-enable path)
+    /// pins the base sequence: the new checkpoint is written at that
+    /// log's end sequence, not 0, so a crash between the checkpoint
+    /// rename and the log truncation below leaves every stale record
+    /// strictly under the checkpoint's base — re-recovery skips them
+    /// instead of replaying them on top of the full snapshot (or, with
+    /// a compacted old log whose base exceeds 0, hard-failing with a
+    /// generation mismatch). This is the same race
+    /// [`WalSession::checkpoint`] closes with `wal.next_seq()`.
     pub fn create(
         dir: &Path,
         store: &Store,
@@ -284,9 +294,16 @@ impl WalSession {
         injector: Option<WriteFaultInjector>,
     ) -> Result<WalSession, SessionError> {
         std::fs::create_dir_all(dir).map_err(WalError::Io)?;
+        let wal_path = dir.join(WAL_FILE);
+        let base = match Wal::scan(&wal_path) {
+            Ok(scan) => scan.base_seq + scan.records.len() as u64,
+            // No prior log (or an unreadable one, which recovery treats
+            // as a zero-record torn tail): nothing can replay, base 0.
+            Err(_) => 0,
+        };
         let recs = checkpoint_records(store);
-        let last_checkpoint = write_checkpoint(&dir.join(CHECKPOINT_FILE), 0, &recs)?;
-        let wal = Wal::create(&dir.join(WAL_FILE), 0, policy, injector.clone())?;
+        let last_checkpoint = write_checkpoint(&dir.join(CHECKPOINT_FILE), base, &recs)?;
+        let wal = Wal::create(&wal_path, base, policy, injector.clone())?;
         Ok(WalSession {
             dir: dir.to_path_buf(),
             wal,
@@ -297,15 +314,31 @@ impl WalSession {
         })
     }
 
-    /// Resumes a durability session over an existing directory (after
-    /// [`recover`]), truncating any torn log tail. Returns the session
-    /// and the number of tail bytes discarded.
+    /// Resumes a durability session over an existing directory after
+    /// [`recover`], truncating the log to the sequence recovery actually
+    /// applied (the report's `next_seq`). A degraded recovery stops at
+    /// the first record that fails to decode or apply; seq-valid frames
+    /// *after* that point must not stay in the log, or records appended
+    /// by the resumed session would sit behind a poison record and never
+    /// replay. Returns the session and the log bytes discarded (torn
+    /// tail plus unapplied records).
     pub fn resume(
         dir: &Path,
+        applied_next_seq: u64,
         policy: FlushPolicy,
         injector: Option<WriteFaultInjector>,
     ) -> Result<(WalSession, u64), SessionError> {
-        let (wal, scan) = Wal::open_append(&dir.join(WAL_FILE), policy, injector.clone())?;
+        let (wal, scan) = Wal::open_append_at(
+            &dir.join(WAL_FILE),
+            applied_next_seq,
+            policy,
+            injector.clone(),
+        )?;
+        let kept = (wal.next_seq() - scan.base_seq) as usize;
+        let dropped_records: u64 = scan.records[kept..]
+            .iter()
+            .map(|(_, rec)| (crate::frame::FRAME_HEADER + 8 + rec.len()) as u64)
+            .sum();
         Ok((
             WalSession {
                 dir: dir.to_path_buf(),
@@ -315,7 +348,7 @@ impl WalSession {
                 last_checkpoint: CheckpointStats::default(),
                 compacted_records: 0,
             },
-            scan.torn_bytes,
+            scan.torn_bytes + dropped_records,
         ))
     }
 
@@ -644,5 +677,81 @@ mod tests {
         assert_eq!(report.skipped_records, 1);
         assert_eq!(report.replayed_records, 0);
         assert_eq!(store_digest(&store), store_digest(&recovered));
+    }
+
+    #[test]
+    fn recreate_over_existing_log_survives_crash_before_truncate() {
+        // WalSession::create over a directory that already holds a log
+        // (recover-then-re-enable) must write its checkpoint at the old
+        // log's end sequence. Simulate the crash window between the
+        // checkpoint rename and the log truncation by restoring the old
+        // log wholesale after create: its records must fall below the
+        // new base and be skipped, not replayed on top of the snapshot.
+        let dir = ScratchDir::new("recreate-race").unwrap();
+        let mut store = small_store();
+        let mut session =
+            WalSession::create(dir.path(), &store, FlushPolicy::EveryRecord, None).unwrap();
+        let rec = WalRecord::StatsRefresh { buckets: 16 };
+        session.append(&rec).unwrap();
+        apply_to(&mut store, &rec).unwrap();
+        drop(session);
+        let wal_path = dir.path().join(WAL_FILE);
+        let stale_log = std::fs::read(&wal_path).unwrap();
+        let session2 =
+            WalSession::create(dir.path(), &store, FlushPolicy::EveryRecord, None).unwrap();
+        assert_eq!(session2.next_seq(), 1, "base pinned by the old log");
+        drop(session2);
+        std::fs::write(&wal_path, &stale_log).unwrap();
+        let (recovered, report) = recover(dir.path()).unwrap();
+        assert_eq!(report.skipped_records, 1, "stale record below the base");
+        assert_eq!(report.replayed_records, 0);
+        assert!(report.stopped.is_none());
+        assert_eq!(
+            store_digest(&store),
+            store_digest(&recovered),
+            "a re-replayed StatsRefresh would bump the epoch and diverge"
+        );
+    }
+
+    #[test]
+    fn resume_truncates_records_recovery_did_not_apply() {
+        let dir = ScratchDir::new("resume-degraded").unwrap();
+        let mut store = small_store();
+        let session =
+            WalSession::create(dir.path(), &store, FlushPolicy::EveryRecord, None).unwrap();
+        drop(session);
+        // Build a log whose middle record cannot decode: replay stops
+        // after the first record, stranding the third behind the poison.
+        let wal_path = dir.path().join(WAL_FILE);
+        let (mut wal, _) = Wal::open_append(&wal_path, FlushPolicy::EveryRecord, None).unwrap();
+        let good = WalRecord::StatsRefresh { buckets: 16 };
+        wal.append(&good.encode()).unwrap();
+        wal.append(&[0xFF; 10]).unwrap();
+        wal.append(&good.encode()).unwrap();
+        drop(wal);
+        apply_to(&mut store, &good).unwrap();
+
+        let (recovered, report) = recover(dir.path()).unwrap();
+        assert_eq!(report.replayed_records, 1);
+        assert!(report.stopped.is_some(), "decode failure stops replay");
+        assert_eq!(report.next_seq, 1);
+        assert_eq!(store_digest(&store), store_digest(&recovered));
+
+        // Resume at the applied sequence: the poison record and the
+        // stranded one behind it are truncated, so a fresh append lands
+        // at seq 1 and replays on the next recovery.
+        let (mut resumed, discarded) =
+            WalSession::resume(dir.path(), report.next_seq, FlushPolicy::EveryRecord, None)
+                .unwrap();
+        assert!(discarded > 0);
+        assert_eq!(resumed.next_seq(), 1);
+        let rec = WalRecord::StatsRefresh { buckets: 32 };
+        assert_eq!(resumed.append(&rec).unwrap(), 1);
+        let mut store2 = recovered;
+        apply_to(&mut store2, &rec).unwrap();
+        let (recovered2, report2) = recover(dir.path()).unwrap();
+        assert_eq!(report2.replayed_records, 2);
+        assert!(report2.stopped.is_none());
+        assert_eq!(store_digest(&store2), store_digest(&recovered2));
     }
 }

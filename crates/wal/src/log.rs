@@ -20,6 +20,7 @@
 //! recovery just as a crash would.
 
 use crate::frame::{read_frame, write_frame, FrameError, FRAME_HEADER};
+use crate::util::sync_parent_dir;
 use oodb_fault::{WriteFault, WriteFaultInjector};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -154,6 +155,7 @@ impl Wal {
         header.extend_from_slice(&base_seq.to_le_bytes());
         file.write_all(&header)?;
         file.sync_all()?;
+        sync_parent_dir(path)?;
         Ok(Wal {
             file,
             path: path.to_path_buf(),
@@ -223,12 +225,34 @@ impl Wal {
         policy: FlushPolicy,
         injector: Option<WriteFaultInjector>,
     ) -> Result<(Wal, WalScan), WalError> {
+        Wal::open_append_at(path, u64::MAX, policy, injector)
+    }
+
+    /// Reopens an existing log for appending, keeping only records with
+    /// sequence below `keep_below` — everything at or above it, plus any
+    /// torn tail, is truncated away. A degraded recovery that stopped
+    /// replay early resumes through this (with the report's `next_seq`)
+    /// so appends never land behind a record that will not replay.
+    pub fn open_append_at(
+        path: &Path,
+        keep_below: u64,
+        policy: FlushPolicy,
+        injector: Option<WriteFaultInjector>,
+    ) -> Result<(Wal, WalScan), WalError> {
         let scan = Wal::scan(path)?;
+        let keep = keep_below
+            .saturating_sub(scan.base_seq)
+            .min(scan.records.len() as u64) as usize;
+        let valid_len = WAL_HEADER as u64
+            + scan.records[..keep]
+                .iter()
+                .map(|(_, rec)| (FRAME_HEADER + 8 + rec.len()) as u64)
+                .sum::<u64>();
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
-        file.set_len(scan.valid_len)?;
+        file.set_len(valid_len)?;
         file.seek(SeekFrom::End(0))?;
         file.sync_all()?;
-        let next_seq = scan.base_seq + scan.records.len() as u64;
+        let next_seq = scan.base_seq + keep as u64;
         Ok((
             Wal {
                 file,
@@ -318,10 +342,10 @@ impl Wal {
                     _ => 0,
                 };
                 let kept_bytes: usize = self.buffered_records.iter().take(kept).sum();
-                self.file.write_all(&self.buffer[..kept_bytes])?;
-                let _ = self.file.sync_all();
                 self.stats.faults += 1;
                 self.poisoned = true;
+                let _ = self.file.write_all(&self.buffer[..kept_bytes]);
+                let _ = self.file.sync_all();
                 return Err(WalError::Fault(fault));
             }
             if let Err(fault) = inj.check_append(op, self.buffer.len()) {
@@ -329,27 +353,41 @@ impl Wal {
                     WriteFault::TornWrite { kept } => kept,
                     _ => 0,
                 };
-                self.file.write_all(&self.buffer[..kept])?;
-                let _ = self.file.sync_all();
                 self.stats.faults += 1;
                 self.poisoned = true;
+                let _ = self.file.write_all(&self.buffer[..kept]);
+                let _ = self.file.sync_all();
                 return Err(WalError::Fault(fault));
             }
         }
-        self.file.write_all(&self.buffer)?;
+        // A real write or sync failure (ENOSPC, EIO) leaves the file in
+        // an unknown partially-written state; retrying the buffer later
+        // would append duplicate bytes after that unknown prefix and
+        // corrupt everything behind them. Poison the handle exactly as
+        // an injected fault would — the owner must reopen, and reopening
+        // truncates back to the last whole frame.
+        if let Err(e) = self.file.write_all(&self.buffer) {
+            self.poisoned = true;
+            return Err(WalError::Io(e));
+        }
         self.stats.flushes += 1;
-        self.buffer.clear();
-        self.buffered_records.clear();
         if let Some(inj) = &self.injector {
             if let Err(fault) = inj.check_sync(op) {
                 // Bytes reached the file but the sync "failed": the
                 // caller must treat the batch as unacknowledged.
                 self.stats.faults += 1;
                 self.poisoned = true;
+                self.buffer.clear();
+                self.buffered_records.clear();
                 return Err(WalError::Fault(fault));
             }
         }
-        self.file.sync_all()?;
+        if let Err(e) = self.file.sync_all() {
+            self.poisoned = true;
+            return Err(WalError::Io(e));
+        }
+        self.buffer.clear();
+        self.buffered_records.clear();
         self.stats.syncs += 1;
         Ok(())
     }
@@ -412,6 +450,42 @@ mod tests {
         let rescan = Wal::scan(&path).unwrap();
         assert_eq!(rescan.records.len(), 3);
         assert_eq!(rescan.torn_bytes, 0);
+    }
+
+    #[test]
+    fn open_append_at_truncates_unkept_records() {
+        let dir = ScratchDir::new("log-keep").unwrap();
+        let path = dir.path().join("wal.oodb");
+        let mut wal = Wal::create(&path, 3, FlushPolicy::EveryRecord, None).unwrap();
+        for i in 0..5u8 {
+            wal.append(&[i; 6]).unwrap();
+        }
+        drop(wal);
+        // Keep only sequences below 5: records 3 and 4 survive, 5..8 go.
+        let (mut wal2, scan) =
+            Wal::open_append_at(&path, 5, FlushPolicy::EveryRecord, None).unwrap();
+        assert_eq!(scan.records.len(), 5);
+        assert_eq!(wal2.next_seq(), 5);
+        assert_eq!(wal2.append(b"new").unwrap(), 5);
+        let rescan = Wal::scan(&path).unwrap();
+        assert_eq!(rescan.records.len(), 3);
+        assert_eq!(rescan.records.last().unwrap().0, 5);
+        assert_eq!(rescan.torn_bytes, 0);
+    }
+
+    #[test]
+    fn real_write_error_poisons_the_handle() {
+        let dir = ScratchDir::new("log-io-poison").unwrap();
+        let path = dir.path().join("wal.oodb");
+        let mut wal = Wal::create(&path, 0, FlushPolicy::Manual, None).unwrap();
+        wal.append(b"buffered").unwrap();
+        // Swap in a read-only handle: the flush's write_all now fails
+        // with a real (non-injected) I/O error, which must poison the
+        // handle exactly as an injected fault would.
+        wal.file = File::open(&path).unwrap();
+        assert!(matches!(wal.flush().unwrap_err(), WalError::Io(_)));
+        assert!(wal.poisoned());
+        assert!(matches!(wal.append(b"x").unwrap_err(), WalError::Poisoned));
     }
 
     #[test]

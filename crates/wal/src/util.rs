@@ -6,6 +6,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static SCRATCH_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// Makes the directory *entry* for `path` durable: fsyncing a file's
+/// contents does not persist its name (or a rename onto it) — the parent
+/// directory must be synced too, or power loss can leave a fully-synced
+/// file that simply is not there.
+pub(crate) fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(parent)?.sync_all()
+}
+
 /// A process-unique scratch directory under the OS temp dir, removed on
 /// drop (best effort). Used by the durability tests and bench.
 #[derive(Debug)]
